@@ -1,0 +1,145 @@
+//! The common CAM interface implemented by every design family.
+
+use dsp_cam_core::error::CamError;
+use fpga_model::ResourceUsage;
+
+/// An exact-match CAM with a fill-order address space, plus its
+/// implementation model (latency, resources, achievable frequency).
+///
+/// The trait is object-safe so sweeps can hold `Box<dyn Cam>` collections.
+///
+/// # Examples
+///
+/// ```
+/// use dsp_cam_baselines::{all_cams, Cam};
+///
+/// for mut cam in all_cams(16, 12) {
+///     cam.insert(0x5A5).unwrap();
+///     assert_eq!(cam.search(0x5A5), Some(0), "{}", cam.name());
+///     assert!(cam.frequency_mhz() > 0.0);
+/// }
+/// ```
+pub trait Cam {
+    /// Human-readable design-family name.
+    fn name(&self) -> &'static str;
+
+    /// Store a value at the next free address.
+    ///
+    /// # Errors
+    ///
+    /// * [`CamError::Full`] when no free entry remains;
+    /// * [`CamError::ValueTooWide`] when the value exceeds the data width.
+    fn insert(&mut self, value: u64) -> Result<(), CamError>;
+
+    /// Lowest matching address for `key`, if any.
+    fn search(&mut self, key: u64) -> Option<usize>;
+
+    /// Clear all entries.
+    fn clear(&mut self);
+
+    /// Total entries the CAM can hold.
+    fn capacity(&self) -> usize;
+
+    /// Entries currently stored.
+    fn len(&self) -> usize;
+
+    /// Whether no entries are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// End-to-end update latency in cycles at this geometry.
+    fn update_latency(&self) -> u64;
+
+    /// End-to-end search latency in cycles at this geometry.
+    fn search_latency(&self) -> u64;
+
+    /// Modelled resource consumption at this geometry.
+    fn resources(&self) -> ResourceUsage;
+
+    /// Modelled achievable clock frequency in MHz at this geometry.
+    fn frequency_mhz(&self) -> f64;
+
+    /// Search initiation interval in cycles (1 = fully pipelined; the DSP
+    /// cascade cannot overlap searches and reports its full latency).
+    fn search_interval(&self) -> u64 {
+        1
+    }
+
+    /// Searches per second at the modelled frequency.
+    fn search_throughput_mops(&self) -> f64 {
+        self.frequency_mhz() / self.search_interval() as f64
+    }
+}
+
+/// Shared width bookkeeping for the baseline implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Geometry {
+    pub entries: usize,
+    pub width: u32,
+}
+
+impl Geometry {
+    pub(crate) fn new(entries: usize, width: u32) -> Self {
+        assert!(entries > 0, "CAM needs at least one entry");
+        // Widths beyond 64 are accepted for resource/frequency modelling
+        // (the survey compares 144- and 160-bit configurations); functional
+        // payloads are carried in u64 and clamp there.
+        assert!((1..=512).contains(&width), "width {width} out of range");
+        Geometry { entries, width }
+    }
+
+    pub(crate) fn value_limit(self) -> u64 {
+        if self.width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    pub(crate) fn check_value(self, value: u64) -> Result<(), CamError> {
+        if value > self.value_limit() {
+            Err(CamError::ValueTooWide {
+                value,
+                data_width: self.width,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    pub(crate) fn bits(self) -> u64 {
+        self.entries as u64 * u64::from(self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_validation() {
+        let g = Geometry::new(16, 8);
+        assert_eq!(g.value_limit(), 0xFF);
+        assert_eq!(g.bits(), 128);
+        assert!(g.check_value(0xFF).is_ok());
+        assert!(g.check_value(0x100).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_panics() {
+        let _ = Geometry::new(0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_panics() {
+        let _ = Geometry::new(1, 0);
+    }
+
+    #[test]
+    fn width_64_limit() {
+        assert_eq!(Geometry::new(1, 64).value_limit(), u64::MAX);
+    }
+}

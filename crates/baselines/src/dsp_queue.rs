@@ -1,0 +1,170 @@
+//! The prior DSP-slice CAM: Preußer et al.'s content-addressable update
+//! queue (FPL 2020).
+//!
+//! Entries live in a *cascade* of DSP slices chained through their
+//! PCIN/PCOUT ports. Inserting at the head is a single shift — updates are
+//! cheap — but a search key must ripple down the whole cascade, one
+//! 24-entry segment per pipeline stage, so search latency grows with
+//! capacity: the published 1000×24 configuration takes 42 cycles. This is
+//! precisely the "prolonged search latency" the paper cites as the reason
+//! the existing DSP design is unsuitable for data-intensive applications
+//! (Section I), and the design our architecture's constant 8-cycle search
+//! is contrasted against.
+
+use dsp_cam_core::error::CamError;
+use fpga_model::ResourceUsage;
+
+use crate::cam::{Cam, Geometry};
+
+/// Entries scanned per cascade pipeline stage (two 24-bit halves of each
+/// 48-bit chain segment).
+const ENTRIES_PER_STAGE: u64 = 24;
+
+/// Preußer et al.'s DSP cascade CAM.
+#[derive(Debug, Clone)]
+pub struct DspCascadeCam {
+    geometry: Geometry,
+    /// The cascade, head first (newest entry at index 0).
+    chain: Vec<u64>,
+}
+
+impl DspCascadeCam {
+    /// Create a cascade CAM of `entries` × `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or `width` is outside `1..=64`.
+    #[must_use]
+    pub fn new(entries: usize, width: u32) -> Self {
+        DspCascadeCam {
+            geometry: Geometry::new(entries, width),
+            chain: Vec::with_capacity(entries),
+        }
+    }
+}
+
+impl Cam for DspCascadeCam {
+    fn name(&self) -> &'static str {
+        "DSP cascade CAM (Preusser et al.)"
+    }
+
+    fn insert(&mut self, value: u64) -> Result<(), CamError> {
+        self.geometry.check_value(value)?;
+        if self.chain.len() >= self.geometry.entries {
+            return Err(CamError::Full { rejected: 1 });
+        }
+        // New entries shift in at the head of the cascade.
+        self.chain.insert(0, value);
+        Ok(())
+    }
+
+    fn search(&mut self, key: u64) -> Option<usize> {
+        let key = key & self.geometry.value_limit();
+        // The key ripples down the cascade; the fill-order address of entry
+        // i (i-th inserted) is len-1-i positions from the head.
+        self.chain
+            .iter()
+            .position(|&v| v == key)
+            .map(|head_pos| self.chain.len() - 1 - head_pos)
+    }
+
+    fn clear(&mut self) {
+        self.chain.clear();
+    }
+
+    fn capacity(&self) -> usize {
+        self.geometry.entries
+    }
+
+    fn len(&self) -> usize {
+        self.chain.len()
+    }
+
+    fn update_latency(&self) -> u64 {
+        // A head insert is one shift of the cascade.
+        1
+    }
+
+    fn search_latency(&self) -> u64 {
+        // One stage per 24 entries of cascade — 1000 entries = 42 stages.
+        (self.geometry.entries as u64).div_ceil(ENTRIES_PER_STAGE)
+    }
+
+    fn resources(&self) -> ResourceUsage {
+        // ~1 DSP per entry plus ~2% chain plumbing (1000 -> 1022 published).
+        let dsp = self.geometry.entries as u64 + (self.geometry.entries as u64) * 22 / 1000;
+        ResourceUsage {
+            lut: 2_843 * self.geometry.entries as u64 / 1000,
+            ff: self.geometry.entries as u64 * 2,
+            bram36: 0,
+            uram: 0,
+            dsp,
+        }
+    }
+
+    fn frequency_mhz(&self) -> f64 {
+        // The cascade is hard-wired silicon: frequency holds at the DSP
+        // column limit nearly independent of depth.
+        350.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_search_fill_order_addresses() {
+        let mut cam = DspCascadeCam::new(8, 24);
+        cam.insert(10).unwrap();
+        cam.insert(20).unwrap();
+        cam.insert(30).unwrap();
+        assert_eq!(cam.search(10), Some(0));
+        assert_eq!(cam.search(20), Some(1));
+        assert_eq!(cam.search(30), Some(2));
+        assert_eq!(cam.search(40), None);
+    }
+
+    #[test]
+    fn published_1000_entry_point() {
+        let cam = DspCascadeCam::new(1000, 24);
+        assert_eq!(cam.search_latency(), 42, "published FPL'20 figure");
+        assert_eq!(cam.update_latency(), 1);
+        let r = cam.resources();
+        assert_eq!(r.dsp, 1022, "published DSP count");
+        assert_eq!(r.lut, 2843, "published LUT count");
+        assert_eq!(cam.frequency_mhz(), 350.0);
+    }
+
+    #[test]
+    fn search_latency_scales_with_depth() {
+        assert_eq!(DspCascadeCam::new(24, 24).search_latency(), 1);
+        assert_eq!(DspCascadeCam::new(25, 24).search_latency(), 2);
+        assert!(
+            DspCascadeCam::new(9728, 24).search_latency()
+                > DspCascadeCam::new(1000, 24).search_latency()
+        );
+    }
+
+    #[test]
+    fn capacity_and_clear() {
+        let mut cam = DspCascadeCam::new(2, 8);
+        cam.insert(1).unwrap();
+        cam.insert(2).unwrap();
+        assert!(matches!(cam.insert(3), Err(CamError::Full { .. })));
+        cam.clear();
+        assert!(cam.is_empty());
+    }
+
+    #[test]
+    fn duplicate_reports_newest_is_not_first() {
+        // Fill-order addressing: the oldest matching entry has the lowest
+        // address, even though the newest sits at the cascade head.
+        let mut cam = DspCascadeCam::new(4, 8);
+        cam.insert(7).unwrap();
+        cam.insert(9).unwrap();
+        cam.insert(7).unwrap();
+        // Head-first scan finds the newest 7 first, whose fill address is 2.
+        assert_eq!(cam.search(7), Some(2));
+    }
+}

@@ -1,0 +1,143 @@
+//! A hybrid SRAM+LUT CAM (REST-CAM style).
+//!
+//! The entries live in one (or a few) true-dual-port BRAMs organised as a
+//! transposed 512-deep array; a thin LUT layer reduces the read-out to a
+//! match flag. The footprint is tiny — REST-CAM's published 72×28 point
+//! costs 130 LUTs and a single BRAM — but every update rewrites the whole
+//! 512-row transposed column serially: 513 cycles, the worst update path
+//! in the survey, and the reason hybrid designs are unusable for dynamic
+//! data (Section II-A).
+
+use dsp_cam_core::error::CamError;
+use fpga_model::ResourceUsage;
+
+use crate::cam::{Cam, Geometry};
+
+const RAM_DEPTH: u64 = 512;
+
+/// A hybrid BRAM-storage, LUT-reduce CAM.
+#[derive(Debug, Clone)]
+pub struct HybridCam {
+    geometry: Geometry,
+    entries: Vec<Option<u64>>,
+    fill: usize,
+}
+
+impl HybridCam {
+    /// Create a hybrid CAM of `entries` × `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or `width` is outside `1..=64`.
+    #[must_use]
+    pub fn new(entries: usize, width: u32) -> Self {
+        let geometry = Geometry::new(entries, width);
+        HybridCam {
+            geometry,
+            entries: vec![None; entries],
+            fill: 0,
+        }
+    }
+}
+
+impl Cam for HybridCam {
+    fn name(&self) -> &'static str {
+        "Hybrid SRAM+LUT CAM"
+    }
+
+    fn insert(&mut self, value: u64) -> Result<(), CamError> {
+        self.geometry.check_value(value)?;
+        if self.fill >= self.entries.len() {
+            return Err(CamError::Full { rejected: 1 });
+        }
+        self.entries[self.fill] = Some(value);
+        self.fill += 1;
+        Ok(())
+    }
+
+    fn search(&mut self, key: u64) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|&e| e == Some(key & self.geometry.value_limit()))
+    }
+
+    fn clear(&mut self) {
+        self.entries.fill(None);
+        self.fill = 0;
+    }
+
+    fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn len(&self) -> usize {
+        self.fill
+    }
+
+    fn update_latency(&self) -> u64 {
+        // Serial rewrite of the transposed 512-row column — REST-CAM's 513.
+        RAM_DEPTH + 1
+    }
+
+    fn search_latency(&self) -> u64 {
+        // BRAM read + LUT reduce + encode — REST-CAM's published 5.
+        5
+    }
+
+    fn resources(&self) -> ResourceUsage {
+        let bits = self.geometry.bits();
+        ResourceUsage {
+            lut: 100 + self.geometry.entries as u64 / 2,
+            ff: self.geometry.entries as u64,
+            bram36: bits.div_ceil(36 * 1024).max(1),
+            uram: 0,
+            dsp: 0,
+        }
+    }
+
+    fn frequency_mhz(&self) -> f64 {
+        let doublings = (self.geometry.entries as f64).log2();
+        (90.0 - 6.5 * doublings).max(40.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_semantics() {
+        let mut cam = HybridCam::new(72, 28);
+        cam.insert(0x0AB_CDEF).unwrap();
+        assert_eq!(cam.search(0x0AB_CDEF), Some(0));
+        assert_eq!(cam.search(1), None);
+    }
+
+    #[test]
+    fn rest_cam_calibration_point() {
+        let cam = HybridCam::new(72, 28);
+        assert_eq!(cam.update_latency(), 513);
+        assert_eq!(cam.search_latency(), 5);
+        let r = cam.resources();
+        assert_eq!(r.bram36, 1);
+        assert!((100..=200).contains(&r.lut), "{} vs published 130", r.lut);
+        let f = cam.frequency_mhz();
+        assert!((40.0..70.0).contains(&f), "{f} vs published 50");
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut cam = HybridCam::new(2, 8);
+        cam.insert(1).unwrap();
+        cam.insert(2).unwrap();
+        assert!(matches!(cam.insert(3), Err(CamError::Full { .. })));
+        cam.clear();
+        cam.insert(3).unwrap();
+        assert_eq!(cam.search(3), Some(0));
+    }
+
+    #[test]
+    fn bram_grows_with_bits() {
+        assert!(HybridCam::new(4096, 48).resources().bram36 > 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! # dsp-cam-baselines — competing FPGA CAM implementations
+//!
+//! Functional, resource- and latency-modelled implementations of the CAM
+//! families the paper compares against (Table I and Figure 1):
+//!
+//! * [`lut_cam::LutCam`] — the classic register-and-comparator CAM:
+//!   single-cycle search, brutal LUT cost;
+//! * [`lutram_cam::LutramCam`] — a transposed LUTRAM TCAM in the
+//!   Frac-TCAM/DURE style: fast search, slow `2^k`-row update walk;
+//! * [`bram_cam::BramCam`] — a transposed block-RAM TCAM in the
+//!   HP-TCAM/PUMP-CAM style: cheap LUTs, heavy BRAM, multi-cycle search;
+//! * [`hybrid_cam::HybridCam`] — a REST-CAM-style hybrid: tiny footprint,
+//!   extremely slow updates;
+//! * [`dsp_queue::DspCascadeCam`] — Preußer et al.'s DSP cascade
+//!   ("content-addressable update queue"): single-cycle update at the head,
+//!   search latency proportional to the cascade length;
+//! * [`ours::DspCamAdapter`] — the paper's design (from `dsp-cam-core`)
+//!   behind the same [`Cam`] trait, so every comparison in the benches is
+//!   apples-to-apples.
+//!
+//! All implementations are *functional* — they really store and match
+//! entries — and additionally report the resource/latency/frequency model
+//! that their published reference point calibrates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bram_cam;
+pub mod cam;
+pub mod fidelity;
+pub mod dsp_queue;
+pub mod hybrid_cam;
+pub mod lut_cam;
+pub mod lutram_cam;
+pub mod ours;
+
+pub use bram_cam::BramCam;
+pub use cam::Cam;
+pub use dsp_queue::DspCascadeCam;
+pub use fidelity::{survey_fidelity, FidelityRow};
+pub use hybrid_cam::HybridCam;
+pub use lut_cam::LutCam;
+pub use lutram_cam::LutramCam;
+pub use ours::DspCamAdapter;
+
+/// Construct one instance of every baseline (plus ours) at the same
+/// geometry, for sweep-style benches and differential tests.
+///
+/// # Panics
+///
+/// Panics if the geometry is invalid for the paper's design (the baselines
+/// accept any geometry).
+#[must_use]
+pub fn all_cams(entries: usize, width: u32) -> Vec<Box<dyn Cam>> {
+    vec![
+        Box::new(LutCam::new(entries, width)),
+        Box::new(LutramCam::new(entries, width)),
+        Box::new(BramCam::new(entries, width)),
+        Box::new(HybridCam::new(entries, width)),
+        Box::new(DspCascadeCam::new(entries, width)),
+        Box::new(DspCamAdapter::new(entries, width)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_cams_agree_functionally() {
+        let mut cams = all_cams(64, 16);
+        for cam in &mut cams {
+            for v in [5u64, 1000, 42, 5] {
+                cam.insert(v).unwrap();
+            }
+        }
+        for cam in &mut cams {
+            let name = cam.name();
+            assert!(cam.search(42).is_some(), "{name} missed 42");
+            assert!(cam.search(7).is_none(), "{name} ghost-hit 7");
+            assert_eq!(cam.len(), 4, "{name}");
+        }
+    }
+
+    #[test]
+    fn all_cams_report_models() {
+        for cam in all_cams(128, 32) {
+            let name = cam.name();
+            assert!(!name.is_empty());
+            assert!(cam.frequency_mhz() > 0.0, "{name}");
+            assert!(cam.search_latency() >= 1, "{name}");
+            assert!(cam.update_latency() >= 1, "{name}");
+            let r = cam.resources();
+            assert!(
+                r.lut + r.bram36 + r.dsp > 0,
+                "{name} reports zero resources"
+            );
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The classic register-and-comparator ("brute force") LUT CAM.
+//!
+//! Every entry is a fabric register bank with a dedicated equality
+//! comparator; all comparators fire in parallel into a priority encoder.
+//! Search is a single cycle and updates are trivial, but the LUT cost is
+//! proportional to *stored bits* and the wide OR/priority trees wreck
+//! timing as the CAM grows — the scalability wall the paper's Section II-A
+//! describes for LUT-based designs.
+//!
+//! ## Model calibration
+//!
+//! A LUT6 compares ~4 bits (two 2-bit slices through the carry chain), so
+//! `LUTs ≈ bits / 4 + encoder`; registers store every bit. Frequency
+//! follows the comparator/encoder tree depth: ~450 MHz minus ~25 MHz per
+//! doubling of entries (BPR-CAM's 1024×144 lands near its published
+//! 111 MHz).
+
+use dsp_cam_core::error::CamError;
+use fpga_model::ResourceUsage;
+
+use crate::cam::{Cam, Geometry};
+
+/// A register-file CAM with parallel comparators.
+#[derive(Debug, Clone)]
+pub struct LutCam {
+    geometry: Geometry,
+    entries: Vec<Option<u64>>,
+    fill: usize,
+}
+
+impl LutCam {
+    /// Create a LUT CAM of `entries` × `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or `width` is outside `1..=64`.
+    #[must_use]
+    pub fn new(entries: usize, width: u32) -> Self {
+        let geometry = Geometry::new(entries, width);
+        LutCam {
+            geometry,
+            entries: vec![None; entries],
+            fill: 0,
+        }
+    }
+}
+
+impl Cam for LutCam {
+    fn name(&self) -> &'static str {
+        "LUT register CAM"
+    }
+
+    fn insert(&mut self, value: u64) -> Result<(), CamError> {
+        self.geometry.check_value(value)?;
+        if self.fill >= self.entries.len() {
+            return Err(CamError::Full { rejected: 1 });
+        }
+        self.entries[self.fill] = Some(value);
+        self.fill += 1;
+        Ok(())
+    }
+
+    fn search(&mut self, key: u64) -> Option<usize> {
+        // All comparators in parallel; priority encoder takes the lowest.
+        self.entries
+            .iter()
+            .position(|&e| e == Some(key & self.geometry.value_limit()))
+    }
+
+    fn clear(&mut self) {
+        self.entries.fill(None);
+        self.fill = 0;
+    }
+
+    fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn len(&self) -> usize {
+        self.fill
+    }
+
+    fn update_latency(&self) -> u64 {
+        1
+    }
+
+    fn search_latency(&self) -> u64 {
+        // Comparators (1) + priority encoder tree, one register level per
+        // 1024 entries beyond the first (BPR-CAM's published 2 cycles at
+        // 1024 entries is the calibration point).
+        1 + (self.geometry.entries as u64 / 1024)
+    }
+
+    fn resources(&self) -> ResourceUsage {
+        let bits = self.geometry.bits();
+        let encoder = self.geometry.entries as u64; // ~1 LUT per entry of tree
+        ResourceUsage {
+            lut: bits / 4 + encoder,
+            ff: bits,
+            bram36: 0,
+            uram: 0,
+            dsp: 0,
+        }
+    }
+
+    fn frequency_mhz(&self) -> f64 {
+        let doublings = (self.geometry.entries as f64).log2();
+        (450.0 - 25.0 * doublings).max(60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_semantics() {
+        let mut cam = LutCam::new(8, 16);
+        cam.insert(100).unwrap();
+        cam.insert(200).unwrap();
+        assert_eq!(cam.search(200), Some(1));
+        assert_eq!(cam.search(300), None);
+        cam.clear();
+        assert_eq!(cam.search(100), None);
+        assert!(cam.is_empty());
+    }
+
+    #[test]
+    fn full_and_wide_rejections() {
+        let mut cam = LutCam::new(1, 8);
+        cam.insert(1).unwrap();
+        assert!(matches!(cam.insert(2), Err(CamError::Full { .. })));
+        let mut cam = LutCam::new(2, 8);
+        assert!(matches!(
+            cam.insert(0x100),
+            Err(CamError::ValueTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn resource_model_scales_with_bits() {
+        let small = LutCam::new(64, 32).resources();
+        let big = LutCam::new(1024, 32).resources();
+        assert!(big.lut > 10 * small.lut);
+        assert_eq!(big.dsp, 0);
+        assert_eq!(big.bram36, 0);
+    }
+
+    #[test]
+    fn frequency_degrades_with_entries() {
+        let f64e = LutCam::new(64, 32).frequency_mhz();
+        let f4k = LutCam::new(4096, 32).frequency_mhz();
+        assert!(f64e > f4k);
+        assert!(f4k >= 60.0);
+        // Ballpark of BPR-CAM's published 111 MHz at 1024 entries.
+        let f1k = LutCam::new(1024, 144).frequency_mhz();
+        assert!((100.0..250.0).contains(&f1k), "{f1k}");
+    }
+
+    #[test]
+    fn search_is_single_cycle_when_small() {
+        assert_eq!(LutCam::new(128, 32).search_latency(), 1);
+        assert!(LutCam::new(1024, 32).search_latency() > 1);
+    }
+
+    #[test]
+    fn duplicate_returns_lowest() {
+        let mut cam = LutCam::new(8, 8);
+        cam.insert(7).unwrap();
+        cam.insert(9).unwrap();
+        cam.insert(7).unwrap();
+        assert_eq!(cam.search(7), Some(0));
+    }
+}

@@ -1,0 +1,238 @@
+//! A transposed LUTRAM TCAM (Frac-TCAM / DURE style).
+//!
+//! The key is split into 6-bit chunks; each chunk owns a 64-row LUTRAM
+//! table whose row `v` holds a bitmask of the entries whose chunk equals
+//! `v`. A search reads one row per chunk (all chunks in parallel) and ANDs
+//! the bitmasks — one cycle plus the encoder. An *update*, however, must
+//! walk all 64 rows of every chunk table to clear the entry's old bit
+//! before setting the new one: the `2^k`-row update walk that makes
+//! LUTRAM CAMs poor at dynamic workloads (DURE's published 65-cycle
+//! update).
+//!
+//! ## Model calibration
+//!
+//! `LUTs ≈ 0.6 × entries × ceil(width/6)` (the 0.6 factor is the
+//! fracturable dual-output packing Frac-TCAM exploits; 1024×160 lands near
+//! its published 16 384). Frequency starts near the LUTRAM fabric limit
+//! and falls ~12 MHz per doubling of entries (1024 entries ≈ Frac-TCAM's
+//! published 357 MHz).
+
+use dsp_cam_core::error::CamError;
+use fpga_model::ResourceUsage;
+
+use crate::cam::{Cam, Geometry};
+
+const CHUNK_BITS: u32 = 6;
+const CHUNK_ROWS: usize = 1 << CHUNK_BITS;
+
+/// A transposed LUTRAM TCAM.
+#[derive(Debug, Clone)]
+pub struct LutramCam {
+    geometry: Geometry,
+    /// `tables[chunk][row]` = bitmask of entries whose chunk equals `row`.
+    tables: Vec<Vec<Vec<u64>>>,
+    valid: Vec<u64>,
+    fill: usize,
+}
+
+fn chunks_of(width: u32) -> usize {
+    width.div_ceil(CHUNK_BITS) as usize
+}
+
+impl LutramCam {
+    /// Create a LUTRAM CAM of `entries` × `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or `width` is outside `1..=64`.
+    #[must_use]
+    pub fn new(entries: usize, width: u32) -> Self {
+        let geometry = Geometry::new(entries, width);
+        let words = entries.div_ceil(64);
+        LutramCam {
+            geometry,
+            tables: vec![vec![vec![0u64; words]; CHUNK_ROWS]; chunks_of(width)],
+            valid: vec![0u64; words],
+            fill: 0,
+        }
+    }
+
+    fn chunk_value(&self, value: u64, chunk: usize) -> usize {
+        let shift = chunk as u32 * CHUNK_BITS;
+        if shift >= 64 {
+            // Payloads are carried in u64; survey geometries wider than 64
+            // bits have all-zero upper chunks.
+            0
+        } else {
+            ((value >> shift) & (CHUNK_ROWS as u64 - 1)) as usize
+        }
+    }
+
+    fn set_bit(mask: &mut [u64], entry: usize) {
+        mask[entry / 64] |= 1 << (entry % 64);
+    }
+}
+
+impl Cam for LutramCam {
+    fn name(&self) -> &'static str {
+        "LUTRAM transposed TCAM"
+    }
+
+    fn insert(&mut self, value: u64) -> Result<(), CamError> {
+        self.geometry.check_value(value)?;
+        if self.fill >= self.geometry.entries {
+            return Err(CamError::Full { rejected: 1 });
+        }
+        let entry = self.fill;
+        // The hardware walk: every row of every chunk table is visited to
+        // position the entry's bit (clear everywhere, set on the matching
+        // row).
+        for chunk in 0..self.tables.len() {
+            let hit_row = self.chunk_value(value, chunk);
+            for (row, mask) in self.tables[chunk].iter_mut().enumerate() {
+                mask[entry / 64] &= !(1 << (entry % 64));
+                if row == hit_row {
+                    Self::set_bit(mask, entry);
+                }
+            }
+        }
+        Self::set_bit(&mut self.valid, entry);
+        self.fill += 1;
+        Ok(())
+    }
+
+    fn search(&mut self, key: u64) -> Option<usize> {
+        let key = key & self.geometry.value_limit();
+        let words = self.valid.len();
+        let mut acc = self.valid.clone();
+        for chunk in 0..self.tables.len() {
+            let row = &self.tables[chunk][self.chunk_value(key, chunk)];
+            for w in 0..words {
+                acc[w] &= row[w];
+            }
+        }
+        for (w, &word) in acc.iter().enumerate() {
+            if word != 0 {
+                let idx = w * 64 + word.trailing_zeros() as usize;
+                if idx < self.geometry.entries {
+                    return Some(idx);
+                }
+            }
+        }
+        None
+    }
+
+    fn clear(&mut self) {
+        for chunk in &mut self.tables {
+            for row in chunk {
+                row.fill(0);
+            }
+        }
+        self.valid.fill(0);
+        self.fill = 0;
+    }
+
+    fn capacity(&self) -> usize {
+        self.geometry.entries
+    }
+
+    fn len(&self) -> usize {
+        self.fill
+    }
+
+    fn update_latency(&self) -> u64 {
+        // 64-row walk plus pipeline in/out — DURE's 65-cycle figure.
+        CHUNK_ROWS as u64 + 1
+    }
+
+    fn search_latency(&self) -> u64 {
+        1
+    }
+
+    fn resources(&self) -> ResourceUsage {
+        let chunk_luts =
+            (0.6 * self.geometry.entries as f64 * chunks_of(self.geometry.width) as f64) as u64;
+        ResourceUsage {
+            lut: chunk_luts + self.geometry.entries as u64 / 2,
+            ff: self.geometry.entries as u64,
+            bram36: 0,
+            uram: 0,
+            dsp: 0,
+        }
+    }
+
+    fn frequency_mhz(&self) -> f64 {
+        let doublings = (self.geometry.entries as f64).log2();
+        (480.0 - 12.0 * doublings).max(80.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transposed_semantics() {
+        let mut cam = LutramCam::new(100, 24);
+        cam.insert(0xABCDEF).unwrap();
+        cam.insert(0x123456).unwrap();
+        assert_eq!(cam.search(0x123456), Some(1));
+        assert_eq!(cam.search(0xABCDEF), Some(0));
+        assert_eq!(cam.search(0xABCDEE), None);
+    }
+
+    #[test]
+    fn entries_across_word_boundaries() {
+        let mut cam = LutramCam::new(130, 8);
+        for v in 0..130u64 {
+            cam.insert(v % 200).unwrap();
+        }
+        assert_eq!(cam.search(129), Some(129));
+        assert_eq!(cam.search(0), Some(0));
+        assert!(matches!(cam.insert(1), Err(CamError::Full { .. })));
+    }
+
+    #[test]
+    fn clear_resets_tables() {
+        let mut cam = LutramCam::new(8, 12);
+        cam.insert(0x5A5).unwrap();
+        cam.clear();
+        assert_eq!(cam.search(0x5A5), None);
+        assert!(cam.is_empty());
+        cam.insert(0x111).unwrap();
+        assert_eq!(cam.search(0x111), Some(0));
+    }
+
+    #[test]
+    fn update_walk_matches_dure() {
+        // DURE's published update latency is 65 cycles on a 64-row walk.
+        assert_eq!(LutramCam::new(1024, 36).update_latency(), 65);
+        assert_eq!(LutramCam::new(1024, 36).search_latency(), 1);
+    }
+
+    #[test]
+    fn resource_model_near_frac_tcam() {
+        // Frac-TCAM: 1024x160 -> 16384 LUTs published.
+        let r = LutramCam::new(1024, 160).resources();
+        assert!(
+            (12_000..22_000).contains(&r.lut),
+            "LUT model {} too far from the published 16384",
+            r.lut
+        );
+        assert_eq!(r.bram36, 0);
+    }
+
+    #[test]
+    fn frequency_near_frac_tcam() {
+        let f = LutramCam::new(1024, 160).frequency_mhz();
+        assert!((300.0..420.0).contains(&f), "{f} vs published 357");
+    }
+
+    #[test]
+    fn zero_value_entry_is_findable() {
+        let mut cam = LutramCam::new(4, 16);
+        cam.insert(0).unwrap();
+        assert_eq!(cam.search(0), Some(0));
+        assert_eq!(cam.search(1), None);
+    }
+}

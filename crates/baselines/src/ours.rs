@@ -1,0 +1,155 @@
+//! The paper's DSP-based CAM behind the common [`Cam`] trait.
+//!
+//! Wraps a [`CamUnit`] (single-group configuration, so fill-order
+//! addresses are global) and reports the calibrated resource/frequency
+//! models from `fpga-model`, making the design directly comparable to the
+//! baselines in every sweep.
+
+use dsp_cam_core::error::CamError;
+use dsp_cam_core::prelude::*;
+use fpga_model::{CamResourceModel, FrequencyModel, ResourceUsage};
+
+use crate::cam::Cam;
+
+/// Adapter: the paper's CAM unit as a [`Cam`].
+#[derive(Debug, Clone)]
+pub struct DspCamAdapter {
+    unit: CamUnit,
+    requested_entries: usize,
+    resources: CamResourceModel,
+    frequency: FrequencyModel,
+}
+
+impl DspCamAdapter {
+    /// Build a unit covering `entries` × `width` bits, using the paper's
+    /// case-study block size (128) rounded to fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or `width` is outside `1..=48`.
+    #[must_use]
+    pub fn new(entries: usize, width: u32) -> Self {
+        assert!(entries > 0, "CAM needs at least one entry");
+        let block_size = entries.next_power_of_two().clamp(2, 128);
+        let num_blocks = entries.div_ceil(block_size);
+        let config = UnitConfig::builder()
+            .data_width(width)
+            .block_size(block_size)
+            .num_blocks(num_blocks)
+            .bus_width(512.max(width.next_power_of_two()))
+            .build()
+            .expect("adapter geometry is valid");
+        DspCamAdapter {
+            unit: CamUnit::new(config).expect("validated config"),
+            requested_entries: entries,
+            resources: CamResourceModel::u250(),
+            frequency: FrequencyModel::u250_unit(),
+        }
+    }
+
+    /// Borrow the wrapped unit.
+    #[must_use]
+    pub fn unit(&self) -> &CamUnit {
+        &self.unit
+    }
+}
+
+impl Cam for DspCamAdapter {
+    fn name(&self) -> &'static str {
+        "DSP CAM (ours)"
+    }
+
+    fn insert(&mut self, value: u64) -> Result<(), CamError> {
+        if self.unit.len() >= self.requested_entries {
+            return Err(CamError::Full { rejected: 1 });
+        }
+        self.unit.update(&[value])
+    }
+
+    fn search(&mut self, key: u64) -> Option<usize> {
+        self.unit.search(key).first_address()
+    }
+
+    fn clear(&mut self) {
+        self.unit.reset();
+    }
+
+    fn capacity(&self) -> usize {
+        self.requested_entries
+    }
+
+    fn len(&self) -> usize {
+        self.unit.len()
+    }
+
+    fn update_latency(&self) -> u64 {
+        self.unit.config().update_latency()
+    }
+
+    fn search_latency(&self) -> u64 {
+        self.unit.config().search_latency()
+    }
+
+    fn resources(&self) -> ResourceUsage {
+        self.resources
+            .unit_resources(self.unit.config().total_cells() as u64, false)
+    }
+
+    fn frequency_mhz(&self) -> f64 {
+        self.frequency
+            .frequency_mhz(self.unit.config().total_cells() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adapter_semantics_match_trait_contract() {
+        let mut cam = DspCamAdapter::new(100, 32);
+        cam.insert(11).unwrap();
+        cam.insert(22).unwrap();
+        assert_eq!(cam.search(22), Some(1));
+        assert_eq!(cam.search(33), None);
+        assert_eq!(cam.capacity(), 100);
+        cam.clear();
+        assert!(cam.is_empty());
+    }
+
+    #[test]
+    fn requested_capacity_enforced_below_unit_capacity() {
+        // 100 entries round up to 128 cells; the adapter still refuses the
+        // 101st insert to honour the requested geometry.
+        let mut cam = DspCamAdapter::new(100, 32);
+        for v in 0..100u64 {
+            cam.insert(v).unwrap();
+        }
+        assert!(matches!(cam.insert(200), Err(CamError::Full { .. })));
+    }
+
+    #[test]
+    fn latency_constants_beat_the_cascade() {
+        let ours = DspCamAdapter::new(1024, 24);
+        let theirs = crate::dsp_queue::DspCascadeCam::new(1024, 24);
+        assert!(ours.search_latency() < theirs.search_latency());
+        assert_eq!(ours.update_latency(), 6);
+        assert!(ours.search_latency() <= 8);
+    }
+
+    #[test]
+    fn resource_model_is_dsp_dominated() {
+        let cam = DspCamAdapter::new(2048, 48);
+        let r = cam.resources();
+        assert_eq!(r.dsp, 2048);
+        assert!(r.lut < 12_000);
+        assert!(cam.frequency_mhz() >= 235.0);
+    }
+
+    #[test]
+    fn small_geometry_rounds_up_block() {
+        let cam = DspCamAdapter::new(5, 16);
+        assert_eq!(cam.capacity(), 5);
+        assert_eq!(cam.unit().config().block.block_size, 8);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests: every CAM family agrees with the reference model and
+//! with each other under random workloads.
+
+use dsp_cam_baselines::{all_cams, BramCam, Cam, LutCam, LutramCam};
+use dsp_cam_core::func::RefCam;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64),
+    Search(u64),
+    Clear,
+}
+
+fn ops(width: u32) -> impl Strategy<Value = Vec<Op>> {
+    let limit = (1u64 << width) - 1;
+    proptest::collection::vec(
+        prop_oneof![
+            4 => (0..=limit).prop_map(Op::Insert),
+            4 => (0..=limit).prop_map(Op::Search),
+            1 => Just(Op::Clear),
+        ],
+        1..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_families_track_the_reference(script in ops(10)) {
+        let entries = 24;
+        let mut cams = all_cams(entries, 10);
+        let mut oracle = RefCam::new(entries, 10, 0);
+        for op in script {
+            match op {
+                Op::Insert(v) => {
+                    let fits = !oracle.is_full();
+                    if fits {
+                        oracle.insert(v);
+                    }
+                    for cam in &mut cams {
+                        prop_assert_eq!(cam.insert(v).is_ok(), fits, "{}", cam.name());
+                    }
+                }
+                Op::Search(k) => {
+                    let expect = oracle.search(k).is_some();
+                    for cam in &mut cams {
+                        prop_assert_eq!(cam.search(k).is_some(), expect, "{}", cam.name());
+                    }
+                }
+                Op::Clear => {
+                    oracle.clear();
+                    for cam in &mut cams {
+                        cam.clear();
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_tables_equal_register_file(values in proptest::collection::vec(0u64..0x3FFFF, 1..60)) {
+        // The LUTRAM and BRAM transposed structures must behave exactly
+        // like the plain register file on distinct fill-order addressing.
+        let entries = values.len();
+        let mut reg = LutCam::new(entries, 18);
+        let mut lutram = LutramCam::new(entries, 18);
+        let mut bram = BramCam::new(entries, 18);
+        for &v in &values {
+            reg.insert(v).unwrap();
+            lutram.insert(v).unwrap();
+            bram.insert(v).unwrap();
+        }
+        for probe in values.iter().copied().chain(0..32) {
+            let expect = reg.search(probe);
+            prop_assert_eq!(lutram.search(probe), expect, "LUTRAM at {:#x}", probe);
+            prop_assert_eq!(bram.search(probe), expect, "BRAM at {:#x}", probe);
+        }
+    }
+
+    #[test]
+    fn resource_models_are_monotone_in_entries(small in 8usize..64, factor in 2usize..6) {
+        let big = small * factor;
+        for (s, b) in [
+            (LutCam::new(small, 32).resources(), LutCam::new(big, 32).resources()),
+            (LutramCam::new(small, 32).resources(), LutramCam::new(big, 32).resources()),
+            (BramCam::new(small, 32).resources(), BramCam::new(big, 32).resources()),
+        ] {
+            prop_assert!(b.lut >= s.lut);
+            prop_assert!(b.bram36 >= s.bram36);
+        }
+    }
+
+    #[test]
+    fn frequency_models_never_increase_with_size(small in 8usize..128, factor in 2usize..8) {
+        let big = small * factor;
+        let families: Vec<(f64, f64)> = vec![
+            (LutCam::new(small, 32).frequency_mhz(), LutCam::new(big, 32).frequency_mhz()),
+            (LutramCam::new(small, 32).frequency_mhz(), LutramCam::new(big, 32).frequency_mhz()),
+            (BramCam::new(small, 32).frequency_mhz(), BramCam::new(big, 32).frequency_mhz()),
+        ];
+        for (f_small, f_big) in families {
+            prop_assert!(f_big <= f_small + 1e-9);
+            prop_assert!(f_big > 0.0);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Ablation benches for the case-study design choices DESIGN.md calls out
+//! (not a paper table — a sensitivity analysis the paper omits):
+//!
+//! 1. block size (the paper picks 128 for triangle counting),
+//! 2. unit capacity (the paper picks 2K to stay in one SLR),
+//! 3. adaptive grouping vs fixed single-group operation.
+//!
+//! Run on two workload extremes: a hub-skewed AS-style graph and a flat
+//! road grid.
+
+use dsp_cam_bench::banner;
+use dsp_cam_graph::generate;
+use fpga_model::report::{fmt_f, Table};
+use tc_accel::ablation::{
+    graph_of, grouping_policy_cycles, kernel_step_totals, sweep_block_size, sweep_capacity,
+    sweep_channels,
+};
+
+fn main() {
+    banner(
+        "Ablation — CAM geometry and grouping policy (beyond the paper)",
+        "Sensitivity of the triangle-counting speedup to the case-study \
+         design choices, on a skewed and a flat workload.",
+    );
+
+    let skewed = graph_of(&generate::star_core(3000, 8, 7));
+    let flat = graph_of(&generate::road_grid(55, 55, 0.08, 7));
+
+    // 1. Block size at fixed 2K capacity.
+    let mut t = Table::new(
+        "Block-size sweep (capacity 2048 cells)",
+        &["Block size", "Skewed: speedup", "Flat: speedup"],
+    );
+    let sk = sweep_block_size(&skewed, &[32, 64, 128, 256, 512], 2048);
+    let fl = sweep_block_size(&flat, &[32, 64, 128, 256, 512], 2048);
+    for (s, f) in sk.iter().zip(&fl) {
+        t.row(&[
+            s.block_size.to_string(),
+            format!("{:.2}x", s.speedup),
+            format!("{:.2}x", f.speedup),
+        ]);
+    }
+    print!("{t}");
+    println!(
+        "Finding: block size is insensitive under the paper's \
+         longer-list-resident policy — the group count works out to \
+         capacity/list-length regardless of block granularity, so the \
+         paper's choice of 128 is safe rather than load-bearing.\n"
+    );
+
+    // 2. Capacity at fixed block size 128.
+    let mut t = Table::new(
+        "Capacity sweep (block size 128)",
+        &["Capacity", "Skewed: speedup", "Flat: speedup"],
+    );
+    let sk = sweep_capacity(&skewed, 128, &[512, 1024, 2048, 4096]);
+    let fl = sweep_capacity(&flat, 128, &[512, 1024, 2048, 4096]);
+    for (s, f) in sk.iter().zip(&fl) {
+        t.row(&[
+            s.capacity.to_string(),
+            format!("{:.2}x", s.speedup),
+            format!("{:.2}x", f.speedup),
+        ]);
+    }
+    print!("{t}");
+    println!(
+        "Expected: capacity matters only when hub lists overflow the unit \
+         (chunking); flat graphs are insensitive.\n"
+    );
+
+    // 3. Grouping policy.
+    let mut t = Table::new(
+        "Grouping policy (intersection cycles only)",
+        &["Workload", "Adaptive M", "Fixed M=1", "Gain"],
+    );
+    for (name, g) in [("skewed", &skewed), ("flat", &flat)] {
+        let (adaptive, fixed) = grouping_policy_cycles(g);
+        t.row(&[
+            name.to_string(),
+            adaptive.to_string(),
+            fixed.to_string(),
+            format!("{:.2}x", fixed as f64 / adaptive as f64),
+        ]);
+    }
+    print!("{t}");
+
+    // 4. DDR channel count (the U250 has four; the paper uses one).
+    let mut t = Table::new(
+        "DDR-channel sweep (extension; paper pins both designs to 1)",
+        &["Channels", "Skewed: CAM cycles", "Flat: CAM cycles"],
+    );
+    let sk = sweep_channels(&skewed, &[1, 2, 4]);
+    let fl = sweep_channels(&flat, &[1, 2, 4]);
+    for (s_pt, f_pt) in sk.iter().zip(&fl) {
+        t.row(&[
+            s_pt.label.clone(),
+            s_pt.cam_cycles.to_string(),
+            f_pt.cam_cycles.to_string(),
+        ]);
+    }
+    print!("{t}");
+    println!(
+        "Finding: channels pay off only where per-edge beats dominate \
+         (long lists); road networks are access-latency-bound and gain \
+         nothing.\n"
+    );
+
+    // 5. Kernel-level explanation.
+    let mut t = Table::new(
+        "Why: sequential intersection steps per engine",
+        &["Workload", "Merge steps", "CAM probe steps", "Ratio"],
+    );
+    for (name, g) in [("skewed", &skewed), ("flat", &flat)] {
+        let (merge, cam) = kernel_step_totals(g);
+        t.row(&[
+            name.to_string(),
+            merge.to_string(),
+            cam.to_string(),
+            fmt_f(merge as f64 / cam as f64, 1),
+        ]);
+    }
+    print!("{t}");
+    println!("\nAblation complete.");
+}

@@ -1,0 +1,82 @@
+//! Reproduces **Figure 1** (the characteristics of current FPGA-based CAM
+//! designs) as a table of the five radar axes, normalised 0–5.
+//!
+//! Quantitative axes (scalability, performance, frequency) are derived
+//! from the Table I columns; the qualitative axes follow Section II's
+//! discussion (see `fpga_model::survey::fig1_scores`).
+
+use dsp_cam_bench::banner;
+use fpga_model::report::{fmt_f, Table};
+use fpga_model::survey::{fig1_scores, our_design_row, published_survey, Category};
+
+fn main() {
+    banner(
+        "Figure 1 — Characteristics of current FPGA-based CAM designs",
+        "Radar axes rendered as a table, 0 (worst) .. 5 (best); one row per \
+         design family (category maxima over the Table I survey) plus Ours.",
+    );
+
+    let mut table = Table::new(
+        "Figure 1 (reproduced): per-family axis scores",
+        &[
+            "Family",
+            "Scalability",
+            "Performance",
+            "Frequency",
+            "Integration",
+            "Multi-query",
+        ],
+    );
+
+    // Aggregate each category at its best (the figure draws family
+    // envelopes, not individual designs).
+    for category in [Category::Lut, Category::Bram, Category::Hybrid, Category::Dsp] {
+        let mut best = [0.0f64; 5];
+        for entry in published_survey()
+            .iter()
+            .filter(|e| e.category == category)
+        {
+            let s = fig1_scores(entry);
+            for (slot, v) in [
+                s.scalability,
+                s.performance,
+                s.frequency,
+                s.integration,
+                s.multi_query,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                best[slot] = best[slot].max(v);
+            }
+        }
+        table.row(&[
+            format!("{category}-based (prior)"),
+            fmt_f(best[0], 1),
+            fmt_f(best[1], 1),
+            fmt_f(best[2], 1),
+            fmt_f(best[3], 1),
+            fmt_f(best[4], 1),
+        ]);
+    }
+
+    let ours = fig1_scores(&our_design_row());
+    table.row(&[
+        "DSP-based (Ours)".into(),
+        fmt_f(ours.scalability, 1),
+        fmt_f(ours.performance, 1),
+        fmt_f(ours.frequency, 1),
+        fmt_f(ours.integration, 1),
+        fmt_f(ours.multi_query, 1),
+    ]);
+    print!("{table}");
+
+    println!();
+    println!(
+        "Expected shape (paper): prior designs each collapse on at least \
+         one axis (LUT: scalability; BRAM: performance/frequency; hybrid: \
+         performance; prior DSP: search latency and multi-query); Ours \
+         holds the outer envelope on integration and multi-query while \
+         staying top-band elsewhere."
+    );
+}

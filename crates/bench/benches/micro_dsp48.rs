@@ -1,0 +1,61 @@
+//! Criterion microbenchmarks of the DSP48E2 slice model itself —
+//! simulator-throughput numbers (how many slice-cycles per host-second the
+//! behavioural model sustains), not FPGA numbers.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dsp48::cam_profile::CamDsp;
+use dsp48::opmode::{AluMode, OpMode};
+use dsp48::slice::{Dsp48e2, DspInputs};
+use dsp48::word::P48;
+use dsp48::Attributes;
+use std::hint::black_box;
+
+fn bench_slice_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsp48_slice");
+    group.bench_function("tick_cam_xor", |b| {
+        let mut slice = Dsp48e2::new(Attributes::cam_cell());
+        let io = DspInputs {
+            a: 0x1234_5678,
+            b: 0x2_ABCD,
+            c: 0xDEAD_BEEF,
+            opmode: OpMode::CAM_XOR,
+            alumode: AluMode::XOR,
+            ..DspInputs::default()
+        };
+        b.iter(|| black_box(slice.tick(black_box(&io))));
+    });
+    group.bench_function("tick_arith_add", |b| {
+        let mut slice = Dsp48e2::new(Attributes::default());
+        let io = DspInputs {
+            a: 99,
+            b: 1,
+            c: 7,
+            ..DspInputs::default()
+        };
+        b.iter(|| black_box(slice.tick(black_box(&io))));
+    });
+    group.finish();
+}
+
+fn bench_cam_cell_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsp48_cam_cell");
+    group.bench_function("write", |b| {
+        b.iter_batched(
+            CamDsp::new,
+            |mut cell| {
+                cell.write(0xABCDu64);
+                black_box(cell)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("search", |b| {
+        let mut cell = CamDsp::new();
+        cell.write(P48::new(0xABCD));
+        b.iter(|| black_box(cell.search(0xABCDu64)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_slice_tick, bench_cam_cell_ops);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion microbenchmarks of the set-intersection kernels — the
+//! algorithmic heart of the case study — across balanced and skewed list
+//! shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsp_cam_graph::intersect;
+use std::hint::black_box;
+
+fn sorted(n: usize, stride: u32, offset: u32) -> Vec<u32> {
+    (0..n as u32).map(|i| i * stride + offset).collect()
+}
+
+fn bench_balanced(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersect_balanced");
+    for n in [64usize, 512, 4096] {
+        let a = sorted(n, 2, 0);
+        let b = sorted(n, 3, 1);
+        group.bench_with_input(BenchmarkId::new("merge", n), &n, |bench, _| {
+            bench.iter(|| black_box(intersect::merge(black_box(&a), black_box(&b))));
+        });
+        group.bench_with_input(BenchmarkId::new("hash", n), &n, |bench, _| {
+            bench.iter(|| black_box(intersect::hash(black_box(&a), black_box(&b))));
+        });
+        group.bench_with_input(BenchmarkId::new("galloping", n), &n, |bench, _| {
+            bench.iter(|| black_box(intersect::galloping(black_box(&a), black_box(&b))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_skewed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersect_skewed");
+    // The CAM's favourite shape: one huge list, one tiny probe set.
+    let large = sorted(100_000, 1, 0);
+    let small = sorted(16, 4_321, 7);
+    group.bench_function("merge_100k_vs_16", |b| {
+        b.iter(|| black_box(intersect::merge(black_box(&small), black_box(&large))));
+    });
+    group.bench_function("galloping_100k_vs_16", |b| {
+        b.iter(|| black_box(intersect::galloping(black_box(&small), black_box(&large))));
+    });
+    group.bench_function("cam_probe_100k_vs_16", |b| {
+        b.iter(|| black_box(intersect::cam_probe(black_box(&large), black_box(&small))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_balanced, bench_skewed);
+criterion_main!(benches);

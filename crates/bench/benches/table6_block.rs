@@ -1,0 +1,99 @@
+//! Reproduces **Table VI** (CAM block evaluation at sizes 32…512).
+//!
+//! Latencies are measured on the simulated block; throughput follows the
+//! paper's convention (update = words/s through the 512-bit bus, search =
+//! keys/s, both at initiation interval 1 and the calibrated frequency);
+//! LUT/DSP counts come from the calibrated resource model.
+
+use dsp_cam_bench::banner;
+use dsp_cam_core::prelude::*;
+use dsp_cam_sim::Throughput;
+use fpga_model::report::{fmt_f, fmt_pct, Table};
+use fpga_model::{CamResourceModel, Device, FrequencyModel};
+
+fn main() {
+    banner(
+        "Table VI — CAM Block Evaluation with different size",
+        "Latencies measured in simulation; resources/frequency from the \
+         model calibrated on the paper's implementation points.",
+    );
+
+    let sizes = [32usize, 64, 128, 256, 512];
+    let resources = CamResourceModel::u250();
+    let freq_model = FrequencyModel::u250_block();
+    let device = Device::u250();
+
+    let mut rows: Vec<Vec<String>> = vec![
+        vec!["Update Latency (cycle)".into()],
+        vec!["Search Latency (cycle)".into()],
+        vec!["Update Throughput (Mop/s)".into()],
+        vec!["Search Throughput (Mop/s)".into()],
+        vec!["# of LUTs".into()],
+        vec!["LUT Utilization (%)".into()],
+        vec!["# of DSP".into()],
+        vec!["DSP Utilization (%)".into()],
+        vec!["BRAM Utilization".into()],
+        vec!["Frequency (MHz)".into()],
+    ];
+
+    for &size in &sizes {
+        let config = BlockConfig::standalone(CellConfig::binary(32), size, 512);
+        let mut block = CamBlock::new(config).expect("valid block config");
+
+        // Measure update latency: one full beat of 16 words.
+        let words: Vec<u64> = (0..16.min(size as u64)).collect();
+        let c0 = block.cycles();
+        block.update(&words).expect("beat fits");
+        let update_latency = block.cycles() - c0;
+
+        let c1 = block.cycles();
+        assert!(block.search(words[0]).is_match());
+        let search_latency = block.cycles() - c1;
+
+        let freq = freq_model.frequency_mhz(size as u64);
+        // Pipelined throughput at II=1: updates move 16 words per cycle,
+        // searches one key per cycle.
+        let update_tp = Throughput {
+            operations: 16_000,
+            cycles: 1_000,
+            frequency_mhz: freq,
+        };
+        let search_tp = Throughput {
+            operations: 1_000,
+            cycles: 1_000,
+            frequency_mhz: freq,
+        };
+
+        let usage = resources.block_resources(size as u64);
+        let util = usage.utilisation(&device);
+
+        rows[0].push(update_latency.to_string());
+        rows[1].push(search_latency.to_string());
+        rows[2].push(fmt_f(update_tp.mops(), 0));
+        rows[3].push(fmt_f(search_tp.mops(), 0));
+        rows[4].push(usage.lut.to_string());
+        rows[5].push(fmt_pct(util.lut));
+        rows[6].push(usage.dsp.to_string());
+        rows[7].push(fmt_pct(util.dsp));
+        rows[8].push(usage.bram36.to_string());
+        rows[9].push(fmt_f(freq, 0));
+    }
+
+    let mut table = Table::new(
+        "Table VI (reproduced): CAM block, sizes 32..512",
+        &["Metric", "32", "64", "128", "256", "512"],
+    );
+    for row in rows {
+        table.row(&row);
+    }
+    print!("{table}");
+    if let Ok(p) = table.save_csv(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/paper_tables"), "table6_block") {
+        println!("(csv: {})", p.display());
+    }
+
+    println!();
+    println!(
+        "Paper reference rows: update 1 cycle everywhere; search 3,3,3,4,4; \
+         update 4800 / search 300 Mop/s; LUTs 694,745,808,1225,1371; 300 MHz."
+    );
+}

@@ -1,0 +1,80 @@
+//! Reproduces **Table VII** (CAM unit configuration and resource
+//! utilisation, 512 … 9728 cells at 48-bit data).
+//!
+//! LUT counts and frequency come from the calibrated models; DSP counts
+//! are structural (one slice per cell); the SLR column explains *why* the
+//! frequency falls (the floorplan model), which the paper states in prose.
+
+use dsp_cam_bench::banner;
+use dsp_cam_core::prelude::*;
+use fpga_model::report::{fmt_f, fmt_pct, Table};
+use fpga_model::{CamResourceModel, Device, FrequencyModel, SlrModel};
+
+fn main() {
+    banner(
+        "Table VII — CAM Unit Configuration and Resource Utilization",
+        "Block size 256, input bus 512 bits, 48-bit data (the paper's \
+         scalability setup); SLR occupancy shown to explain the derate.",
+    );
+
+    let sizes = [512u64, 1024, 2048, 4096, 6144, 8192, 9728];
+    let resources = CamResourceModel::u250();
+    let freq = FrequencyModel::u250_unit();
+    let device = Device::u250();
+    let slr = SlrModel::for_device(&device);
+
+    let mut table = Table::new(
+        "Table VII (reproduced)",
+        &[
+            "CAM size",
+            "LUT",
+            "LUT util",
+            "DSP",
+            "DSP util",
+            "SLRs",
+            "Freq (MHz)",
+        ],
+    );
+
+    for &cells in &sizes {
+        // Validate that the configuration is actually constructible.
+        let config = UnitConfig::builder()
+            .data_width(48)
+            .block_size(256)
+            .num_blocks((cells / 256) as usize)
+            .bus_width(512)
+            .build()
+            .expect("Table VII configuration is valid");
+        assert_eq!(config.total_cells() as u64, cells);
+        resources.check_fit(cells).expect("fits the U250");
+
+        let usage = resources.unit_resources(cells, false);
+        let util = usage.utilisation(&device);
+        table.row(&[
+            format!("{cells} x 48 bits"),
+            usage.lut.to_string(),
+            fmt_pct(util.lut),
+            usage.dsp.to_string(),
+            fmt_pct(util.dsp),
+            slr.slrs_needed(cells).to_string(),
+            fmt_f(freq.frequency_mhz(cells), 0),
+        ]);
+    }
+    print!("{table}");
+    if let Ok(p) = table.save_csv(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/paper_tables"), "table7_unit_resources") {
+        println!("(csv: {})", p.display());
+    }
+
+    println!();
+    println!(
+        "Paper reference: LUT 2491/5072/10167/20330/29385/38191/45244; \
+         freq 300/300/300/265/252/240/235 MHz; max config = 9728 cells \
+         ({} of the paper's 11508 usable DSPs, {:.2}% of all 12288).",
+        9728,
+        9728.0 / 12288.0 * 100.0
+    );
+    println!(
+        "Maximum constructible unit on the U250 (block 256): {} cells.",
+        resources.max_unit_cells(256)
+    );
+}

@@ -1,0 +1,78 @@
+//! Reproduces **Table IX** (triangle-counting execution time, CAM-based
+//! vs merge baseline) over the ten synthetic dataset stand-ins, plus the
+//! Fig. 5/6 functional validation.
+//!
+//! Absolute milliseconds differ from the paper (synthetic graphs, scaled
+//! sizes); the reproduced *shape* is: the CAM wins everywhere, by an
+//! outsized factor on hub-skewed graphs (as20000102, soc-Slashdot) and a
+//! modest one on road networks, with a single-digit average.
+
+use dsp_cam_bench::banner;
+use fpga_model::report::{fmt_f, Table};
+use tc_accel::perf::{mean_speedup, table_ix};
+
+fn main() {
+    banner(
+        "Table IX — Execution time of traditional and CAM-based TC",
+        "Synthetic stand-ins at per-dataset scale (see DESIGN.md); both \
+         engines share the DDR model and 300 MHz clock; counts are exact \
+         and cross-checked between engines.",
+    );
+
+    let rows = table_ix();
+    let mut table = Table::new(
+        "Table IX (reproduced)",
+        &[
+            "Dataset",
+            "Scale",
+            "Triangles (stand-in)",
+            "Ours (ms)",
+            "Baseline (ms)",
+            "Speedup",
+            "Paper speedup",
+        ],
+    );
+    for r in &rows {
+        table.row(&[
+            r.dataset.to_string(),
+            format!("1/{}", r.scale),
+            r.triangles.to_string(),
+            fmt_f(r.ours_ms, 3),
+            fmt_f(r.baseline_ms, 3),
+            format!("{:.2}x", r.speedup),
+            format!("{:.2}x", r.paper_speedup),
+        ]);
+    }
+    print!("{table}");
+    if let Ok(p) = table.save_csv(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/paper_tables"), "table9_triangle") {
+        println!("(csv: {})", p.display());
+    }
+
+    let avg = mean_speedup(&rows);
+    let paper_avg: f64 = rows.iter().map(|r| r.paper_speedup).sum::<f64>() / rows.len() as f64;
+    println!();
+    println!(
+        "Average speedup: {avg:.2}x (paper: {paper_avg:.2}x on the real traces)."
+    );
+
+    // Shape assertions — the properties the reproduction claims.
+    assert!(
+        rows.iter().all(|r| r.speedup > 1.0),
+        "the CAM engine must win on every dataset"
+    );
+    let road_max = rows
+        .iter()
+        .filter(|r| r.dataset.starts_with("roadNet"))
+        .map(|r| r.speedup)
+        .fold(0.0f64, f64::max);
+    let skewed_min = rows
+        .iter()
+        .filter(|r| r.dataset == "as20000102" || r.dataset == "soc-Slashdot0811")
+        .map(|r| r.speedup)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        skewed_min > road_max,
+        "hub-skewed graphs ({skewed_min:.2}x) must beat road networks ({road_max:.2}x)"
+    );
+    println!("Shape checks passed: CAM wins everywhere; skew ({skewed_min:.2}x) > road ({road_max:.2}x).");
+}

@@ -1,0 +1,496 @@
+//! The CAM block microarchitecture (Fig. 3 of the paper).
+//!
+//! A block bundles a configurable number of [`CamCell`]s with the control
+//! fabric that makes them a usable memory:
+//!
+//! * the **DeMUX** routes each bus transaction to the update or search
+//!   logic based on the side-band control signals;
+//! * the **Cell Address Controller** maps each `data_width`-bit word of an
+//!   update beat to the next free cell, so one beat updates up to
+//!   `bus_width / data_width` cells *in parallel* (update latency 1);
+//! * the **search logic** masks the redundant bus bits and broadcasts the
+//!   single key to every cell for parallel comparison;
+//! * the **Encoder** compresses the per-cell match wires into the
+//!   configured [`Encoding`](crate::encoder::Encoding), optionally through an extra output buffer
+//!   register (sizes ≥ 256 standalone — Table VI's latency step from 3 to
+//!   4 cycles).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::CamCell;
+use crate::config::BlockConfig;
+use crate::encoder::{MatchVector, SearchOutput};
+use crate::error::{CamError, ConfigError};
+use crate::mask::RangeSpec;
+
+/// A CAM block: cells plus update/search control and the result encoder.
+///
+/// # Examples
+///
+/// ```
+/// use dsp_cam_core::block::CamBlock;
+/// use dsp_cam_core::config::{BlockConfig, CellConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut block = CamBlock::new(BlockConfig::standalone(
+///     CellConfig::binary(32), 64, 512,
+/// ))?;
+/// block.update(&[10, 20, 30])?;            // one parallel beat
+/// assert!(block.search(20).is_match());
+/// assert_eq!(block.search(20).first_address(), Some(1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CamBlock {
+    config: BlockConfig,
+    cells: Vec<CamCell>,
+    /// The Cell Address Controller's fill pointer.
+    write_ptr: usize,
+    cycles: u64,
+    update_beats: u64,
+    searches: u64,
+}
+
+impl CamBlock {
+    /// Instantiate a block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the block-level [`ConfigError`]s.
+    pub fn new(config: BlockConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let cells = (0..config.block_size)
+            .map(|_| CamCell::new(config.cell))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CamBlock {
+            config,
+            cells,
+            write_ptr: 0,
+            cycles: 0,
+            update_beats: 0,
+            searches: 0,
+        })
+    }
+
+    /// The block configuration.
+    #[must_use]
+    pub fn config(&self) -> &BlockConfig {
+        &self.config
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of occupied cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.write_ptr
+    }
+
+    /// Whether no cell is occupied.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.write_ptr == 0
+    }
+
+    /// Whether every cell is occupied.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.write_ptr >= self.cells.len()
+    }
+
+    /// Free cells remaining.
+    #[must_use]
+    pub fn free_slots(&self) -> usize {
+        self.cells.len() - self.write_ptr
+    }
+
+    /// Block-level cycles consumed so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Update beats processed.
+    #[must_use]
+    pub fn update_beats(&self) -> u64 {
+        self.update_beats
+    }
+
+    /// Searches processed.
+    #[must_use]
+    pub fn searches(&self) -> u64 {
+        self.searches
+    }
+
+    fn mask_key(&self, key: u64) -> u64 {
+        let w = self.config.cell.data_width;
+        if w >= 64 {
+            key
+        } else {
+            key & ((1u64 << w) - 1)
+        }
+    }
+
+    /// Write `words` through the Cell Address Controller, one beat's worth
+    /// of parallel cell writes per `words_per_beat` chunk.
+    ///
+    /// # Errors
+    ///
+    /// * [`CamError::Full`] if the block cannot hold all words (nothing is
+    ///   written in that case — the caller splits via [`free_slots`]);
+    /// * [`CamError::ValueTooWide`] if any word exceeds the data width.
+    ///
+    /// [`free_slots`]: CamBlock::free_slots
+    pub fn update(&mut self, words: &[u64]) -> Result<(), CamError> {
+        if words.len() > self.free_slots() {
+            return Err(CamError::Full {
+                rejected: words.len() - self.free_slots(),
+            });
+        }
+        // Validate before mutating so the operation is atomic.
+        let limit = self.mask_key(u64::MAX);
+        if let Some(&bad) = words.iter().find(|&&w| w > limit) {
+            return Err(CamError::ValueTooWide {
+                value: bad,
+                data_width: self.config.cell.data_width,
+            });
+        }
+        for &word in words {
+            self.cells[self.write_ptr]
+                .write(word)
+                .expect("validated above");
+            self.write_ptr += 1;
+        }
+        let beats = words.len().div_ceil(self.config.words_per_beat()).max(1) as u64;
+        self.cycles += beats * self.config.update_latency();
+        self.update_beats += beats;
+        Ok(())
+    }
+
+    /// Write what fits and return how many words were accepted (the group
+    /// controller's spill path).
+    pub fn update_partial(&mut self, words: &[u64]) -> usize {
+        let take = words.len().min(self.free_slots());
+        if take == 0 {
+            return 0;
+        }
+        match self.update(&words[..take]) {
+            Ok(()) => take,
+            Err(_) => 0,
+        }
+    }
+
+    /// Write power-of-two ranges (RMCAM update path).
+    ///
+    /// # Errors
+    ///
+    /// As [`CamBlock::update`], plus [`CamError::KindMismatch`] for
+    /// non-range blocks.
+    pub fn update_ranges(&mut self, ranges: &[RangeSpec]) -> Result<(), CamError> {
+        if ranges.len() > self.free_slots() {
+            return Err(CamError::Full {
+                rejected: ranges.len() - self.free_slots(),
+            });
+        }
+        for &range in ranges {
+            self.cells[self.write_ptr].write_range(range)?;
+            self.write_ptr += 1;
+        }
+        let beats = ranges.len().div_ceil(self.config.words_per_beat()).max(1) as u64;
+        self.cycles += beats * self.config.update_latency();
+        self.update_beats += beats;
+        Ok(())
+    }
+
+    /// Broadcast `key` to every cell and encode the match vector.
+    ///
+    /// Redundant key bits beyond the data width are masked off, per the
+    /// paper's search-path description.
+    pub fn search(&mut self, key: u64) -> SearchOutput {
+        let key = self.mask_key(key);
+        let matches: MatchVector = self
+            .cells
+            .iter_mut()
+            .map(|cell| cell.search(key))
+            .collect();
+        self.cycles += self.config.search_latency();
+        self.searches += 1;
+        self.config.encoding.encode(&matches)
+    }
+
+    /// Raw match vector for `key` (bypasses the Encoder; used by tests and
+    /// by encodings layered at unit level).
+    pub fn search_vector(&mut self, key: u64) -> MatchVector {
+        let key = self.mask_key(key);
+        let v: MatchVector = self
+            .cells
+            .iter_mut()
+            .map(|cell| cell.search(key))
+            .collect();
+        self.cycles += self.config.search_latency();
+        self.searches += 1;
+        v
+    }
+
+    /// Invalidate the entry at `cell` (extension beyond the paper: the
+    /// valid bit is one fabric flop, so per-address invalidation costs the
+    /// same single cycle as the global reset). The fill pointer is *not*
+    /// rewound — holes are not reused until the next reset, matching the
+    /// sequential Cell Address Controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell >= capacity`.
+    pub fn invalidate(&mut self, cell: usize) {
+        assert!(cell < self.cells.len(), "cell {cell} out of range");
+        self.cells[cell].clear();
+        self.cycles += 1;
+    }
+
+    /// Per-entry ternary update (extension beyond the paper's shared-mask
+    /// TCAM): stores `value` with its own don't-care bits by programming
+    /// the cell's pattern-detector mask, one entry per call.
+    ///
+    /// # Errors
+    ///
+    /// * [`CamError::KindMismatch`] unless the block is ternary;
+    /// * [`CamError::Full`] when no cell is free;
+    /// * [`CamError::ValueTooWide`] for values or masks beyond the width.
+    pub fn update_masked(&mut self, value: u64, dont_care: u64) -> Result<(), CamError> {
+        if self.config.cell.kind != crate::kind::CamKind::Ternary {
+            return Err(CamError::KindMismatch);
+        }
+        if self.is_full() {
+            return Err(CamError::Full { rejected: 1 });
+        }
+        let limit = self.mask_key(u64::MAX);
+        if value > limit || dont_care > limit {
+            return Err(CamError::ValueTooWide {
+                value: value.max(dont_care),
+                data_width: self.config.cell.data_width,
+            });
+        }
+        self.cells[self.write_ptr].write_masked(value, dont_care)?;
+        self.write_ptr += 1;
+        self.cycles += self.config.update_latency();
+        self.update_beats += 1;
+        Ok(())
+    }
+
+    /// Assert the reset signal: clear every cell and the fill pointer.
+    pub fn reset(&mut self) {
+        for cell in &mut self.cells {
+            cell.clear();
+        }
+        self.write_ptr = 0;
+        self.cycles += 1;
+    }
+
+    /// The stored values of the occupied cells, in fill order.
+    pub fn stored(&self) -> impl Iterator<Item = u64> + '_ {
+        self.cells[..self.write_ptr].iter().map(CamCell::stored)
+    }
+
+    /// Cycles a pipelined stream of `n` searches occupies (initiation
+    /// interval 1, so `n - 1` cycles beyond one search's latency).
+    #[must_use]
+    pub fn pipelined_search_cycles(&self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.config.search_latency() + (n - 1)
+        }
+    }
+
+    /// Cycles a pipelined stream of `n` update beats occupies.
+    #[must_use]
+    pub fn pipelined_update_cycles(&self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.config.update_latency() + (n - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CellConfig;
+    use crate::encoder::Encoding;
+
+    fn block(size: usize) -> CamBlock {
+        CamBlock::new(BlockConfig::standalone(CellConfig::binary(32), size, 512)).unwrap()
+    }
+
+    #[test]
+    fn update_then_search_hits() {
+        let mut b = block(32);
+        b.update(&[10, 20, 30]).unwrap();
+        assert!(b.search(20).is_match());
+        assert!(!b.search(25).is_match());
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn parallel_beat_update_costs_one_cycle() {
+        let mut b = block(32);
+        let words: Vec<u64> = (0..16).collect(); // one full 512/32 beat
+        let c0 = b.cycles();
+        b.update(&words).unwrap();
+        assert_eq!(b.cycles() - c0, 1, "Table VI: update latency 1");
+        assert_eq!(b.update_beats(), 1);
+        for w in 0..16 {
+            assert!(b.search(w).is_match());
+        }
+    }
+
+    #[test]
+    fn multi_beat_update_costs_per_beat() {
+        let mut b = block(64);
+        let words: Vec<u64> = (0..40).collect(); // 3 beats of 16
+        let c0 = b.cycles();
+        b.update(&words).unwrap();
+        assert_eq!(b.cycles() - c0, 3);
+    }
+
+    #[test]
+    fn search_latency_matches_table_vi() {
+        for (size, latency) in [(32usize, 3u64), (128, 3), (256, 4), (512, 4)] {
+            let mut b = block(size);
+            b.update(&[1]).unwrap();
+            let c0 = b.cycles();
+            b.search(1);
+            assert_eq!(b.cycles() - c0, latency, "size {size}");
+        }
+    }
+
+    #[test]
+    fn overfill_is_atomic() {
+        let mut b = block(4);
+        b.update(&[1, 2, 3]).unwrap();
+        let err = b.update(&[4, 5]).unwrap_err();
+        assert_eq!(err, CamError::Full { rejected: 1 });
+        // Nothing from the failed beat landed.
+        assert_eq!(b.len(), 3);
+        assert!(!b.search(4).is_match());
+        assert_eq!(b.free_slots(), 1);
+    }
+
+    #[test]
+    fn update_partial_spills() {
+        let mut b = block(4);
+        let taken = b.update_partial(&[1, 2, 3, 4, 5, 6]);
+        assert_eq!(taken, 4);
+        assert!(b.is_full());
+        assert_eq!(b.update_partial(&[7]), 0);
+    }
+
+    #[test]
+    fn oversized_word_rejected_atomically() {
+        let mut b = block(8);
+        let err = b.update(&[1, 0x1_0000_0000]).unwrap_err();
+        assert!(matches!(err, CamError::ValueTooWide { .. }));
+        assert_eq!(b.len(), 0, "atomic: the valid word must not land");
+    }
+
+    #[test]
+    fn duplicate_entries_all_match() {
+        let mut b = block(32);
+        b.update(&[7, 7, 9, 7]).unwrap();
+        let v = b.search_vector(7);
+        assert_eq!(v.count(), 3);
+        assert_eq!(v.first(), Some(0));
+    }
+
+    #[test]
+    fn priority_encoding_returns_lowest_address() {
+        let mut b = block(32);
+        b.update(&[5, 6, 5]).unwrap();
+        match b.search(5) {
+            SearchOutput::Priority(addr) => assert_eq!(addr, Some(0)),
+            other => panic!("unexpected encoding {other:?}"),
+        }
+    }
+
+    #[test]
+    fn match_count_encoding() {
+        let mut cfg = BlockConfig::standalone(CellConfig::binary(32), 32, 512);
+        cfg.encoding = Encoding::MatchCount;
+        let mut b = CamBlock::new(cfg).unwrap();
+        b.update(&[3, 3, 3]).unwrap();
+        assert_eq!(b.search(3), SearchOutput::MatchCount(3));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut b = block(16);
+        b.update(&[1, 2, 3]).unwrap();
+        b.reset();
+        assert!(b.is_empty());
+        assert!(!b.search(1).is_match());
+        assert!(!b.search(0).is_match(), "no ghost match on zero");
+        // And the block is reusable.
+        b.update(&[9]).unwrap();
+        assert!(b.search(9).is_match());
+    }
+
+    #[test]
+    fn key_masking_on_search() {
+        let mut b = block(16);
+        b.update(&[0xAB]).unwrap();
+        // Garbage in the upper bus bits must be ignored.
+        assert!(b.search(0xFFFF_FFFF_0000_00AB).is_match());
+    }
+
+    #[test]
+    fn range_block() {
+        let cfg = BlockConfig::standalone(CellConfig::range_matching(32), 32, 512);
+        let mut b = CamBlock::new(cfg).unwrap();
+        b.update_ranges(&[
+            RangeSpec::new(0x100, 4).unwrap(),
+            RangeSpec::new(0x200, 8).unwrap(),
+        ])
+        .unwrap();
+        assert!(b.search(0x105).is_match());
+        assert!(b.search(0x2FF).is_match());
+        assert!(!b.search(0x300).is_match());
+    }
+
+    #[test]
+    fn range_update_on_binary_block_fails() {
+        let mut b = block(8);
+        let err = b
+            .update_ranges(&[RangeSpec::new(0, 2).unwrap()])
+            .unwrap_err();
+        assert_eq!(err, CamError::KindMismatch);
+    }
+
+    #[test]
+    fn stored_iterates_fill_order() {
+        let mut b = block(8);
+        b.update(&[4, 2, 9]).unwrap();
+        let got: Vec<u64> = b.stored().collect();
+        assert_eq!(got, vec![4, 2, 9]);
+    }
+
+    #[test]
+    fn pipelined_cycle_model() {
+        let b = block(128);
+        assert_eq!(b.pipelined_search_cycles(0), 0);
+        assert_eq!(b.pipelined_search_cycles(1), 3);
+        assert_eq!(b.pipelined_search_cycles(100), 102);
+        assert_eq!(b.pipelined_update_cycles(100), 100);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let cfg = BlockConfig::standalone(CellConfig::binary(32), 100, 512);
+        assert!(CamBlock::new(cfg).is_err());
+    }
+}

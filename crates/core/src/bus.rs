@@ -1,0 +1,229 @@
+//! The input/output bus: beat packing and control signalling.
+//!
+//! The CAM block's input bus "comprises both data bits and control signals
+//! that include update, search, and reset" (Section III-B). Control travels
+//! as side-band wires, modelled by [`Opcode`]; the data bits are packed
+//! `data_width`-bit words inside a `bus_width`-bit beat. Because data
+//! widths need not be byte multiples (48- and 24-bit configurations are
+//! first-class), packing is bit-exact.
+
+use bytes::{Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Side-band control signals of a bus transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Opcode {
+    /// Write the payload words into the CAM.
+    Update,
+    /// Treat the first payload word as a search key.
+    Search,
+    /// Clear all stored contents.
+    Reset,
+    /// Reconfigure the group count (payload word 0 = M).
+    ConfigureGroups,
+    /// Rewrite a routing-table entry (payload: block id, group id) — the
+    /// Routing Table "shares the same data path as the input update data".
+    WriteRoutingTable,
+}
+
+/// One bus transaction: an opcode plus data words.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusCommand {
+    /// Side-band control.
+    pub opcode: Opcode,
+    /// Payload words, each at most `data_width` bits.
+    pub words: Vec<u64>,
+}
+
+impl BusCommand {
+    /// An update carrying `words`.
+    #[must_use]
+    pub fn update(words: Vec<u64>) -> Self {
+        BusCommand {
+            opcode: Opcode::Update,
+            words,
+        }
+    }
+
+    /// A single-key search.
+    #[must_use]
+    pub fn search(key: u64) -> Self {
+        BusCommand {
+            opcode: Opcode::Search,
+            words: vec![key],
+        }
+    }
+
+    /// A reset.
+    #[must_use]
+    pub fn reset() -> Self {
+        BusCommand {
+            opcode: Opcode::Reset,
+            words: Vec::new(),
+        }
+    }
+}
+
+/// Number of whole `data_width`-bit word slots in a `bus_width`-bit beat.
+///
+/// # Panics
+///
+/// Panics if `data_width` is zero or exceeds `bus_width`.
+#[must_use]
+pub fn words_per_beat(data_width: u32, bus_width: u32) -> usize {
+    assert!(data_width > 0, "data width must be positive");
+    assert!(data_width <= bus_width, "word wider than the bus");
+    (bus_width / data_width) as usize
+}
+
+/// Bit-pack `words` (each `data_width` bits) into `bus_width`-bit beats.
+/// Each beat starts a fresh word; trailing slots of the final beat are
+/// zero-filled. Words are placed LSB-first, word 0 in the least significant
+/// bits, matching the hardware's lane ordering.
+///
+/// # Panics
+///
+/// Panics if any word exceeds `data_width` bits, or on the
+/// [`words_per_beat`] preconditions.
+#[must_use]
+pub fn pack_beats(words: &[u64], data_width: u32, bus_width: u32) -> Vec<Bytes> {
+    let per_beat = words_per_beat(data_width, bus_width);
+    let beat_bytes = (bus_width as usize).div_ceil(8);
+    let limit = if data_width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << data_width) - 1
+    };
+    words
+        .chunks(per_beat)
+        .map(|chunk| {
+            let mut beat = BytesMut::zeroed(beat_bytes);
+            for (slot, &word) in chunk.iter().enumerate() {
+                assert!(
+                    word <= limit,
+                    "word {word:#x} exceeds the {data_width}-bit data width"
+                );
+                let bit_off = slot * data_width as usize;
+                write_bits(&mut beat, bit_off, word, data_width);
+            }
+            beat.freeze()
+        })
+        .collect()
+}
+
+/// Unpack all word slots of one beat (the caller trims trailing slots it
+/// knows are invalid).
+///
+/// # Panics
+///
+/// Panics if the beat is shorter than `bus_width` bits, or on the
+/// [`words_per_beat`] preconditions.
+#[must_use]
+pub fn unpack_beat(beat: &[u8], data_width: u32, bus_width: u32) -> Vec<u64> {
+    let beat_bytes = (bus_width as usize).div_ceil(8);
+    assert!(beat.len() >= beat_bytes, "beat narrower than the bus");
+    let per_beat = words_per_beat(data_width, bus_width);
+    (0..per_beat)
+        .map(|slot| read_bits(beat, slot * data_width as usize, data_width))
+        .collect()
+}
+
+fn write_bits(buf: &mut [u8], bit_off: usize, value: u64, width: u32) {
+    for i in 0..width as usize {
+        if value >> i & 1 == 1 {
+            let bit = bit_off + i;
+            buf[bit / 8] |= 1 << (bit % 8);
+        }
+    }
+}
+
+fn read_bits(buf: &[u8], bit_off: usize, width: u32) -> u64 {
+    let mut value = 0u64;
+    for i in 0..width as usize {
+        let bit = bit_off + i;
+        if buf[bit / 8] >> (bit % 8) & 1 == 1 {
+            value |= 1 << i;
+        }
+    }
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_slot_math() {
+        assert_eq!(words_per_beat(32, 512), 16);
+        assert_eq!(words_per_beat(48, 512), 10);
+        assert_eq!(words_per_beat(48, 48), 1);
+        assert_eq!(words_per_beat(33, 512), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than the bus")]
+    fn word_wider_than_bus_panics() {
+        let _ = words_per_beat(64, 32);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_32_bit() {
+        let words: Vec<u64> = (0..20).map(|i| 0xA000_0000 + i).collect();
+        let beats = pack_beats(&words, 32, 512);
+        assert_eq!(beats.len(), 2); // 16 + 4
+        let mut got = Vec::new();
+        for beat in &beats {
+            got.extend(unpack_beat(beat, 32, 512));
+        }
+        got.truncate(words.len());
+        assert_eq!(got, words);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_48_bit() {
+        // Non-byte-aligned width: 10 words per 512-bit beat.
+        let words: Vec<u64> = (0..10).map(|i| 0x8000_0000_0000u64 | (i * 77)).collect();
+        let beats = pack_beats(&words, 48, 512);
+        assert_eq!(beats.len(), 1);
+        assert_eq!(beats[0].len(), 64);
+        let got = unpack_beat(&beats[0], 48, 512);
+        assert_eq!(got, words);
+    }
+
+    #[test]
+    fn trailing_slots_are_zero() {
+        let beats = pack_beats(&[0xFFFF_FFFF], 32, 512);
+        let got = unpack_beat(&beats[0], 32, 512);
+        assert_eq!(got[0], 0xFFFF_FFFF);
+        assert!(got[1..].iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the")]
+    fn oversized_word_rejected() {
+        let _ = pack_beats(&[0x1_0000_0000], 32, 512);
+    }
+
+    #[test]
+    fn empty_input_packs_to_no_beats() {
+        assert!(pack_beats(&[], 32, 512).is_empty());
+    }
+
+    #[test]
+    fn bus_command_constructors() {
+        assert_eq!(BusCommand::update(vec![1, 2]).opcode, Opcode::Update);
+        let s = BusCommand::search(9);
+        assert_eq!(s.opcode, Opcode::Search);
+        assert_eq!(s.words, vec![9]);
+        assert!(BusCommand::reset().words.is_empty());
+    }
+
+    #[test]
+    fn odd_width_dense_packing() {
+        // 15 x 33-bit words in a 512-bit beat leave 17 spare bits.
+        let words: Vec<u64> = (0..15).map(|i| (1u64 << 32) | i).collect();
+        let beats = pack_beats(&words, 33, 512);
+        assert_eq!(beats.len(), 1);
+        assert_eq!(unpack_beat(&beats[0], 33, 512), words);
+    }
+}

@@ -1,0 +1,519 @@
+//! The Table III parameter set: cell-, block- and unit-level configuration.
+//!
+//! Every parameter of the paper's template-generated RTL is mirrored here
+//! and validated with the same rules ("power-of-two values to maintain a
+//! hardware-friendly architecture", data width ≤ 48, bus width compatible
+//! with the memory interface).
+
+use dsp48::word::P48;
+use serde::{Deserialize, Serialize};
+
+use crate::encoder::Encoding;
+use crate::error::ConfigError;
+use crate::kind::CamKind;
+use crate::mask::CamMask;
+
+/// Cell-level parameters (Table III, "CAM Cell").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellConfig {
+    /// The CAM behaviour: binary, ternary or range-matching.
+    pub kind: CamKind,
+    /// Width of the stored data in bits (`1..=48`).
+    pub data_width: u32,
+    /// Ternary don't-care bits (zero for the other kinds).
+    pub ternary_mask: u64,
+}
+
+impl CellConfig {
+    /// A binary cell of `data_width` bits.
+    #[must_use]
+    pub fn binary(data_width: u32) -> Self {
+        CellConfig {
+            kind: CamKind::Binary,
+            data_width,
+            ternary_mask: 0,
+        }
+    }
+
+    /// A ternary cell with the given don't-care bits.
+    #[must_use]
+    pub fn ternary(data_width: u32, dont_care: u64) -> Self {
+        CellConfig {
+            kind: CamKind::Ternary,
+            data_width,
+            ternary_mask: dont_care,
+        }
+    }
+
+    /// A range-matching cell of `data_width` bits.
+    #[must_use]
+    pub fn range_matching(data_width: u32) -> Self {
+        CellConfig {
+            kind: CamKind::RangeMatching,
+            data_width,
+            ternary_mask: 0,
+        }
+    }
+
+    /// Validate and compose the pattern-detector mask.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the mask-composition rules of
+    /// [`CamMask::compose`](crate::mask::CamMask::compose).
+    pub fn mask(&self) -> Result<CamMask, ConfigError> {
+        CamMask::compose(self.kind, self.data_width, P48::new(self.ternary_mask))
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`CellConfig::mask`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.mask().map(|_| ())
+    }
+}
+
+impl Default for CellConfig {
+    fn default() -> Self {
+        CellConfig::binary(32)
+    }
+}
+
+/// Block-level parameters (Table III, "CAM Block").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockConfig {
+    /// The cell configuration shared by every cell in the block.
+    pub cell: CellConfig,
+    /// Number of cells per block (a power of two ≥ 2).
+    pub block_size: usize,
+    /// Data-path width into the block in bits (a power of two ≥ data
+    /// width); determines how many words one update beat can carry.
+    pub bus_width: u32,
+    /// Result-encoding scheme of the output Encoder.
+    pub encoding: Encoding,
+    /// Insert the extra output-buffer register at the Encoder (the paper
+    /// enables it from 256 cells up on standalone blocks, and on every
+    /// block of a unit larger than 2048 cells, to close timing).
+    pub encoder_buffer: bool,
+}
+
+impl BlockConfig {
+    /// A block with the paper's standalone-block buffer policy applied
+    /// (buffer on from 256 cells).
+    #[must_use]
+    pub fn standalone(cell: CellConfig, block_size: usize, bus_width: u32) -> Self {
+        BlockConfig {
+            cell,
+            block_size,
+            bus_width,
+            encoding: Encoding::Priority,
+            encoder_buffer: block_size >= 256,
+        }
+    }
+
+    /// Words carried per bus beat (`bus_width / data_width`, at least 1).
+    #[must_use]
+    pub fn words_per_beat(&self) -> usize {
+        (self.bus_width / self.cell.data_width).max(1) as usize
+    }
+
+    /// Update latency in cycles at block level (Table VI: always 1 — all
+    /// words of a beat land in parallel through the Cell Address
+    /// Controller).
+    #[must_use]
+    pub fn update_latency(&self) -> u64 {
+        1
+    }
+
+    /// Search latency in cycles at block level (Table VI: 2 cycles in the
+    /// cells + 1 in the Encoder, + 1 more when the output buffer is on).
+    #[must_use]
+    pub fn search_latency(&self) -> u64 {
+        2 + 1 + u64::from(self.encoder_buffer)
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::BlockSize`] unless `block_size` is a power of two
+    ///   of at least 2;
+    /// * [`ConfigError::BusWidth`] unless `bus_width` is a power of two
+    ///   not smaller than the data width;
+    /// * plus all cell-level rules.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.cell.validate()?;
+        if self.block_size < 2 || !self.block_size.is_power_of_two() {
+            return Err(ConfigError::BlockSize {
+                requested: self.block_size,
+            });
+        }
+        if !self.bus_width.is_power_of_two() || self.bus_width < self.cell.data_width {
+            return Err(ConfigError::BusWidth {
+                requested: self.bus_width,
+                data_width: self.cell.data_width,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for BlockConfig {
+    fn default() -> Self {
+        BlockConfig::standalone(CellConfig::default(), 128, 512)
+    }
+}
+
+/// Unit-level parameters (Table III, "CAM Unit").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnitConfig {
+    /// The block configuration shared by every block.
+    pub block: BlockConfig,
+    /// Number of blocks in the unit (≥ 1).
+    pub num_blocks: usize,
+    /// Unit-level bus width in bits (the paper uses 512 to match the DDR
+    /// port).
+    pub bus_width: u32,
+}
+
+impl UnitConfig {
+    /// Start building a configuration.
+    #[must_use]
+    pub fn builder() -> UnitConfigBuilder {
+        UnitConfigBuilder::default()
+    }
+
+    /// Total number of CAM cells (entries) in the unit.
+    #[must_use]
+    pub fn total_cells(&self) -> usize {
+        self.block.block_size * self.num_blocks
+    }
+
+    /// Words carried per unit-bus beat.
+    #[must_use]
+    pub fn words_per_beat(&self) -> usize {
+        (self.bus_width / self.block.cell.data_width).max(1) as usize
+    }
+
+    /// End-to-end update latency in cycles (Table VIII: constant 6 —
+    /// interface, routing-table lookup, replication, crossbar, block
+    /// demux, cell write).
+    #[must_use]
+    pub fn update_latency(&self) -> u64 {
+        5 + self.block.update_latency()
+    }
+
+    /// End-to-end search latency in cycles (Table VIII: 7 below 2048
+    /// cells, 8 from 2048 up where the encoder output buffer is inserted).
+    #[must_use]
+    pub fn search_latency(&self) -> u64 {
+        4 + self.block.search_latency()
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    ///
+    /// All block-level rules plus [`ConfigError::NoBlocks`] and the
+    /// unit-bus rules.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.block.validate()?;
+        if self.num_blocks == 0 {
+            return Err(ConfigError::NoBlocks);
+        }
+        if !self.bus_width.is_power_of_two() || self.bus_width < self.block.cell.data_width {
+            return Err(ConfigError::BusWidth {
+                requested: self.bus_width,
+                data_width: self.block.cell.data_width,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for UnitConfig {
+    fn default() -> Self {
+        UnitConfig::builder().build().expect("default config is valid")
+    }
+}
+
+/// Builder for [`UnitConfig`] (Table III has seven knobs; the builder
+/// defaults every one of them to the paper's case-study values).
+#[derive(Debug, Clone)]
+pub struct UnitConfigBuilder {
+    kind: CamKind,
+    data_width: u32,
+    ternary_mask: u64,
+    block_size: usize,
+    block_bus_width: Option<u32>,
+    encoding: Encoding,
+    encoder_buffer: Option<bool>,
+    num_blocks: usize,
+    bus_width: u32,
+}
+
+impl Default for UnitConfigBuilder {
+    fn default() -> Self {
+        UnitConfigBuilder {
+            kind: CamKind::Binary,
+            data_width: 32,
+            ternary_mask: 0,
+            block_size: 128,
+            block_bus_width: None,
+            encoding: Encoding::Priority,
+            encoder_buffer: None,
+            num_blocks: 4,
+            bus_width: 512,
+        }
+    }
+}
+
+impl UnitConfigBuilder {
+    /// Set the CAM kind (cell type).
+    #[must_use]
+    pub fn kind(mut self, kind: CamKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Set the storage data width in bits.
+    #[must_use]
+    pub fn data_width(mut self, bits: u32) -> Self {
+        self.data_width = bits;
+        self
+    }
+
+    /// Set the ternary don't-care bits (TCAM only).
+    #[must_use]
+    pub fn ternary_mask(mut self, mask: u64) -> Self {
+        self.ternary_mask = mask;
+        self
+    }
+
+    /// Set the number of cells per block.
+    #[must_use]
+    pub fn block_size(mut self, cells: usize) -> Self {
+        self.block_size = cells;
+        self
+    }
+
+    /// Override the block bus width (defaults to the unit bus width).
+    #[must_use]
+    pub fn block_bus_width(mut self, bits: u32) -> Self {
+        self.block_bus_width = Some(bits);
+        self
+    }
+
+    /// Set the result-encoding scheme.
+    #[must_use]
+    pub fn encoding(mut self, encoding: Encoding) -> Self {
+        self.encoding = encoding;
+        self
+    }
+
+    /// Force the encoder output buffer on or off (defaults to the paper's
+    /// policy: on when the unit exceeds 2048 cells).
+    #[must_use]
+    pub fn encoder_buffer(mut self, on: bool) -> Self {
+        self.encoder_buffer = Some(on);
+        self
+    }
+
+    /// Set the number of blocks in the unit.
+    #[must_use]
+    pub fn num_blocks(mut self, blocks: usize) -> Self {
+        self.num_blocks = blocks;
+        self
+    }
+
+    /// Set the unit bus width in bits.
+    #[must_use]
+    pub fn bus_width(mut self, bits: u32) -> Self {
+        self.bus_width = bits;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found by the Table III rules.
+    pub fn build(self) -> Result<UnitConfig, ConfigError> {
+        let total = self.block_size * self.num_blocks;
+        let buffer = self
+            .encoder_buffer
+            .unwrap_or(total >= 2048);
+        let cell = CellConfig {
+            kind: self.kind,
+            data_width: self.data_width,
+            ternary_mask: self.ternary_mask,
+        };
+        let block = BlockConfig {
+            cell,
+            block_size: self.block_size,
+            bus_width: self.block_bus_width.unwrap_or(self.bus_width),
+            encoding: self.encoding,
+            encoder_buffer: buffer,
+        };
+        let config = UnitConfig {
+            block,
+            num_blocks: self.num_blocks,
+            bus_width: self.bus_width,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_case_study_shape() {
+        let c = UnitConfig::default();
+        assert_eq!(c.block.cell.data_width, 32);
+        assert_eq!(c.block.block_size, 128);
+        assert_eq!(c.bus_width, 512);
+        assert_eq!(c.words_per_beat(), 16);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let c = UnitConfig::builder()
+            .kind(CamKind::Ternary)
+            .data_width(24)
+            .ternary_mask(0xF)
+            .block_size(64)
+            .block_bus_width(256)
+            .encoding(Encoding::MatchCount)
+            .encoder_buffer(true)
+            .num_blocks(8)
+            .bus_width(512)
+            .build()
+            .unwrap();
+        assert_eq!(c.block.cell.kind, CamKind::Ternary);
+        assert_eq!(c.block.cell.data_width, 24);
+        assert_eq!(c.block.bus_width, 256);
+        assert_eq!(c.block.encoding, Encoding::MatchCount);
+        assert!(c.block.encoder_buffer);
+        assert_eq!(c.total_cells(), 512);
+    }
+
+    #[test]
+    fn width_rules_enforced() {
+        assert!(matches!(
+            UnitConfig::builder().data_width(0).build(),
+            Err(ConfigError::DataWidth { .. })
+        ));
+        assert!(matches!(
+            UnitConfig::builder().data_width(49).build(),
+            Err(ConfigError::DataWidth { .. })
+        ));
+        assert!(UnitConfig::builder().data_width(48).build().is_ok());
+    }
+
+    #[test]
+    fn block_size_must_be_power_of_two() {
+        assert!(matches!(
+            UnitConfig::builder().block_size(100).build(),
+            Err(ConfigError::BlockSize { .. })
+        ));
+        assert!(matches!(
+            UnitConfig::builder().block_size(1).build(),
+            Err(ConfigError::BlockSize { .. })
+        ));
+        assert!(UnitConfig::builder().block_size(2).build().is_ok());
+    }
+
+    #[test]
+    fn bus_rules_enforced() {
+        assert!(matches!(
+            UnitConfig::builder().bus_width(48).data_width(32).build(),
+            Err(ConfigError::BusWidth { .. })
+        ));
+        assert!(matches!(
+            UnitConfig::builder().bus_width(16).data_width(32).build(),
+            Err(ConfigError::BusWidth { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_blocks_rejected() {
+        assert_eq!(
+            UnitConfig::builder().num_blocks(0).build(),
+            Err(ConfigError::NoBlocks)
+        );
+    }
+
+    #[test]
+    fn ternary_mask_beyond_width_rejected() {
+        let err = UnitConfig::builder()
+            .kind(CamKind::Ternary)
+            .data_width(8)
+            .ternary_mask(0x100)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::MaskBeyondWidth { .. }));
+    }
+
+    #[test]
+    fn latency_model_matches_tables() {
+        // Standalone blocks: Table VI.
+        for (size, latency) in [(32, 3), (64, 3), (128, 3), (256, 4), (512, 4)] {
+            let b = BlockConfig::standalone(CellConfig::binary(48), size, 512);
+            assert_eq!(b.search_latency(), latency, "block size {size}");
+            assert_eq!(b.update_latency(), 1);
+        }
+        // Units: Table VIII (block size 256 per the scalability setup).
+        for (blocks, search) in [(2, 7), (4, 7), (8, 8), (16, 8), (32, 8)] {
+            let c = UnitConfig::builder()
+                .block_size(256)
+                .num_blocks(blocks)
+                .data_width(32)
+                .build()
+                .unwrap();
+            assert_eq!(c.update_latency(), 6, "{blocks} blocks");
+            assert_eq!(c.search_latency(), search, "{blocks} blocks");
+        }
+    }
+
+    #[test]
+    fn encoder_buffer_policy_is_unit_size_driven() {
+        let small = UnitConfig::builder()
+            .block_size(256)
+            .num_blocks(7)
+            .build()
+            .unwrap();
+        assert!(!small.block.encoder_buffer, "1792 cells: no buffer");
+        let big = UnitConfig::builder()
+            .block_size(256)
+            .num_blocks(8)
+            .build()
+            .unwrap();
+        assert!(big.block.encoder_buffer, "2048 cells: buffered (Table VIII)");
+    }
+
+    #[test]
+    fn words_per_beat_never_zero() {
+        let c = UnitConfig::builder()
+            .data_width(48)
+            .bus_width(64)
+            .build()
+            .unwrap();
+        assert_eq!(c.words_per_beat(), 1);
+    }
+
+    #[test]
+    fn cell_constructors() {
+        assert_eq!(CellConfig::binary(16).kind, CamKind::Binary);
+        assert_eq!(CellConfig::ternary(16, 1).ternary_mask, 1);
+        assert_eq!(
+            CellConfig::range_matching(16).kind,
+            CamKind::RangeMatching
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Density-optimised CAM block for narrow keys (extension beyond the
+//! paper).
+//!
+//! [`DenseCamBlock`] packs four ≤12-bit entries into every DSP slice using
+//! the `FOUR12` SIMD mode (see [`dsp48::simd_cam`]), quartering the DSP
+//! bill for workloads with short keys. Semantics mirror [`CamBlock`]:
+//! fill-order addressing, broadcast search, priority result — addresses
+//! interleave lanes (`slice * 4 + lane`).
+//!
+//! The trade-offs against the paper's scalar cell:
+//!
+//! * data width capped at 12 bits;
+//! * per-lane match reduction costs ~4 extra LUTs per slice;
+//! * TCAM/RMCAM masks are not available (the pattern-detector mask covers
+//!   the whole 48-bit word, not lanes) — binary matching only.
+//!
+//! [`CamBlock`]: crate::block::CamBlock
+
+use dsp48::simd_cam::{SimdCamDsp, LANES, LANE_MAX};
+use serde::{Deserialize, Serialize};
+
+use crate::encoder::MatchVector;
+use crate::error::CamError;
+
+/// A quad-packed binary CAM block.
+///
+/// # Examples
+///
+/// ```
+/// use dsp_cam_core::dense::DenseCamBlock;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut cam = DenseCamBlock::new(64);
+/// assert_eq!(cam.dsp_count(), 16, "four entries per slice");
+/// cam.insert(0x123)?;
+/// assert_eq!(cam.search(0x123)?.first(), Some(0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DenseCamBlock {
+    slices: Vec<SimdCamDsp>,
+    write_ptr: usize,
+    cycles: u64,
+}
+
+impl DenseCamBlock {
+    /// Update latency in cycles (same as the scalar cell).
+    pub const UPDATE_LATENCY: u64 = 1;
+    /// Search latency in cycles (cells) + 1 encoder stage.
+    pub const SEARCH_LATENCY: u64 = 3;
+
+    /// Create a block of `capacity` entries (rounded up to a multiple of
+    /// four — one slice holds four).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        DenseCamBlock {
+            slices: (0..capacity.div_ceil(LANES)).map(|_| SimdCamDsp::new()).collect(),
+            write_ptr: 0,
+            cycles: 0,
+        }
+    }
+
+    /// Entry capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slices.len() * LANES
+    }
+
+    /// Entries stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.write_ptr
+    }
+
+    /// Whether no entry is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.write_ptr == 0
+    }
+
+    /// DSP slices used — one quarter of a scalar block of equal capacity.
+    #[must_use]
+    pub fn dsp_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Block cycles consumed.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Store `value` at the next free address.
+    ///
+    /// # Errors
+    ///
+    /// * [`CamError::Full`] when at capacity;
+    /// * [`CamError::ValueTooWide`] for values beyond 12 bits.
+    pub fn insert(&mut self, value: u64) -> Result<(), CamError> {
+        if self.write_ptr >= self.capacity() {
+            return Err(CamError::Full { rejected: 1 });
+        }
+        if value > LANE_MAX {
+            return Err(CamError::ValueTooWide {
+                value,
+                data_width: 12,
+            });
+        }
+        let slice = self.write_ptr / LANES;
+        let lane = self.write_ptr % LANES;
+        self.slices[slice].write_lane(lane, value);
+        self.write_ptr += 1;
+        self.cycles += Self::UPDATE_LATENCY;
+        Ok(())
+    }
+
+    /// Broadcast-search all entries; returns the match vector over
+    /// fill-order addresses.
+    ///
+    /// # Errors
+    ///
+    /// [`CamError::ValueTooWide`] for keys beyond 12 bits.
+    pub fn search(&mut self, key: u64) -> Result<MatchVector, CamError> {
+        if key > LANE_MAX {
+            return Err(CamError::ValueTooWide {
+                value: key,
+                data_width: 12,
+            });
+        }
+        let mut matches = MatchVector::new(self.capacity());
+        for (s, slice) in self.slices.iter_mut().enumerate() {
+            let flags = slice.search(key);
+            for (lane, &hit) in flags.iter().enumerate() {
+                if hit {
+                    matches.set(s * LANES + lane);
+                }
+            }
+        }
+        self.cycles += Self::SEARCH_LATENCY;
+        Ok(matches)
+    }
+
+    /// Clear all entries.
+    pub fn reset(&mut self) {
+        for slice in &mut self.slices {
+            slice.clear();
+        }
+        self.write_ptr = 0;
+        self.cycles += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_times_density() {
+        let dense = DenseCamBlock::new(128);
+        assert_eq!(dense.capacity(), 128);
+        assert_eq!(dense.dsp_count(), 32, "quarter of a scalar 128 block");
+    }
+
+    #[test]
+    fn fill_order_addressing_across_lanes() {
+        let mut cam = DenseCamBlock::new(8);
+        for v in [10u64, 20, 30, 40, 50] {
+            cam.insert(v).unwrap();
+        }
+        // Entry 4 lives in slice 1 lane 0.
+        let m = cam.search(50).unwrap();
+        assert_eq!(m.first(), Some(4));
+        let m = cam.search(20).unwrap();
+        assert_eq!(m.first(), Some(1));
+        assert!(!cam.search(60).unwrap().any());
+    }
+
+    #[test]
+    fn duplicates_report_all_addresses() {
+        let mut cam = DenseCamBlock::new(8);
+        for v in [7u64, 8, 7, 9, 7] {
+            cam.insert(v).unwrap();
+        }
+        let m = cam.search(7).unwrap();
+        assert_eq!(m.count(), 3);
+        let addrs: Vec<usize> = m.iter_matches().collect();
+        assert_eq!(addrs, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn capacity_and_width_limits() {
+        let mut cam = DenseCamBlock::new(4);
+        for v in 0..4u64 {
+            cam.insert(v).unwrap();
+        }
+        assert!(matches!(cam.insert(5), Err(CamError::Full { .. })));
+        assert!(matches!(
+            DenseCamBlock::new(4).insert(0x1000),
+            Err(CamError::ValueTooWide { .. })
+        ));
+        assert!(matches!(
+            cam.search(0x1000),
+            Err(CamError::ValueTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn reset_reuses_all_lanes() {
+        let mut cam = DenseCamBlock::new(8);
+        cam.insert(1).unwrap();
+        cam.insert(2).unwrap();
+        cam.reset();
+        assert!(cam.is_empty());
+        assert!(!cam.search(1).unwrap().any());
+        cam.insert(3).unwrap();
+        assert_eq!(cam.search(3).unwrap().first(), Some(0));
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_lane_multiple() {
+        let cam = DenseCamBlock::new(5);
+        assert_eq!(cam.capacity(), 8);
+        assert_eq!(cam.dsp_count(), 2);
+    }
+
+    #[test]
+    fn agrees_with_scalar_block_on_narrow_keys() {
+        use crate::block::CamBlock;
+        use crate::config::{BlockConfig, CellConfig};
+        let mut dense = DenseCamBlock::new(16);
+        let mut scalar =
+            CamBlock::new(BlockConfig::standalone(CellConfig::binary(12), 16, 64)).unwrap();
+        let values = [5u64, 100, 4095, 0, 77, 5];
+        for &v in &values {
+            dense.insert(v).unwrap();
+            scalar.update(&[v]).unwrap();
+        }
+        for probe in [5u64, 100, 4095, 0, 77, 1, 4094] {
+            let d = dense.search(probe).unwrap();
+            let s = scalar.search_vector(probe);
+            assert_eq!(d.first(), s.first(), "probe {probe}");
+            assert_eq!(d.count(), s.count(), "probe {probe}");
+        }
+    }
+}

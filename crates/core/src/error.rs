@@ -1,0 +1,236 @@
+//! Error types for configuration and runtime CAM operations.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A rejected design-time configuration (Table III parameter rules).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// Storage data width outside `1..=48` bits.
+    DataWidth {
+        /// The requested width.
+        requested: u32,
+    },
+    /// Block size must be a power of two of at least 2 cells.
+    BlockSize {
+        /// The requested cell count.
+        requested: usize,
+    },
+    /// Unit must contain at least one block.
+    NoBlocks,
+    /// Bus width must be a power of two of at least the data width.
+    BusWidth {
+        /// The requested bus width in bits.
+        requested: u32,
+        /// The configured data width in bits.
+        data_width: u32,
+    },
+    /// TCAM don't-care bits extend beyond the data width.
+    MaskBeyondWidth {
+        /// The configured data width.
+        data_width: u32,
+        /// The offending mask.
+        mask: u64,
+    },
+    /// RMCAM range size exceeds the datapath.
+    RangeTooWide {
+        /// The requested log2 range size.
+        log2_size: u32,
+    },
+    /// RMCAM range base not aligned to the range size.
+    RangeMisaligned {
+        /// The requested base.
+        base: u64,
+        /// The requested log2 range size.
+        log2_size: u32,
+    },
+    /// Group count must be ≥ 1 and divide the number of blocks.
+    GroupCount {
+        /// The requested group count.
+        requested: usize,
+        /// The number of blocks in the unit.
+        blocks: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::DataWidth { requested } => {
+                write!(f, "data width {requested} outside the 1..=48 bit range")
+            }
+            ConfigError::BlockSize { requested } => write!(
+                f,
+                "block size {requested} is not a power of two of at least 2"
+            ),
+            ConfigError::NoBlocks => write!(f, "unit must contain at least one block"),
+            ConfigError::BusWidth {
+                requested,
+                data_width,
+            } => write!(
+                f,
+                "bus width {requested} is not a power of two covering the {data_width}-bit data width"
+            ),
+            ConfigError::MaskBeyondWidth { data_width, mask } => write!(
+                f,
+                "ternary mask {mask:#x} has don't-care bits beyond the {data_width}-bit data width"
+            ),
+            ConfigError::RangeTooWide { log2_size } => {
+                write!(f, "range size 2^{log2_size} exceeds the 48-bit datapath")
+            }
+            ConfigError::RangeMisaligned { base, log2_size } => write!(
+                f,
+                "range base {base:#x} is not aligned to its 2^{log2_size} size"
+            ),
+            ConfigError::GroupCount { requested, blocks } => write!(
+                f,
+                "group count {requested} does not evenly partition {blocks} blocks"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A rejected runtime CAM operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum CamError {
+    /// An update arrived when every cell (in the addressed block/group) is
+    /// already occupied.
+    Full {
+        /// Entries the operation could not place.
+        rejected: usize,
+    },
+    /// A value wider than the configured data width was presented.
+    ValueTooWide {
+        /// The offending value.
+        value: u64,
+        /// The configured data width.
+        data_width: u32,
+    },
+    /// A search was issued to a group index that does not exist under the
+    /// current grouping.
+    NoSuchGroup {
+        /// The requested group.
+        group: usize,
+        /// The number of groups currently configured.
+        groups: usize,
+    },
+    /// More concurrent search keys than configured groups.
+    TooManyQueries {
+        /// Keys presented.
+        presented: usize,
+        /// Maximum concurrent queries (the group count).
+        capacity: usize,
+    },
+    /// A range entry was presented to a non-range-matching CAM (or vice
+    /// versa a plain value to an RMCAM update path that expects ranges).
+    KindMismatch,
+}
+
+impl fmt::Display for CamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CamError::Full { rejected } => {
+                write!(f, "CAM is full; {rejected} entries were rejected")
+            }
+            CamError::ValueTooWide { value, data_width } => write!(
+                f,
+                "value {value:#x} does not fit in the {data_width}-bit data width"
+            ),
+            CamError::NoSuchGroup { group, groups } => {
+                write!(f, "group {group} does not exist ({groups} configured)")
+            }
+            CamError::TooManyQueries {
+                presented,
+                capacity,
+            } => write!(
+                f,
+                "{presented} concurrent queries exceed the {capacity}-group capacity"
+            ),
+            CamError::KindMismatch => {
+                write!(f, "operation does not match the configured CAM kind")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_error_messages() {
+        let cases: Vec<(ConfigError, &str)> = vec![
+            (ConfigError::DataWidth { requested: 50 }, "50"),
+            (ConfigError::BlockSize { requested: 3 }, "3"),
+            (ConfigError::NoBlocks, "at least one"),
+            (
+                ConfigError::BusWidth {
+                    requested: 100,
+                    data_width: 32,
+                },
+                "100",
+            ),
+            (
+                ConfigError::MaskBeyondWidth {
+                    data_width: 16,
+                    mask: 0x10000,
+                },
+                "16",
+            ),
+            (ConfigError::RangeTooWide { log2_size: 49 }, "49"),
+            (
+                ConfigError::RangeMisaligned {
+                    base: 3,
+                    log2_size: 2,
+                },
+                "0x3",
+            ),
+            (
+                ConfigError::GroupCount {
+                    requested: 3,
+                    blocks: 4,
+                },
+                "3",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn cam_error_messages() {
+        assert!(CamError::Full { rejected: 2 }.to_string().contains('2'));
+        assert!(CamError::ValueTooWide {
+            value: 0x100,
+            data_width: 8
+        }
+        .to_string()
+        .contains("0x100"));
+        assert!(CamError::NoSuchGroup { group: 5, groups: 4 }
+            .to_string()
+            .contains('5'));
+        assert!(CamError::TooManyQueries {
+            presented: 9,
+            capacity: 4
+        }
+        .to_string()
+        .contains('9'));
+        assert!(!CamError::KindMismatch.to_string().is_empty());
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_err(ConfigError::NoBlocks);
+        takes_err(CamError::KindMismatch);
+    }
+}

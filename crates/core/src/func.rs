@@ -1,0 +1,188 @@
+//! A functional reference CAM — the oracle for property tests.
+//!
+//! [`RefCam`] implements the same observable semantics as the hardware
+//! hierarchy (fill order, masks, replication-per-group capacity) with plain
+//! data structures and no cycle model. Property tests drive a
+//! [`CamUnit`](crate::unit::CamUnit)
+//! and a `RefCam` with the same operation sequence and require identical
+//! answers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mask::RangeSpec;
+
+/// One stored entry: a value and its don't-care mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Entry {
+    value: u64,
+    dont_care: u64,
+}
+
+/// A software reference CAM.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefCam {
+    entries: Vec<Entry>,
+    capacity: usize,
+    data_width: u32,
+    base_mask: u64,
+}
+
+impl RefCam {
+    /// Create a reference CAM of `capacity` entries and `data_width` bits,
+    /// with `dont_care` ternary bits applied to every entry.
+    #[must_use]
+    pub fn new(capacity: usize, data_width: u32, dont_care: u64) -> Self {
+        RefCam {
+            entries: Vec::new(),
+            capacity,
+            data_width,
+            base_mask: dont_care,
+        }
+    }
+
+    fn width_mask(&self) -> u64 {
+        if self.data_width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.data_width) - 1
+        }
+    }
+
+    /// Entries stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the CAM is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the CAM is full.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Store a value; returns false when full.
+    pub fn insert(&mut self, value: u64) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.entries.push(Entry {
+            value: value & self.width_mask(),
+            dont_care: self.base_mask,
+        });
+        true
+    }
+
+    /// Store a power-of-two range; returns false when full.
+    pub fn insert_range(&mut self, range: RangeSpec) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.entries.push(Entry {
+            value: range.base & self.width_mask(),
+            dont_care: self.base_mask | range.mask().value(),
+        });
+        true
+    }
+
+    /// Lowest matching address for `key`, if any.
+    #[must_use]
+    pub fn search(&self, key: u64) -> Option<usize> {
+        let key = key & self.width_mask();
+        self.entries.iter().position(|e| {
+            let care = self.width_mask() & !e.dont_care;
+            (e.value ^ key) & care == 0
+        })
+    }
+
+    /// Number of matching entries for `key`.
+    #[must_use]
+    pub fn match_count(&self, key: u64) -> usize {
+        let key = key & self.width_mask();
+        self.entries
+            .iter()
+            .filter(|e| {
+                let care = self.width_mask() & !e.dont_care;
+                (e.value ^ key) & care == 0
+            })
+            .count()
+    }
+
+    /// Clear all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_search() {
+        let mut cam = RefCam::new(4, 32, 0);
+        assert!(cam.insert(10));
+        assert!(cam.insert(20));
+        assert_eq!(cam.search(20), Some(1));
+        assert_eq!(cam.search(30), None);
+        assert_eq!(cam.len(), 2);
+    }
+
+    #[test]
+    fn capacity_limit() {
+        let mut cam = RefCam::new(2, 32, 0);
+        assert!(cam.insert(1));
+        assert!(cam.insert(2));
+        assert!(cam.is_full());
+        assert!(!cam.insert(3));
+        assert_eq!(cam.len(), 2);
+    }
+
+    #[test]
+    fn ternary_base_mask() {
+        let mut cam = RefCam::new(4, 16, 0xFF);
+        cam.insert(0x1200);
+        assert_eq!(cam.search(0x12AB), Some(0));
+        assert_eq!(cam.search(0x1300), None);
+    }
+
+    #[test]
+    fn range_entries() {
+        let mut cam = RefCam::new(4, 32, 0);
+        cam.insert_range(RangeSpec::new(0x40, 4).unwrap());
+        assert_eq!(cam.search(0x4F), Some(0));
+        assert_eq!(cam.search(0x50), None);
+    }
+
+    #[test]
+    fn match_count_with_duplicates() {
+        let mut cam = RefCam::new(8, 32, 0);
+        cam.insert(9);
+        cam.insert(9);
+        cam.insert(8);
+        assert_eq!(cam.match_count(9), 2);
+        assert_eq!(cam.match_count(7), 0);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut cam = RefCam::new(2, 32, 0);
+        cam.insert(1);
+        cam.clear();
+        assert!(cam.is_empty());
+        assert_eq!(cam.search(1), None);
+    }
+
+    #[test]
+    fn width_truncation() {
+        let mut cam = RefCam::new(2, 8, 0);
+        cam.insert(0x1AB);
+        assert_eq!(cam.search(0xAB), Some(0), "stored truncated to width");
+        assert_eq!(cam.search(0x2AB), Some(0), "key truncated to width");
+    }
+}

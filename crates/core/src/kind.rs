@@ -1,0 +1,59 @@
+//! CAM type taxonomy (Section II of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// The three CAM behaviours the architecture can be configured to emulate.
+///
+/// The cell hardware is identical in all three cases — only the
+/// pattern-detector mask differs (Table II) — which is why Table V reports
+/// identical resource usage and latency for every kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CamKind {
+    /// Exact-match binary CAM: every (active) bit is compared.
+    #[default]
+    Binary,
+    /// Ternary CAM: bits whose mask bit is `1` are "don't care".
+    Ternary,
+    /// Range-matching CAM: matches `[base, base + 2^k)` ranges whose
+    /// boundaries are powers of two (a limitation of bit-level mask
+    /// granularity, as the paper notes).
+    RangeMatching,
+}
+
+impl std::fmt::Display for CamKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CamKind::Binary => "BCAM",
+            CamKind::Ternary => "TCAM",
+            CamKind::RangeMatching => "RMCAM",
+        };
+        f.write_str(s)
+    }
+}
+
+impl CamKind {
+    /// All kinds, for exhaustive sweeps in tests and benches.
+    pub const ALL: [CamKind; 3] = [CamKind::Binary, CamKind::Ternary, CamKind::RangeMatching];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(CamKind::Binary.to_string(), "BCAM");
+        assert_eq!(CamKind::Ternary.to_string(), "TCAM");
+        assert_eq!(CamKind::RangeMatching.to_string(), "RMCAM");
+    }
+
+    #[test]
+    fn default_is_binary() {
+        assert_eq!(CamKind::default(), CamKind::Binary);
+    }
+
+    #[test]
+    fn all_enumerates_three() {
+        assert_eq!(CamKind::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,230 @@
+//! Mask construction per Table II of the paper.
+//!
+//! The DSP48E2 pattern detector treats a mask bit of `1` as "don't care".
+//! Three mask sources compose (bitwise OR):
+//!
+//! * the **width mask** — bits above the configured storage data width are
+//!   always ignored ("the mask is also used for the data bit width
+//!   control");
+//! * the **kind mask** — all-zero for a binary CAM, the user's don't-care
+//!   bits for a ternary CAM, and the low `k` bits for a range-matching CAM
+//!   covering `[base, base + 2^k)`;
+//! * nothing else: the composed mask is written into every cell's pattern
+//!   detector when the block is configured.
+
+use dsp48::word::{mask_width, P48};
+use serde::{Deserialize, Serialize};
+
+use crate::error::ConfigError;
+use crate::kind::CamKind;
+
+/// The mask that ignores all bits above `data_width`.
+///
+/// # Errors
+///
+/// Returns [`ConfigError::DataWidth`] unless `1 ≤ data_width ≤ 48`.
+pub fn width_mask(data_width: u32) -> Result<P48, ConfigError> {
+    if !(1..=48).contains(&data_width) {
+        return Err(ConfigError::DataWidth { requested: data_width });
+    }
+    Ok(P48::new(!mask_width(data_width)))
+}
+
+/// The kind mask for a range of size `2^log2_size` (RMCAM row of Table II):
+/// the low `log2_size` bits are "don't care".
+///
+/// # Errors
+///
+/// Returns [`ConfigError::RangeTooWide`] if `log2_size > 48`.
+pub fn range_mask(log2_size: u32) -> Result<P48, ConfigError> {
+    if log2_size > 48 {
+        return Err(ConfigError::RangeTooWide { log2_size });
+    }
+    Ok(P48::new(mask_width(log2_size)))
+}
+
+/// A power-of-two-aligned range `[base, base + 2^log2_size)`, the only
+/// range shape the bit-granular mask can express.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RangeSpec {
+    /// Inclusive lower bound; must be aligned to `2^log2_size`.
+    pub base: u64,
+    /// Log2 of the range size.
+    pub log2_size: u32,
+}
+
+impl RangeSpec {
+    /// Create a validated range.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::RangeTooWide`] if `log2_size > 48`;
+    /// * [`ConfigError::RangeMisaligned`] if `base` is not a multiple of
+    ///   the range size (the architecture cannot express such ranges).
+    pub fn new(base: u64, log2_size: u32) -> Result<Self, ConfigError> {
+        if log2_size > 48 {
+            return Err(ConfigError::RangeTooWide { log2_size });
+        }
+        let align = mask_width(log2_size);
+        if base & align != 0 {
+            return Err(ConfigError::RangeMisaligned { base, log2_size });
+        }
+        Ok(RangeSpec { base, log2_size })
+    }
+
+    /// The stored value representing this range (the base).
+    #[must_use]
+    pub fn stored_value(&self) -> u64 {
+        self.base
+    }
+
+    /// The cell mask for this range.
+    #[must_use]
+    pub fn mask(&self) -> P48 {
+        P48::new(mask_width(self.log2_size))
+    }
+
+    /// Exclusive upper bound.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.base + (1u64 << self.log2_size.min(63))
+    }
+
+    /// Whether `value` falls inside the range.
+    #[must_use]
+    pub fn contains(&self, value: u64) -> bool {
+        value >= self.base && value < self.end()
+    }
+}
+
+/// The composed per-cell mask: kind mask OR width mask (Table II plus the
+/// width-control paragraph of Section III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CamMask(P48);
+
+impl CamMask {
+    /// Compose a mask for `kind` at `data_width` bits.
+    ///
+    /// `kind_bits` carries the TCAM don't-care pattern (ignored for the
+    /// other kinds — pass zero; RMCAM masks are per-entry, see
+    /// [`RangeSpec::mask`], and compose at update time).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for an out-of-range width or for TCAM
+    /// don't-care bits above the data width.
+    pub fn compose(kind: CamKind, data_width: u32, kind_bits: P48) -> Result<Self, ConfigError> {
+        let width = width_mask(data_width)?;
+        let kind_mask = match kind {
+            CamKind::Binary => P48::ZERO,
+            CamKind::Ternary => {
+                if kind_bits.value() & width.value() != 0 {
+                    return Err(ConfigError::MaskBeyondWidth {
+                        data_width,
+                        mask: kind_bits.value(),
+                    });
+                }
+                kind_bits
+            }
+            // Per-entry range masks are ORed in at update time.
+            CamKind::RangeMatching => P48::ZERO,
+        };
+        Ok(CamMask(width | kind_mask))
+    }
+
+    /// The raw 48-bit mask value (1 = don't care).
+    #[must_use]
+    pub fn bits(self) -> P48 {
+        self.0
+    }
+
+    /// OR in a per-entry mask (RMCAM update path).
+    #[must_use]
+    pub fn with_entry_mask(self, entry: P48) -> CamMask {
+        CamMask(self.0 | entry)
+    }
+
+    /// The "care" bits (complement of the mask).
+    #[must_use]
+    pub fn care(self) -> P48 {
+        self.0.not()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_mask_bounds() {
+        assert_eq!(width_mask(48).unwrap(), P48::ZERO);
+        assert_eq!(width_mask(32).unwrap().value(), 0xFFFF_0000_0000);
+        assert_eq!(width_mask(1).unwrap().value(), 0xFFFF_FFFF_FFFE);
+        assert!(width_mask(0).is_err());
+        assert!(width_mask(49).is_err());
+    }
+
+    #[test]
+    fn bcam_mask_is_width_only() {
+        // Table II row 1: all (active) bits are compared.
+        let m = CamMask::compose(CamKind::Binary, 48, P48::ZERO).unwrap();
+        assert_eq!(m.bits(), P48::ZERO);
+        let m = CamMask::compose(CamKind::Binary, 16, P48::ZERO).unwrap();
+        assert_eq!(m.care().value(), 0xFFFF);
+    }
+
+    #[test]
+    fn tcam_mask_adds_dont_cares() {
+        // Table II row 2: mask=1 bits are don't care.
+        let m = CamMask::compose(CamKind::Ternary, 32, P48::new(0xFF)).unwrap();
+        assert_eq!(m.bits().value(), 0xFFFF_0000_00FF);
+    }
+
+    #[test]
+    fn tcam_mask_above_width_rejected() {
+        let err = CamMask::compose(CamKind::Ternary, 16, P48::new(0x1_0000)).unwrap_err();
+        assert!(matches!(err, ConfigError::MaskBeyondWidth { .. }));
+    }
+
+    #[test]
+    fn range_mask_selects_low_bits() {
+        // Table II row 3: mask=0 bits select the range.
+        assert_eq!(range_mask(8).unwrap().value(), 0xFF);
+        assert_eq!(range_mask(0).unwrap(), P48::ZERO);
+        assert!(range_mask(49).is_err());
+    }
+
+    #[test]
+    fn range_spec_validation() {
+        let r = RangeSpec::new(0x100, 8).unwrap();
+        assert_eq!(r.stored_value(), 0x100);
+        assert_eq!(r.mask().value(), 0xFF);
+        assert_eq!(r.end(), 0x200);
+        assert!(RangeSpec::new(0x101, 8).is_err(), "misaligned base");
+        assert!(RangeSpec::new(0, 49).is_err(), "too wide");
+    }
+
+    #[test]
+    fn range_contains() {
+        let r = RangeSpec::new(0x40, 4).unwrap();
+        assert!(r.contains(0x40));
+        assert!(r.contains(0x4F));
+        assert!(!r.contains(0x50));
+        assert!(!r.contains(0x3F));
+    }
+
+    #[test]
+    fn entry_mask_composition() {
+        let base = CamMask::compose(CamKind::RangeMatching, 32, P48::ZERO).unwrap();
+        let with = base.with_entry_mask(range_mask(4).unwrap());
+        assert_eq!(with.bits().value(), 0xFFFF_0000_000F);
+    }
+
+    #[test]
+    fn zero_log2_range_is_exact_match() {
+        let r = RangeSpec::new(7, 0).unwrap();
+        assert!(r.contains(7));
+        assert!(!r.contains(8));
+        assert_eq!(r.mask(), P48::ZERO);
+    }
+}

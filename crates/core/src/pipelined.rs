@@ -1,0 +1,329 @@
+//! Cycle-accurate streaming operation of a CAM unit.
+//!
+//! The transaction-level API on [`CamUnit`] answers a search in the same
+//! call; real hardware answers `search_latency` cycles later while new
+//! operations keep issuing every cycle (initiation interval 1). This
+//! module provides that view: [`StreamingCam`] implements
+//! [`dsp_cam_sim::Clocked`], accepts at most one operation per
+//! cycle, and delivers completions through latency pipes built from
+//! [`dsp_cam_sim::Pipe`] — so Table VI/VIII's "throughput = frequency"
+//! rows can be *demonstrated*, not just computed.
+
+use dsp_cam_sim::{Clocked, Pipe};
+use serde::{Deserialize, Serialize};
+
+use crate::config::UnitConfig;
+use crate::error::{CamError, ConfigError};
+use crate::unit::{CamUnit, SearchResult};
+
+/// An operation issued into the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Store up to one bus beat of words.
+    Update(Vec<u64>),
+    /// Search for a key.
+    Search(u64),
+}
+
+/// A completed operation emerging from the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Completion {
+    /// An update retired (or failed with the recorded error).
+    Update(Result<(), CamError>),
+    /// A search retired with its result.
+    Search(SearchResult),
+}
+
+/// A [`CamUnit`] behind a cycle-accurate issue/retire pipeline.
+///
+/// One issue slot per cycle; both latency pipes advance exactly once per
+/// [`Clocked::tick`]; completions carry the cycle at which they retired.
+///
+/// # Examples
+///
+/// ```
+/// use dsp_cam_core::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = UnitConfig::builder().block_size(64).num_blocks(2).build()?;
+/// let mut cam = StreamingCam::new(config)?;
+/// cam.issue(Op::Update(vec![42])).expect("free slot");
+/// cam.drain();
+/// cam.issue(Op::Search(42)).expect("free slot");
+/// cam.drain();
+/// let retired = cam.drain_retired();
+/// assert!(matches!(&retired.last().unwrap().1,
+///     Completion::Search(hit) if hit.is_match()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct StreamingCam {
+    unit: CamUnit,
+    pending: Option<Op>,
+    update_pipe: Pipe<Completion>,
+    search_pipe: Pipe<Completion>,
+    cycle: u64,
+    retired: Vec<(u64, Completion)>,
+}
+
+impl StreamingCam {
+    /// Wrap a fresh unit built from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the configuration errors of [`CamUnit::new`].
+    pub fn new(config: UnitConfig) -> Result<Self, ConfigError> {
+        Ok(StreamingCam {
+            unit: CamUnit::new(config)?,
+            pending: None,
+            // An item exits `depth` shifts after the shift that admits it,
+            // and the admitting shift is the issue cycle itself — so a
+            // depth of latency-1 retires results at the edge that ends
+            // cycle (issue + latency - 1), exactly the hardware timing.
+            update_pipe: Pipe::new(config.update_latency() as usize - 1),
+            search_pipe: Pipe::new(config.search_latency() as usize - 1),
+            cycle: 0,
+            retired: Vec::new(),
+        })
+    }
+
+    /// The wrapped unit (e.g. to reconfigure groups between phases; doing
+    /// so while operations are in flight is the caller's hazard, exactly
+    /// as in hardware).
+    pub fn unit_mut(&mut self) -> &mut CamUnit {
+        &mut self.unit
+    }
+
+    /// The wrapped unit, immutably.
+    #[must_use]
+    pub fn unit(&self) -> &CamUnit {
+        &self.unit
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Queue one operation for the next clock edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns the operation back if the single issue slot for this cycle
+    /// is already taken (II = 1).
+    pub fn issue(&mut self, op: Op) -> Result<(), Op> {
+        if self.pending.is_some() {
+            return Err(op);
+        }
+        self.pending = Some(op);
+        Ok(())
+    }
+
+    /// Completions retired so far as `(cycle, completion)` pairs;
+    /// draining resets the list.
+    pub fn drain_retired(&mut self) -> Vec<(u64, Completion)> {
+        std::mem::take(&mut self.retired)
+    }
+
+    /// Whether operations are still pending or in flight.
+    #[must_use]
+    pub fn in_flight(&self) -> bool {
+        !self.update_pipe.is_empty() || !self.search_pipe.is_empty() || self.pending.is_some()
+    }
+
+    /// Tick until everything retires.
+    pub fn drain(&mut self) {
+        while self.in_flight() {
+            self.tick();
+        }
+    }
+}
+
+impl Clocked for StreamingCam {
+    fn tick(&mut self) {
+        let (into_update, into_search) = match self.pending.take() {
+            Some(Op::Update(words)) => {
+                let result = self.unit.update(&words);
+                (Some(Completion::Update(result)), None)
+            }
+            Some(Op::Search(key)) => {
+                let result = self.unit.search(key);
+                (None, Some(Completion::Search(result)))
+            }
+            None => (None, None),
+        };
+        if let Some(done) = self.update_pipe.shift(into_update) {
+            self.retired.push((self.cycle, done));
+        }
+        if let Some(done) = self.search_pipe.shift(into_search) {
+            self.retired.push((self.cycle, done));
+        }
+        self.cycle += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::UnitConfig;
+
+    fn config() -> UnitConfig {
+        UnitConfig::builder()
+            .data_width(32)
+            .block_size(128)
+            .num_blocks(8)
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn search_retires_after_exactly_search_latency_cycles() {
+        let cfg = config();
+        let mut cam = StreamingCam::new(cfg).unwrap();
+        cam.issue(Op::Update(vec![42])).unwrap();
+        cam.drain();
+        cam.drain_retired();
+
+        let issue_cycle = cam.cycle();
+        cam.issue(Op::Search(42)).unwrap();
+        cam.drain();
+        let retired = cam.drain_retired();
+        assert_eq!(retired.len(), 1);
+        let (cycle, completion) = &retired[0];
+        assert_eq!(
+            cycle - issue_cycle,
+            cfg.search_latency() - 1,
+            "retire edge = issue + latency - 1 (result visible after it)"
+        );
+        match completion {
+            Completion::Search(hit) => assert!(hit.is_match()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_retires_after_update_latency() {
+        let cfg = config();
+        let mut cam = StreamingCam::new(cfg).unwrap();
+        cam.issue(Op::Update(vec![7])).unwrap();
+        let mut ticks = 0;
+        while cam.in_flight() {
+            cam.tick();
+            ticks += 1;
+        }
+        assert_eq!(ticks, cfg.update_latency());
+        match &cam.drain_retired()[0].1 {
+            Completion::Update(Ok(())) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn initiation_interval_one_throughput() {
+        // Stream N searches back to back: total cycles = N + latency - 1
+        // when fully drained — Table VIII's throughput claim.
+        let cfg = config();
+        let mut cam = StreamingCam::new(cfg).unwrap();
+        cam.issue(Op::Update(vec![1, 2, 3, 4])).unwrap();
+        cam.drain();
+        cam.drain_retired();
+        let start = cam.cycle();
+        let n = 100u64;
+        for i in 0..n {
+            cam.issue(Op::Search(1 + (i % 4))).unwrap();
+            cam.tick();
+        }
+        cam.drain();
+        let total = cam.cycle() - start;
+        assert_eq!(total, n + cfg.search_latency() - 1);
+        let retired = cam.drain_retired();
+        assert_eq!(retired.len(), n as usize);
+        assert!(retired.iter().all(|(_, c)| matches!(
+            c,
+            Completion::Search(hit) if hit.is_match()
+        )));
+    }
+
+    #[test]
+    fn one_issue_slot_per_cycle() {
+        let mut cam = StreamingCam::new(config()).unwrap();
+        cam.issue(Op::Search(1)).unwrap();
+        let refused = cam.issue(Op::Search(2));
+        assert!(matches!(refused, Err(Op::Search(2))));
+        cam.tick();
+        cam.issue(Op::Search(2)).unwrap();
+    }
+
+    #[test]
+    fn results_arrive_in_issue_order() {
+        let mut cam = StreamingCam::new(config()).unwrap();
+        cam.issue(Op::Update(vec![10, 20])).unwrap();
+        cam.drain();
+        cam.drain_retired();
+        for key in [10u64, 99, 20] {
+            cam.issue(Op::Search(key)).unwrap();
+            cam.tick();
+        }
+        cam.drain();
+        let retired = cam.drain_retired();
+        let hits: Vec<bool> = retired
+            .iter()
+            .map(|(_, c)| match c {
+                Completion::Search(hit) => hit.is_match(),
+                Completion::Update(_) => unreachable!("only searches issued"),
+            })
+            .collect();
+        assert_eq!(hits, vec![true, false, true]);
+    }
+
+    #[test]
+    fn mixed_update_search_streams_stay_ordered_per_pipe() {
+        // Updates retire one cycle before a search issued the cycle after
+        // them (6- vs 8-cycle pipes at this size); both pipes advance in
+        // lockstep without losing completions.
+        let mut cam = StreamingCam::new(config()).unwrap();
+        cam.issue(Op::Update(vec![5])).unwrap();
+        cam.tick();
+        cam.issue(Op::Search(5)).unwrap();
+        cam.drain();
+        let retired = cam.drain_retired();
+        assert_eq!(retired.len(), 2);
+        assert!(matches!(retired[0].1, Completion::Update(Ok(()))));
+        match &retired[1].1 {
+            Completion::Search(hit) => {
+                // The search issued after the update, so it observes it.
+                assert!(hit.is_match());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(retired[0].0 < retired[1].0);
+    }
+
+    #[test]
+    fn failed_update_reports_through_the_pipe() {
+        let cfg = UnitConfig::builder()
+            .data_width(32)
+            .block_size(2)
+            .num_blocks(1)
+            .build()
+            .unwrap();
+        let mut cam = StreamingCam::new(cfg).unwrap();
+        cam.issue(Op::Update(vec![1, 2, 3])).unwrap(); // over capacity
+        cam.drain();
+        match &cam.drain_retired()[0].1 {
+            Completion::Update(Err(CamError::Full { rejected })) => assert_eq!(*rejected, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let mut cam = StreamingCam::new(config()).unwrap();
+        assert_eq!(cam.cycle(), 0);
+        assert!(cam.unit().is_empty());
+        cam.unit_mut().configure_groups(2).unwrap();
+        assert_eq!(cam.unit().groups(), 2);
+    }
+}

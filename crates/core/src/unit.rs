@@ -1,0 +1,944 @@
+//! The CAM unit microarchitecture (Fig. 4 of the paper).
+//!
+//! A unit aggregates [`CamBlock`]s behind three pieces of control fabric:
+//!
+//! * the **Routing Table** — a runtime-writable array mapping each block to
+//!   a *CAM group*; it shares the update datapath and is rewritten when the
+//!   user kernel reconfigures the group count `M`;
+//! * the **Routing Compute** module — allocates each incoming search key to
+//!   a group (replicated data means any group can answer; the mapping
+//!   function load-balances), and replicates update data to *all* groups;
+//! * the **Post-Router** — the update crossbar delivering replicated data
+//!   to the group's current block, and the search broadcast replicating a
+//!   key to the `N` blocks of its group.
+//!
+//! Each group fills its blocks round-robin through its **Block Address
+//! Controller**; with `M` groups the unit answers up to `M` search queries
+//! per cycle (Section III-C).
+//!
+//! Because updates are replicated to every group, the unit's *effective*
+//! capacity is `total_cells / M` — the multi-query parallelism is bought
+//! with replication, exactly as in the paper's triangle-counting case
+//! study where the adjacency list is duplicated in all groups.
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::CamBlock;
+use crate::bus::{BusCommand, Opcode};
+use crate::config::UnitConfig;
+use crate::encoder::{MatchVector, SearchOutput};
+use crate::error::{CamError, ConfigError};
+use crate::mask::RangeSpec;
+
+/// The outcome of one unit-level search.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchResult {
+    /// The group that answered the query.
+    pub group: usize,
+    /// The encoded result; addresses are group-local
+    /// (`block_within_group * block_size + cell`).
+    pub output: SearchOutput,
+}
+
+impl SearchResult {
+    /// Whether any entry matched.
+    #[must_use]
+    pub fn is_match(&self) -> bool {
+        self.output.is_match()
+    }
+
+    /// Lowest matching group-local address, when the encoding preserves it.
+    #[must_use]
+    pub fn first_address(&self) -> Option<usize> {
+        self.output.first_address()
+    }
+
+    /// Number of matches, when the encoding preserves it.
+    #[must_use]
+    pub fn match_count(&self) -> Option<usize> {
+        self.output.match_count()
+    }
+}
+
+/// A point-in-time snapshot of a unit's occupancy and counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnitSnapshot {
+    /// Configured group count `M`.
+    pub groups: usize,
+    /// Effective capacity in entries (per group).
+    pub capacity: usize,
+    /// Entries stored (per group).
+    pub entries: usize,
+    /// Occupied cells per physical block.
+    pub block_occupancy: Vec<usize>,
+    /// Bus-issue cycles consumed.
+    pub issue_cycles: u64,
+    /// Data words written (pre-replication).
+    pub update_words: u64,
+    /// Search queries answered.
+    pub search_count: u64,
+}
+
+impl UnitSnapshot {
+    /// Fill fraction of the unit's effective capacity.
+    #[must_use]
+    pub fn fill_fraction(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.entries as f64 / self.capacity as f64
+        }
+    }
+}
+
+/// Response to a [`BusCommand`] executed on the unit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BusResponse {
+    /// The command completed with no data to return.
+    Done,
+    /// A search produced a result.
+    Search(SearchResult),
+}
+
+/// Per-group fill state (the Block Address Controller).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct GroupFill {
+    /// Block indices owned by this group, in fill order.
+    blocks: Vec<usize>,
+    /// Index into `blocks` of the block currently being filled.
+    current: usize,
+}
+
+/// The configurable DSP-based CAM unit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CamUnit {
+    config: UnitConfig,
+    blocks: Vec<CamBlock>,
+    /// Routing Table: group id per block.
+    routing: Vec<usize>,
+    groups: usize,
+    fill: Vec<GroupFill>,
+    entries_per_group: usize,
+    issue_cycles: u64,
+    update_words: u64,
+    search_count: u64,
+}
+
+impl CamUnit {
+    /// Instantiate a unit with a single group spanning every block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the Table III [`ConfigError`]s.
+    pub fn new(config: UnitConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let blocks = (0..config.num_blocks)
+            .map(|_| CamBlock::new(config.block))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut unit = CamUnit {
+            config,
+            blocks,
+            routing: vec![0; config.num_blocks],
+            groups: 1,
+            fill: Vec::new(),
+            entries_per_group: 0,
+            issue_cycles: 0,
+            update_words: 0,
+            search_count: 0,
+        };
+        unit.rebuild_groups(1);
+        Ok(unit)
+    }
+
+    /// The unit configuration.
+    #[must_use]
+    pub fn config(&self) -> &UnitConfig {
+        &self.config
+    }
+
+    /// Current group count `M`.
+    #[must_use]
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Blocks per group `N`.
+    #[must_use]
+    pub fn blocks_per_group(&self) -> usize {
+        self.config.num_blocks / self.groups
+    }
+
+    /// Effective capacity in entries (per group, since data is replicated).
+    ///
+    /// Under the standard partition this is
+    /// `blocks_per_group × block_size`; with a custom Routing Table it is
+    /// the capacity of the *smallest non-empty* group (groups that own no
+    /// blocks store nothing and are skipped by updates).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.fill
+            .iter()
+            .filter(|f| !f.blocks.is_empty())
+            .map(|f| f.blocks.len() * self.config.block.block_size)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Entries currently stored (per group).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries_per_group
+    }
+
+    /// Whether the unit holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries_per_group == 0
+    }
+
+    /// The Routing Table contents (group id per block).
+    #[must_use]
+    pub fn routing_table(&self) -> &[usize] {
+        &self.routing
+    }
+
+    /// Bus-issue cycles consumed so far (initiation-interval accounting;
+    /// end-to-end latency is [`UnitConfig::update_latency`] /
+    /// [`UnitConfig::search_latency`] on top of the final issue).
+    #[must_use]
+    pub fn issue_cycles(&self) -> u64 {
+        self.issue_cycles
+    }
+
+    /// Total data words written (across all updates, pre-replication).
+    #[must_use]
+    pub fn update_words(&self) -> u64 {
+        self.update_words
+    }
+
+    /// Total search queries answered.
+    #[must_use]
+    pub fn search_count(&self) -> u64 {
+        self.search_count
+    }
+
+    fn rebuild_groups(&mut self, m: usize) {
+        let n = self.config.num_blocks / m;
+        self.groups = m;
+        self.routing = (0..self.config.num_blocks).map(|b| b / n).collect();
+        self.fill = (0..m)
+            .map(|g| GroupFill {
+                blocks: (g * n..(g + 1) * n).collect(),
+                current: 0,
+            })
+            .collect();
+        self.entries_per_group = 0;
+    }
+
+    /// Reconfigure the group count `M` at runtime (the user kernel writes
+    /// this over the control path). All stored contents are cleared: the
+    /// all-groups replication invariant cannot survive a repartition.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::GroupCount`] unless `1 ≤ m` and `m` evenly divides
+    /// the block count.
+    pub fn configure_groups(&mut self, m: usize) -> Result<(), ConfigError> {
+        if m == 0 || !self.config.num_blocks.is_multiple_of(m) {
+            return Err(ConfigError::GroupCount {
+                requested: m,
+                blocks: self.config.num_blocks,
+            });
+        }
+        for block in &mut self.blocks {
+            block.reset();
+        }
+        self.rebuild_groups(m);
+        self.issue_cycles += 1;
+        Ok(())
+    }
+
+    /// Rewrite one Routing Table entry (block → group). The affected
+    /// groups' fill order follows the table; contents are cleared for the
+    /// same invariant reason as [`CamUnit::configure_groups`].
+    ///
+    /// # Errors
+    ///
+    /// [`CamError::NoSuchGroup`] if `group ≥ M`; [`CamError::Full`] is
+    /// never returned here.
+    pub fn write_routing_entry(&mut self, block: usize, group: usize) -> Result<(), CamError> {
+        if group >= self.groups || block >= self.routing.len() {
+            return Err(CamError::NoSuchGroup {
+                group,
+                groups: self.groups,
+            });
+        }
+        self.routing[block] = group;
+        for b in &mut self.blocks {
+            b.reset();
+        }
+        let routing = self.routing.clone();
+        self.fill = (0..self.groups)
+            .map(|g| GroupFill {
+                blocks: (0..routing.len()).filter(|&b| routing[b] == g).collect(),
+                current: 0,
+            })
+            .collect();
+        self.entries_per_group = 0;
+        self.issue_cycles += 1;
+        Ok(())
+    }
+
+    fn free_per_group(&self) -> usize {
+        self.capacity() - self.entries_per_group
+    }
+
+    /// Update: replicate `words` to every group and fill round-robin
+    /// (Section III-C.2). Atomic: either every group accepts every word or
+    /// nothing is written.
+    ///
+    /// # Errors
+    ///
+    /// * [`CamError::Full`] if a group lacks space;
+    /// * [`CamError::ValueTooWide`] for words beyond the data width.
+    pub fn update(&mut self, words: &[u64]) -> Result<(), CamError> {
+        if words.is_empty() {
+            return Ok(());
+        }
+        if words.len() > self.free_per_group() {
+            return Err(CamError::Full {
+                rejected: words.len() - self.free_per_group(),
+            });
+        }
+        let limit = mask_limit(self.config.block.cell.data_width);
+        if let Some(&bad) = words.iter().find(|&&w| w > limit) {
+            return Err(CamError::ValueTooWide {
+                value: bad,
+                data_width: self.config.block.cell.data_width,
+            });
+        }
+        for g in 0..self.groups {
+            self.write_group(g, words);
+        }
+        self.entries_per_group += words.len();
+        let beats = words.len().div_ceil(self.config.words_per_beat()) as u64;
+        self.issue_cycles += beats;
+        self.update_words += words.len() as u64;
+        Ok(())
+    }
+
+    fn write_group(&mut self, group: usize, words: &[u64]) {
+        if self.fill[group].blocks.is_empty() {
+            // A (custom-routed) group with no blocks stores nothing.
+            return;
+        }
+        let mut remaining = words;
+        while !remaining.is_empty() {
+            let fill = &mut self.fill[group];
+            let block_idx = fill.blocks[fill.current];
+            let taken = self.blocks[block_idx].update_partial(remaining);
+            remaining = &remaining[taken..];
+            if !remaining.is_empty() {
+                // Round-robin to the next block in the group.
+                fill.current += 1;
+                debug_assert!(
+                    fill.current < fill.blocks.len(),
+                    "capacity was checked before writing"
+                );
+            }
+        }
+    }
+
+    /// RMCAM update path: replicate power-of-two ranges to every group.
+    ///
+    /// # Errors
+    ///
+    /// As [`CamUnit::update`], plus [`CamError::KindMismatch`] on
+    /// non-range units.
+    pub fn update_ranges(&mut self, ranges: &[RangeSpec]) -> Result<(), CamError> {
+        if ranges.is_empty() {
+            return Ok(());
+        }
+        if self.config.block.cell.kind != crate::kind::CamKind::RangeMatching {
+            return Err(CamError::KindMismatch);
+        }
+        if ranges.len() > self.free_per_group() {
+            return Err(CamError::Full {
+                rejected: ranges.len() - self.free_per_group(),
+            });
+        }
+        for g in 0..self.groups {
+            if self.fill[g].blocks.is_empty() {
+                continue;
+            }
+            let mut remaining = ranges;
+            while !remaining.is_empty() {
+                let fill = &mut self.fill[g];
+                let block_idx = fill.blocks[fill.current];
+                let free = self.blocks[block_idx].free_slots();
+                let take = remaining.len().min(free);
+                if take > 0 {
+                    self.blocks[block_idx].update_ranges(&remaining[..take])?;
+                    remaining = &remaining[take..];
+                }
+                if !remaining.is_empty() {
+                    self.fill[g].current += 1;
+                }
+            }
+        }
+        self.entries_per_group += ranges.len();
+        let beats = ranges.len().div_ceil(self.config.words_per_beat()) as u64;
+        self.issue_cycles += beats;
+        self.update_words += ranges.len() as u64;
+        Ok(())
+    }
+
+    /// The Routing Compute module's key-to-group mapping for single-query
+    /// traffic: data is replicated, so any group answers; keys are spread
+    /// for load balance.
+    #[must_use]
+    pub fn route_key(&self, key: u64) -> usize {
+        (key % self.groups as u64) as usize
+    }
+
+    /// Single-query search: route, broadcast within the group, combine.
+    pub fn search(&mut self, key: u64) -> SearchResult {
+        let group = self.route_key(key);
+        self.issue_cycles += 1;
+        self.search_count += 1;
+        self.search_in_group(group, key)
+    }
+
+    /// Multi-query search: up to `M` keys, key *i* served by group *i*,
+    /// all in the same issue cycle (Section III-C.3).
+    ///
+    /// # Errors
+    ///
+    /// [`CamError::TooManyQueries`] if more keys than groups are presented.
+    pub fn try_search_multi(&mut self, keys: &[u64]) -> Result<Vec<SearchResult>, CamError> {
+        if keys.len() > self.groups {
+            return Err(CamError::TooManyQueries {
+                presented: keys.len(),
+                capacity: self.groups,
+            });
+        }
+        self.issue_cycles += 1;
+        self.search_count += keys.len() as u64;
+        Ok(keys
+            .iter()
+            .enumerate()
+            .map(|(g, &key)| self.search_in_group(g, key))
+            .collect())
+    }
+
+    /// Multi-query search, panicking variant of
+    /// [`CamUnit::try_search_multi`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if more keys than groups are presented.
+    pub fn search_multi(&mut self, keys: &[u64]) -> Vec<SearchResult> {
+        self.try_search_multi(keys)
+            .expect("more concurrent queries than configured groups")
+    }
+
+    /// Search a specific group (the case-study accelerator addresses
+    /// groups explicitly).
+    ///
+    /// # Errors
+    ///
+    /// [`CamError::NoSuchGroup`] if the group does not exist.
+    pub fn search_group(&mut self, group: usize, key: u64) -> Result<SearchResult, CamError> {
+        if group >= self.groups {
+            return Err(CamError::NoSuchGroup {
+                group,
+                groups: self.groups,
+            });
+        }
+        self.issue_cycles += 1;
+        self.search_count += 1;
+        Ok(self.search_in_group(group, key))
+    }
+
+    fn search_in_group(&mut self, group: usize, key: u64) -> SearchResult {
+        let block_size = self.config.block.block_size;
+        let block_ids: Vec<usize> = self.fill[group].blocks.clone();
+        let mut combined = MatchVector::new(block_ids.len() * block_size);
+        for (slot, &b) in block_ids.iter().enumerate() {
+            let v = self.blocks[b].search_vector(key);
+            for cell in v.iter_matches() {
+                combined.set(slot * block_size + cell);
+            }
+        }
+        SearchResult {
+            group,
+            output: self.config.block.encoding.encode(&combined),
+        }
+    }
+
+    /// Delete the first entry matching `key` (extension beyond the paper:
+    /// per-address valid-bit invalidation). Because updates replicate to
+    /// every group, the deletion is applied to each group's first match so
+    /// the replication invariant survives. Returns whether a match was
+    /// deleted. Freed cells are not reused until the next reset.
+    pub fn delete_first(&mut self, key: u64) -> bool {
+        let mut deleted_any = false;
+        for g in 0..self.groups {
+            let block_ids = self.fill[g].blocks.clone();
+            for &b in &block_ids {
+                let v = self.blocks[b].search_vector(key);
+                if let Some(cell) = v.first() {
+                    self.blocks[b].invalidate(cell);
+                    deleted_any = true;
+                    break;
+                }
+            }
+        }
+        if deleted_any {
+            self.issue_cycles += 1;
+        }
+        deleted_any
+    }
+
+    /// Per-entry ternary update across all groups (extension; see
+    /// [`crate::block::CamBlock::update_masked`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`CamUnit::update`], plus [`CamError::KindMismatch`] for
+    /// non-ternary units.
+    pub fn update_masked(&mut self, value: u64, dont_care: u64) -> Result<(), CamError> {
+        if self.config.block.cell.kind != crate::kind::CamKind::Ternary {
+            return Err(CamError::KindMismatch);
+        }
+        if self.free_per_group() == 0 {
+            return Err(CamError::Full { rejected: 1 });
+        }
+        for g in 0..self.groups {
+            if self.fill[g].blocks.is_empty() {
+                continue;
+            }
+            // Spill to the next block when the current one is full.
+            loop {
+                let fill = &mut self.fill[g];
+                let block_idx = fill.blocks[fill.current];
+                if self.blocks[block_idx].is_full() {
+                    fill.current += 1;
+                    debug_assert!(fill.current < fill.blocks.len());
+                    continue;
+                }
+                self.blocks[block_idx].update_masked(value, dont_care)?;
+                break;
+            }
+        }
+        self.entries_per_group += 1;
+        self.issue_cycles += 1;
+        self.update_words += 1;
+        Ok(())
+    }
+
+    /// Assert the global reset: clear every block and fill pointer.
+    pub fn reset(&mut self) {
+        for block in &mut self.blocks {
+            block.reset();
+        }
+        for fill in &mut self.fill {
+            fill.current = 0;
+        }
+        self.entries_per_group = 0;
+        self.issue_cycles += 1;
+    }
+
+    /// Execute a [`BusCommand`] (the accelerator-facing interface).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying operation's [`CamError`];
+    /// group-reconfiguration errors surface as
+    /// [`CamError::NoSuchGroup`]-style kind errors mapped from the config
+    /// layer.
+    pub fn execute(&mut self, command: &BusCommand) -> Result<BusResponse, CamError> {
+        match command.opcode {
+            Opcode::Update => {
+                self.update(&command.words)?;
+                Ok(BusResponse::Done)
+            }
+            Opcode::Search => {
+                let key = command.words.first().copied().unwrap_or(0);
+                Ok(BusResponse::Search(self.search(key)))
+            }
+            Opcode::Reset => {
+                self.reset();
+                Ok(BusResponse::Done)
+            }
+            Opcode::ConfigureGroups => {
+                let m = command.words.first().copied().unwrap_or(1) as usize;
+                self.configure_groups(m).map_err(|_| CamError::NoSuchGroup {
+                    group: m,
+                    groups: self.config.num_blocks,
+                })?;
+                Ok(BusResponse::Done)
+            }
+            Opcode::WriteRoutingTable => {
+                let block = command.words.first().copied().unwrap_or(0) as usize;
+                let group = command.words.get(1).copied().unwrap_or(0) as usize;
+                self.write_routing_entry(block, group)?;
+                Ok(BusResponse::Done)
+            }
+        }
+    }
+
+    /// Pipelined cycle cost of `n` search issues (II = 1).
+    #[must_use]
+    pub fn pipelined_search_cycles(&self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.config.search_latency() + (n - 1)
+        }
+    }
+
+    /// Pipelined cycle cost of `n` update beats (II = 1).
+    #[must_use]
+    pub fn pipelined_update_cycles(&self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.config.update_latency() + (n - 1)
+        }
+    }
+
+    /// Borrow the underlying blocks (inspection in tests/benches).
+    #[must_use]
+    pub fn blocks(&self) -> &[CamBlock] {
+        &self.blocks
+    }
+
+    /// A point-in-time performance/occupancy snapshot (the counters a
+    /// status register bank would expose to the host).
+    #[must_use]
+    pub fn snapshot(&self) -> UnitSnapshot {
+        UnitSnapshot {
+            groups: self.groups,
+            capacity: self.capacity(),
+            entries: self.entries_per_group,
+            block_occupancy: self.blocks.iter().map(CamBlock::len).collect(),
+            issue_cycles: self.issue_cycles,
+            update_words: self.update_words,
+            search_count: self.search_count,
+        }
+    }
+}
+
+fn mask_limit(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::CamKind;
+
+    fn unit(blocks: usize, block_size: usize) -> CamUnit {
+        let config = UnitConfig::builder()
+            .data_width(32)
+            .block_size(block_size)
+            .num_blocks(blocks)
+            .build()
+            .unwrap();
+        CamUnit::new(config).unwrap()
+    }
+
+    #[test]
+    fn single_group_update_search() {
+        let mut cam = unit(4, 32);
+        cam.update(&[5, 10, 15]).unwrap();
+        assert!(cam.search(10).is_match());
+        assert!(!cam.search(11).is_match());
+        assert_eq!(cam.len(), 3);
+        assert_eq!(cam.capacity(), 128);
+    }
+
+    #[test]
+    fn grouping_divides_capacity() {
+        let mut cam = unit(4, 32);
+        assert_eq!(cam.capacity(), 128);
+        cam.configure_groups(2).unwrap();
+        assert_eq!(cam.groups(), 2);
+        assert_eq!(cam.blocks_per_group(), 2);
+        assert_eq!(cam.capacity(), 64, "replication halves capacity");
+        cam.configure_groups(4).unwrap();
+        assert_eq!(cam.capacity(), 32);
+    }
+
+    #[test]
+    fn illegal_group_counts_rejected() {
+        let mut cam = unit(4, 32);
+        assert!(matches!(
+            cam.configure_groups(3),
+            Err(ConfigError::GroupCount { .. })
+        ));
+        assert!(cam.configure_groups(0).is_err());
+        assert!(cam.configure_groups(8).is_err(), "more groups than blocks");
+    }
+
+    #[test]
+    fn update_replicates_to_all_groups() {
+        let mut cam = unit(4, 32);
+        cam.configure_groups(4).unwrap();
+        cam.update(&[42]).unwrap();
+        // Every group must answer the same query.
+        for g in 0..4 {
+            assert!(
+                cam.search_group(g, 42).unwrap().is_match(),
+                "group {g} missing the replicated entry"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_query_concurrency() {
+        let mut cam = unit(4, 32);
+        cam.configure_groups(4).unwrap();
+        cam.update(&[1, 2, 3]).unwrap();
+        let hits = cam.search_multi(&[1, 2, 99, 3]);
+        assert!(hits[0].is_match());
+        assert!(hits[1].is_match());
+        assert!(!hits[2].is_match());
+        assert!(hits[3].is_match());
+        assert_eq!(hits[1].group, 1);
+    }
+
+    #[test]
+    fn too_many_queries_rejected() {
+        let mut cam = unit(4, 32);
+        cam.configure_groups(2).unwrap();
+        let err = cam.try_search_multi(&[1, 2, 3]).unwrap_err();
+        assert_eq!(
+            err,
+            CamError::TooManyQueries {
+                presented: 3,
+                capacity: 2
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more concurrent queries")]
+    fn search_multi_panics_on_overflow() {
+        let mut cam = unit(2, 32);
+        let _ = cam.search_multi(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn round_robin_spill_across_blocks() {
+        // One group of 2 blocks x 4 cells; 6 entries must spill into the
+        // second block (Section III-C.4's example).
+        let config = UnitConfig::builder()
+            .data_width(32)
+            .block_size(4)
+            .num_blocks(2)
+            .build()
+            .unwrap();
+        let mut cam = CamUnit::new(config).unwrap();
+        cam.update(&[1, 2, 3, 4, 5, 6]).unwrap();
+        assert_eq!(cam.blocks()[0].len(), 4);
+        assert_eq!(cam.blocks()[1].len(), 2);
+        for k in 1..=6 {
+            assert!(cam.search(k).is_match(), "key {k}");
+        }
+    }
+
+    #[test]
+    fn group_local_addressing() {
+        let config = UnitConfig::builder()
+            .data_width(32)
+            .block_size(4)
+            .num_blocks(2)
+            .build()
+            .unwrap();
+        let mut cam = CamUnit::new(config).unwrap();
+        cam.update(&[10, 11, 12, 13, 14]).unwrap();
+        // 14 is the fifth entry: block 1, cell 0 -> group address 4.
+        let hit = cam.search(14);
+        assert_eq!(hit.first_address(), Some(4));
+    }
+
+    #[test]
+    fn capacity_enforced_per_group() {
+        let mut cam = unit(4, 32); // 128 cells total
+        cam.configure_groups(4).unwrap(); // 32 per group
+        let words: Vec<u64> = (0..33).collect();
+        let err = cam.update(&words).unwrap_err();
+        assert_eq!(err, CamError::Full { rejected: 1 });
+        assert!(cam.is_empty(), "atomic rejection");
+        cam.update(&words[..32]).unwrap();
+        assert_eq!(cam.len(), 32);
+        assert!(matches!(cam.update(&[99]), Err(CamError::Full { .. })));
+    }
+
+    #[test]
+    fn reconfigure_clears_contents() {
+        let mut cam = unit(4, 32);
+        cam.update(&[7]).unwrap();
+        cam.configure_groups(2).unwrap();
+        assert!(cam.is_empty());
+        assert!(!cam.search(7).is_match());
+    }
+
+    #[test]
+    fn reset_keeps_grouping() {
+        let mut cam = unit(4, 32);
+        cam.configure_groups(2).unwrap();
+        cam.update(&[3]).unwrap();
+        cam.reset();
+        assert_eq!(cam.groups(), 2);
+        assert!(cam.is_empty());
+        cam.update(&[4]).unwrap();
+        assert!(cam.search(4).is_match());
+    }
+
+    #[test]
+    fn routing_table_shape() {
+        let mut cam = unit(4, 32);
+        cam.configure_groups(2).unwrap();
+        assert_eq!(cam.routing_table(), &[0, 0, 1, 1]);
+        cam.configure_groups(4).unwrap();
+        assert_eq!(cam.routing_table(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn custom_routing_entry() {
+        let mut cam = unit(4, 32);
+        cam.configure_groups(2).unwrap();
+        // Move block 1 into group 1: group 0 = {0}, group 1 = {1,2,3}.
+        cam.write_routing_entry(1, 1).unwrap();
+        assert_eq!(cam.routing_table(), &[0, 1, 1, 1]);
+        cam.update(&[5]).unwrap();
+        assert!(cam.search_group(0, 5).unwrap().is_match());
+        assert!(cam.search_group(1, 5).unwrap().is_match());
+        assert!(matches!(
+            cam.write_routing_entry(0, 9),
+            Err(CamError::NoSuchGroup { .. })
+        ));
+    }
+
+    #[test]
+    fn latency_model_matches_table_viii() {
+        let small = unit(8, 128); // 1024 cells
+        assert_eq!(small.config().update_latency(), 6);
+        assert_eq!(small.config().search_latency(), 7);
+        let big = unit(16, 128); // 2048 cells (Table VIII reports 8)
+        assert_eq!(big.config().update_latency(), 6);
+        assert_eq!(big.config().search_latency(), 8);
+    }
+
+    #[test]
+    fn issue_cycles_track_beats_and_queries() {
+        let mut cam = unit(4, 128);
+        let c0 = cam.issue_cycles();
+        let words: Vec<u64> = (0..32).collect(); // 2 beats of 16x32-bit
+        cam.update(&words).unwrap();
+        assert_eq!(cam.issue_cycles() - c0, 2);
+        let c1 = cam.issue_cycles();
+        cam.search(1);
+        cam.search_multi(&[2]);
+        assert_eq!(cam.issue_cycles() - c1, 2);
+        assert_eq!(cam.update_words(), 32);
+        assert_eq!(cam.search_count(), 2);
+    }
+
+    #[test]
+    fn pipelined_cycle_helpers() {
+        let cam = unit(8, 128); // 1024 cells -> 7-cycle search
+        assert_eq!(cam.pipelined_search_cycles(0), 0);
+        assert_eq!(cam.pipelined_search_cycles(1), 7);
+        assert_eq!(cam.pipelined_search_cycles(1000), 1006);
+        assert_eq!(cam.pipelined_update_cycles(1000), 1005);
+    }
+
+    #[test]
+    fn bus_command_dispatch() {
+        let mut cam = unit(4, 32);
+        cam.execute(&BusCommand {
+            opcode: Opcode::ConfigureGroups,
+            words: vec![2],
+        })
+        .unwrap();
+        assert_eq!(cam.groups(), 2);
+        cam.execute(&BusCommand::update(vec![77])).unwrap();
+        match cam.execute(&BusCommand::search(77)).unwrap() {
+            BusResponse::Search(hit) => assert!(hit.is_match()),
+            other => panic!("unexpected response {other:?}"),
+        }
+        cam.execute(&BusCommand::reset()).unwrap();
+        assert!(cam.is_empty());
+        cam.execute(&BusCommand {
+            opcode: Opcode::WriteRoutingTable,
+            words: vec![1, 1],
+        })
+        .unwrap();
+        assert_eq!(cam.routing_table()[1], 1);
+    }
+
+    #[test]
+    fn range_matching_unit() {
+        let config = UnitConfig::builder()
+            .kind(CamKind::RangeMatching)
+            .data_width(32)
+            .block_size(16)
+            .num_blocks(2)
+            .build()
+            .unwrap();
+        let mut cam = CamUnit::new(config).unwrap();
+        cam.update_ranges(&[RangeSpec::new(0x1000, 8).unwrap()]).unwrap();
+        assert!(cam.search(0x10FF).is_match());
+        assert!(!cam.search(0x1100).is_match());
+    }
+
+    #[test]
+    fn range_update_on_binary_unit_rejected() {
+        let mut cam = unit(2, 16);
+        let err = cam
+            .update_ranges(&[RangeSpec::new(0, 4).unwrap()])
+            .unwrap_err();
+        assert_eq!(err, CamError::KindMismatch);
+    }
+
+    #[test]
+    fn value_too_wide_detected_before_writing() {
+        let mut cam = unit(2, 16);
+        let err = cam.update(&[1, u64::MAX]).unwrap_err();
+        assert!(matches!(err, CamError::ValueTooWide { .. }));
+        assert!(cam.is_empty());
+    }
+
+    #[test]
+    fn snapshot_reports_occupancy_and_counters() {
+        let mut cam = unit(4, 32);
+        cam.configure_groups(2).unwrap();
+        cam.update(&[1, 2, 3]).unwrap();
+        cam.search(2);
+        let snap = cam.snapshot();
+        assert_eq!(snap.groups, 2);
+        assert_eq!(snap.capacity, 64);
+        assert_eq!(snap.entries, 3);
+        assert_eq!(snap.block_occupancy.iter().sum::<usize>(), 6, "replicated");
+        assert!(snap.issue_cycles > 0);
+        assert_eq!(snap.update_words, 3);
+        assert_eq!(snap.search_count, 1);
+        assert!((snap.fill_fraction() - 3.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_update_is_a_noop() {
+        let mut cam = unit(2, 16);
+        let c0 = cam.issue_cycles();
+        cam.update(&[]).unwrap();
+        assert_eq!(cam.issue_cycles(), c0);
+    }
+}

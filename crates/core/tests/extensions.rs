@@ -1,0 +1,178 @@
+//! Tests for the extension features beyond the paper's core design:
+//! per-address invalidation / deletion and per-entry ternary masks.
+
+use dsp_cam_core::prelude::*;
+
+fn binary_unit(blocks: usize, block_size: usize) -> CamUnit {
+    CamUnit::new(
+        UnitConfig::builder()
+            .data_width(16)
+            .block_size(block_size)
+            .num_blocks(blocks)
+            .bus_width(64)
+            .build()
+            .unwrap(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn block_invalidate_clears_one_entry() {
+    let cfg = dsp_cam_core::config::BlockConfig::standalone(CellConfig::binary(16), 8, 64);
+    let mut block = CamBlock::new(cfg).unwrap();
+    block.update(&[1, 2, 3]).unwrap();
+    block.invalidate(1);
+    assert!(block.search(1).is_match());
+    assert!(!block.search(2).is_match(), "invalidated entry must not hit");
+    assert!(block.search(3).is_match());
+    // The hole is not reused: the fill pointer continues forward.
+    block.update(&[4]).unwrap();
+    assert_eq!(block.search(4).first_address(), Some(3));
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn block_invalidate_out_of_range_panics() {
+    let cfg = dsp_cam_core::config::BlockConfig::standalone(CellConfig::binary(16), 4, 64);
+    let mut block = CamBlock::new(cfg).unwrap();
+    block.invalidate(4);
+}
+
+#[test]
+fn unit_delete_first_across_groups() {
+    let mut cam = binary_unit(4, 8);
+    cam.configure_groups(4).unwrap();
+    cam.update(&[100, 200, 300]).unwrap();
+    assert!(cam.delete_first(200));
+    // Every group must agree the entry is gone (replication invariant).
+    for g in 0..4 {
+        assert!(
+            !cam.search_group(g, 200).unwrap().is_match(),
+            "group {g} still has the deleted entry"
+        );
+        assert!(cam.search_group(g, 100).unwrap().is_match());
+        assert!(cam.search_group(g, 300).unwrap().is_match());
+    }
+    // Deleting a missing key reports false.
+    assert!(!cam.delete_first(999));
+    assert!(!cam.delete_first(200), "double delete finds nothing");
+}
+
+#[test]
+fn delete_only_first_of_duplicates() {
+    let mut cam = binary_unit(1, 8);
+    cam.update(&[7, 7, 7]).unwrap();
+    assert!(cam.delete_first(7));
+    // Two duplicates remain.
+    let hit = cam.search(7);
+    assert!(hit.is_match());
+    assert_eq!(hit.first_address(), Some(1), "lowest live duplicate");
+    assert!(cam.delete_first(7));
+    assert!(cam.delete_first(7));
+    assert!(!cam.search(7).is_match());
+}
+
+#[test]
+fn per_entry_ternary_masks() {
+    let mut cam = CamUnit::new(
+        UnitConfig::builder()
+            .kind(CamKind::Ternary)
+            .data_width(16)
+            .block_size(8)
+            .num_blocks(2)
+            .bus_width(64)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    // Entry 0: exact value; entry 1: wildcard low byte; entry 2: wildcard
+    // low nibble. Each entry carries its own mask — unlike the paper's
+    // shared-mask TCAM.
+    cam.update_masked(0x1234, 0x0000).unwrap();
+    cam.update_masked(0x5600, 0x00FF).unwrap();
+    cam.update_masked(0x9A50, 0x000F).unwrap();
+
+    assert_eq!(cam.search(0x1234).first_address(), Some(0));
+    assert!(!cam.search(0x1235).is_match());
+    assert_eq!(cam.search(0x56AB).first_address(), Some(1));
+    assert_eq!(cam.search(0x9A5F).first_address(), Some(2));
+    assert!(!cam.search(0x9A6F).is_match());
+}
+
+#[test]
+fn per_entry_masks_replicate_across_groups() {
+    let mut cam = CamUnit::new(
+        UnitConfig::builder()
+            .kind(CamKind::Ternary)
+            .data_width(16)
+            .block_size(4)
+            .num_blocks(4)
+            .bus_width(64)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    cam.configure_groups(2).unwrap();
+    cam.update_masked(0xAB00, 0x00FF).unwrap();
+    for g in 0..2 {
+        assert!(cam.search_group(g, 0xAB42).unwrap().is_match(), "group {g}");
+    }
+}
+
+#[test]
+fn masked_update_spills_round_robin() {
+    let mut cam = CamUnit::new(
+        UnitConfig::builder()
+            .kind(CamKind::Ternary)
+            .data_width(16)
+            .block_size(2)
+            .num_blocks(2)
+            .bus_width(64)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    for i in 0..4u64 {
+        cam.update_masked(0x100 * i, 0xF).unwrap();
+    }
+    assert!(matches!(
+        cam.update_masked(0x900, 0),
+        Err(CamError::Full { .. })
+    ));
+    for i in 0..4u64 {
+        assert!(cam.search(0x100 * i + 3).is_match(), "entry {i} wildcard");
+    }
+}
+
+#[test]
+fn masked_update_rejected_on_binary_units() {
+    let mut cam = binary_unit(1, 4);
+    assert_eq!(
+        cam.update_masked(1, 2).unwrap_err(),
+        CamError::KindMismatch
+    );
+}
+
+#[test]
+fn mixed_plain_and_masked_entries() {
+    let mut cam = CamUnit::new(
+        UnitConfig::builder()
+            .kind(CamKind::Ternary)
+            .data_width(16)
+            .block_size(8)
+            .num_blocks(1)
+            .bus_width(64)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    cam.update(&[0x1111]).unwrap(); // plain (shared mask = none)
+    cam.update_masked(0x2200, 0xFF).unwrap();
+    assert!(cam.search(0x1111).is_match());
+    assert!(!cam.search(0x1112).is_match(), "plain entry stays exact");
+    assert!(cam.search(0x22FE).is_match());
+    // Delete the masked entry; the plain one survives.
+    assert!(cam.delete_first(0x22AA));
+    assert!(!cam.search(0x2200).is_match());
+    assert!(cam.search(0x1111).is_match());
+}

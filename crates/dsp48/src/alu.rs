@@ -1,0 +1,309 @@
+//! The 48-bit three-input ALU (adder/subtracter and logic unit).
+//!
+//! The physical ALU is a carry-save compression of the four multiplexer
+//! outputs (W, X, Y, Z) followed by a carry-propagate adder. Two properties
+//! of that structure are load-bearing for this model:
+//!
+//! * **Arithmetic mode** (`ALUMODE[3:2] = 00`): the result is
+//!   `±Z ± (W + X + Y + CIN)` with the sign/\-1 corrections selected by
+//!   `ALUMODE[1:0]`.
+//! * **Logic mode** (`ALUMODE[2] = 1`): the carry chain is suppressed and the
+//!   output is taken from either the *sum* wires of the 3:2 compressor
+//!   (`X ⊕ Y ⊕ Z`, giving the XOR family) or its *carry* wires
+//!   (`majority(X, Y, Z)`, giving the AND/OR family, selected by
+//!   `ALUMODE[3]`). `ALUMODE[0]` inverts Z on the way in and `ALUMODE[1]`
+//!   inverts the result, and driving the Y multiplexer to all-ones toggles
+//!   XOR↔XNOR / AND↔OR. This derivation reproduces the UG579 logic-unit
+//!   table (e.g. `ALUMODE=0100, OPMODE[3:2]=00` → `X XOR Z`, the CAM mode).
+//!
+//! SIMD segmentation (`TWO24`/`FOUR12`) splits the carry chain; each segment
+//! produces an independent `CARRYOUT`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::attributes::SimdMode;
+use crate::opmode::AluMode;
+use crate::word::{mask_width, P48};
+
+/// Result of one ALU evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AluResult {
+    /// The 48-bit output destined for the P register.
+    pub p: P48,
+    /// Per-segment carry outputs (`CARRYOUT[3:0]`); in `ONE48` mode only
+    /// bit 3 is meaningful, in `TWO24` bits 3 and 1, in `FOUR12` all four.
+    pub carry_out: [bool; 4],
+}
+
+/// Evaluate the ALU.
+///
+/// `w`, `x`, `y`, `z` are the four multiplexer outputs and `carry_in` the
+/// resolved carry input. In logic mode the carry input and W input are
+/// ignored (the logic unit only sees X, Y and Z), matching hardware where
+/// `OPMODE[8:7]` must select zero for logic operations.
+#[must_use]
+pub fn evaluate(
+    mode: AluMode,
+    simd: SimdMode,
+    w: P48,
+    x: P48,
+    y: P48,
+    z: P48,
+    carry_in: bool,
+) -> AluResult {
+    if mode.is_logic() {
+        evaluate_logic(mode, x, y, z)
+    } else {
+        evaluate_arith(mode, simd, w, x, y, z, carry_in)
+    }
+}
+
+fn evaluate_logic(mode: AluMode, x: P48, y: P48, z: P48) -> AluResult {
+    let zm = if mode.invert_z() { z.not() } else { z };
+    let raw = if mode.logic_uses_carry_path() {
+        // Per-bit majority(x, y, zm): the carry wires of the 3:2 compressor.
+        P48::new((x.value() & y.value()) | (x.value() & zm.value()) | (y.value() & zm.value()))
+    } else {
+        // Sum wires: x ^ y ^ zm.
+        x ^ y ^ zm
+    };
+    let p = if mode.invert_out() { raw.not() } else { raw };
+    AluResult {
+        p,
+        carry_out: [false; 4],
+    }
+}
+
+fn evaluate_arith(
+    mode: AluMode,
+    simd: SimdMode,
+    w: P48,
+    x: P48,
+    y: P48,
+    z: P48,
+    carry_in: bool,
+) -> AluResult {
+    let seg_w = simd.segment_width();
+    let segs = simd.segments();
+    let seg_mask = mask_width(seg_w);
+
+    let mut p: u64 = 0;
+    let mut carry_out = [false; 4];
+    for s in 0..segs {
+        let shift = s * seg_w;
+        let ws = (w.value() >> shift) & seg_mask;
+        let xs = (x.value() >> shift) & seg_mask;
+        let ys = (y.value() >> shift) & seg_mask;
+        let zs = (z.value() >> shift) & seg_mask;
+
+        // W + X + Y + CIN, then the Z-side corrections per ALUMODE[1:0]:
+        //   00: Z + (W+X+Y+CIN)
+        //   01: -Z + (W+X+Y+CIN) - 1      (~Z + sum)
+        //   10: -(Z + W+X+Y+CIN) - 1      (~(Z + sum))
+        //   11: Z - (W+X+Y+CIN)           (Z + ~sum + 1, via both inversions)
+        let sum = ws
+            .wrapping_add(xs)
+            .wrapping_add(ys)
+            .wrapping_add(u64::from(carry_in));
+        let zs_eff = if mode.invert_z() { !zs & seg_mask } else { zs };
+        let total = zs_eff.wrapping_add(sum);
+        let result = if mode.invert_out() {
+            // NEG_ALL (10): ~(Z + sum); SUB (11): ~(~Z + sum) = Z - sum.
+            !total
+        } else {
+            total
+        };
+        p |= (result & seg_mask) << shift;
+
+        // Carry out of the segment's carry-propagate adder (before output
+        // inversion, as in hardware where CARRYOUT reflects the raw adder).
+        let raw_carry = total >> seg_w != 0;
+        // Map segment index to CARRYOUT bit: FOUR12 -> 0..3, TWO24 -> 1,3,
+        // ONE48 -> 3.
+        let bit = match simd {
+            SimdMode::One48 => 3,
+            SimdMode::Two24 => (s * 2 + 1) as usize,
+            SimdMode::Four12 => s as usize,
+        };
+        carry_out[bit] = raw_carry;
+    }
+    AluResult {
+        p: P48::new(p),
+        carry_out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opmode::AluMode;
+
+    fn alu48(mode: AluMode, w: u64, x: u64, y: u64, z: u64, cin: bool) -> u64 {
+        evaluate(
+            mode,
+            SimdMode::One48,
+            P48::new(w),
+            P48::new(x),
+            P48::new(y),
+            P48::new(z),
+            cin,
+        )
+        .p
+        .value()
+    }
+
+    #[test]
+    fn add_mode_is_four_input_sum() {
+        assert_eq!(alu48(AluMode::ADD, 1, 2, 3, 4, false), 10);
+        assert_eq!(alu48(AluMode::ADD, 0, 0, 0, 0, true), 1);
+    }
+
+    #[test]
+    fn sub_mode_is_z_minus_rest() {
+        // Z - (W + X + Y + CIN)
+        assert_eq!(alu48(AluMode::SUB, 1, 2, 3, 10, false), 4);
+        // Wraps within 48 bits when negative.
+        assert_eq!(
+            alu48(AluMode::SUB, 0, 1, 0, 0, false),
+            0xFFFF_FFFF_FFFF // -1 in 48-bit two's complement
+        );
+    }
+
+    #[test]
+    fn neg_z_add_mode() {
+        // -Z + (W+X+Y+CIN) - 1
+        assert_eq!(alu48(AluMode::NEG_Z_ADD, 0, 10, 0, 3, false), 6);
+    }
+
+    #[test]
+    fn neg_all_mode() {
+        // -(Z + W+X+Y+CIN) - 1
+        let got = alu48(AluMode::NEG_ALL, 0, 2, 0, 3, false);
+        assert_eq!(P48::new(got).as_signed(), -6);
+    }
+
+    #[test]
+    fn xor_mode_matches_eq1() {
+        // The CAM equation: O = X ^ Z with Y = 0 (Eq. 1 of the paper).
+        let x = 0xDEAD_BEEF_CAFE;
+        let z = 0x1234_5678_9ABC;
+        assert_eq!(alu48(AluMode::XOR, 0, x, 0, z, false), x ^ z);
+        // Equal operands XOR to zero -> the match condition.
+        assert_eq!(alu48(AluMode::XOR, 0, x, 0, x, false), 0);
+    }
+
+    #[test]
+    fn xor_with_ones_y_is_xnor() {
+        let x = 0xF0F0;
+        let z = 0xFF00;
+        let ones = 0xFFFF_FFFF_FFFF;
+        assert_eq!(
+            alu48(AluMode::XOR, 0, x, ones, z, false),
+            (x ^ z) ^ ones,
+            "Y=all-ones must flip XOR into XNOR"
+        );
+    }
+
+    #[test]
+    fn xnor_mode() {
+        let x = 0xAAAA;
+        let z = 0xCCCC;
+        assert_eq!(
+            alu48(AluMode::XNOR, 0, x, 0, z, false),
+            (x ^ !z) & 0xFFFF_FFFF_FFFF
+        );
+    }
+
+    #[test]
+    fn and_family_via_carry_path() {
+        let x = 0b1100;
+        let z = 0b1010;
+        assert_eq!(alu48(AluMode::AND, 0, x, 0, z, false), x & z);
+        // Y = all ones turns AND into OR (majority with a 1 input).
+        let ones = 0xFFFF_FFFF_FFFF;
+        assert_eq!(alu48(AluMode::AND, 0, x, ones, z, false), x | z);
+        // NAND = inverted AND.
+        assert_eq!(
+            alu48(AluMode::NAND, 0, x, 0, z, false),
+            !(x & z) & 0xFFFF_FFFF_FFFF
+        );
+    }
+
+    #[test]
+    fn logic_mode_ignores_carry_and_w() {
+        let with = alu48(AluMode::XOR, 0xFFFF, 0xF0F0, 0, 0x0F0F, true);
+        let without = alu48(AluMode::XOR, 0, 0xF0F0, 0, 0x0F0F, false);
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    fn carry_out_one48() {
+        let r = evaluate(
+            AluMode::ADD,
+            SimdMode::One48,
+            P48::ZERO,
+            P48::ONES,
+            P48::ZERO,
+            P48::new(1),
+            false,
+        );
+        assert_eq!(r.p, P48::ZERO);
+        assert!(r.carry_out[3]);
+        assert!(!r.carry_out[0]);
+    }
+
+    #[test]
+    fn simd_four12_independent_lanes() {
+        // Each 12-bit lane saturates independently: lane0 = 0xFFF + 1 wraps,
+        // lane1 = 1 + 1 = 2, others zero.
+        let x = 0x0000_0000_1FFF; // lane0 = 0xFFF, lane1 = 0x001
+        let z = 0x0000_0000_1001; // lane0 = 0x001, lane1 = 0x001
+        let r = evaluate(
+            AluMode::ADD,
+            SimdMode::Four12,
+            P48::ZERO,
+            P48::new(x),
+            P48::ZERO,
+            P48::new(z),
+            false,
+        );
+        assert_eq!(r.p.value() & 0xFFF, 0); // lane 0 wrapped
+        assert_eq!((r.p.value() >> 12) & 0xFFF, 2); // lane 1 independent
+        assert!(r.carry_out[0]);
+        assert!(!r.carry_out[1]);
+    }
+
+    #[test]
+    fn simd_two24_carry_isolation() {
+        // Low 24-bit lane overflows; high lane must not see the carry.
+        let x = 0x0000_00FF_FFFF;
+        let z = 0x0000_0000_0001;
+        let r = evaluate(
+            AluMode::ADD,
+            SimdMode::Two24,
+            P48::ZERO,
+            P48::new(x),
+            P48::ZERO,
+            P48::new(z),
+            false,
+        );
+        assert_eq!(r.p.value(), 0);
+        assert!(r.carry_out[1]); // low lane carry -> CARRYOUT[1]
+        assert!(!r.carry_out[3]);
+    }
+
+    #[test]
+    fn simd_carry_in_broadcast() {
+        // CIN is applied to every segment (hardware broadcasts it).
+        let r = evaluate(
+            AluMode::ADD,
+            SimdMode::Four12,
+            P48::ZERO,
+            P48::ZERO,
+            P48::ZERO,
+            P48::ZERO,
+            true,
+        );
+        assert_eq!(r.p.value(), 0x001_001_001_001);
+    }
+}

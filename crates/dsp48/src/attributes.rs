@@ -1,0 +1,358 @@
+//! Static configuration attributes of the DSP48E2 slice.
+//!
+//! Attributes are fixed when the slice is instantiated (at "synthesis time")
+//! and cannot change during operation, unlike the dynamic control words in
+//! [`crate::opmode`]. The pipeline-register attributes are what determine
+//! operation latency: the paper's CAM cell keeps one register stage on every
+//! input and on P, which yields the 1-cycle update / 2-cycle search latency
+//! reported in Table V.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::word::P48;
+
+/// Number of pipeline stages on each register bank.
+///
+/// A and B support 0–2 stages (`A1`/`A2`, `B1`/`B2`); the other banks
+/// support 0–1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegStages {
+    /// `AREG` ∈ {0, 1, 2}.
+    pub a: u8,
+    /// `BREG` ∈ {0, 1, 2}.
+    pub b: u8,
+    /// `CREG` ∈ {0, 1}.
+    pub c: u8,
+    /// `DREG` ∈ {0, 1}.
+    pub d: u8,
+    /// `ADREG` (pre-adder output) ∈ {0, 1}.
+    pub ad: u8,
+    /// `MREG` (multiplier output) ∈ {0, 1}.
+    pub m: u8,
+    /// `PREG` (ALU output) ∈ {0, 1}.
+    pub p: u8,
+    /// `OPMODEREG`/`ALUMODEREG`/`INMODEREG`/`CARRYINSELREG` ∈ {0, 1};
+    /// modelled as one shared control-register depth.
+    pub ctrl: u8,
+}
+
+impl RegStages {
+    /// Fully pipelined configuration (maximum frequency): `A=B=2`, all
+    /// single-stage banks enabled.
+    #[must_use]
+    pub fn full() -> Self {
+        RegStages {
+            a: 2,
+            b: 2,
+            c: 1,
+            d: 1,
+            ad: 1,
+            m: 1,
+            p: 1,
+            ctrl: 1,
+        }
+    }
+
+    /// The CAM-cell configuration used by the paper: single-stage A/B/C and
+    /// P, control unregistered (driven by the surrounding block logic),
+    /// multiplier path unused.
+    #[must_use]
+    pub fn cam() -> Self {
+        RegStages {
+            a: 1,
+            b: 1,
+            c: 1,
+            d: 0,
+            ad: 0,
+            m: 0,
+            p: 1,
+            ctrl: 0,
+        }
+    }
+
+    /// Fully combinational (all registers bypassed).
+    #[must_use]
+    pub fn none() -> Self {
+        RegStages {
+            a: 0,
+            b: 0,
+            c: 0,
+            d: 0,
+            ad: 0,
+            m: 0,
+            p: 0,
+            ctrl: 0,
+        }
+    }
+
+    /// Validate the stage counts against the hardware limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttributeError`] if any bank exceeds its supported depth.
+    pub fn validate(&self) -> Result<(), AttributeError> {
+        let check = |name: &'static str, value: u8, max: u8| {
+            if value > max {
+                Err(AttributeError::RegDepth { name, value, max })
+            } else {
+                Ok(())
+            }
+        };
+        check("AREG", self.a, 2)?;
+        check("BREG", self.b, 2)?;
+        check("CREG", self.c, 1)?;
+        check("DREG", self.d, 1)?;
+        check("ADREG", self.ad, 1)?;
+        check("MREG", self.m, 1)?;
+        check("PREG", self.p, 1)?;
+        check("CTRLREG", self.ctrl, 1)?;
+        Ok(())
+    }
+}
+
+impl Default for RegStages {
+    fn default() -> Self {
+        RegStages::full()
+    }
+}
+
+/// `USE_MULT` attribute: whether the multiplier is in the datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum UseMult {
+    /// Multiplier unused; the A:B concatenation path is free. This is the
+    /// CAM configuration and also saves power.
+    #[default]
+    None,
+    /// Multiplier available (`MULTIPLY`).
+    Multiply,
+    /// Dynamic selection per INMODE (`DYNAMIC`); modelled as `Multiply`.
+    Dynamic,
+}
+
+/// `USE_SIMD` attribute: ALU segmentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SimdMode {
+    /// Single 48-bit ALU.
+    #[default]
+    One48,
+    /// Two independent 24-bit ALUs.
+    Two24,
+    /// Four independent 12-bit ALUs.
+    Four12,
+}
+
+impl SimdMode {
+    /// Width of each independent segment in bits.
+    #[must_use]
+    pub fn segment_width(self) -> u32 {
+        match self {
+            SimdMode::One48 => 48,
+            SimdMode::Two24 => 24,
+            SimdMode::Four12 => 12,
+        }
+    }
+
+    /// Number of independent segments.
+    #[must_use]
+    pub fn segments(self) -> u32 {
+        48 / self.segment_width()
+    }
+}
+
+/// `SEL_PATTERN` attribute: source of the pattern compared against P.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PatternSelect {
+    /// Compare against the static `PATTERN` attribute.
+    #[default]
+    Pattern,
+    /// Compare against the (registered) C port value.
+    C,
+}
+
+/// `SEL_MASK` attribute: source of the pattern-detector mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum MaskSelect {
+    /// Use the static `MASK` attribute.
+    #[default]
+    Mask,
+    /// Use the (registered) C port value.
+    C,
+    /// Use `C << 1` (rounding support).
+    RoundedC1,
+    /// Use `C << 2` (rounding support).
+    RoundedC2,
+}
+
+/// Full static attribute set for a slice instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attributes {
+    /// Pipeline-register depths.
+    pub regs: RegStages,
+    /// Multiplier usage.
+    pub use_mult: UseMult,
+    /// ALU SIMD segmentation.
+    pub simd: SimdMode,
+    /// Pattern source select.
+    pub sel_pattern: PatternSelect,
+    /// Mask source select.
+    pub sel_mask: MaskSelect,
+    /// The static `PATTERN` attribute (48 bits).
+    pub pattern: P48,
+    /// The static `MASK` attribute (48 bits); a `1` bit *excludes* that bit
+    /// from pattern comparison ("don't care"), per UG579. Default masks the
+    /// top two bits (`0x3FFFFFFFFFFF`... in hardware the default is
+    /// `48'h3FFFFFFFFFFF`).
+    pub mask: P48,
+    /// The `RND` rounding constant selectable through the W multiplexer.
+    pub rnd: P48,
+}
+
+impl Attributes {
+    /// Attribute set for the paper's CAM cell (Fig. 2): logic-mode slice,
+    /// pattern detect against zero, mask defaulting to "compare all bits"
+    /// (binary CAM), CAM pipeline depths.
+    #[must_use]
+    pub fn cam_cell() -> Self {
+        Attributes {
+            regs: RegStages::cam(),
+            use_mult: UseMult::None,
+            simd: SimdMode::One48,
+            sel_pattern: PatternSelect::Pattern,
+            sel_mask: MaskSelect::Mask,
+            pattern: P48::ZERO,
+            mask: P48::ZERO,
+            rnd: P48::ZERO,
+        }
+    }
+
+    /// Validate attribute consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttributeError`] if register depths are out of range, or if
+    /// SIMD segmentation is combined with the multiplier (illegal per
+    /// UG579: `USE_SIMD` other than `ONE48` requires `USE_MULT = NONE`).
+    pub fn validate(&self) -> Result<(), AttributeError> {
+        self.regs.validate()?;
+        if self.simd != SimdMode::One48 && self.use_mult != UseMult::None {
+            return Err(AttributeError::SimdWithMultiplier);
+        }
+        Ok(())
+    }
+}
+
+impl Default for Attributes {
+    fn default() -> Self {
+        Attributes {
+            regs: RegStages::full(),
+            use_mult: UseMult::None,
+            simd: SimdMode::One48,
+            sel_pattern: PatternSelect::Pattern,
+            sel_mask: MaskSelect::Mask,
+            pattern: P48::ZERO,
+            mask: P48::new(0x3FFF_FFFF_FFFF),
+            rnd: P48::ZERO,
+        }
+    }
+}
+
+/// Error raised by attribute validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttributeError {
+    /// A register bank was configured deeper than the hardware supports.
+    RegDepth {
+        /// Attribute name, e.g. `"AREG"`.
+        name: &'static str,
+        /// Requested depth.
+        value: u8,
+        /// Maximum supported depth.
+        max: u8,
+    },
+    /// SIMD segmentation combined with the multiplier.
+    SimdWithMultiplier,
+}
+
+impl fmt::Display for AttributeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttributeError::RegDepth { name, value, max } => {
+                write!(f, "{name} depth {value} exceeds hardware maximum {max}")
+            }
+            AttributeError::SimdWithMultiplier => {
+                write!(f, "USE_SIMD other than ONE48 requires USE_MULT = NONE")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttributeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_attributes_validate() {
+        Attributes::default().validate().unwrap();
+        Attributes::cam_cell().validate().unwrap();
+    }
+
+    #[test]
+    fn reg_depth_limits_enforced() {
+        let mut regs = RegStages::full();
+        regs.a = 3;
+        assert_eq!(
+            regs.validate(),
+            Err(AttributeError::RegDepth {
+                name: "AREG",
+                value: 3,
+                max: 2
+            })
+        );
+        let mut regs = RegStages::full();
+        regs.c = 2;
+        assert!(regs.validate().is_err());
+    }
+
+    #[test]
+    fn simd_with_multiplier_rejected() {
+        let attrs = Attributes {
+            simd: SimdMode::Four12,
+            use_mult: UseMult::Multiply,
+            ..Attributes::default()
+        };
+        assert_eq!(attrs.validate(), Err(AttributeError::SimdWithMultiplier));
+    }
+
+    #[test]
+    fn simd_geometry() {
+        assert_eq!(SimdMode::One48.segments(), 1);
+        assert_eq!(SimdMode::Two24.segments(), 2);
+        assert_eq!(SimdMode::Four12.segments(), 4);
+        assert_eq!(SimdMode::Four12.segment_width(), 12);
+    }
+
+    #[test]
+    fn cam_cell_latency_defining_registers() {
+        let regs = RegStages::cam();
+        // 1-cycle update (A/B registers), 2-cycle search (C + P).
+        assert_eq!(regs.a, 1);
+        assert_eq!(regs.b, 1);
+        assert_eq!(regs.c, 1);
+        assert_eq!(regs.p, 1);
+        assert_eq!(regs.m, 0);
+    }
+
+    #[test]
+    fn attribute_error_display() {
+        assert!(AttributeError::SimdWithMultiplier.to_string().contains("ONE48"));
+        let err = AttributeError::RegDepth {
+            name: "AREG",
+            value: 3,
+            max: 2,
+        };
+        assert!(err.to_string().contains("AREG"));
+    }
+}

@@ -1,0 +1,227 @@
+//! The CAM configuration of the slice (Fig. 2 of the paper).
+//!
+//! [`CamDsp`] wraps a [`Dsp48e2`] in the exact static configuration the
+//! paper's CAM cell uses — logic mode computing `O = (A:B) ⊕ C` (Eq. 1),
+//! pattern detect against zero, single-stage input and output registers —
+//! and exposes the three primitive operations the surrounding CAM block
+//! drives: `write` (1 cycle), `search` (2 cycles) and `clear`.
+//!
+//! This type deliberately stays *below* CAM semantics: it has no valid bit
+//! and no knowledge of CAM kinds. Those belong to the block logic in the
+//! `dsp-cam-core` crate; keeping them out of the slice mirrors the hardware
+//! split between the DSP primitive and the fabric around it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::attributes::Attributes;
+use crate::opmode::{AluMode, OpMode};
+use crate::slice::{ClockEnables, Dsp48e2, DspInputs, Resets};
+use crate::word::P48;
+
+/// A DSP48E2 slice statically configured as a CAM match cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CamDsp {
+    slice: Dsp48e2,
+    cycles: u64,
+}
+
+impl CamDsp {
+    /// Update latency in clock cycles (Table V).
+    pub const UPDATE_LATENCY: u64 = 1;
+    /// Search latency in clock cycles (Table V).
+    pub const SEARCH_LATENCY: u64 = 2;
+
+    /// Create a cell with an all-care mask (binary CAM behaviour).
+    #[must_use]
+    pub fn new() -> Self {
+        CamDsp {
+            slice: Dsp48e2::new(Attributes::cam_cell()),
+            cycles: 0,
+        }
+    }
+
+    /// Create a cell with a specific pattern-detector mask (a `1` bit is
+    /// "don't care", per Table II of the paper).
+    #[must_use]
+    pub fn with_mask(mask: P48) -> Self {
+        let mut cell = CamDsp::new();
+        cell.slice.detector_mut().set_mask(mask);
+        cell
+    }
+
+    /// Replace the match mask.
+    pub fn set_mask(&mut self, mask: P48) {
+        self.slice.detector_mut().set_mask(mask);
+    }
+
+    /// The current match mask.
+    #[must_use]
+    pub fn mask(&self) -> P48 {
+        self.slice.detector().mask()
+    }
+
+    /// Total clock cycles this cell has consumed.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The stored 48-bit word (the registered `A:B` value).
+    #[must_use]
+    pub fn stored(&self) -> P48 {
+        self.slice.stored_ab()
+    }
+
+    fn base_inputs() -> DspInputs {
+        DspInputs {
+            opmode: OpMode::CAM_XOR,
+            alumode: AluMode::XOR,
+            ce: ClockEnables::none(),
+            ..DspInputs::default()
+        }
+    }
+
+    /// Write a word into the cell: a single cycle with the A/B clock
+    /// enables asserted.
+    pub fn write(&mut self, data: impl Into<P48>) {
+        let (a, b) = data.into().to_ab();
+        let mut io = Self::base_inputs();
+        io.a = a;
+        io.b = b;
+        io.ce.a = true;
+        io.ce.b = true;
+        self.slice.tick(&io);
+        self.cycles += 1;
+    }
+
+    /// Search for `key`: two cycles (C register, then ALU + pattern detect
+    /// into the P-stage flops). Returns the match flag.
+    pub fn search(&mut self, key: impl Into<P48>) -> bool {
+        let mut io = Self::base_inputs();
+        io.c = key.into().value();
+        io.ce.c = true;
+        io.ce.p = true;
+        self.slice.tick(&io);
+        let mut hold = Self::base_inputs();
+        hold.ce.p = true;
+        let out = self.slice.tick(&hold);
+        self.cycles += 2;
+        out.pattern_detect
+    }
+
+    /// Issue the first cycle of a pipelined search (latch the key) without
+    /// waiting for the result; the caller ticks the pipeline itself. Used
+    /// by the CAM block to overlap searches at initiation interval 1.
+    pub fn search_issue(&mut self, key: impl Into<P48>) {
+        let mut io = Self::base_inputs();
+        io.c = key.into().value();
+        io.ce.c = true;
+        io.ce.p = true;
+        self.slice.tick(&io);
+        self.cycles += 1;
+    }
+
+    /// Advance one cycle with no new key and return the match output of the
+    /// previously issued search.
+    pub fn search_drain(&mut self) -> bool {
+        let mut hold = Self::base_inputs();
+        hold.ce.p = true;
+        let out = self.slice.tick(&hold);
+        self.cycles += 1;
+        out.pattern_detect
+    }
+
+    /// Clear the stored contents (the block's reset signal).
+    pub fn clear(&mut self) {
+        let mut io = Self::base_inputs();
+        io.rst = Resets::all();
+        self.slice.tick(&io);
+        self.cycles += 1;
+    }
+
+    /// Borrow the underlying slice (for inspection in tests/benches).
+    #[must_use]
+    pub fn slice(&self) -> &Dsp48e2 {
+        &self.slice
+    }
+}
+
+impl Default for CamDsp {
+    fn default() -> Self {
+        CamDsp::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_search_hits() {
+        let mut cell = CamDsp::new();
+        cell.write(0x1234u64);
+        assert!(cell.search(0x1234u64));
+        assert!(!cell.search(0x1235u64));
+        assert_eq!(cell.stored().value(), 0x1234);
+    }
+
+    #[test]
+    fn latency_accounting_matches_table_v() {
+        let mut cell = CamDsp::new();
+        let before = cell.cycles();
+        cell.write(1u64);
+        assert_eq!(cell.cycles() - before, CamDsp::UPDATE_LATENCY);
+        let before = cell.cycles();
+        cell.search(1u64);
+        assert_eq!(cell.cycles() - before, CamDsp::SEARCH_LATENCY);
+    }
+
+    #[test]
+    fn overwrite_replaces_content() {
+        let mut cell = CamDsp::new();
+        cell.write(10u64);
+        cell.write(20u64);
+        assert!(!cell.search(10u64));
+        assert!(cell.search(20u64));
+    }
+
+    #[test]
+    fn masked_cell_ignores_dont_care_bits() {
+        let mut cell = CamDsp::with_mask(P48::new(0x0F));
+        cell.write(0xA0u64);
+        assert!(cell.search(0xA7u64));
+        assert!(cell.search(0xAFu64));
+        assert!(!cell.search(0xB0u64));
+        assert_eq!(cell.mask().value(), 0x0F);
+    }
+
+    #[test]
+    fn clear_resets_content() {
+        let mut cell = CamDsp::new();
+        cell.write(99u64);
+        cell.clear();
+        assert_eq!(cell.stored(), P48::ZERO);
+    }
+
+    #[test]
+    fn pipelined_issue_drain_overlap() {
+        let mut cell = CamDsp::new();
+        cell.write(5u64);
+        // Issue key 5; next cycle issue key 6 while draining the first.
+        cell.search_issue(5u64);
+        cell.search_issue(6u64); // this cycle also computes match for key 5
+        // The drain returns the result for key 6 (latency 2 after its issue).
+        let hit6 = cell.search_drain();
+        assert!(!hit6);
+        // And a fresh full search still works.
+        assert!(cell.search(5u64));
+    }
+
+    #[test]
+    fn max_width_value_roundtrip() {
+        let mut cell = CamDsp::new();
+        cell.write(P48::ONES);
+        assert!(cell.search(P48::ONES));
+        assert!(!cell.search(P48::new(0x7FFF_FFFF_FFFF)));
+    }
+}

@@ -1,0 +1,199 @@
+//! Cascaded slice chains (the PCIN/PCOUT column).
+//!
+//! DSP48E2 slices in one column chain their P outputs into the next
+//! slice's PCIN with dedicated silicon routes. Two classic uses are
+//! modelled here:
+//!
+//! * [`AdderChain`] — a systolic accumulator tree: each stage adds its own
+//!   `A:B` operand onto the cascade partial sum, producing
+//!   `Σ operands` after `depth` cycles at full pipeline rate — the
+//!   structure used for wide dot products / filters;
+//! * this is also the structure of Preußer et al.'s cascade CAM
+//!   (modelled at the architectural level in `dsp-cam-baselines`), whose
+//!   per-stage ripple is exactly why its search latency grows with
+//!   capacity while the paper's broadcast CAM stays constant.
+
+use serde::{Deserialize, Serialize};
+
+use crate::attributes::{Attributes, RegStages};
+use crate::opmode::{AluMode, OpMode, WMux, XMux, YMux, ZMux};
+use crate::slice::{Dsp48e2, DspInputs};
+use crate::word::P48;
+
+/// A column of cascaded slices computing a pipelined running sum.
+///
+/// Stage `i` receives its operand through an `i`-deep input skew register
+/// chain (the fabric registers a systolic array always needs), so that the
+/// operand of vector `k` meets vector `k`'s partial sum as it ripples down
+/// the cascade.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdderChain {
+    slices: Vec<Dsp48e2>,
+    /// Input skew: `skew[i]` delays stage i's operand by `i` cycles.
+    skew: Vec<std::collections::VecDeque<u64>>,
+}
+
+impl AdderChain {
+    /// Build a chain of `depth` slices (each with a registered P stage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    #[must_use]
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "chain needs at least one slice");
+        let attrs = Attributes {
+            regs: RegStages {
+                a: 0,
+                b: 0,
+                c: 0,
+                d: 0,
+                ad: 0,
+                m: 0,
+                p: 1,
+                ctrl: 0,
+            },
+            ..Attributes::cam_cell()
+        };
+        AdderChain {
+            slices: (0..depth).map(|_| Dsp48e2::new(attrs)).collect(),
+            skew: (0..depth)
+                .map(|i| std::collections::VecDeque::from(vec![0u64; i]))
+                .collect(),
+        }
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Latency from an operand vector entering to its sum leaving.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.slices.len() as u64
+    }
+
+    /// Advance one cycle: present one operand vector. Returns the chain's
+    /// current output — the sum of the vector presented `depth` cycles
+    /// earlier, once the pipeline is primed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `operands.len() != depth`.
+    pub fn tick(&mut self, operands: &[u64]) -> P48 {
+        assert_eq!(operands.len(), self.slices.len(), "one operand per stage");
+        let first_op = OpMode {
+            x: XMux::Ab,
+            y: YMux::Zero,
+            z: ZMux::Zero,
+            w: WMux::Zero,
+        };
+        let chain_op = OpMode {
+            x: XMux::Ab,
+            y: YMux::Zero,
+            z: ZMux::Pcin,
+            w: WMux::Zero,
+        };
+        // During cycle t, stage i's PCIN is stage i-1's P register *as it
+        // stands in cycle t* (pre-edge): capture those values first.
+        let pre_edge_p: Vec<P48> = self.slices.iter().map(Dsp48e2::p).collect();
+        let output = *pre_edge_p.last().expect("nonempty chain");
+        for (i, slice) in self.slices.iter_mut().enumerate() {
+            // Operand for stage i, delayed i cycles by the skew registers.
+            self.skew[i].push_back(operands[i]);
+            let operand = self.skew[i].pop_front().expect("skew primed");
+            let (a, b) = P48::new(operand).to_ab();
+            let io = DspInputs {
+                a,
+                b,
+                pcin: if i == 0 { P48::ZERO } else { pre_edge_p[i - 1] },
+                opmode: if i == 0 { first_op } else { chain_op },
+                alumode: AluMode::ADD,
+                ..DspInputs::default()
+            };
+            slice.tick(&io);
+        }
+        output
+    }
+
+    /// Convenience: push `vectors` through the chain (one per cycle, plus
+    /// drain) and return the resulting sums in order.
+    pub fn run(&mut self, vectors: &[Vec<u64>]) -> Vec<P48> {
+        let mut outputs = Vec::new();
+        for v in vectors {
+            outputs.push(self.tick(v));
+        }
+        let zeros = vec![0u64; self.depth()];
+        for _ in 0..self.depth() {
+            outputs.push(self.tick(&zeros));
+        }
+        // The first `depth` outputs are pipeline fill; vector k's sum is
+        // returned by tick k + depth.
+        outputs.drain(..self.depth());
+        outputs.truncate(vectors.len());
+        outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_sums_operand_vectors() {
+        let mut chain = AdderChain::new(4);
+        let sums = chain.run(&[
+            vec![1, 2, 3, 4],
+            vec![10, 20, 30, 40],
+            vec![0, 0, 0, 5],
+        ]);
+        assert_eq!(sums[0].value(), 10);
+        assert_eq!(sums[1].value(), 100);
+        assert_eq!(sums[2].value(), 5);
+    }
+
+    #[test]
+    fn latency_equals_depth() {
+        let mut chain = AdderChain::new(3);
+        assert_eq!(chain.latency(), 3);
+        // Present a vector, then zeros: the sum appears after `depth`
+        // ticks (systolic skew through the registered P stages).
+        let mut outs = vec![chain.tick(&[5, 6, 7])];
+        for _ in 0..3 {
+            outs.push(chain.tick(&[0, 0, 0]));
+        }
+        assert_eq!(outs[3].value(), 18);
+    }
+
+    #[test]
+    fn single_stage_chain() {
+        let mut chain = AdderChain::new(1);
+        let sums = chain.run(&[vec![42]]);
+        assert_eq!(sums[0].value(), 42);
+    }
+
+    #[test]
+    fn pipelined_back_to_back_vectors() {
+        // Full rate: a new vector every cycle, sums emerge every cycle.
+        let mut chain = AdderChain::new(2);
+        let inputs: Vec<Vec<u64>> = (0..6).map(|i| vec![i, i * 10]).collect();
+        let sums = chain.run(&inputs);
+        for (i, sum) in sums.iter().enumerate() {
+            assert_eq!(sum.value(), i as u64 * 11, "vector {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one operand per stage")]
+    fn wrong_operand_count_panics() {
+        AdderChain::new(2).tick(&[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slice")]
+    fn empty_chain_panics() {
+        let _ = AdderChain::new(0);
+    }
+}

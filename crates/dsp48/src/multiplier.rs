@@ -1,0 +1,93 @@
+//! The 27×18 signed multiplier and 27-bit pre-adder.
+//!
+//! The CAM configuration leaves this path idle (`USE_MULT = NONE`), but the
+//! model is complete so that the same slice type can also be instantiated in
+//! arithmetic roles elsewhere in an accelerator (e.g. the paper's user
+//! kernels), and so that OPMODE legality around the `M` selections is
+//! meaningful.
+//!
+//! Hardware produces the product as two partial products that are summed in
+//! the ALU (X and Y multiplexers both select `M`). The model computes the
+//! full product and routes it through the X multiplexer, with the Y
+//! multiplexer contributing zero; the ALU sum is therefore identical.
+
+use crate::word::{sign_extend, truncate, AMULT_WIDTH, B_WIDTH, D_WIDTH, P48};
+
+/// Result of the pre-adder stage (`AD = ±A ± D`), 27 bits.
+///
+/// `a27` is the low 27 bits of the (possibly registered) A port.
+#[must_use]
+pub fn pre_add(a27: u64, d: u64, use_d: bool, negate_a: bool, gate_a: bool) -> u64 {
+    let a = if gate_a {
+        0
+    } else {
+        sign_extend(truncate(a27, AMULT_WIDTH), AMULT_WIDTH)
+    };
+    let a = if negate_a { -a } else { a };
+    let d = if use_d {
+        sign_extend(truncate(d, D_WIDTH), D_WIDTH)
+    } else {
+        0
+    };
+    truncate((a + d) as u64, AMULT_WIDTH)
+}
+
+/// The 27×18 signed multiplication, producing a 45-bit product sign-extended
+/// onto the 48-bit datapath.
+#[must_use]
+pub fn multiply(a_mult: u64, b: u64) -> P48 {
+    let a = sign_extend(truncate(a_mult, AMULT_WIDTH), AMULT_WIDTH);
+    let b = sign_extend(truncate(b, B_WIDTH), B_WIDTH);
+    P48::new((a * b) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_positive_product() {
+        assert_eq!(multiply(6, 7).value(), 42);
+    }
+
+    #[test]
+    fn signed_product_two_negatives() {
+        // -1 (27-bit) * -1 (18-bit) = 1.
+        let a = (1u64 << AMULT_WIDTH) - 1;
+        let b = (1u64 << B_WIDTH) - 1;
+        assert_eq!(multiply(a, b).value(), 1);
+    }
+
+    #[test]
+    fn signed_product_mixed_signs() {
+        // -2 * 3 = -6 in 48-bit two's complement.
+        let a = truncate((-2i64) as u64, AMULT_WIDTH);
+        assert_eq!(multiply(a, 3).as_signed(), -6);
+    }
+
+    #[test]
+    fn extreme_magnitudes_fit_48_bits() {
+        // Most negative 27-bit times most negative 18-bit:
+        // 2^26 * 2^17 = 2^43, well inside 48 bits.
+        let a = 1u64 << 26;
+        let b = 1u64 << 17;
+        assert_eq!(multiply(a, b).as_signed(), 1i64 << 43);
+    }
+
+    #[test]
+    fn pre_adder_combinations() {
+        assert_eq!(pre_add(10, 5, true, false, false), 15);
+        assert_eq!(pre_add(10, 5, false, false, false), 10);
+        assert_eq!(pre_add(10, 5, true, true, false), truncate((-5i64) as u64, 27));
+        assert_eq!(pre_add(10, 5, true, false, true), 5); // A gated off
+        assert_eq!(pre_add(10, 0, false, true, false), truncate((-10i64) as u64, 27));
+    }
+
+    #[test]
+    fn pre_adder_wraps_at_27_bits() {
+        let max = (1u64 << 26) - 1; // most positive 27-bit value
+        let wrapped = pre_add(max, 1, true, false, false);
+        // Overflows into the sign bit, as hardware does (no saturation).
+        assert_eq!(wrapped, 1u64 << 26);
+    }
+}

@@ -1,0 +1,481 @@
+//! Dynamic control-word decoding: `OPMODE`, `ALUMODE`, `INMODE`, `CARRYINSEL`.
+//!
+//! These four fields are *inputs* to the slice (they can change every clock
+//! cycle), as opposed to the static [`crate::attributes::Attributes`] fixed
+//! at configuration time. The encodings follow UG579; only combinations that
+//! are reserved in hardware are rejected here.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Error returned when a control word uses a reserved or illegal encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeControlError {
+    field: &'static str,
+    value: u16,
+}
+
+impl DecodeControlError {
+    fn new(field: &'static str, value: u16) -> Self {
+        DecodeControlError { field, value }
+    }
+}
+
+impl fmt::Display for DecodeControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reserved or illegal {} encoding {:#05b}",
+            self.field, self.value
+        )
+    }
+}
+
+impl std::error::Error for DecodeControlError {}
+
+/// `OPMODE[1:0]` — X multiplexer select.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum XMux {
+    /// `00`: constant zero.
+    #[default]
+    Zero,
+    /// `01`: multiplier partial product (requires `YMux::M` as well).
+    M,
+    /// `10`: the P register (accumulator feedback).
+    P,
+    /// `11`: the concatenated `A:B` input — the CAM storage path.
+    Ab,
+}
+
+/// `OPMODE[3:2]` — Y multiplexer select.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum YMux {
+    /// `00`: constant zero.
+    #[default]
+    Zero,
+    /// `01`: multiplier partial product (requires `XMux::M` as well).
+    M,
+    /// `10`: all ones (used by the logic unit to toggle XOR/XNOR, AND/OR).
+    Ones,
+    /// `11`: the C port.
+    C,
+}
+
+/// `OPMODE[6:4]` — Z multiplexer select.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ZMux {
+    /// `000`: constant zero.
+    #[default]
+    Zero,
+    /// `001`: the PCIN cascade input.
+    Pcin,
+    /// `010`: the P register.
+    P,
+    /// `011`: the C port — the CAM search-key path.
+    C,
+    /// `100`: the P register (MACC extend; modelled identically to `P`).
+    PMaccExtend,
+    /// `101`: PCIN arithmetically shifted right by 17 bits.
+    PcinShift17,
+    /// `110`: P arithmetically shifted right by 17 bits.
+    PShift17,
+}
+
+/// `OPMODE[8:7]` — W multiplexer select (new in DSP48E2 vs DSP48E1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum WMux {
+    /// `00`: constant zero.
+    #[default]
+    Zero,
+    /// `01`: the P register.
+    P,
+    /// `10`: the RND rounding constant attribute.
+    Rnd,
+    /// `11`: the C port.
+    C,
+}
+
+/// The full 9-bit `OPMODE` word, decoded into its four multiplexer fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct OpMode {
+    /// X multiplexer select (`OPMODE[1:0]`).
+    pub x: XMux,
+    /// Y multiplexer select (`OPMODE[3:2]`).
+    pub y: YMux,
+    /// Z multiplexer select (`OPMODE[6:4]`).
+    pub z: ZMux,
+    /// W multiplexer select (`OPMODE[8:7]`).
+    pub w: WMux,
+}
+
+impl OpMode {
+    /// The CAM search configuration: `X = A:B`, `Z = C`, Y and W zero.
+    ///
+    /// Together with [`AluMode::XOR`] this computes `(A:B) XOR C` (Eq. 1 of
+    /// the paper).
+    pub const CAM_XOR: OpMode = OpMode {
+        x: XMux::Ab,
+        y: YMux::Zero,
+        z: ZMux::C,
+        w: WMux::Zero,
+    };
+
+    /// Decode a raw 9-bit `OPMODE` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeControlError`] if a reserved encoding is used
+    /// (`Z = 111`, or `OPMODE` wider than 9 bits), or if exactly one of the
+    /// X/Y multiplexers selects the multiplier (UG579 requires both).
+    pub fn decode(raw: u16) -> Result<Self, DecodeControlError> {
+        if raw >= 1 << 9 {
+            return Err(DecodeControlError::new("OPMODE", raw));
+        }
+        let x = match raw & 0b11 {
+            0b00 => XMux::Zero,
+            0b01 => XMux::M,
+            0b10 => XMux::P,
+            _ => XMux::Ab,
+        };
+        let y = match (raw >> 2) & 0b11 {
+            0b00 => YMux::Zero,
+            0b01 => YMux::M,
+            0b10 => YMux::Ones,
+            _ => YMux::C,
+        };
+        let z = match (raw >> 4) & 0b111 {
+            0b000 => ZMux::Zero,
+            0b001 => ZMux::Pcin,
+            0b010 => ZMux::P,
+            0b011 => ZMux::C,
+            0b100 => ZMux::PMaccExtend,
+            0b101 => ZMux::PcinShift17,
+            0b110 => ZMux::PShift17,
+            _ => return Err(DecodeControlError::new("OPMODE.Z", raw)),
+        };
+        let w = match (raw >> 7) & 0b11 {
+            0b00 => WMux::Zero,
+            0b01 => WMux::P,
+            0b10 => WMux::Rnd,
+            _ => WMux::C,
+        };
+        let mode = OpMode { x, y, z, w };
+        if (x == XMux::M) != (y == YMux::M) {
+            return Err(DecodeControlError::new("OPMODE.XY(M)", raw));
+        }
+        Ok(mode)
+    }
+
+    /// Re-encode into the raw 9-bit `OPMODE` value.
+    #[must_use]
+    pub fn encode(self) -> u16 {
+        let x = match self.x {
+            XMux::Zero => 0b00,
+            XMux::M => 0b01,
+            XMux::P => 0b10,
+            XMux::Ab => 0b11,
+        };
+        let y = match self.y {
+            YMux::Zero => 0b00,
+            YMux::M => 0b01,
+            YMux::Ones => 0b10,
+            YMux::C => 0b11,
+        };
+        let z: u16 = match self.z {
+            ZMux::Zero => 0b000,
+            ZMux::Pcin => 0b001,
+            ZMux::P => 0b010,
+            ZMux::C => 0b011,
+            ZMux::PMaccExtend => 0b100,
+            ZMux::PcinShift17 => 0b101,
+            ZMux::PShift17 => 0b110,
+        };
+        let w: u16 = match self.w {
+            WMux::Zero => 0b00,
+            WMux::P => 0b01,
+            WMux::Rnd => 0b10,
+            WMux::C => 0b11,
+        };
+        (w << 7) | (z << 4) | (y << 2) | x
+    }
+
+    /// Whether this OPMODE selects the multiplier output.
+    #[must_use]
+    pub fn uses_multiplier(self) -> bool {
+        self.x == XMux::M
+    }
+}
+
+/// The 4-bit `ALUMODE` word.
+///
+/// Arithmetic encodings (ALUMODE\[3:2\] = `00`) select add/subtract
+/// variants; logic-unit encodings (`01` = sum path, `11` = carry path)
+/// select bitwise functions jointly with `OPMODE[3:2]` (the Y multiplexer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct AluMode(u8);
+
+impl AluMode {
+    /// `0000`: `Z + W + X + Y + CIN`.
+    pub const ADD: AluMode = AluMode(0b0000);
+    /// `0011`: `Z - (W + X + Y + CIN)`.
+    pub const SUB: AluMode = AluMode(0b0011);
+    /// `0001`: `-Z + (W + X + Y + CIN) - 1`.
+    pub const NEG_Z_ADD: AluMode = AluMode(0b0001);
+    /// `0010`: `-(Z + W + X + Y + CIN) - 1`.
+    pub const NEG_ALL: AluMode = AluMode(0b0010);
+    /// `0100`: logic unit, `X XOR Z` when the Y multiplexer is zero.
+    ///
+    /// This is the encoding the CAM cell uses (Fig. 2 of the paper).
+    pub const XOR: AluMode = AluMode(0b0100);
+    /// `0101`: logic unit, `X XNOR Z` when the Y multiplexer is zero.
+    pub const XNOR: AluMode = AluMode(0b0101);
+    /// `1100`: logic unit, `X AND Z` when the Y multiplexer is zero.
+    pub const AND: AluMode = AluMode(0b1100);
+    /// `1110`: logic unit, `X NAND Z` when the Y multiplexer is zero.
+    pub const NAND: AluMode = AluMode(0b1110);
+
+    /// Decode a raw 4-bit `ALUMODE` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeControlError`] if the value does not fit in 4 bits.
+    pub fn decode(raw: u8) -> Result<Self, DecodeControlError> {
+        if raw >= 1 << 4 {
+            return Err(DecodeControlError::new("ALUMODE", u16::from(raw)));
+        }
+        Ok(AluMode(raw))
+    }
+
+    /// The raw 4-bit encoding.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// `ALUMODE[0]`: invert Z before the ALU.
+    #[must_use]
+    pub fn invert_z(self) -> bool {
+        self.0 & 0b0001 != 0
+    }
+
+    /// `ALUMODE[1]`: invert (negate, in arithmetic mode) the ALU result.
+    #[must_use]
+    pub fn invert_out(self) -> bool {
+        self.0 & 0b0010 != 0
+    }
+
+    /// Whether this encoding selects the logic unit rather than arithmetic.
+    #[must_use]
+    pub fn is_logic(self) -> bool {
+        self.0 & 0b0100 != 0
+    }
+
+    /// In logic mode, whether the carry (majority) path is selected
+    /// (`ALUMODE[3]`), yielding the AND/OR family instead of XOR/XNOR.
+    #[must_use]
+    pub fn logic_uses_carry_path(self) -> bool {
+        self.0 & 0b1000 != 0
+    }
+}
+
+impl fmt::Display for AluMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ALUMODE={:#06b}", self.0)
+    }
+}
+
+/// The 5-bit `INMODE` word controlling the A/B input pipelines and pre-adder.
+///
+/// The model exposes the subset that affects datapath values:
+/// * `INMODE[0]` (`A1/A2` select for the multiplier path),
+/// * `INMODE[1]` (gate A to zero),
+/// * `INMODE[2]` (enable D into the pre-adder),
+/// * `INMODE[3]` (negate the A operand into the pre-adder),
+/// * `INMODE[4]` (`B1/B2` select).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct InMode(u8);
+
+impl InMode {
+    /// The default: use A2/B2, no pre-adder.
+    pub const DEFAULT: InMode = InMode(0);
+
+    /// Decode a raw 5-bit `INMODE` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeControlError`] if the value does not fit in 5 bits.
+    pub fn decode(raw: u8) -> Result<Self, DecodeControlError> {
+        if raw >= 1 << 5 {
+            return Err(DecodeControlError::new("INMODE", u16::from(raw)));
+        }
+        Ok(InMode(raw))
+    }
+
+    /// The raw 5-bit encoding.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// `INMODE[0]`: select the A1 register (first stage) instead of A2.
+    #[must_use]
+    pub fn select_a1(self) -> bool {
+        self.0 & 0b00001 != 0
+    }
+
+    /// `INMODE[1]`: force the multiplier A operand to zero.
+    #[must_use]
+    pub fn gate_a(self) -> bool {
+        self.0 & 0b00010 != 0
+    }
+
+    /// `INMODE[2]`: include the D port in the pre-adder.
+    #[must_use]
+    pub fn use_d(self) -> bool {
+        self.0 & 0b00100 != 0
+    }
+
+    /// `INMODE[3]`: negate the A operand into the pre-adder.
+    #[must_use]
+    pub fn negate_a(self) -> bool {
+        self.0 & 0b01000 != 0
+    }
+
+    /// `INMODE[4]`: select the B1 register (first stage) instead of B2.
+    #[must_use]
+    pub fn select_b1(self) -> bool {
+        self.0 & 0b10000 != 0
+    }
+}
+
+/// The 3-bit `CARRYINSEL` word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CarryInSel {
+    /// `000`: the CARRYIN port.
+    #[default]
+    CarryIn,
+    /// `001`: `~PCIN[47]` (round PCIN towards infinity).
+    NotPcinMsb,
+    /// `010`: the CARRYCASCIN cascade input.
+    CarryCascIn,
+    /// `011`: `PCIN[47]` (round PCIN towards zero).
+    PcinMsb,
+    /// `100`: the registered CARRYCASCOUT fed back internally.
+    CarryCascOut,
+    /// `101`: `~P[47]` (round P towards infinity).
+    NotPMsb,
+    /// `110`: `A[26] XNOR B[17]` (round multiplier output).
+    AxnorB,
+    /// `111`: `P[47]` (round P towards zero).
+    PMsb,
+}
+
+impl CarryInSel {
+    /// Decode a raw 3-bit `CARRYINSEL` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeControlError`] if the value does not fit in 3 bits.
+    pub fn decode(raw: u8) -> Result<Self, DecodeControlError> {
+        Ok(match raw {
+            0b000 => CarryInSel::CarryIn,
+            0b001 => CarryInSel::NotPcinMsb,
+            0b010 => CarryInSel::CarryCascIn,
+            0b011 => CarryInSel::PcinMsb,
+            0b100 => CarryInSel::CarryCascOut,
+            0b101 => CarryInSel::NotPMsb,
+            0b110 => CarryInSel::AxnorB,
+            0b111 => CarryInSel::PMsb,
+            _ => return Err(DecodeControlError::new("CARRYINSEL", u16::from(raw))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opmode_roundtrip_all_legal() {
+        let mut checked = 0usize;
+        for raw in 0..512u16 {
+            if let Ok(mode) = OpMode::decode(raw) {
+                assert_eq!(mode.encode(), raw, "roundtrip failed for {raw:#011b}");
+                checked += 1;
+            }
+        }
+        // 7 legal Z encodings x 4 W; X/Y combinations: both-M or neither-M
+        // (3 x 3 + 1 = 10) => 7 * 4 * 10 = 280 legal words.
+        assert_eq!(checked, 280);
+    }
+
+    #[test]
+    fn opmode_reserved_z_rejected() {
+        // Z = 111 is reserved.
+        let raw = 0b0_0111_0000;
+        assert!(OpMode::decode(raw).is_err());
+    }
+
+    #[test]
+    fn opmode_lone_multiplier_select_rejected() {
+        // X = M without Y = M.
+        assert!(OpMode::decode(0b0_0000_0001).is_err());
+        // Y = M without X = M.
+        assert!(OpMode::decode(0b0_0000_0100).is_err());
+        // Both together are fine.
+        let both = OpMode::decode(0b0_0000_0101).unwrap();
+        assert!(both.uses_multiplier());
+    }
+
+    #[test]
+    fn opmode_too_wide_rejected() {
+        assert!(OpMode::decode(512).is_err());
+    }
+
+    #[test]
+    fn cam_xor_opmode_encoding() {
+        // X=A:B (11), Y=0 (00), Z=C (011), W=0 (00) => 0b000110011.
+        assert_eq!(OpMode::CAM_XOR.encode(), 0b0_0011_0011);
+        assert_eq!(OpMode::decode(0b0_0011_0011).unwrap(), OpMode::CAM_XOR);
+    }
+
+    #[test]
+    fn alumode_flags() {
+        assert!(!AluMode::ADD.is_logic());
+        assert!(AluMode::XOR.is_logic());
+        assert!(!AluMode::XOR.logic_uses_carry_path());
+        assert!(AluMode::AND.is_logic());
+        assert!(AluMode::AND.logic_uses_carry_path());
+        assert!(AluMode::SUB.invert_z());
+        assert!(AluMode::SUB.invert_out());
+        assert!(AluMode::decode(16).is_err());
+        assert_eq!(AluMode::decode(0b0100).unwrap(), AluMode::XOR);
+    }
+
+    #[test]
+    fn inmode_flags() {
+        let m = InMode::decode(0b10101).unwrap();
+        assert!(m.select_a1());
+        assert!(m.use_d());
+        assert!(m.select_b1());
+        assert!(!m.gate_a());
+        assert!(!m.negate_a());
+        assert!(InMode::decode(0b100000).is_err());
+        assert_eq!(InMode::DEFAULT.bits(), 0);
+    }
+
+    #[test]
+    fn carryinsel_decode() {
+        assert_eq!(CarryInSel::decode(0).unwrap(), CarryInSel::CarryIn);
+        assert_eq!(CarryInSel::decode(7).unwrap(), CarryInSel::PMsb);
+        assert!(CarryInSel::decode(8).is_err());
+    }
+
+    #[test]
+    fn decode_error_display() {
+        let err = OpMode::decode(0b0_0111_0000).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("OPMODE"), "unexpected message: {msg}");
+    }
+}

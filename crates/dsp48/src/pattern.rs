@@ -1,0 +1,203 @@
+//! The pattern detector — the CAM cell's match engine.
+//!
+//! The DSP48E2 pattern detector compares the ALU output `P` against a
+//! pattern under a mask:
+//!
+//! ```text
+//! PATTERNDETECT  = ((P ⊕ PATTERN)  & ~MASK) == 0
+//! PATTERNBDETECT = ((P ⊕ ~PATTERN) & ~MASK) == 0
+//! ```
+//!
+//! A mask bit of `1` *excludes* that bit from the comparison. In the CAM
+//! configuration `PATTERN = 0` and the XOR result is compared against zero,
+//! so `PATTERNDETECT` is asserted exactly when the stored word matches the
+//! search key on all unmasked bits — which is precisely the BCAM/TCAM/RMCAM
+//! semantics of Table II in the paper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::attributes::{MaskSelect, PatternSelect};
+use crate::word::P48;
+
+/// Outputs of the pattern detector for one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PatternOutputs {
+    /// `P` matches `PATTERN` on all unmasked bits.
+    pub detect: bool,
+    /// `P` matches `~PATTERN` on all unmasked bits.
+    pub detect_b: bool,
+}
+
+/// A configured pattern detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternDetector {
+    sel_pattern: PatternSelect,
+    sel_mask: MaskSelect,
+    pattern: P48,
+    mask: P48,
+}
+
+impl PatternDetector {
+    /// Create a detector from the static attribute values.
+    #[must_use]
+    pub fn new(
+        sel_pattern: PatternSelect,
+        sel_mask: MaskSelect,
+        pattern: P48,
+        mask: P48,
+    ) -> Self {
+        PatternDetector {
+            sel_pattern,
+            sel_mask,
+            pattern,
+            mask,
+        }
+    }
+
+    /// The effective pattern given the registered C value.
+    #[must_use]
+    pub fn effective_pattern(&self, c: P48) -> P48 {
+        match self.sel_pattern {
+            PatternSelect::Pattern => self.pattern,
+            PatternSelect::C => c,
+        }
+    }
+
+    /// The effective mask given the registered C value.
+    #[must_use]
+    pub fn effective_mask(&self, c: P48) -> P48 {
+        match self.sel_mask {
+            MaskSelect::Mask => self.mask,
+            MaskSelect::C => c,
+            MaskSelect::RoundedC1 => P48::new(c.value() << 1),
+            MaskSelect::RoundedC2 => P48::new(c.value() << 2),
+        }
+    }
+
+    /// Evaluate the detector for ALU output `p` and registered C value `c`.
+    #[must_use]
+    pub fn evaluate(&self, p: P48, c: P48) -> PatternOutputs {
+        let pattern = self.effective_pattern(c);
+        let mask = self.effective_mask(c);
+        let care = mask.not();
+        PatternOutputs {
+            detect: ((p ^ pattern) & care) == P48::ZERO,
+            detect_b: ((p ^ pattern.not()) & care) == P48::ZERO,
+        }
+    }
+
+    /// Replace the static mask (the CAM block does this when reconfiguring
+    /// the cell type or narrowing the stored data width).
+    pub fn set_mask(&mut self, mask: P48) {
+        self.mask = mask;
+    }
+
+    /// The currently configured static mask.
+    #[must_use]
+    pub fn mask(&self) -> P48 {
+        self.mask
+    }
+
+    /// Replace the static pattern.
+    pub fn set_pattern(&mut self, pattern: P48) {
+        self.pattern = pattern;
+    }
+}
+
+impl Default for PatternDetector {
+    /// The CAM default: compare everything against zero.
+    fn default() -> Self {
+        PatternDetector::new(
+            PatternSelect::Pattern,
+            MaskSelect::Mask,
+            P48::ZERO,
+            P48::ZERO,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cam_detector(mask: u64) -> PatternDetector {
+        PatternDetector::new(
+            PatternSelect::Pattern,
+            MaskSelect::Mask,
+            P48::ZERO,
+            P48::new(mask),
+        )
+    }
+
+    #[test]
+    fn exact_match_against_zero() {
+        let det = cam_detector(0);
+        assert!(det.evaluate(P48::ZERO, P48::ZERO).detect);
+        assert!(!det.evaluate(P48::new(1), P48::ZERO).detect);
+        assert!(!det.evaluate(P48::new(1 << 47), P48::ZERO).detect);
+    }
+
+    #[test]
+    fn masked_bits_are_dont_care() {
+        // Mask the low byte: any difference there is ignored.
+        let det = cam_detector(0xFF);
+        assert!(det.evaluate(P48::new(0x5A), P48::ZERO).detect);
+        assert!(!det.evaluate(P48::new(0x15A), P48::ZERO).detect);
+    }
+
+    #[test]
+    fn all_masked_always_matches() {
+        let det = cam_detector(0xFFFF_FFFF_FFFF);
+        assert!(det.evaluate(P48::ONES, P48::ZERO).detect);
+    }
+
+    #[test]
+    fn detect_b_is_inverted_pattern() {
+        let det = PatternDetector::new(
+            PatternSelect::Pattern,
+            MaskSelect::Mask,
+            P48::ZERO,
+            P48::ZERO,
+        );
+        let out = det.evaluate(P48::ONES, P48::ZERO);
+        assert!(!out.detect);
+        assert!(out.detect_b, "all-ones P matches ~PATTERN when PATTERN=0");
+    }
+
+    #[test]
+    fn pattern_from_c_port() {
+        let det = PatternDetector::new(
+            PatternSelect::C,
+            MaskSelect::Mask,
+            P48::ZERO,
+            P48::ZERO,
+        );
+        let c = P48::new(0x1234);
+        assert!(det.evaluate(P48::new(0x1234), c).detect);
+        assert!(!det.evaluate(P48::new(0x1235), c).detect);
+    }
+
+    #[test]
+    fn mask_from_c_port_variants() {
+        let c = P48::new(0b0110);
+        let det = PatternDetector::new(PatternSelect::Pattern, MaskSelect::C, P48::ZERO, P48::ZERO);
+        assert_eq!(det.effective_mask(c).value(), 0b0110);
+        let det =
+            PatternDetector::new(PatternSelect::Pattern, MaskSelect::RoundedC1, P48::ZERO, P48::ZERO);
+        assert_eq!(det.effective_mask(c).value(), 0b1100);
+        let det =
+            PatternDetector::new(PatternSelect::Pattern, MaskSelect::RoundedC2, P48::ZERO, P48::ZERO);
+        assert_eq!(det.effective_mask(c).value(), 0b11000);
+    }
+
+    #[test]
+    fn set_mask_and_pattern_take_effect() {
+        let mut det = PatternDetector::default();
+        assert!(!det.evaluate(P48::new(0xF0), P48::ZERO).detect);
+        det.set_mask(P48::new(0xF0));
+        assert!(det.evaluate(P48::new(0xF0), P48::ZERO).detect);
+        assert_eq!(det.mask().value(), 0xF0);
+        det.set_pattern(P48::new(0x0F));
+        assert!(det.evaluate(P48::new(0x0F), P48::ZERO).detect);
+    }
+}

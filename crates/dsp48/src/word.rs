@@ -1,0 +1,320 @@
+//! Fixed-width word arithmetic helpers.
+//!
+//! The DSP48E2 datapath is 48 bits wide; its ports are 30 (A), 18 (B),
+//! 27 (D) and 48 (C) bits. All values in this crate are carried in `u64`
+//! (or the [`P48`] newtype for the main datapath) and truncated to their
+//! hardware width at module boundaries, exactly as wires would be.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Width of the main DSP48E2 datapath in bits.
+pub const P_WIDTH: u32 = 48;
+/// Width of the A input port in bits.
+pub const A_WIDTH: u32 = 30;
+/// Width of the B input port in bits.
+pub const B_WIDTH: u32 = 18;
+/// Width of the C input port in bits.
+pub const C_WIDTH: u32 = 48;
+/// Width of the D (pre-adder) input port in bits.
+pub const D_WIDTH: u32 = 27;
+/// Width of the multiplier A operand in bits.
+pub const AMULT_WIDTH: u32 = 27;
+
+/// All-ones mask for a `width`-bit field.
+///
+/// # Panics
+///
+/// Panics if `width > 64`.
+#[inline]
+#[must_use]
+pub fn mask_width(width: u32) -> u64 {
+    assert!(width <= 64, "width {width} exceeds u64");
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Truncate `value` to `width` bits.
+#[inline]
+#[must_use]
+pub fn truncate(value: u64, width: u32) -> u64 {
+    value & mask_width(width)
+}
+
+/// Sign-extend the low `width` bits of `value` into an `i64`.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or greater than 64.
+#[inline]
+#[must_use]
+pub fn sign_extend(value: u64, width: u32) -> i64 {
+    assert!((1..=64).contains(&width), "width {width} out of range");
+    let shift = 64 - width;
+    ((value << shift) as i64) >> shift
+}
+
+/// A 48-bit value on the DSP48E2 main datapath.
+///
+/// The inner representation is a `u64` whose upper 16 bits are always zero;
+/// every constructor and arithmetic operation re-truncates, so the invariant
+/// cannot be violated by safe code.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct P48(u64);
+
+impl P48 {
+    /// The zero value.
+    pub const ZERO: P48 = P48(0);
+    /// All 48 bits set (the ALU's "all ones" Y-multiplexer constant).
+    pub const ONES: P48 = P48(0xFFFF_FFFF_FFFF);
+
+    /// Construct from a `u64`, truncating to 48 bits.
+    #[inline]
+    #[must_use]
+    pub fn new(value: u64) -> Self {
+        P48(truncate(value, P_WIDTH))
+    }
+
+    /// The raw 48-bit value, zero-extended into a `u64`.
+    #[inline]
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Interpret the 48-bit value as a signed quantity.
+    #[inline]
+    #[must_use]
+    pub fn as_signed(self) -> i64 {
+        sign_extend(self.0, P_WIDTH)
+    }
+
+    /// Bitwise NOT within 48 bits.
+    #[inline]
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // named for the hardware op
+    pub fn not(self) -> Self {
+        P48::new(!self.0)
+    }
+
+    /// Wrapping 48-bit addition, returning `(sum, carry_out)`.
+    #[inline]
+    #[must_use]
+    pub fn wrapping_add(self, rhs: P48, carry_in: bool) -> (P48, bool) {
+        let full = self.0 + rhs.0 + u64::from(carry_in);
+        (P48::new(full), full >> P_WIDTH != 0)
+    }
+
+    /// Concatenate a 30-bit A value with an 18-bit B value (`A:B`).
+    ///
+    /// This is the storage path used by the CAM cell: the two input registers
+    /// together hold one 48-bit entry.
+    #[inline]
+    #[must_use]
+    pub fn from_ab(a: u64, b: u64) -> Self {
+        P48::new((truncate(a, A_WIDTH) << B_WIDTH) | truncate(b, B_WIDTH))
+    }
+
+    /// Split into the `(A, B)` pair that [`P48::from_ab`] would concatenate.
+    #[inline]
+    #[must_use]
+    pub fn to_ab(self) -> (u64, u64) {
+        (self.0 >> B_WIDTH, truncate(self.0, B_WIDTH))
+    }
+
+    /// Extract bit `index` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 48`.
+    #[inline]
+    #[must_use]
+    pub fn bit(self, index: u32) -> bool {
+        assert!(index < P_WIDTH, "bit index {index} out of range");
+        (self.0 >> index) & 1 == 1
+    }
+}
+
+impl From<u64> for P48 {
+    #[inline]
+    fn from(value: u64) -> Self {
+        P48::new(value)
+    }
+}
+
+impl From<P48> for u64 {
+    #[inline]
+    fn from(value: P48) -> Self {
+        value.value()
+    }
+}
+
+impl std::ops::BitXor for P48 {
+    type Output = P48;
+    #[inline]
+    fn bitxor(self, rhs: P48) -> P48 {
+        P48(self.0 ^ rhs.0)
+    }
+}
+
+impl std::ops::BitAnd for P48 {
+    type Output = P48;
+    #[inline]
+    fn bitand(self, rhs: P48) -> P48 {
+        P48(self.0 & rhs.0)
+    }
+}
+
+impl std::ops::BitOr for P48 {
+    type Output = P48;
+    #[inline]
+    fn bitor(self, rhs: P48) -> P48 {
+        P48(self.0 | rhs.0)
+    }
+}
+
+impl fmt::Display for P48 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#014x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for P48 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for P48 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for P48 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for P48 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_width_edges() {
+        assert_eq!(mask_width(0), 0);
+        assert_eq!(mask_width(1), 1);
+        assert_eq!(mask_width(48), 0xFFFF_FFFF_FFFF);
+        assert_eq!(mask_width(64), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u64")]
+    fn mask_width_too_wide_panics() {
+        let _ = mask_width(65);
+    }
+
+    #[test]
+    fn truncate_drops_high_bits() {
+        assert_eq!(truncate(0x1_FFFF_FFFF_FFFF, 48), 0xFFFF_FFFF_FFFF);
+        assert_eq!(truncate(0xAB, 4), 0xB);
+    }
+
+    #[test]
+    fn sign_extend_behaviour() {
+        assert_eq!(sign_extend(0x8000_0000_0000, 48), -(1i64 << 47));
+        assert_eq!(sign_extend(0x7FFF_FFFF_FFFF, 48), (1i64 << 47) - 1);
+        assert_eq!(sign_extend(0b1111, 4), -1);
+        assert_eq!(sign_extend(0b0111, 4), 7);
+    }
+
+    #[test]
+    fn p48_truncates_on_construction() {
+        assert_eq!(P48::new(u64::MAX).value(), 0xFFFF_FFFF_FFFF);
+        assert_eq!(P48::from(1u64 << 48).value(), 0);
+    }
+
+    #[test]
+    fn p48_ab_concat_roundtrip() {
+        let p = P48::from_ab(0x3FFF_FFFF, 0x3_FFFF);
+        assert_eq!(p, P48::ONES);
+        let (a, b) = p.to_ab();
+        assert_eq!(a, 0x3FFF_FFFF);
+        assert_eq!(b, 0x3_FFFF);
+
+        let p = P48::from_ab(0x1234_5678, 0x2_ABCD);
+        let (a, b) = p.to_ab();
+        assert_eq!(a, 0x1234_5678);
+        assert_eq!(b, 0x2_ABCD);
+    }
+
+    #[test]
+    fn p48_wrapping_add_carry() {
+        let (sum, carry) = P48::ONES.wrapping_add(P48::new(1), false);
+        assert_eq!(sum, P48::ZERO);
+        assert!(carry);
+
+        let (sum, carry) = P48::ONES.wrapping_add(P48::ZERO, true);
+        assert_eq!(sum, P48::ZERO);
+        assert!(carry);
+
+        let (sum, carry) = P48::new(40).wrapping_add(P48::new(2), false);
+        assert_eq!(sum.value(), 42);
+        assert!(!carry);
+    }
+
+    #[test]
+    fn p48_signed_interpretation() {
+        assert_eq!(P48::ONES.as_signed(), -1);
+        assert_eq!(P48::new(5).as_signed(), 5);
+    }
+
+    #[test]
+    fn p48_bit_access() {
+        let p = P48::new(0b1010);
+        assert!(!p.bit(0));
+        assert!(p.bit(1));
+        assert!(p.bit(3));
+        assert!(!p.bit(47));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn p48_bit_out_of_range_panics() {
+        let _ = P48::ZERO.bit(48);
+    }
+
+    #[test]
+    fn p48_formatting_is_nonempty() {
+        let p = P48::new(0xABC);
+        assert_eq!(format!("{p:x}"), "abc");
+        assert_eq!(format!("{p:X}"), "ABC");
+        assert_eq!(format!("{p:b}"), "101010111100");
+        assert_eq!(format!("{p:o}"), "5274");
+        assert!(!format!("{p}").is_empty());
+        assert!(!format!("{p:?}").is_empty());
+    }
+
+    #[test]
+    fn p48_bit_ops() {
+        let a = P48::new(0b1100);
+        let b = P48::new(0b1010);
+        assert_eq!((a ^ b).value(), 0b0110);
+        assert_eq!((a & b).value(), 0b1000);
+        assert_eq!((a | b).value(), 0b1110);
+        assert_eq!(a.not().value(), 0xFFFF_FFFF_FFF3);
+    }
+}

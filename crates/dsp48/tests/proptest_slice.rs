@@ -1,0 +1,115 @@
+//! Property-based tests for the DSP48E2 model: the ALU against bit-twiddled
+//! oracles, the pattern detector, and the CAM profile against a trivial
+//! software CAM cell.
+
+use dsp48::alu::evaluate;
+use dsp48::attributes::SimdMode;
+use dsp48::cam_profile::CamDsp;
+use dsp48::opmode::{AluMode, OpMode};
+use dsp48::word::{mask_width, P48};
+use proptest::prelude::*;
+
+const M48: u64 = 0xFFFF_FFFF_FFFF;
+
+fn p(v: u64) -> P48 {
+    P48::new(v)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_wide_arithmetic(w in 0..=M48, x in 0..=M48, y in 0..=M48, z in 0..=M48, cin: bool) {
+        let got = evaluate(AluMode::ADD, SimdMode::One48, p(w), p(x), p(y), p(z), cin).p.value();
+        let expect = (w + x + y + z + u64::from(cin)) & M48;
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn sub_matches_wide_arithmetic(w in 0..=M48, x in 0..=M48, y in 0..=M48, z in 0..=M48, cin: bool) {
+        let got = evaluate(AluMode::SUB, SimdMode::One48, p(w), p(x), p(y), p(z), cin).p.value();
+        let expect = z.wrapping_sub(w + x + y + u64::from(cin)) & M48;
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn xor_matches_bitwise(x in 0..=M48, z in 0..=M48) {
+        let got = evaluate(AluMode::XOR, SimdMode::One48, P48::ZERO, p(x), P48::ZERO, p(z), false).p.value();
+        prop_assert_eq!(got, x ^ z);
+    }
+
+    #[test]
+    fn xnor_matches_bitwise(x in 0..=M48, z in 0..=M48) {
+        let got = evaluate(AluMode::XNOR, SimdMode::One48, P48::ZERO, p(x), P48::ZERO, p(z), false).p.value();
+        prop_assert_eq!(got, !(x ^ z) & M48);
+    }
+
+    #[test]
+    fn and_matches_bitwise(x in 0..=M48, z in 0..=M48) {
+        let got = evaluate(AluMode::AND, SimdMode::One48, P48::ZERO, p(x), P48::ZERO, p(z), false).p.value();
+        prop_assert_eq!(got, x & z);
+    }
+
+    #[test]
+    fn or_via_ones_y(x in 0..=M48, z in 0..=M48) {
+        let got = evaluate(AluMode::AND, SimdMode::One48, P48::ZERO, p(x), P48::ONES, p(z), false).p.value();
+        prop_assert_eq!(got, x | z);
+    }
+
+    #[test]
+    fn simd_four12_equals_four_independent_adders(x in 0..=M48, z in 0..=M48, cin: bool) {
+        let got = evaluate(AluMode::ADD, SimdMode::Four12, P48::ZERO, p(x), P48::ZERO, p(z), cin);
+        for lane in 0..4 {
+            let shift = lane * 12;
+            let xs = (x >> shift) & mask_width(12);
+            let zs = (z >> shift) & mask_width(12);
+            let expect = (xs + zs + u64::from(cin)) & mask_width(12);
+            prop_assert_eq!((got.p.value() >> shift) & mask_width(12), expect);
+            let carry = (xs + zs + u64::from(cin)) >> 12 != 0;
+            prop_assert_eq!(got.carry_out[lane as usize], carry);
+        }
+    }
+
+    #[test]
+    fn simd_two24_equals_two_independent_adders(x in 0..=M48, z in 0..=M48) {
+        let got = evaluate(AluMode::ADD, SimdMode::Two24, P48::ZERO, p(x), P48::ZERO, p(z), false);
+        for lane in 0..2 {
+            let shift = lane * 24;
+            let xs = (x >> shift) & mask_width(24);
+            let zs = (z >> shift) & mask_width(24);
+            prop_assert_eq!((got.p.value() >> shift) & mask_width(24), (xs + zs) & mask_width(24));
+        }
+    }
+
+    #[test]
+    fn opmode_roundtrip(raw in 0u16..512) {
+        if let Ok(mode) = OpMode::decode(raw) {
+            prop_assert_eq!(mode.encode(), raw);
+        }
+    }
+
+    #[test]
+    fn cam_cell_exact_match_semantics(stored in 0..=M48, key in 0..=M48) {
+        let mut cell = CamDsp::new();
+        cell.write(stored);
+        prop_assert_eq!(cell.search(key), stored == key);
+        // Searching never disturbs the stored word.
+        prop_assert_eq!(cell.stored().value(), stored);
+    }
+
+    #[test]
+    fn cam_cell_masked_match_semantics(stored in 0..=M48, key in 0..=M48, mask in 0..=M48) {
+        let mut cell = CamDsp::with_mask(P48::new(mask));
+        cell.write(stored);
+        let expect = (stored ^ key) & !mask & M48 == 0;
+        prop_assert_eq!(cell.search(key), expect);
+    }
+
+    #[test]
+    fn cam_cell_last_write_wins(values in proptest::collection::vec(0..=M48, 1..8), key in 0..=M48) {
+        let mut cell = CamDsp::new();
+        for &v in &values {
+            cell.write(v);
+        }
+        let last = *values.last().unwrap();
+        prop_assert_eq!(cell.search(key), key == last);
+    }
+}

@@ -1,0 +1,393 @@
+//! Corner-case integration tests for the DSP48E2 slice model: deep input
+//! pipelines, INMODE operand selection, carry-input sources, per-bank
+//! resets and C-port pattern matching.
+
+use dsp48::attributes::{Attributes, MaskSelect, PatternSelect, RegStages, UseMult};
+use dsp48::opmode::{AluMode, CarryInSel, InMode, OpMode, WMux, XMux, YMux, ZMux};
+use dsp48::slice::{ClockEnables, Dsp48e2, DspInputs, Resets};
+use dsp48::word::P48;
+
+fn opmode_ab_plus_c() -> OpMode {
+    OpMode {
+        x: XMux::Ab,
+        y: YMux::Zero,
+        z: ZMux::C,
+        w: WMux::Zero,
+    }
+}
+
+#[test]
+fn two_deep_a_b_registers_add_a_cycle() {
+    let attrs = Attributes {
+        regs: RegStages {
+            a: 2,
+            b: 2,
+            c: 0,
+            d: 0,
+            ad: 0,
+            m: 0,
+            p: 1,
+            ctrl: 0,
+        },
+        ..Attributes::cam_cell()
+    };
+    let mut s = Dsp48e2::new(attrs);
+    let (a, b) = P48::new(100).to_ab();
+    let io = DspInputs {
+        a,
+        b,
+        c: 11,
+        opmode: opmode_ab_plus_c(),
+        alumode: AluMode::ADD,
+        ..DspInputs::default()
+    };
+    // A1 -> A2 -> ALU -> P: three edges until P carries A:B + C.
+    let o1 = s.tick(&io);
+    assert_eq!(o1.p.value(), 11, "first edge: A:B still zero through A2");
+    let o2 = s.tick(&io);
+    assert_eq!(o2.p.value(), 11, "second edge: A2 just loaded");
+    let o3 = s.tick(&io);
+    assert_eq!(o3.p.value(), 111, "third edge: full sum");
+}
+
+#[test]
+fn inmode_a1_selects_the_first_stage_for_the_multiplier() {
+    let attrs = Attributes {
+        regs: RegStages {
+            a: 2,
+            b: 2,
+            c: 0,
+            d: 0,
+            ad: 0,
+            m: 0,
+            p: 1,
+            ctrl: 0,
+        },
+        use_mult: UseMult::Multiply,
+        ..Attributes::default()
+    };
+    let mut s = Dsp48e2::new(attrs);
+    let mul = OpMode {
+        x: XMux::M,
+        y: YMux::M,
+        z: ZMux::Zero,
+        w: WMux::Zero,
+    };
+    // Feed 3 then 5 into A; with INMODE[0] (A1 select) the *newer* value is
+    // used one cycle earlier than through A2.
+    let io_a1 = DspInputs {
+        a: 5,
+        b: 2,
+        opmode: mul,
+        alumode: AluMode::ADD,
+        inmode: InMode::decode(0b10001).unwrap(), // A1 + B1 select
+        ..DspInputs::default()
+    };
+    s.tick(&io_a1); // A1 = 5, B1 = 2
+    let out = s.tick(&io_a1); // ALU saw A1(5) * B1(2) at this edge
+    assert_eq!(out.p.value(), 10, "A1/B1 path skips the second stage");
+}
+
+#[test]
+fn inmode_gate_a_zeroes_the_product() {
+    let attrs = Attributes {
+        regs: RegStages::none(),
+        use_mult: UseMult::Multiply,
+        ..Attributes::default()
+    };
+    let mut s = Dsp48e2::new(attrs);
+    let mul = OpMode {
+        x: XMux::M,
+        y: YMux::M,
+        z: ZMux::Zero,
+        w: WMux::Zero,
+    };
+    let io = DspInputs {
+        a: 7,
+        b: 6,
+        opmode: mul,
+        alumode: AluMode::ADD,
+        inmode: InMode::decode(0b00010).unwrap(), // gate A
+        ..DspInputs::default()
+    };
+    assert_eq!(s.tick(&io).p.value(), 0);
+}
+
+#[test]
+fn pre_adder_d_plus_a_times_b() {
+    let attrs = Attributes {
+        regs: RegStages::none(),
+        use_mult: UseMult::Multiply,
+        ..Attributes::default()
+    };
+    let mut s = Dsp48e2::new(attrs);
+    let mul = OpMode {
+        x: XMux::M,
+        y: YMux::M,
+        z: ZMux::Zero,
+        w: WMux::Zero,
+    };
+    let io = DspInputs {
+        a: 3,
+        b: 10,
+        d: 4,
+        opmode: mul,
+        alumode: AluMode::ADD,
+        inmode: InMode::decode(0b00100).unwrap(), // use D: (A + D) * B
+        ..DspInputs::default()
+    };
+    assert_eq!(s.tick(&io).p.value(), 70);
+}
+
+#[test]
+fn carryinsel_pcin_msb_rounds() {
+    let attrs = Attributes {
+        regs: RegStages::none(),
+        ..Attributes::cam_cell()
+    };
+    let mut s = Dsp48e2::new(attrs);
+    let io = DspInputs {
+        pcin: P48::new(1 << 47), // negative PCIN
+        opmode: OpMode {
+            x: XMux::Zero,
+            y: YMux::Zero,
+            z: ZMux::Pcin,
+            w: WMux::Zero,
+        },
+        alumode: AluMode::ADD,
+        carryinsel: CarryInSel::PcinMsb,
+        ..DspInputs::default()
+    };
+    // P = PCIN + PCIN[47] = 0x800000000000 + 1.
+    assert_eq!(s.tick(&io).p.value(), 0x8000_0000_0001);
+
+    let io2 = DspInputs {
+        carryinsel: CarryInSel::NotPcinMsb,
+        pcin: P48::new(4),
+        ..io
+    };
+    // ~PCIN[47] = 1 for a positive PCIN.
+    assert_eq!(s.tick(&io2).p.value(), 5);
+}
+
+#[test]
+fn carrycascout_feeds_back_internally() {
+    let attrs = Attributes {
+        regs: RegStages {
+            a: 0,
+            b: 0,
+            c: 0,
+            d: 0,
+            ad: 0,
+            m: 0,
+            p: 1,
+            ctrl: 0,
+        },
+        ..Attributes::cam_cell()
+    };
+    let mut s = Dsp48e2::new(attrs);
+    let (a, b) = P48::ONES.to_ab();
+    // First op overflows 48 bits -> CARRYCASCOUT registers 1.
+    let overflow = DspInputs {
+        a,
+        b,
+        c: 1,
+        opmode: opmode_ab_plus_c(),
+        alumode: AluMode::ADD,
+        ..DspInputs::default()
+    };
+    let out = s.tick(&overflow);
+    assert!(out.carry_casc_out);
+    // Second op consumes it via CARRYINSEL = CarryCascOut.
+    let consume = DspInputs {
+        a: 0,
+        b: 0,
+        c: 10,
+        opmode: opmode_ab_plus_c(),
+        alumode: AluMode::ADD,
+        carryinsel: CarryInSel::CarryCascOut,
+        ..DspInputs::default()
+    };
+    assert_eq!(s.tick(&consume).p.value(), 11);
+}
+
+#[test]
+fn pattern_from_c_with_registered_c() {
+    let attrs = Attributes {
+        regs: RegStages {
+            a: 1,
+            b: 1,
+            c: 1,
+            d: 0,
+            ad: 0,
+            m: 0,
+            p: 1,
+            ctrl: 0,
+        },
+        sel_pattern: PatternSelect::C,
+        sel_mask: MaskSelect::Mask,
+        pattern: P48::ZERO,
+        mask: P48::ZERO,
+        ..Attributes::cam_cell()
+    };
+    let mut s = Dsp48e2::new(attrs);
+    // P accumulates A:B; detector compares P against the registered C.
+    let (a, b) = P48::new(77).to_ab();
+    let io = DspInputs {
+        a,
+        b,
+        c: 77,
+        opmode: OpMode {
+            x: XMux::Ab,
+            y: YMux::Zero,
+            z: ZMux::Zero,
+            w: WMux::Zero,
+        },
+        alumode: AluMode::ADD,
+        ..DspInputs::default()
+    };
+    s.tick(&io); // registers load
+    let out = s.tick(&io); // P <= 77; detect vs C(77)
+    assert!(out.pattern_detect);
+    assert!(!out.pattern_b_detect);
+}
+
+#[test]
+fn per_bank_reset_is_selective() {
+    let mut s = Dsp48e2::new(Attributes::cam_cell());
+    let (a, b) = P48::new(0xBEEF).to_ab();
+    let load = DspInputs {
+        a,
+        b,
+        c: 0x1234,
+        opmode: OpMode::CAM_XOR,
+        alumode: AluMode::XOR,
+        ..DspInputs::default()
+    };
+    s.tick(&load);
+    assert_eq!(s.stored_ab().value(), 0xBEEF);
+    // Reset only C; A/B content must survive.
+    let rst_c = DspInputs {
+        rst: Resets {
+            c: true,
+            ..Resets::default()
+        },
+        ce: ClockEnables::none(),
+        opmode: OpMode::CAM_XOR,
+        alumode: AluMode::XOR,
+        ..DspInputs::default()
+    };
+    s.tick(&rst_c);
+    assert_eq!(s.stored_ab().value(), 0xBEEF, "A/B untouched by RSTC");
+    // Now reset A/B.
+    let rst_ab = DspInputs {
+        rst: Resets {
+            a: true,
+            b: true,
+            ..Resets::default()
+        },
+        ce: ClockEnables::none(),
+        opmode: OpMode::CAM_XOR,
+        alumode: AluMode::XOR,
+        ..DspInputs::default()
+    };
+    s.tick(&rst_ab);
+    assert_eq!(s.stored_ab(), P48::ZERO);
+}
+
+#[test]
+fn rnd_constant_through_w_mux() {
+    let attrs = Attributes {
+        regs: RegStages::none(),
+        rnd: P48::new(0x800),
+        ..Attributes::cam_cell()
+    };
+    let mut s = Dsp48e2::new(attrs);
+    let io = DspInputs {
+        c: 0x7FF,
+        opmode: OpMode {
+            x: XMux::Zero,
+            y: YMux::Zero,
+            z: ZMux::C,
+            w: WMux::Rnd,
+        },
+        alumode: AluMode::ADD,
+        ..DspInputs::default()
+    };
+    assert_eq!(s.tick(&io).p.value(), 0xFFF);
+}
+
+#[test]
+fn p_feedback_macc_with_shift() {
+    // Multiply-accumulate with the P>>17 path: P <= (P >> 17) + A:B.
+    let attrs = Attributes {
+        regs: RegStages {
+            a: 0,
+            b: 0,
+            c: 0,
+            d: 0,
+            ad: 0,
+            m: 0,
+            p: 1,
+            ctrl: 0,
+        },
+        ..Attributes::cam_cell()
+    };
+    let mut s = Dsp48e2::new(attrs);
+    let (a, b) = P48::new(1 << 20).to_ab();
+    let io = DspInputs {
+        a,
+        b,
+        opmode: OpMode {
+            x: XMux::Ab,
+            y: YMux::Zero,
+            z: ZMux::PShift17,
+            w: WMux::Zero,
+        },
+        alumode: AluMode::ADD,
+        ..DspInputs::default()
+    };
+    s.tick(&io); // P = 1<<20
+    let out = s.tick(&io); // P = (1<<20 >> 17) + 1<<20 = 8 + 1<<20
+    assert_eq!(out.p.value(), (1 << 20) + 8);
+}
+
+#[test]
+fn clock_enable_gates_the_p_register() {
+    let mut s = Dsp48e2::new(Attributes::cam_cell());
+    let (a, b) = P48::new(0xAA).to_ab();
+    // Establish a mismatch: store 0xAA, search 0x55 -> P = 0xFF, no detect.
+    let mismatch = DspInputs {
+        a,
+        b,
+        c: 0x55,
+        opmode: OpMode::CAM_XOR,
+        alumode: AluMode::XOR,
+        ..DspInputs::default()
+    };
+    s.tick(&mismatch);
+    let out = s.tick(&mismatch);
+    assert_eq!(out.p.value(), 0xFF);
+    assert!(!out.pattern_detect);
+
+    // Present the matching key but keep CEP low: C latches, P freezes.
+    let mut hold_p = DspInputs {
+        c: 0xAA,
+        opmode: OpMode::CAM_XOR,
+        alumode: AluMode::XOR,
+        ce: ClockEnables::none(),
+        ..DspInputs::default()
+    };
+    hold_p.ce.c = true;
+    let frozen = s.tick(&hold_p);
+    assert_eq!(frozen.p.value(), 0xFF, "P frozen with CEP low");
+    assert!(!frozen.pattern_detect, "flags frozen with P");
+
+    // Raise CEP: the XOR of the matching key latches and detect fires.
+    let mut release = hold_p;
+    release.ce = ClockEnables::none();
+    release.ce.p = true;
+    let live = s.tick(&release);
+    assert_eq!(live.p, P48::ZERO);
+    assert!(live.pattern_detect, "XOR result latched once CEP asserts");
+}

@@ -1,0 +1,300 @@
+//! Resource estimation for CAM blocks and units.
+//!
+//! ## Calibration
+//!
+//! DSP consumption is exact by construction: one slice per CAM cell. LUT
+//! consumption is fabric control logic (DeMUX, address controllers, result
+//! encoders, routing crossbar) whose post-synthesis size depends on the
+//! vendor mapper; the model interpolates piecewise-linearly between the
+//! paper's published implementation points:
+//!
+//! * **block** (Table VI): `(32, 694) (64, 745) (128, 808) (256, 1225)
+//!   (512, 1371)` — the jump at 256 is the extra output buffer stage the
+//!   paper inserts to close timing;
+//! * **unit** (Table VII): `(512, 2491) (1024, 5072) (2048, 10167)
+//!   (4096, 20330) (6144, 29385) (8192, 38191) (9728, 45244)` — close to
+//!   5 LUTs/cell of update/search routing, with the marginal cost easing
+//!   slightly at large sizes as encoder trees amortise.
+//!
+//! BRAM is zero for the CAM proper; a complete unit adds 4 BRAM36 for the
+//! bus-interface FIFOs (footnoted under Table I). Flip-flop counts are not
+//! published; the model charges one FF per LUT as a conservative fabric
+//! estimate (unused by any reproduced table).
+
+use serde::Serialize;
+
+use crate::device::Device;
+use crate::resources::ResourceUsage;
+
+fn interp(points: &[(u64, u64)], x: u64) -> u64 {
+    debug_assert!(points.len() >= 2);
+    let first = points[0];
+    if x <= first.0 {
+        // Extrapolate downwards with the first slope, floored at zero.
+        let (x0, y0) = points[0];
+        let (x1, y1) = points[1];
+        let slope = (y1 - y0) as f64 / (x1 - x0) as f64;
+        return (y0 as f64 - slope * (x0 - x) as f64).max(0.0).round() as u64;
+    }
+    for w in points.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if x <= x1 {
+            let t = (x - x0) as f64 / (x1 - x0) as f64;
+            return (y0 as f64 + t * (y1 - y0) as f64).round() as u64;
+        }
+    }
+    let (x0, y0) = points[points.len() - 2];
+    let (x1, y1) = points[points.len() - 1];
+    let slope = (y1 - y0) as f64 / (x1 - x0) as f64;
+    (y1 as f64 + slope * (x - x1) as f64).round() as u64
+}
+
+/// LUT calibration points for a CAM block (Table VI).
+pub const BLOCK_LUT_POINTS: [(u64, u64); 5] =
+    [(32, 694), (64, 745), (128, 808), (256, 1225), (512, 1371)];
+
+/// LUT calibration points for a CAM unit (Table VII).
+pub const UNIT_LUT_POINTS: [(u64, u64); 7] = [
+    (512, 2491),
+    (1024, 5072),
+    (2048, 10167),
+    (4096, 20330),
+    (6144, 29385),
+    (8192, 38191),
+    (9728, 45244),
+];
+
+/// Number of BRAM36 used by the unit's bus-interface FIFOs.
+pub const INTERFACE_BRAM: u64 = 4;
+
+/// Empirical routability ceiling: the fraction of an SLR's DSP column the
+/// broadcast/reduce nets can occupy while still closing timing (the paper's
+/// maximum of 9728 cells is 2432 of the 3072 DSPs in each U250 SLR).
+pub const ROUTABLE_DSP_FRACTION: f64 = 2432.0 / 3072.0;
+
+/// Resource estimator for the DSP-based CAM on a given device.
+///
+/// # Examples
+///
+/// ```
+/// use fpga_model::CamResourceModel;
+///
+/// let model = CamResourceModel::u250();
+/// let usage = model.unit_resources(9728, true);
+/// assert_eq!(usage.dsp, 9728);
+/// assert_eq!(usage.lut, 45_244); // Table VII calibration point
+/// assert_eq!(model.max_unit_cells(256), 9728);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct CamResourceModel {
+    device: Device,
+}
+
+impl CamResourceModel {
+    /// Create an estimator for `device`.
+    #[must_use]
+    pub fn new(device: Device) -> Self {
+        CamResourceModel { device }
+    }
+
+    /// The estimator for the paper's platform.
+    #[must_use]
+    pub fn u250() -> Self {
+        CamResourceModel::new(Device::u250())
+    }
+
+    /// The target device.
+    #[must_use]
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Fabric LUTs consumed by one CAM block of `cells` cells.
+    #[must_use]
+    pub fn block_luts(&self, cells: u64) -> u64 {
+        interp(&BLOCK_LUT_POINTS, cells)
+    }
+
+    /// Fabric LUTs consumed by a CAM unit of `cells` total cells.
+    #[must_use]
+    pub fn unit_luts(&self, cells: u64) -> u64 {
+        interp(&UNIT_LUT_POINTS, cells)
+    }
+
+    /// Full resource vector for a standalone CAM block.
+    #[must_use]
+    pub fn block_resources(&self, cells: u64) -> ResourceUsage {
+        let lut = self.block_luts(cells);
+        ResourceUsage {
+            lut,
+            ff: lut,
+            bram36: 0,
+            uram: 0,
+            dsp: cells,
+        }
+    }
+
+    /// Full resource vector for a CAM unit, including the bus-interface
+    /// FIFOs when `with_interface` is set (as in the paper's Table I row).
+    #[must_use]
+    pub fn unit_resources(&self, cells: u64, with_interface: bool) -> ResourceUsage {
+        let lut = self.unit_luts(cells);
+        ResourceUsage {
+            lut,
+            ff: lut,
+            bram36: if with_interface { INTERFACE_BRAM } else { 0 },
+            uram: 0,
+            dsp: cells,
+        }
+    }
+
+    /// The largest unit (in cells) this device can host, as a multiple of
+    /// `block_size`, under the empirical per-SLR routability ceiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    #[must_use]
+    pub fn max_unit_cells(&self, block_size: u64) -> u64 {
+        assert!(block_size > 0, "block size must be positive");
+        let per_slr = (self.device.dsp_per_slr() as f64 * ROUTABLE_DSP_FRACTION) as u64;
+        let routable = per_slr * u64::from(self.device.slr_count);
+        let capped = routable.min(self.device.dsp_usable);
+        capped / block_size * block_size
+    }
+
+    /// Check whether a unit of `cells` fits the device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] naming the binding resource.
+    pub fn check_fit(&self, cells: u64) -> Result<(), CapacityError> {
+        let usage = self.unit_resources(cells, true);
+        if usage.dsp > self.device.dsp_usable {
+            return Err(CapacityError {
+                resource: "DSP",
+                required: usage.dsp,
+                available: self.device.dsp_usable,
+            });
+        }
+        if usage.lut > self.device.luts {
+            return Err(CapacityError {
+                resource: "LUT",
+                required: usage.lut,
+                available: self.device.luts,
+            });
+        }
+        if usage.bram36 > self.device.bram36 {
+            return Err(CapacityError {
+                resource: "BRAM",
+                required: usage.bram36,
+                available: self.device.bram36,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A design exceeded the device's capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapacityError {
+    /// The binding resource class.
+    pub resource: &'static str,
+    /// Units required.
+    pub required: u64,
+    /// Units available.
+    pub available: u64,
+}
+
+impl std::fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "design needs {} {} but the device has {}",
+            self.required, self.resource, self.available
+        )
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_luts_reproduce_table_vi() {
+        let m = CamResourceModel::u250();
+        for (cells, lut) in BLOCK_LUT_POINTS {
+            assert_eq!(m.block_luts(cells), lut, "at {cells} cells");
+        }
+    }
+
+    #[test]
+    fn unit_luts_reproduce_table_vii() {
+        let m = CamResourceModel::u250();
+        for (cells, lut) in UNIT_LUT_POINTS {
+            assert_eq!(m.unit_luts(cells), lut, "at {cells} cells");
+        }
+    }
+
+    #[test]
+    fn interpolation_is_monotonic() {
+        let m = CamResourceModel::u250();
+        let mut last = 0;
+        for cells in (512..=9728).step_by(256) {
+            let lut = m.unit_luts(cells);
+            assert!(lut >= last, "LUTs must not shrink with size");
+            last = lut;
+        }
+    }
+
+    #[test]
+    fn block_resources_include_dsp_per_cell() {
+        let m = CamResourceModel::u250();
+        let r = m.block_resources(256);
+        assert_eq!(r.dsp, 256);
+        assert_eq!(r.bram36, 0);
+        assert_eq!(r.lut, 1225);
+    }
+
+    #[test]
+    fn unit_interface_brams() {
+        let m = CamResourceModel::u250();
+        assert_eq!(m.unit_resources(9728, true).bram36, 4);
+        assert_eq!(m.unit_resources(9728, false).bram36, 0);
+    }
+
+    #[test]
+    fn max_unit_matches_paper_maximum() {
+        let m = CamResourceModel::u250();
+        // 2432 routable per SLR x 4 SLRs = 9728, the paper's max config.
+        assert_eq!(m.max_unit_cells(256), 9728);
+        assert_eq!(m.max_unit_cells(128), 9728);
+        assert_eq!(m.max_unit_cells(512), 9728);
+    }
+
+    #[test]
+    fn check_fit_boundaries() {
+        let m = CamResourceModel::u250();
+        assert!(m.check_fit(9728).is_ok());
+        let err = m.check_fit(11_509).unwrap_err();
+        assert_eq!(err.resource, "DSP");
+        assert!(err.to_string().contains("DSP"));
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_size_panics() {
+        let _ = CamResourceModel::u250().max_unit_cells(0);
+    }
+
+    #[test]
+    fn small_and_large_extrapolation_sane() {
+        let m = CamResourceModel::u250();
+        assert!(m.block_luts(16) > 0);
+        assert!(m.block_luts(16) < 694);
+        assert!(m.unit_luts(10_240) > 45_244);
+    }
+}

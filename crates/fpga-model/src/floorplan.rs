@@ -1,0 +1,119 @@
+//! The super-logic-region (SLR) floorplan model.
+//!
+//! The Alveo U250 is four stacked dies (SLRs) joined by a limited number of
+//! silicon-interposer wires. A CAM unit whose DSP column requirement exceeds
+//! one SLR must route its broadcast and result-reduction nets across SLR
+//! boundaries, which is the dominant cause of the frequency derate the paper
+//! observes in Table VII (300 MHz within one SLR, falling to 235 MHz at
+//! 9728 cells spanning all four).
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::Device;
+
+/// SLR occupancy of a design needing a given number of DSPs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlrModel {
+    /// DSP slices available per SLR.
+    pub dsp_per_slr: u64,
+    /// Number of SLRs on the part.
+    pub slr_count: u32,
+}
+
+impl SlrModel {
+    /// Build from a device description.
+    #[must_use]
+    pub fn for_device(device: &Device) -> Self {
+        SlrModel {
+            dsp_per_slr: device.dsp_per_slr(),
+            slr_count: device.slr_count,
+        }
+    }
+
+    /// Number of SLRs a design with `dsp` slices must span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requirement exceeds the device.
+    #[must_use]
+    pub fn slrs_needed(&self, dsp: u64) -> u32 {
+        if dsp == 0 {
+            return 0;
+        }
+        let needed = dsp.div_ceil(self.dsp_per_slr);
+        assert!(
+            needed <= u64::from(self.slr_count),
+            "{dsp} DSPs exceed the device ({} per SLR x {})",
+            self.dsp_per_slr,
+            self.slr_count
+        );
+        needed as u32
+    }
+
+    /// Number of SLR boundary crossings on the broadcast/reduce nets.
+    #[must_use]
+    pub fn crossings(&self, dsp: u64) -> u32 {
+        self.slrs_needed(dsp).saturating_sub(1)
+    }
+
+    /// Whether the design fits in a single SLR (the constraint the paper
+    /// applies to the triangle-counting accelerator so it is comparable to
+    /// the baseline).
+    #[must_use]
+    pub fn single_slr(&self, dsp: u64) -> bool {
+        self.slrs_needed(dsp) <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+
+    fn u250_model() -> SlrModel {
+        SlrModel::for_device(&Device::u250())
+    }
+
+    #[test]
+    fn u250_slr_geometry() {
+        let m = u250_model();
+        assert_eq!(m.dsp_per_slr, 3072);
+        assert_eq!(m.slr_count, 4);
+    }
+
+    #[test]
+    fn slr_occupancy_of_table_vii_points() {
+        let m = u250_model();
+        assert_eq!(m.slrs_needed(512), 1);
+        assert_eq!(m.slrs_needed(2048), 1);
+        assert_eq!(m.slrs_needed(3072), 1);
+        assert_eq!(m.slrs_needed(4096), 2);
+        assert_eq!(m.slrs_needed(6144), 2);
+        assert_eq!(m.slrs_needed(8192), 3);
+        assert_eq!(m.slrs_needed(9728), 4);
+    }
+
+    #[test]
+    fn crossings_grow_with_size() {
+        let m = u250_model();
+        assert_eq!(m.crossings(2048), 0);
+        assert_eq!(m.crossings(4096), 1);
+        assert_eq!(m.crossings(9728), 3);
+        assert_eq!(m.crossings(0), 0);
+    }
+
+    #[test]
+    fn single_slr_constraint_for_case_study() {
+        let m = u250_model();
+        // The TC accelerator uses a 2K-entry unit: one SLR, like the baseline.
+        assert!(m.single_slr(2048));
+        assert!(!m.single_slr(4096));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the device")]
+    fn oversubscription_panics() {
+        let m = u250_model();
+        let _ = m.slrs_needed(13_000);
+    }
+}

@@ -1,0 +1,36 @@
+//! # fpga-model — devices, resources, timing and the published CAM survey
+//!
+//! The reproduction cannot run Vivado, so implementation-level quantities
+//! (LUT counts, achievable frequency) come from an analytical model
+//! *calibrated against the paper's own published measurements* (Tables VI
+//! and VII). This crate holds:
+//!
+//! * [`device`] — resource capacities of the FPGA parts appearing in the
+//!   paper (Table IV for the Alveo U250, plus every platform in the
+//!   Table I survey);
+//! * [`resources`] — the `ResourceUsage` vector and utilisation math;
+//! * [`floorplan`] — the U250's four-SLR layout, which explains the
+//!   frequency derate of large CAM units;
+//! * [`estimate`] — LUT/DSP/BRAM estimation for CAM blocks and units;
+//! * [`timing`] — the frequency model;
+//! * [`survey`] — Table I of the paper as data, plus the qualitative axes
+//!   of Figure 1;
+//! * [`report`] — a plain-text table renderer shared by the bench harnesses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod estimate;
+pub mod floorplan;
+pub mod report;
+pub mod resources;
+pub mod survey;
+pub mod timing;
+
+pub use device::Device;
+pub use estimate::CamResourceModel;
+pub use floorplan::SlrModel;
+pub use resources::ResourceUsage;
+pub use survey::{Category, SurveyEntry};
+pub use timing::FrequencyModel;

@@ -1,0 +1,218 @@
+//! Plain-text table rendering shared by the bench harnesses.
+//!
+//! Every `tableN_*` bench prints its reproduction with [`Table`] so the
+//! output lines up with the paper's layout and is diff-friendly across runs.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; it is padded or truncated to the header width.
+    pub fn row(&mut self, cells: &[String]) {
+        let mut row: Vec<String> = cells.to_vec();
+        row.resize(self.header.len(), String::new());
+        row.truncate(self.header.len());
+        self.rows.push(row);
+    }
+
+    /// Append a row of displayable values.
+    pub fn row_display<T: std::fmt::Display>(&mut self, cells: &[T]) {
+        let cells: Vec<String> = cells.iter().map(ToString::to_string).collect();
+        self.row(&cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("== {} ==\n", self.title));
+        }
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<width$}", width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Table {
+    /// Render as CSV (header row + data rows, RFC-4180 quoting).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let mut write_row = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| quote(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        write_row(&self.header);
+        for row in &self.rows {
+            write_row(row);
+        }
+        out
+    }
+
+    /// Write the CSV rendering to `dir/<name>.csv`, creating `dir` if
+    /// needed. Returns the written path. Used by the bench harnesses to
+    /// persist machine-readable copies of every reproduced table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_csv(
+        &self,
+        dir: impl AsRef<std::path::Path>,
+        name: &str,
+    ) -> std::io::Result<std::path::PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Format a float with a fixed number of decimals (bench convenience).
+#[must_use]
+pub fn fmt_f(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Format a utilisation fraction as a percentage string.
+#[must_use]
+pub fn fmt_pct(fraction: f64) -> String {
+    format!("{:.2}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("name"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header + separator + 2 rows + title
+        assert_eq!(lines.len(), 5);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn rows_are_padded_and_truncated() {
+        let mut t = Table::new("", &["a", "b", "c"]);
+        t.row(&["1".into()]);
+        t.row(&["1".into(), "2".into(), "3".into(), "4".into()]);
+        let s = t.render();
+        assert!(!s.contains('4'));
+    }
+
+    #[test]
+    fn row_display_converts() {
+        let mut t = Table::new("", &["x", "y"]);
+        t.row_display(&[10, 20]);
+        assert!(t.render().contains("10"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_pct(0.7925), "79.25%");
+    }
+
+    #[test]
+    fn csv_rendering_quotes_properly() {
+        let mut t = Table::new("ignored", &["name", "value"]);
+        t.row(&["plain".into(), "1".into()]);
+        t.row(&["with,comma".into(), "quote\"d".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "plain,1");
+        assert_eq!(lines[2], "\"with,comma\",\"quote\"\"d\"");
+    }
+
+    #[test]
+    fn csv_saves_to_disk() {
+        let mut t = Table::new("t", &["a"]);
+        t.row(&["1".into()]);
+        let dir = std::env::temp_dir().join("dsp_cam_report_test");
+        let path = t.save_csv(&dir, "unit").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), t.to_csv());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = Table::new("T", &["h"]);
+        t.row(&["v".into()]);
+        assert_eq!(t.to_string(), t.render());
+    }
+}

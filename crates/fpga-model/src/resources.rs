@@ -1,0 +1,236 @@
+//! FPGA resource vectors and utilisation arithmetic.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul};
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::Device;
+
+/// A vector of consumed FPGA resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// Look-up tables.
+    pub lut: u64,
+    /// Flip-flops / registers.
+    pub ff: u64,
+    /// 36 Kb block RAMs.
+    pub bram36: u64,
+    /// UltraRAM blocks.
+    pub uram: u64,
+    /// DSP slices.
+    pub dsp: u64,
+}
+
+impl ResourceUsage {
+    /// The zero vector.
+    pub const ZERO: ResourceUsage = ResourceUsage {
+        lut: 0,
+        ff: 0,
+        bram36: 0,
+        uram: 0,
+        dsp: 0,
+    };
+
+    /// A usage of only DSP slices — the dominant term for this paper's CAM.
+    #[must_use]
+    pub fn dsps(n: u64) -> Self {
+        ResourceUsage {
+            dsp: n,
+            ..ResourceUsage::ZERO
+        }
+    }
+
+    /// A usage of only LUTs.
+    #[must_use]
+    pub fn luts(n: u64) -> Self {
+        ResourceUsage {
+            lut: n,
+            ..ResourceUsage::ZERO
+        }
+    }
+
+    /// Utilisation of each resource class on `device`, as fractions in
+    /// `[0, ∞)` (more than 1.0 means the design does not fit).
+    #[must_use]
+    pub fn utilisation(&self, device: &Device) -> Utilisation {
+        let frac = |used: u64, avail: u64| {
+            if avail == 0 {
+                if used == 0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                used as f64 / avail as f64
+            }
+        };
+        Utilisation {
+            lut: frac(self.lut, device.luts),
+            ff: frac(self.ff, device.registers),
+            bram36: frac(self.bram36, device.bram36),
+            uram: frac(self.uram, device.uram),
+            dsp: frac(self.dsp, device.dsp),
+        }
+    }
+
+    /// Whether this usage fits within `device`.
+    #[must_use]
+    pub fn fits(&self, device: &Device) -> bool {
+        self.lut <= device.luts
+            && self.ff <= device.registers
+            && self.bram36 <= device.bram36
+            && self.uram <= device.uram
+            && self.dsp <= device.dsp
+    }
+}
+
+impl Add for ResourceUsage {
+    type Output = ResourceUsage;
+    fn add(self, rhs: ResourceUsage) -> ResourceUsage {
+        ResourceUsage {
+            lut: self.lut + rhs.lut,
+            ff: self.ff + rhs.ff,
+            bram36: self.bram36 + rhs.bram36,
+            uram: self.uram + rhs.uram,
+            dsp: self.dsp + rhs.dsp,
+        }
+    }
+}
+
+impl AddAssign for ResourceUsage {
+    fn add_assign(&mut self, rhs: ResourceUsage) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for ResourceUsage {
+    type Output = ResourceUsage;
+    fn mul(self, n: u64) -> ResourceUsage {
+        ResourceUsage {
+            lut: self.lut * n,
+            ff: self.ff * n,
+            bram36: self.bram36 * n,
+            uram: self.uram * n,
+            dsp: self.dsp * n,
+        }
+    }
+}
+
+impl std::iter::Sum for ResourceUsage {
+    fn sum<I: Iterator<Item = ResourceUsage>>(iter: I) -> ResourceUsage {
+        iter.fold(ResourceUsage::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for ResourceUsage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LUT {} / FF {} / BRAM {} / URAM {} / DSP {}",
+            self.lut, self.ff, self.bram36, self.uram, self.dsp
+        )
+    }
+}
+
+/// Per-class utilisation fractions produced by [`ResourceUsage::utilisation`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Utilisation {
+    /// LUT fraction.
+    pub lut: f64,
+    /// Register fraction.
+    pub ff: f64,
+    /// BRAM36 fraction.
+    pub bram36: f64,
+    /// URAM fraction.
+    pub uram: f64,
+    /// DSP fraction.
+    pub dsp: f64,
+}
+
+impl Utilisation {
+    /// The largest fraction across all classes (the binding constraint).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.lut.max(self.ff).max(self.bram36).max(self.uram).max(self.dsp)
+    }
+}
+
+impl fmt::Display for Utilisation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LUT {:.2}% / FF {:.2}% / BRAM {:.2}% / URAM {:.2}% / DSP {:.2}%",
+            self.lut * 100.0,
+            self.ff * 100.0,
+            self.bram36 * 100.0,
+            self.uram * 100.0,
+            self.dsp * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+
+    #[test]
+    fn addition_and_scaling() {
+        let a = ResourceUsage::dsps(2) + ResourceUsage::luts(10);
+        let b = a * 3;
+        assert_eq!(b.dsp, 6);
+        assert_eq!(b.lut, 30);
+        let mut c = ResourceUsage::ZERO;
+        c += b;
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: ResourceUsage = (0..4).map(|_| ResourceUsage::dsps(256)).sum();
+        assert_eq!(total.dsp, 1024);
+    }
+
+    #[test]
+    fn utilisation_against_u250() {
+        let u250 = Device::u250();
+        // Table I: our design uses 9728 DSP = 79.17% of 12288.
+        let usage = ResourceUsage::dsps(9728);
+        let util = usage.utilisation(&u250);
+        assert!((util.dsp - 9728.0 / 12288.0).abs() < 1e-12);
+        assert!(usage.fits(&u250));
+    }
+
+    #[test]
+    fn over_capacity_does_not_fit() {
+        let u250 = Device::u250();
+        assert!(!ResourceUsage::dsps(20_000).fits(&u250));
+        let util = ResourceUsage::dsps(20_000).utilisation(&u250);
+        assert!(util.dsp > 1.0);
+        assert!(util.max() > 1.0);
+    }
+
+    #[test]
+    fn zero_capacity_class_handled() {
+        let dev = Device {
+            uram: 0,
+            ..Device::u250()
+        };
+        let ok = ResourceUsage::ZERO.utilisation(&dev);
+        assert_eq!(ok.uram, 0.0);
+        let bad = ResourceUsage {
+            uram: 1,
+            ..ResourceUsage::ZERO
+        }
+        .utilisation(&dev);
+        assert!(bad.uram.is_infinite());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!ResourceUsage::dsps(1).to_string().is_empty());
+        let u = ResourceUsage::dsps(1).utilisation(&Device::u250());
+        assert!(u.to_string().contains('%'));
+    }
+}

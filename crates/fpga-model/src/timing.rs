@@ -1,0 +1,192 @@
+//! Achievable-frequency model.
+//!
+//! Timing closure cannot be computed without running the vendor tools, so
+//! the model is **calibrated**: it interpolates piecewise-linearly between
+//! the paper's published implementation points (Tables VI and VII) and
+//! extrapolates with the nearest segment's slope. The *cause* of the derate
+//! is captured structurally by [`crate::floorplan::SlrModel`] — frequency is
+//! flat at 300 MHz while the unit fits one SLR and falls as the broadcast
+//! nets start crossing SLR boundaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Piecewise-linear frequency model over a size axis (number of CAM cells).
+///
+/// # Examples
+///
+/// ```
+/// use fpga_model::FrequencyModel;
+///
+/// let model = FrequencyModel::u250_unit();
+/// assert_eq!(model.frequency_mhz(2048), 300.0); // one SLR
+/// assert_eq!(model.frequency_mhz(9728), 235.0); // four SLRs (Table VII)
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyModel {
+    /// Calibration points `(cells, MHz)`, strictly increasing in `cells`.
+    points: Vec<(u64, f64)>,
+}
+
+impl FrequencyModel {
+    /// Build from explicit calibration points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than one point is given or sizes are not strictly
+    /// increasing.
+    #[must_use]
+    pub fn from_points(points: Vec<(u64, f64)>) -> Self {
+        assert!(!points.is_empty(), "need at least one calibration point");
+        assert!(
+            points.windows(2).all(|w| w[0].0 < w[1].0),
+            "calibration sizes must be strictly increasing"
+        );
+        FrequencyModel { points }
+    }
+
+    /// Calibration for a CAM **block** on the U250: 300 MHz at every
+    /// evaluated size (Table VI).
+    #[must_use]
+    pub fn u250_block() -> Self {
+        FrequencyModel::from_points(vec![(32, 300.0), (512, 300.0)])
+    }
+
+    /// Calibration for a CAM **unit** on the U250 (Table VII): flat at
+    /// 300 MHz while within one SLR, derated beyond.
+    #[must_use]
+    pub fn u250_unit() -> Self {
+        FrequencyModel::from_points(vec![
+            (512, 300.0),
+            (1024, 300.0),
+            (2048, 300.0),
+            (4096, 265.0),
+            (6144, 252.0),
+            (8192, 240.0),
+            (9728, 235.0),
+        ])
+    }
+
+    /// Calibration for the 32-bit-data CAM unit of Table VIII. The paper's
+    /// Tables VII and VIII disagree slightly at 4096 cells (265 vs
+    /// 254 MHz — different data widths were implemented); this model
+    /// follows Table VIII's own numbers so that its throughput rows
+    /// (`freq × 16` updates, `freq × 1` searches) reproduce exactly.
+    #[must_use]
+    pub fn u250_unit_32b() -> Self {
+        FrequencyModel::from_points(vec![
+            (128, 300.0),
+            (512, 300.0),
+            (2048, 300.0),
+            (4096, 254.0),
+            (8192, 240.0),
+        ])
+    }
+
+    /// Frequency in MHz at `cells`, interpolating between calibration
+    /// points and clamping the extrapolation to stay positive.
+    #[must_use]
+    pub fn frequency_mhz(&self, cells: u64) -> f64 {
+        let pts = &self.points;
+        if pts.len() == 1 {
+            return pts[0].1;
+        }
+        // Below the first point: flat (small designs close timing easily).
+        if cells <= pts[0].0 {
+            return pts[0].1;
+        }
+        for w in pts.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if cells <= x1 {
+                let t = (cells - x0) as f64 / (x1 - x0) as f64;
+                return y0 + t * (y1 - y0);
+            }
+        }
+        // Beyond the last point: extrapolate with the final slope.
+        let (x0, y0) = pts[pts.len() - 2];
+        let (x1, y1) = pts[pts.len() - 1];
+        let slope = (y1 - y0) / (x1 - x0) as f64;
+        (y1 + slope * (cells - x1) as f64).max(50.0)
+    }
+
+    /// Clock period in nanoseconds at `cells`.
+    #[must_use]
+    pub fn period_ns(&self, cells: u64) -> f64 {
+        1e3 / self.frequency_mhz(cells)
+    }
+
+    /// The calibration points.
+    #[must_use]
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_model_reproduces_table_vii_exactly() {
+        let m = FrequencyModel::u250_unit();
+        for (cells, mhz) in [
+            (512u64, 300.0),
+            (1024, 300.0),
+            (2048, 300.0),
+            (4096, 265.0),
+            (6144, 252.0),
+            (8192, 240.0),
+            (9728, 235.0),
+        ] {
+            assert_eq!(m.frequency_mhz(cells), mhz, "at {cells} cells");
+        }
+    }
+
+    #[test]
+    fn block_model_is_flat_300() {
+        let m = FrequencyModel::u250_block();
+        for cells in [32u64, 64, 128, 256, 512] {
+            assert_eq!(m.frequency_mhz(cells), 300.0);
+        }
+    }
+
+    #[test]
+    fn interpolation_between_points() {
+        let m = FrequencyModel::u250_unit();
+        let mid = m.frequency_mhz(3072); // midway 2048..4096
+        assert!((mid - 282.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_sizes_clamp_to_first_point() {
+        let m = FrequencyModel::u250_unit();
+        assert_eq!(m.frequency_mhz(128), 300.0);
+        assert_eq!(m.frequency_mhz(0), 300.0);
+    }
+
+    #[test]
+    fn extrapolation_beyond_last_point_declines() {
+        let m = FrequencyModel::u250_unit();
+        let f = m.frequency_mhz(11_264);
+        assert!(f < 235.0);
+        assert!(f >= 50.0);
+    }
+
+    #[test]
+    fn period_inverse_of_frequency() {
+        let m = FrequencyModel::u250_unit();
+        assert!((m.period_ns(2048) - 1e3 / 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_points_rejected() {
+        let _ = FrequencyModel::from_points(vec![(10, 1.0), (10, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_points_rejected() {
+        let _ = FrequencyModel::from_points(vec![]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Edge-list → CSR construction, with the preprocessing triangle counting
+//! needs.
+//!
+//! The builder removes self-loops, deduplicates, symmetrises (undirected
+//! semantics) and sorts adjacency lists. [`GraphBuilder::build_oriented`]
+//! additionally produces the *degree-ordered orientation* every serious
+//! triangle counter uses: each undirected edge is kept only from its
+//! lower-degree endpoint to its higher-degree endpoint (ties by vertex
+//! id), which makes every triangle counted exactly once and bounds the
+//! intersected list lengths.
+
+use crate::csr::Csr;
+
+/// Accumulates edges and produces CSR graphs.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    edges: Vec<(u32, u32)>,
+    max_vertex: u32,
+}
+
+impl GraphBuilder {
+    /// Create an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        GraphBuilder::default()
+    }
+
+    /// Create a builder from an edge iterator.
+    #[must_use]
+    pub fn from_edges<I: IntoIterator<Item = (u32, u32)>>(edges: I) -> Self {
+        let mut b = GraphBuilder::new();
+        b.extend(edges);
+        b
+    }
+
+    /// Add one undirected edge.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        self.max_vertex = self.max_vertex.max(u).max(v);
+        self.edges.push((u, v));
+    }
+
+    /// Number of raw (pre-dedup) edges added.
+    #[must_use]
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Canonical undirected edge set: self-loops dropped, `(min, max)`
+    /// ordered, deduplicated.
+    #[must_use]
+    pub fn canonical_edges(&self) -> Vec<(u32, u32)> {
+        let mut canon: Vec<(u32, u32)> = self
+            .edges
+            .iter()
+            .filter(|&&(u, v)| u != v)
+            .map(|&(u, v)| (u.min(v), u.max(v)))
+            .collect();
+        canon.sort_unstable();
+        canon.dedup();
+        canon
+    }
+
+    fn vertex_count(&self) -> usize {
+        if self.edges.is_empty() {
+            0
+        } else {
+            self.max_vertex as usize + 1
+        }
+    }
+
+    fn csr_from_arcs(n: usize, arcs: &[(u32, u32)]) -> Csr {
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _) in arcs {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut targets = vec![0u32; arcs.len()];
+        let mut cursor = offsets.clone();
+        for &(u, v) in arcs {
+            targets[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+        }
+        for v in 0..n {
+            targets[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Csr::new(offsets, targets)
+    }
+
+    /// Build the symmetric (undirected) CSR.
+    #[must_use]
+    pub fn build_undirected(&self) -> Csr {
+        let canon = self.canonical_edges();
+        let mut arcs = Vec::with_capacity(canon.len() * 2);
+        for &(u, v) in &canon {
+            arcs.push((u, v));
+            arcs.push((v, u));
+        }
+        Self::csr_from_arcs(self.vertex_count(), &arcs)
+    }
+
+    /// Build the degree-ordered orientation: one arc per undirected edge,
+    /// pointing from the endpoint with lower degree (ties by id) to the
+    /// higher one.
+    #[must_use]
+    pub fn build_oriented(&self) -> Csr {
+        let canon = self.canonical_edges();
+        let n = self.vertex_count();
+        let mut degree = vec![0u32; n];
+        for &(u, v) in &canon {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let rank = |v: u32| (degree[v as usize], v);
+        let arcs: Vec<(u32, u32)> = canon
+            .iter()
+            .map(|&(u, v)| if rank(u) <= rank(v) { (u, v) } else { (v, u) })
+            .collect();
+        Self::csr_from_arcs(n, &arcs)
+    }
+}
+
+impl Extend<(u32, u32)> for GraphBuilder {
+    fn extend<I: IntoIterator<Item = (u32, u32)>>(&mut self, iter: I) {
+        for (u, v) in iter {
+            self.add_edge(u, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loop_removal() {
+        let b = GraphBuilder::from_edges([(0, 1), (1, 0), (0, 1), (2, 2), (1, 2)]);
+        assert_eq!(b.raw_edge_count(), 5);
+        assert_eq!(b.canonical_edges(), vec![(0, 1), (1, 2)]);
+        let g = b.build_undirected();
+        assert_eq!(g.num_arcs(), 4);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn undirected_is_symmetric_and_sorted() {
+        let b = GraphBuilder::from_edges([(3, 1), (0, 3), (1, 0), (2, 3)]);
+        let g = b.build_undirected();
+        assert!(g.is_sorted());
+        for (u, v) in g.arcs().collect::<Vec<_>>() {
+            assert!(g.neighbors(v).contains(&u), "missing reverse arc {v}->{u}");
+        }
+    }
+
+    #[test]
+    fn oriented_has_one_arc_per_edge() {
+        let b = GraphBuilder::from_edges([(0, 1), (0, 2), (1, 2), (2, 3)]);
+        let g = b.build_oriented();
+        assert_eq!(g.num_arcs(), 4);
+        assert!(g.is_sorted());
+    }
+
+    #[test]
+    fn orientation_points_to_higher_degree() {
+        // Star: hub 0 with leaves 1..=3; leaves have degree 1, hub 3.
+        let b = GraphBuilder::from_edges([(0, 1), (0, 2), (0, 3)]);
+        let g = b.build_oriented();
+        // Every arc must point leaf -> hub.
+        for leaf in 1..=3u32 {
+            assert_eq!(g.neighbors(leaf), &[0]);
+        }
+        assert_eq!(g.degree(0), 0);
+    }
+
+    #[test]
+    fn oriented_is_acyclic_on_triangle() {
+        let b = GraphBuilder::from_edges([(0, 1), (1, 2), (0, 2)]);
+        let g = b.build_oriented();
+        // A triangle with equal degrees orients by id: 0->1, 0->2, 1->2.
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[2]);
+        assert_eq!(g.neighbors(2), &[] as &[u32]);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new().build_undirected();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_arcs(), 0);
+    }
+
+    #[test]
+    fn extend_trait() {
+        let mut b = GraphBuilder::new();
+        b.extend([(0u32, 1u32), (1, 2)]);
+        assert_eq!(b.raw_edge_count(), 2);
+    }
+}

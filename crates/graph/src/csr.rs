@@ -1,0 +1,216 @@
+//! Compressed sparse row (CSR) graph storage.
+//!
+//! The paper's accelerator consumes graphs "in the Compressed Sparse Row
+//! (CSR) format, where each vertex is associated with an offset and length
+//! pointing to its neighbors in a column list" (Section V-A). This module
+//! is that format: an offsets array and a targets array, with the
+//! invariants the accelerator relies on (sorted adjacency, in-bounds
+//! targets).
+
+use serde::{Deserialize, Serialize};
+
+/// A CSR graph (directed; undirected graphs store both arcs).
+///
+/// # Examples
+///
+/// ```
+/// use dsp_cam_graph::builder::GraphBuilder;
+///
+/// let g = GraphBuilder::from_edges([(0, 1), (1, 2)]).build_undirected();
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert_eq!(g.degree(1), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Build from raw arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offsets are not monotonically increasing from 0 to
+    /// `targets.len()`, or if any target is out of range — use
+    /// [`Csr::try_new`] for a recoverable check.
+    #[must_use]
+    pub fn new(offsets: Vec<usize>, targets: Vec<u32>) -> Self {
+        Csr::try_new(offsets, targets).expect("invalid CSR arrays")
+    }
+
+    /// Build from raw arrays, validating the invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated invariant.
+    pub fn try_new(offsets: Vec<usize>, targets: Vec<u32>) -> Result<Self, String> {
+        if offsets.is_empty() {
+            return Err("offsets must contain at least the terminating 0".into());
+        }
+        if offsets[0] != 0 {
+            return Err(format!("offsets[0] = {} (expected 0)", offsets[0]));
+        }
+        if *offsets.last().expect("nonempty") != targets.len() {
+            return Err(format!(
+                "offsets end at {} but there are {} targets",
+                offsets.last().expect("nonempty"),
+                targets.len()
+            ));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets must be monotone".into());
+        }
+        let n = offsets.len() - 1;
+        if let Some(&bad) = targets.iter().find(|&&t| t as usize >= n) {
+            return Err(format!("target {bad} out of range (n = {n})"));
+        }
+        Ok(Csr { offsets, targets })
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored arcs (twice the edge count for undirected graphs).
+    #[must_use]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Degree of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn degree(&self, v: u32) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// The adjacency list of `v` (the "column list" slice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// The CSR offset (start index) of `v`'s list — what the accelerator's
+    /// Load-Offset kernel fetches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn offset(&self, v: u32) -> usize {
+        self.offsets[v as usize]
+    }
+
+    /// Iterate over all arcs as `(source, target)` pairs.
+    pub fn arcs(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.num_vertices() as u32)
+            .flat_map(move |v| self.neighbors(v).iter().map(move |&t| (v, t)))
+    }
+
+    /// Whether every adjacency list is sorted ascending (required by the
+    /// merge baseline).
+    #[must_use]
+    pub fn is_sorted(&self) -> bool {
+        (0..self.num_vertices() as u32).all(|v| self.neighbors(v).windows(2).all(|w| w[0] < w[1]))
+    }
+
+    /// Maximum degree over all vertices (0 for an empty graph).
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as u32)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean degree (0.0 for an empty graph).
+    #[must_use]
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_arcs() as f64 / self.num_vertices() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_graph() -> Csr {
+        // 0-1, 0-2, 1-2 undirected.
+        Csr::new(vec![0, 2, 4, 6], vec![1, 2, 0, 2, 0, 1])
+    }
+
+    #[test]
+    fn geometry_queries() {
+        let g = triangle_graph();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.offset(2), 4);
+        assert!(g.is_sorted());
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.mean_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arcs_iterator() {
+        let g = triangle_graph();
+        let arcs: Vec<(u32, u32)> = g.arcs().collect();
+        assert_eq!(arcs.len(), 6);
+        assert!(arcs.contains(&(0, 1)));
+        assert!(arcs.contains(&(2, 1)));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::new(vec![0], vec![]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_arcs(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.mean_degree(), 0.0);
+    }
+
+    #[test]
+    fn invariant_violations_rejected() {
+        assert!(Csr::try_new(vec![], vec![]).is_err());
+        assert!(Csr::try_new(vec![1, 2], vec![0]).is_err(), "offset[0] != 0");
+        assert!(Csr::try_new(vec![0, 2], vec![0]).is_err(), "bad final offset");
+        assert!(Csr::try_new(vec![0, 2, 1], vec![0, 0]).is_err(), "non-monotone");
+        assert!(
+            Csr::try_new(vec![0, 1], vec![5]).is_err(),
+            "target out of range"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid CSR")]
+    fn new_panics_on_bad_arrays() {
+        let _ = Csr::new(vec![0, 1], vec![7]);
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_lists() {
+        let g = Csr::new(vec![0, 0, 1, 1], vec![0]);
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.neighbors(0), &[] as &[u32]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.degree(2), 0);
+    }
+}

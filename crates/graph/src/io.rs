@@ -1,0 +1,146 @@
+//! SNAP-compatible edge-list text I/O.
+//!
+//! The SNAP archive distributes graphs as whitespace-separated `u v` lines
+//! with `#` comment headers. These helpers read and write that format so a
+//! user who *does* have the real traces can feed them to the accelerators
+//! directly.
+
+use std::io::{BufRead, Write};
+
+/// Error parsing an edge-list stream.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "I/O error reading edge list: {e}"),
+            ParseError::Malformed { line, text } => {
+                write!(f, "malformed edge on line {line}: {text:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Io(e) => Some(e),
+            ParseError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Read a SNAP-format edge list: one `u v` pair per line, `#` comments and
+/// blank lines skipped. Pass `&mut reader` to keep ownership.
+///
+/// # Errors
+///
+/// [`ParseError::Malformed`] on a line that is not two integers;
+/// [`ParseError::Io`] on read failure.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Vec<(u32, u32)>, ParseError> {
+    let mut edges = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |s: Option<&str>| -> Option<u32> { s.and_then(|t| t.parse().ok()) };
+        match (parse(parts.next()), parse(parts.next())) {
+            (Some(u), Some(v)) => edges.push((u, v)),
+            _ => {
+                return Err(ParseError::Malformed {
+                    line: idx + 1,
+                    text: trimmed.to_string(),
+                })
+            }
+        }
+    }
+    Ok(edges)
+}
+
+/// Write a SNAP-format edge list with a comment header. Pass `&mut writer`
+/// to keep ownership.
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_edge_list<W: Write>(
+    mut writer: W,
+    name: &str,
+    edges: &[(u32, u32)],
+) -> std::io::Result<()> {
+    writeln!(writer, "# {name}")?;
+    writeln!(writer, "# Edges: {}", edges.len())?;
+    for &(u, v) in edges {
+        writeln!(writer, "{u}\t{v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_snap_format() {
+        let text = "# Directed graph\n# Nodes: 3 Edges: 2\n0\t1\n1 2\n\n";
+        let edges = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let text = "0 1\nnot an edge\n";
+        match read_edge_list(text.as_bytes()) {
+            Err(ParseError::Malformed { line, text }) => {
+                assert_eq!(line, 2);
+                assert!(text.contains("not"));
+            }
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_number_line_is_malformed() {
+        assert!(read_edge_list("42\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let edges = vec![(0u32, 1u32), (5, 9), (2, 2)];
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, "test-graph", &edges).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("# test-graph"));
+        let back = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(back, edges);
+    }
+
+    #[test]
+    fn error_display() {
+        let err = ParseError::Malformed {
+            line: 7,
+            text: "x".into(),
+        };
+        assert!(err.to_string().contains('7'));
+    }
+}

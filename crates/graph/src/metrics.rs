@@ -1,0 +1,171 @@
+//! Workload-characterisation metrics.
+//!
+//! The CAM-vs-merge trade-off is governed by the adjacency-length
+//! distribution (Section V of the paper); these metrics quantify it so
+//! the dataset stand-ins can be checked against their real-trace families
+//! and so ablation reports can explain *why* a graph lands where it does.
+
+use serde::Serialize;
+
+use crate::csr::Csr;
+
+/// Degree-distribution summary of a graph.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DegreeStats {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of stored arcs.
+    pub arcs: usize,
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Degree variance.
+    pub variance: f64,
+    /// `max / mean` — the skew signal that predicts CAM speedup.
+    pub skew: f64,
+}
+
+/// Compute [`DegreeStats`].
+#[must_use]
+pub fn degree_stats(g: &Csr) -> DegreeStats {
+    let n = g.num_vertices();
+    if n == 0 {
+        return DegreeStats {
+            vertices: 0,
+            arcs: 0,
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            variance: 0.0,
+            skew: 0.0,
+        };
+    }
+    let degrees: Vec<usize> = (0..n as u32).map(|v| g.degree(v)).collect();
+    let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
+    let variance = degrees
+        .iter()
+        .map(|&d| (d as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n as f64;
+    let min = degrees.iter().copied().min().unwrap_or(0);
+    let max = degrees.iter().copied().max().unwrap_or(0);
+    DegreeStats {
+        vertices: n,
+        arcs: g.num_arcs(),
+        min,
+        max,
+        mean,
+        variance,
+        skew: if mean > 0.0 { max as f64 / mean } else { 0.0 },
+    }
+}
+
+/// Histogram of degrees in power-of-two buckets: `buckets[k]` counts
+/// vertices with degree in `[2^k, 2^(k+1))` (`buckets[0]` includes degree
+/// 0 and 1).
+#[must_use]
+pub fn degree_histogram(g: &Csr) -> Vec<usize> {
+    let mut buckets = vec![0usize; 1];
+    for v in 0..g.num_vertices() as u32 {
+        let d = g.degree(v);
+        let k = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros()) as usize - 1
+        };
+        if buckets.len() <= k {
+            buckets.resize(k + 1, 0);
+        }
+        buckets[k] += 1;
+    }
+    buckets
+}
+
+/// Global clustering coefficient: `3 × triangles / open wedges`.
+///
+/// Expects the *undirected* graph; uses the oriented merge counter
+/// internally.
+#[must_use]
+pub fn clustering_coefficient(undirected: &Csr) -> f64 {
+    let mut wedges = 0u64;
+    for v in 0..undirected.num_vertices() as u32 {
+        let d = undirected.degree(v) as u64;
+        wedges += d * d.saturating_sub(1) / 2;
+    }
+    if wedges == 0 {
+        return 0.0;
+    }
+    // Rebuild an orientation for exact counting.
+    let edges: Vec<(u32, u32)> = undirected.arcs().filter(|&(u, v)| u < v).collect();
+    let triangles = crate::triangle::count_edges(&edges);
+    3.0 * triangles as f64 / wedges as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generate;
+
+    #[test]
+    fn stats_on_a_triangle() {
+        let g = GraphBuilder::from_edges([(0, 1), (1, 2), (0, 2)]).build_undirected();
+        let s = degree_stats(&g);
+        assert_eq!(s.vertices, 3);
+        assert_eq!(s.arcs, 6);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.variance, 0.0);
+        assert!((s.skew - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = Csr::new(vec![0], vec![]);
+        let s = degree_stats(&g);
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.skew, 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        // Star with hub degree 8 and 8 leaves of degree 1.
+        let edges: Vec<(u32, u32)> = (1..=8).map(|v| (0, v)).collect();
+        let g = GraphBuilder::from_edges(edges).build_undirected();
+        let h = degree_histogram(&g);
+        assert_eq!(h[0], 8, "eight degree-1 leaves");
+        assert_eq!(*h.last().unwrap(), 1, "one hub in the top bucket");
+        assert_eq!(h.len(), 4, "hub degree 8 -> bucket 3");
+    }
+
+    #[test]
+    fn clustering_of_complete_graph_is_one() {
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        let g = GraphBuilder::from_edges(edges).build_undirected();
+        assert!((clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_of_star_is_zero() {
+        let edges: Vec<(u32, u32)> = (1..=6).map(|v| (0, v)).collect();
+        let g = GraphBuilder::from_edges(edges).build_undirected();
+        assert_eq!(clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn skew_separates_families() {
+        let road = GraphBuilder::from_edges(generate::road_grid(25, 25, 0.05, 1))
+            .build_undirected();
+        let star = GraphBuilder::from_edges(generate::star_core(600, 5, 2)).build_undirected();
+        assert!(degree_stats(&star).skew > 10.0 * degree_stats(&road).skew);
+    }
+}

@@ -1,0 +1,145 @@
+//! Reference triangle counting (Fig. 5 of the paper).
+//!
+//! The edge-centric algorithm: orient the graph by degree, then for each
+//! arc `(u, v)` intersect `adj(u)` with `adj(v)`. Two independent
+//! reference implementations (merge-based and hash-based) serve as the
+//! oracle for both accelerator models.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+use crate::intersect;
+
+/// Count triangles on a degree-oriented CSR with the merge kernel.
+///
+/// The input must be an orientation (each undirected edge stored once,
+/// acyclically) with sorted adjacency — [`GraphBuilder::build_oriented`]
+/// produces exactly this.
+#[must_use]
+pub fn count_oriented_merge(g: &Csr) -> u64 {
+    let mut total = 0;
+    for u in 0..g.num_vertices() as u32 {
+        let adj_u = g.neighbors(u);
+        for &v in adj_u {
+            total += intersect::merge(adj_u, g.neighbors(v)).count;
+        }
+    }
+    total
+}
+
+/// Count triangles on a degree-oriented CSR with hash probing.
+#[must_use]
+pub fn count_oriented_hash(g: &Csr) -> u64 {
+    let mut total = 0;
+    for u in 0..g.num_vertices() as u32 {
+        let adj_u = g.neighbors(u);
+        for &v in adj_u {
+            total += intersect::hash(adj_u, g.neighbors(v)).count;
+        }
+    }
+    total
+}
+
+/// Count triangles directly from an undirected edge list (convenience
+/// oracle: builds the orientation internally).
+#[must_use]
+pub fn count_edges(edges: &[(u32, u32)]) -> u64 {
+    let oriented = GraphBuilder::from_edges(edges.iter().copied()).build_oriented();
+    count_oriented_merge(&oriented)
+}
+
+/// Global clustering statistics derived from a triangle count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriangleStats {
+    /// Number of triangles.
+    pub triangles: u64,
+    /// Number of undirected edges.
+    pub edges: u64,
+    /// Triangles per edge — a density signal for workload characterisation.
+    pub triangles_per_edge: f64,
+}
+
+/// Compute [`TriangleStats`] for an oriented graph.
+#[must_use]
+pub fn stats(oriented: &Csr) -> TriangleStats {
+    let triangles = count_oriented_merge(oriented);
+    let edges = oriented.num_arcs() as u64;
+    TriangleStats {
+        triangles,
+        edges,
+        triangles_per_edge: if edges == 0 {
+            0.0
+        } else {
+            triangles as f64 / edges as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_triangle() {
+        assert_eq!(count_edges(&[(0, 1), (1, 2), (0, 2)]), 1);
+    }
+
+    #[test]
+    fn square_has_no_triangle() {
+        assert_eq!(count_edges(&[(0, 1), (1, 2), (2, 3), (3, 0)]), 0);
+    }
+
+    #[test]
+    fn square_with_diagonal_has_two() {
+        assert_eq!(count_edges(&[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]), 2);
+    }
+
+    #[test]
+    fn complete_graph_k5() {
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        // C(5,3) = 10 triangles.
+        assert_eq!(count_edges(&edges), 10);
+    }
+
+    #[test]
+    fn merge_and_hash_agree() {
+        let edges = [
+            (0u32, 1u32),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (3, 5),
+        ];
+        let g = GraphBuilder::from_edges(edges).build_oriented();
+        assert_eq!(count_oriented_merge(&g), count_oriented_hash(&g));
+        assert_eq!(count_oriented_merge(&g), 5);
+    }
+
+    #[test]
+    fn duplicate_edges_do_not_double_count() {
+        assert_eq!(count_edges(&[(0, 1), (1, 0), (1, 2), (0, 2), (0, 2)]), 1);
+    }
+
+    #[test]
+    fn empty_and_single_edge() {
+        assert_eq!(count_edges(&[]), 0);
+        assert_eq!(count_edges(&[(0, 1)]), 0);
+    }
+
+    #[test]
+    fn stats_density() {
+        let g = GraphBuilder::from_edges([(0, 1), (1, 2), (0, 2)]).build_oriented();
+        let s = stats(&g);
+        assert_eq!(s.triangles, 1);
+        assert_eq!(s.edges, 3);
+        assert!((s.triangles_per_edge - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

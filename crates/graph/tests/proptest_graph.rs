@@ -1,0 +1,101 @@
+//! Property tests for the graph substrate: intersection kernels agree,
+//! triangle counters agree, and CSR construction preserves the edge set.
+
+use dsp_cam_graph::builder::GraphBuilder;
+use dsp_cam_graph::intersect;
+use dsp_cam_graph::triangle;
+use proptest::prelude::*;
+
+fn sorted_unique(max: u32, len: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::btree_set(0..max, 0..len)
+        .prop_map(|s| s.into_iter().collect::<Vec<u32>>())
+}
+
+fn edge_list(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0..n, 0..n), 0..max_edges)
+}
+
+proptest! {
+    #[test]
+    fn intersection_kernels_agree(
+        a in sorted_unique(200, 64),
+        b in sorted_unique(200, 64),
+    ) {
+        let expect: u64 = a.iter().filter(|x| b.contains(x)).count() as u64;
+        prop_assert_eq!(intersect::merge(&a, &b).count, expect);
+        prop_assert_eq!(intersect::hash(&a, &b).count, expect);
+        prop_assert_eq!(intersect::galloping(&a, &b).count, expect);
+        prop_assert_eq!(intersect::cam_probe(&a, &b).count, expect);
+    }
+
+    #[test]
+    fn merge_steps_bounded(
+        a in sorted_unique(500, 64),
+        b in sorted_unique(500, 64),
+    ) {
+        let c = intersect::merge(&a, &b);
+        prop_assert!(c.steps <= (a.len() + b.len()) as u64);
+        prop_assert!(c.count <= a.len().min(b.len()) as u64);
+    }
+
+    #[test]
+    fn cam_probe_steps_equal_probe_list(
+        a in sorted_unique(500, 64),
+        b in sorted_unique(500, 64),
+    ) {
+        prop_assert_eq!(intersect::cam_probe(&a, &b).steps, b.len() as u64);
+    }
+
+    #[test]
+    fn triangle_counters_agree(edges in edge_list(24, 80)) {
+        let oriented = GraphBuilder::from_edges(edges.iter().copied()).build_oriented();
+        prop_assert_eq!(
+            triangle::count_oriented_merge(&oriented),
+            triangle::count_oriented_hash(&oriented)
+        );
+    }
+
+    #[test]
+    fn triangle_count_matches_brute_force(edges in edge_list(12, 30)) {
+        let fast = triangle::count_edges(&edges);
+        // Brute force over all vertex triples.
+        let b = GraphBuilder::from_edges(edges.iter().copied());
+        let g = b.build_undirected();
+        let n = g.num_vertices() as u32;
+        let mut slow = 0u64;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if !g.neighbors(u).contains(&v) {
+                    continue;
+                }
+                for w in (v + 1)..n {
+                    if g.neighbors(u).contains(&w) && g.neighbors(v).contains(&w) {
+                        slow += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn undirected_csr_preserves_edge_set(edges in edge_list(32, 60)) {
+        let b = GraphBuilder::from_edges(edges.iter().copied());
+        let canon = b.canonical_edges();
+        let g = b.build_undirected();
+        prop_assert_eq!(g.num_arcs(), canon.len() * 2);
+        for &(u, v) in &canon {
+            prop_assert!(g.neighbors(u).contains(&v));
+            prop_assert!(g.neighbors(v).contains(&u));
+        }
+        prop_assert!(g.is_sorted());
+    }
+
+    #[test]
+    fn orientation_halves_arcs(edges in edge_list(32, 60)) {
+        let b = GraphBuilder::from_edges(edges.iter().copied());
+        let undirected = b.build_undirected();
+        let oriented = b.build_oriented();
+        prop_assert_eq!(oriented.num_arcs() * 2, undirected.num_arcs());
+    }
+}

@@ -1,0 +1,171 @@
+//! Bounded FIFOs with backpressure.
+//!
+//! The paper's CAM unit uses four BRAM-backed interface FIFOs between the
+//! bus interfaces and the CAM datapath (the only BRAM in the whole design —
+//! see the footnote to Table I). [`Fifo`] models the ready/valid behaviour:
+//! a push to a full FIFO is refused, which is how backpressure propagates to
+//! the producer.
+
+/// A bounded first-in first-out queue.
+///
+/// # Examples
+///
+/// ```
+/// use dsp_cam_sim::Fifo;
+///
+/// let mut fifo = Fifo::new(2);
+/// fifo.push(1).unwrap();
+/// fifo.push(2).unwrap();
+/// assert_eq!(fifo.push(3), Err(3), "backpressure");
+/// assert_eq!(fifo.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    items: std::collections::VecDeque<T>,
+    capacity: usize,
+    /// High-water mark since creation (for sizing studies).
+    peak: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Create a FIFO holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        Fifo {
+            items: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            peak: 0,
+        }
+    }
+
+    /// Attempt to enqueue; returns the item back if the FIFO is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` when full, so the producer can retry next cycle.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.peak = self.peak.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeue the oldest item, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peek at the oldest item without removing it.
+    #[must_use]
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current occupancy.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the FIFO is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the FIFO is full (producer must stall).
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest occupancy observed since creation.
+    #[must_use]
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+impl<T> Extend<T> for Fifo<T> {
+    /// Extend from an iterator, silently dropping items once full (use
+    /// [`Fifo::push`] when backpressure matters).
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            if self.push(item).is_err() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_fifo_order() {
+        let mut f = Fifo::new(4);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn full_fifo_refuses_and_returns_item() {
+        let mut f = Fifo::new(2);
+        f.push('a').unwrap();
+        f.push('b').unwrap();
+        assert!(f.is_full());
+        assert_eq!(f.push('c'), Err('c'));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Fifo::<u8>::new(0);
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut f = Fifo::new(8);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.push(3).unwrap();
+        f.pop();
+        f.pop();
+        assert_eq!(f.peak(), 3);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn front_peeks_without_removing() {
+        let mut f = Fifo::new(2);
+        f.push(9).unwrap();
+        assert_eq!(f.front(), Some(&9));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn extend_stops_at_capacity() {
+        let mut f = Fifo::new(3);
+        f.extend(0..10);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.pop(), Some(0));
+    }
+}

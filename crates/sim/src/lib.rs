@@ -1,0 +1,49 @@
+//! # dsp-cam-sim — clocked simulation kernel
+//!
+//! Small, dependency-light building blocks for cycle-level hardware
+//! modelling, shared by every crate in the workspace:
+//!
+//! * [`clock`] — the [`clock::Clocked`] trait and a simple
+//!   simulation driver with cycle accounting;
+//! * [`pipeline`] — fixed-depth pipeline registers ([`pipeline::Pipe`]),
+//!   the tool with which every datapath latency in the CAM model is built;
+//! * [`fifo`] — bounded FIFOs with backpressure (the interface FIFOs that
+//!   cost the paper's design its 4 BRAMs);
+//! * [`memory`] — a DDR4 channel model (512-bit data path) used by the
+//!   triangle-counting case study;
+//! * [`stats`] — latency and throughput recorders;
+//! * [`rng`] — a tiny deterministic generator for reproducible stimulus.
+//!
+//! ## Example
+//!
+//! ```
+//! use dsp_cam_sim::Pipe;
+//!
+//! // A 3-deep pipeline: values emerge three shifts later.
+//! let mut pipe = Pipe::new(3);
+//! assert_eq!(pipe.shift(Some(1)), None);
+//! assert_eq!(pipe.shift(Some(2)), None);
+//! assert_eq!(pipe.shift(Some(3)), None);
+//! assert_eq!(pipe.shift(None), Some(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbiter;
+pub mod clock;
+pub mod fifo;
+pub mod memory;
+pub mod pipeline;
+pub mod rng;
+pub mod stats;
+pub mod vcd;
+
+pub use arbiter::RoundRobin;
+pub use clock::{Clocked, Sim};
+pub use fifo::Fifo;
+pub use memory::{DdrChannel, DdrConfig};
+pub use pipeline::Pipe;
+pub use rng::XorShift;
+pub use stats::{LatencyStats, Throughput};
+pub use vcd::Vcd;

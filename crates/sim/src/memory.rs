@@ -1,0 +1,287 @@
+//! A DDR4 memory-channel model.
+//!
+//! The Alveo U250 exposes four DDR4 channels; the paper's case study (and
+//! its baseline) are both constrained to a **single** channel with a
+//! 512-bit user-side data path. This model captures the two properties that
+//! matter at the accelerator level:
+//!
+//! * a fixed *access latency* for the first beat of a new request (row
+//!   activation + CAS + controller), and
+//! * a *streaming rate* of one 512-bit beat per user-clock cycle once a
+//!   burst is flowing.
+//!
+//! Both a transaction-level cost API ([`DdrChannel::access_cycles`]) and a
+//! clocked request queue ([`DdrChannel::request`] / `tick`) are provided;
+//! the triangle-counting models use the former for throughput math and the
+//! latter when simulating kernel contention on the shared channel.
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::Clocked;
+
+/// Static description of one DDR channel as seen from the user clock domain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DdrConfig {
+    /// User-side data bus width in bits (512 for the U250 shell).
+    pub bus_bits: u32,
+    /// Latency, in user-clock cycles, from request issue to first beat for
+    /// a non-sequential access.
+    pub random_latency: u64,
+    /// Extra cycles charged when a request crosses into a new DRAM row.
+    pub row_miss_penalty: u64,
+    /// DRAM row size in bytes (for row-crossing accounting).
+    pub row_bytes: u64,
+}
+
+impl DdrConfig {
+    /// The U250 shell configuration used by the paper's evaluation: 512-bit
+    /// user port, ~24-cycle first-word latency at 300 MHz, 1 KiB rows.
+    #[must_use]
+    pub fn u250() -> Self {
+        DdrConfig {
+            bus_bits: 512,
+            random_latency: 24,
+            row_miss_penalty: 8,
+            row_bytes: 1024,
+        }
+    }
+
+    /// Bytes transferred per beat (per cycle at full rate).
+    #[must_use]
+    pub fn beat_bytes(&self) -> u64 {
+        u64::from(self.bus_bits) / 8
+    }
+}
+
+impl Default for DdrConfig {
+    fn default() -> Self {
+        DdrConfig::u250()
+    }
+}
+
+/// An outstanding request in the clocked model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Inflight {
+    tag: u64,
+    remaining_beats: u64,
+    ready_at: u64,
+}
+
+/// One DDR4 channel.
+///
+/// # Examples
+///
+/// ```
+/// use dsp_cam_sim::memory::MemRequest;
+/// use dsp_cam_sim::DdrChannel;
+///
+/// let channel = DdrChannel::default();
+/// // A 64-byte random access: first-word latency plus one beat.
+/// let cycles = channel.access_cycles(MemRequest { addr: 0, bytes: 64 });
+/// assert_eq!(cycles, 25);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DdrChannel {
+    config: DdrConfig,
+    cycle: u64,
+    queue: std::collections::VecDeque<Inflight>,
+    completed: Vec<u64>,
+    busy_until: u64,
+    beats_served: u64,
+}
+
+/// A read/write request: `bytes` at byte address `addr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRequest {
+    /// Byte address of the first byte.
+    pub addr: u64,
+    /// Transfer size in bytes.
+    pub bytes: u64,
+}
+
+impl DdrChannel {
+    /// Create a channel with the given configuration.
+    #[must_use]
+    pub fn new(config: DdrConfig) -> Self {
+        DdrChannel {
+            config,
+            cycle: 0,
+            queue: std::collections::VecDeque::new(),
+            completed: Vec::new(),
+            busy_until: 0,
+            beats_served: 0,
+        }
+    }
+
+    /// The channel configuration.
+    #[must_use]
+    pub fn config(&self) -> &DdrConfig {
+        &self.config
+    }
+
+    /// Number of beats needed for `bytes` (ceiling division).
+    #[must_use]
+    pub fn beats(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.config.beat_bytes()).max(1)
+    }
+
+    /// Transaction-level cost: cycles to complete an isolated access of
+    /// `request.bytes` bytes, including first-word latency and any row
+    /// crossings.
+    #[must_use]
+    pub fn access_cycles(&self, request: MemRequest) -> u64 {
+        let beats = self.beats(request.bytes);
+        let first_row = request.addr / self.config.row_bytes;
+        let last_row = (request.addr + request.bytes.saturating_sub(1)) / self.config.row_bytes;
+        let row_crossings = last_row - first_row;
+        self.config.random_latency + beats + row_crossings * self.config.row_miss_penalty
+    }
+
+    /// Transaction-level cost of a purely sequential continuation (no new
+    /// request): just the beats.
+    #[must_use]
+    pub fn stream_cycles(&self, bytes: u64) -> u64 {
+        self.beats(bytes)
+    }
+
+    /// Enqueue a request in the clocked model; `tag` identifies the
+    /// completion. Requests are serviced in order; the controller overlaps
+    /// a queued request's activation latency with the preceding transfer
+    /// (bank-level parallelism), so only the data beats serialise — which
+    /// is why deep prefetching hides the random-access latency.
+    pub fn request(&mut self, tag: u64, request: MemRequest) {
+        let beats = self.beats(request.bytes);
+        let data_start = (self.cycle + self.config.random_latency).max(self.busy_until);
+        let done = data_start + beats;
+        self.busy_until = done;
+        self.queue.push_back(Inflight {
+            tag,
+            remaining_beats: beats,
+            ready_at: done,
+        });
+    }
+
+    /// Drain completions that became ready; returns their tags.
+    pub fn take_completed(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Total beats delivered so far (bandwidth accounting).
+    #[must_use]
+    pub fn beats_served(&self) -> u64 {
+        self.beats_served
+    }
+
+    /// Current cycle of the channel clock.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Whether any request is still in flight.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+impl Clocked for DdrChannel {
+    fn tick(&mut self) {
+        self.cycle += 1;
+        while let Some(front) = self.queue.front() {
+            if front.ready_at <= self.cycle {
+                let done = self.queue.pop_front().expect("front exists");
+                self.beats_served += done.remaining_beats;
+                self.completed.push(done.tag);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl Default for DdrChannel {
+    fn default() -> Self {
+        DdrChannel::new(DdrConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beat_math() {
+        let ch = DdrChannel::default();
+        assert_eq!(ch.config().beat_bytes(), 64);
+        assert_eq!(ch.beats(1), 1);
+        assert_eq!(ch.beats(64), 1);
+        assert_eq!(ch.beats(65), 2);
+        assert_eq!(ch.beats(0), 1, "zero-byte access still costs a beat");
+    }
+
+    #[test]
+    fn isolated_access_cost() {
+        let ch = DdrChannel::default();
+        let cost = ch.access_cycles(MemRequest { addr: 0, bytes: 64 });
+        assert_eq!(cost, 24 + 1);
+        // 4 KiB spanning 4 rows from offset 0 -> 3 crossings.
+        let cost = ch.access_cycles(MemRequest {
+            addr: 0,
+            bytes: 4096,
+        });
+        assert_eq!(cost, 24 + 64 + 3 * 8);
+    }
+
+    #[test]
+    fn row_crossing_depends_on_alignment() {
+        let ch = DdrChannel::default();
+        let aligned = ch.access_cycles(MemRequest { addr: 0, bytes: 1024 });
+        let misaligned = ch.access_cycles(MemRequest {
+            addr: 1020,
+            bytes: 1024,
+        });
+        assert!(misaligned > aligned);
+    }
+
+    #[test]
+    fn stream_cost_is_beats_only() {
+        let ch = DdrChannel::default();
+        assert_eq!(ch.stream_cycles(640), 10);
+    }
+
+    #[test]
+    fn clocked_requests_complete_in_order() {
+        let mut ch = DdrChannel::default();
+        ch.request(1, MemRequest { addr: 0, bytes: 64 });
+        ch.request(2, MemRequest { addr: 4096, bytes: 64 });
+        let mut done = Vec::new();
+        for _ in 0..100 {
+            ch.tick();
+            done.extend(ch.take_completed());
+        }
+        assert_eq!(done, vec![1, 2]);
+        assert!(ch.is_idle());
+        assert_eq!(ch.beats_served(), 2);
+    }
+
+    #[test]
+    fn second_request_waits_for_first() {
+        let mut ch = DdrChannel::default();
+        ch.request(1, MemRequest { addr: 0, bytes: 6400 }); // 100 beats
+        ch.request(2, MemRequest { addr: 0, bytes: 64 });
+        // Request 2 cannot be ready before request 1's beats are done.
+        let mut completion = std::collections::HashMap::new();
+        for _ in 0..400 {
+            ch.tick();
+            for tag in ch.take_completed() {
+                completion.insert(tag, ch.cycle());
+            }
+        }
+        assert!(completion[&2] > completion[&1]);
+        assert_eq!(completion[&1], 24 + 100);
+        // Request 2's activation overlapped request 1's transfer: it pays
+        // only its data beat once the bus frees.
+        assert_eq!(completion[&2], 124 + 1);
+    }
+}

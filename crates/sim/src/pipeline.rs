@@ -1,0 +1,136 @@
+//! Fixed-depth pipeline registers.
+//!
+//! [`Pipe<T>`] models a chain of `depth` registers carrying optional valid
+//! data: one `shift` per clock cycle pushes a new (possibly empty) stage in
+//! and pops the oldest stage out. All fixed datapath latencies in the CAM
+//! model — encoder buffering, routing stages, interface registers — are
+//! expressed with this type, so latencies are structural, not constants
+//! sprinkled through the code.
+
+use std::collections::VecDeque;
+
+/// A pipeline of `depth` register stages carrying `Option<T>` payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pipe<T> {
+    stages: VecDeque<Option<T>>,
+}
+
+impl<T> Pipe<T> {
+    /// Create a pipeline with `depth` stages, all initially empty.
+    ///
+    /// A depth of zero is a wire: `shift` returns its input unchanged.
+    #[must_use]
+    pub fn new(depth: usize) -> Self {
+        let mut stages = VecDeque::with_capacity(depth);
+        stages.resize_with(depth, || None);
+        Pipe { stages }
+    }
+
+    /// The number of register stages.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Advance one cycle: push `input` into the first stage and return the
+    /// payload leaving the last stage.
+    pub fn shift(&mut self, input: Option<T>) -> Option<T> {
+        if self.stages.is_empty() {
+            return input;
+        }
+        self.stages.push_back(input);
+        self.stages.pop_front().flatten()
+    }
+
+    /// Whether every stage is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stages.iter().all(Option::is_none)
+    }
+
+    /// Number of occupied stages.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.stages.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Clear all stages (pipeline flush).
+    pub fn flush(&mut self) {
+        for stage in &mut self.stages {
+            *stage = None;
+        }
+    }
+
+    /// Iterate over the stages from oldest (next to exit) to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &Option<T>> {
+        self.stages.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_n_delays_by_n() {
+        let mut pipe = Pipe::new(4);
+        for i in 0..4 {
+            assert_eq!(pipe.shift(Some(i)), None, "cycle {i} leaked early");
+        }
+        for i in 0..4 {
+            assert_eq!(pipe.shift(None), Some(i));
+        }
+        assert!(pipe.is_empty());
+    }
+
+    #[test]
+    fn zero_depth_is_a_wire() {
+        let mut pipe = Pipe::new(0);
+        assert_eq!(pipe.shift(Some(7)), Some(7));
+        assert_eq!(pipe.shift(None), None);
+        assert_eq!(pipe.depth(), 0);
+    }
+
+    #[test]
+    fn bubbles_propagate() {
+        let mut pipe = Pipe::new(2);
+        pipe.shift(Some('a'));
+        pipe.shift(None);
+        pipe.shift(Some('b'));
+        assert_eq!(pipe.shift(None), None); // the bubble
+        assert_eq!(pipe.shift(None), Some('b'));
+    }
+
+    #[test]
+    fn occupancy_and_flush() {
+        let mut pipe = Pipe::new(3);
+        pipe.shift(Some(1));
+        pipe.shift(Some(2));
+        assert_eq!(pipe.occupancy(), 2);
+        pipe.flush();
+        assert!(pipe.is_empty());
+        assert_eq!(pipe.shift(None), None);
+    }
+
+    #[test]
+    fn full_rate_initiation_interval_one() {
+        // A new item every cycle; all emerge in order, one per cycle.
+        let mut pipe = Pipe::new(3);
+        let mut out = Vec::new();
+        for i in 0..10 {
+            if let Some(v) = pipe.shift(Some(i)) {
+                out.push(v);
+            }
+        }
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn iter_orders_oldest_first() {
+        let mut pipe = Pipe::new(2);
+        pipe.shift(Some(1));
+        pipe.shift(Some(2));
+        let stages: Vec<_> = pipe.iter().cloned().collect();
+        assert_eq!(stages, vec![Some(1), Some(2)]);
+    }
+}

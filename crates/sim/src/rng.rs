@@ -1,0 +1,124 @@
+//! Deterministic stimulus generation.
+//!
+//! A tiny xorshift64* generator for tests and benches that must be
+//! reproducible across runs and platforms without threading `rand` state
+//! through every model. (The `graph` crate uses `rand` proper for its
+//! generators; this type is for lightweight stimulus inside the simulator.)
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic xorshift64* generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Create a generator from a non-zero seed (zero is remapped).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        XorShift {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Next value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.next_u64() % bound
+    }
+
+    /// Next value truncated to `bits` bits.
+    pub fn next_bits(&mut self, bits: u32) -> u64 {
+        assert!(bits <= 64);
+        if bits == 64 {
+            self.next_u64()
+        } else if bits == 0 {
+            0
+        } else {
+            self.next_u64() & ((1u64 << bits) - 1)
+        }
+    }
+
+    /// Next boolean with probability `p` of being true.
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl Default for XorShift {
+    fn default() -> Self {
+        XorShift::new(0x5EED_5EED_5EED_5EED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorShift::new(1);
+        let mut b = XorShift::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut z = XorShift::new(0);
+        assert_ne!(z.next_u64(), 0);
+    }
+
+    #[test]
+    fn bounded_values_respect_bound() {
+        let mut r = XorShift::new(7);
+        for _ in 0..1000 {
+            assert!(r.next_below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn bit_truncation() {
+        let mut r = XorShift::new(9);
+        for _ in 0..100 {
+            assert!(r.next_bits(12) < (1 << 12));
+        }
+        assert_eq!(r.next_bits(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_panics() {
+        XorShift::new(1).next_below(0);
+    }
+
+    #[test]
+    fn probability_extremes() {
+        let mut r = XorShift::new(3);
+        assert!(!r.next_bool(0.0));
+        assert!(r.next_bool(1.0 + 1e-9));
+    }
+}

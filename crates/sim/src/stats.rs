@@ -1,0 +1,177 @@
+//! Latency and throughput recorders.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates per-operation latencies (in cycles).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    samples: Vec<u64>,
+}
+
+impl LatencyStats {
+    /// Create an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyStats::default()
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, cycles: u64) {
+        self.samples.push(cycles);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Minimum latency, if any samples were recorded.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        self.samples.iter().copied().min()
+    }
+
+    /// Maximum latency, if any samples were recorded.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+
+    /// Arithmetic mean latency, if any samples were recorded.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64)
+        }
+    }
+
+    /// Whether every recorded sample equals `cycles` (used by tests that
+    /// assert a *stable* latency, e.g. Table VI/VIII rows).
+    #[must_use]
+    pub fn all_equal_to(&self, cycles: u64) -> bool {
+        !self.samples.is_empty() && self.samples.iter().all(|&s| s == cycles)
+    }
+
+    /// The raw samples.
+    #[must_use]
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+}
+
+/// Operations-per-second throughput derived from cycle counts and a clock
+/// frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Throughput {
+    /// Number of operations completed.
+    pub operations: u64,
+    /// Cycles elapsed while completing them.
+    pub cycles: u64,
+    /// Clock frequency in MHz.
+    pub frequency_mhz: f64,
+}
+
+impl Throughput {
+    /// Operations per second.
+    ///
+    /// Returns 0.0 when no cycles have elapsed.
+    #[must_use]
+    pub fn ops_per_second(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.operations as f64 * self.frequency_mhz * 1e6 / self.cycles as f64
+    }
+
+    /// Millions of operations per second — the unit of the paper's
+    /// Tables VI and VIII throughput rows.
+    #[must_use]
+    pub fn mops(&self) -> f64 {
+        self.ops_per_second() / 1e6
+    }
+
+    /// Wall-clock time in milliseconds for the recorded cycles.
+    #[must_use]
+    pub fn elapsed_ms(&self) -> f64 {
+        self.cycles as f64 / (self.frequency_mhz * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_have_no_aggregates() {
+        let s = LatencyStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+        assert!(!s.all_equal_to(0));
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut s = LatencyStats::new();
+        for v in [3, 5, 4] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min(), Some(3));
+        assert_eq!(s.max(), Some(5));
+        assert_eq!(s.mean(), Some(4.0));
+        assert_eq!(s.samples(), &[3, 5, 4]);
+    }
+
+    #[test]
+    fn all_equal_detects_stability() {
+        let mut s = LatencyStats::new();
+        s.record(7);
+        s.record(7);
+        assert!(s.all_equal_to(7));
+        s.record(8);
+        assert!(!s.all_equal_to(7));
+    }
+
+    #[test]
+    fn throughput_math_matches_paper_units() {
+        // One op per cycle at 300 MHz = 300 Mop/s (Table VI search row).
+        let t = Throughput {
+            operations: 1000,
+            cycles: 1000,
+            frequency_mhz: 300.0,
+        };
+        assert!((t.mops() - 300.0).abs() < 1e-9);
+        // 16 words per cycle at 300 MHz = 4800 Mop/s (Table VI update row).
+        let t = Throughput {
+            operations: 16_000,
+            cycles: 1000,
+            frequency_mhz: 300.0,
+        };
+        assert!((t.mops() - 4800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_zero_cycles_is_zero() {
+        let t = Throughput {
+            operations: 5,
+            cycles: 0,
+            frequency_mhz: 300.0,
+        };
+        assert_eq!(t.ops_per_second(), 0.0);
+    }
+
+    #[test]
+    fn elapsed_ms() {
+        let t = Throughput {
+            operations: 0,
+            cycles: 300_000,
+            frequency_mhz: 300.0,
+        };
+        assert!((t.elapsed_ms() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,248 @@
+//! The CAM-based triangle-counting accelerator (Fig. 6).
+//!
+//! Per undirected edge `(u, v)`: the Load-Offset and Load-List kernels
+//! fetch both adjacency lists from DDR; the longer list is written into
+//! the CAM unit (duplicated across `M` groups); the shorter list streams
+//! through as `M` parallel search keys per cycle; every match increments
+//! the triangle counter. Summed over all edges, each triangle is counted
+//! from its three edges, so the total divides by three.
+//!
+//! Functional counting uses a hash-set stand-in for the CAM probe (the
+//! two are property-equivalent — see `dsp-cam-core`'s tests); cycle
+//! accounting follows [`crate::model`]. For small graphs
+//! [`CamTriangleCounter::run_on_hardware_model`] drives the *real*
+//! simulated [`CamUnit`] — every DSP tick included
+//! — to validate that the fast path computes exactly what the hardware
+//! hierarchy would.
+
+use dsp_cam_core::prelude::*;
+use dsp_cam_graph::csr::Csr;
+use dsp_cam_graph::intersect;
+
+use crate::model::{CamGeometry, PipelineCosts};
+use crate::perf::TcReport;
+
+/// The CAM-based accelerator model.
+///
+/// # Examples
+///
+/// ```
+/// use dsp_cam_graph::builder::GraphBuilder;
+/// use tc_accel::CamTriangleCounter;
+///
+/// let graph = GraphBuilder::from_edges([(0, 1), (1, 2), (0, 2)])
+///     .build_undirected();
+/// let report = CamTriangleCounter::new().run(&graph);
+/// assert_eq!(report.triangles, 1);
+/// assert!(report.ms > 0.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CamTriangleCounter {
+    geometry: CamGeometry,
+    costs: PipelineCosts,
+}
+
+impl CamTriangleCounter {
+    /// Accelerator with the paper's case-study configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        CamTriangleCounter::default()
+    }
+
+    /// Accelerator with explicit geometry/costs (ablation studies).
+    #[must_use]
+    pub fn with_model(geometry: CamGeometry, costs: PipelineCosts) -> Self {
+        CamTriangleCounter { geometry, costs }
+    }
+
+    /// The CAM geometry in use.
+    #[must_use]
+    pub fn geometry(&self) -> &CamGeometry {
+        &self.geometry
+    }
+
+    /// Count triangles on an undirected CSR graph, returning the exact
+    /// count and the modelled execution profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CSR is not symmetric/sorted (debug assertions).
+    #[must_use]
+    pub fn run(&self, graph: &Csr) -> TcReport {
+        debug_assert!(graph.is_sorted(), "CSR adjacency must be sorted");
+        let mut cycles = self.costs.kernel_setup;
+        let mut matches = 0u64;
+        let mut edges = 0u64;
+        let mut searches = 0u64;
+        for u in 0..graph.num_vertices() as u32 {
+            for &v in graph.neighbors(u) {
+                // Each undirected edge processed once.
+                if v <= u {
+                    continue;
+                }
+                let adj_u = graph.neighbors(u);
+                let adj_v = graph.neighbors(v);
+                let (longer, shorter) = if adj_u.len() >= adj_v.len() {
+                    (adj_u, adj_v)
+                } else {
+                    (adj_v, adj_u)
+                };
+                let probe = intersect::cam_probe(longer, shorter);
+                matches += probe.count;
+                searches += probe.steps;
+                edges += 1;
+                let compute = self.geometry.intersect_cycles(longer.len(), shorter.len());
+                cycles += self.costs.edge_cycles(adj_u.len(), adj_v.len(), compute);
+            }
+        }
+        TcReport {
+            name: "CAM accelerator",
+            triangles: matches / 3,
+            cycles,
+            ms: self.costs.to_ms(cycles),
+            edges,
+            intersection_steps: searches,
+        }
+    }
+
+    /// Count triangles by driving the *full hardware simulation* — a real
+    /// [`CamUnit`] whose every search ticks the underlying DSP48E2 models.
+    /// Orders of magnitude slower than [`CamTriangleCounter::run`]; use on
+    /// small graphs to validate the fast path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the unit construction (the
+    /// default geometry never fails).
+    pub fn run_on_hardware_model(&self, graph: &Csr) -> Result<TcReport, ConfigError> {
+        let config = UnitConfig::builder()
+            .data_width(32)
+            .block_size(self.geometry.block_size)
+            .num_blocks(self.geometry.num_blocks)
+            .bus_width(512)
+            .encoding(Encoding::Priority)
+            .build()?;
+        let mut unit = CamUnit::new(config)?;
+        let mut cycles = self.costs.kernel_setup;
+        let mut matches = 0u64;
+        let mut edges = 0u64;
+        let mut searches = 0u64;
+        for u in 0..graph.num_vertices() as u32 {
+            for &v in graph.neighbors(u) {
+                if v <= u {
+                    continue;
+                }
+                let adj_u = graph.neighbors(u);
+                let adj_v = graph.neighbors(v);
+                let (longer, shorter) = if adj_u.len() >= adj_v.len() {
+                    (adj_u, adj_v)
+                } else {
+                    (adj_v, adj_u)
+                };
+                let capacity = self.geometry.capacity();
+                let mut remaining = longer;
+                while !remaining.is_empty() {
+                    let take = remaining.len().min(capacity);
+                    let (chunk, rest) = remaining.split_at(take);
+                    remaining = rest;
+                    let m = self.geometry.groups_for(chunk.len());
+                    unit.configure_groups(m).expect("M divides the block count");
+                    let words: Vec<u64> = chunk.iter().map(|&x| u64::from(x)).collect();
+                    unit.update(&words).expect("chunk fits one group");
+                    for keys in shorter.chunks(m) {
+                        let keys: Vec<u64> = keys.iter().map(|&x| u64::from(x)).collect();
+                        for hit in unit.search_multi(&keys) {
+                            searches += 1;
+                            if hit.is_match() {
+                                matches += 1;
+                            }
+                        }
+                    }
+                    unit.reset();
+                }
+                edges += 1;
+                let compute = self.geometry.intersect_cycles(longer.len(), shorter.len());
+                cycles += self.costs.edge_cycles(adj_u.len(), adj_v.len(), compute);
+            }
+        }
+        Ok(TcReport {
+            name: "CAM accelerator (hardware model)",
+            triangles: matches / 3,
+            cycles,
+            ms: self.costs.to_ms(cycles),
+            edges,
+            intersection_steps: searches,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp_cam_graph::builder::GraphBuilder;
+    use dsp_cam_graph::triangle;
+
+    fn graph(edges: &[(u32, u32)]) -> Csr {
+        GraphBuilder::from_edges(edges.iter().copied()).build_undirected()
+    }
+
+    #[test]
+    fn counts_single_triangle() {
+        let g = graph(&[(0, 1), (1, 2), (0, 2)]);
+        let report = CamTriangleCounter::new().run(&g);
+        assert_eq!(report.triangles, 1);
+        assert_eq!(report.edges, 3);
+        assert!(report.cycles > 0);
+        assert!(report.ms > 0.0);
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graph() {
+        let edges = dsp_cam_graph::generate::erdos_renyi(60, 300, 9);
+        let expect = triangle::count_edges(&edges);
+        let report = CamTriangleCounter::new().run(&graph(&edges));
+        assert_eq!(report.triangles, expect);
+    }
+
+    #[test]
+    fn hardware_model_agrees_with_fast_path() {
+        let edges = dsp_cam_graph::generate::erdos_renyi(24, 60, 4);
+        let g = graph(&edges);
+        let counter = CamTriangleCounter::new();
+        let fast = counter.run(&g);
+        let hw = counter.run_on_hardware_model(&g).unwrap();
+        assert_eq!(fast.triangles, hw.triangles);
+        assert_eq!(fast.cycles, hw.cycles);
+        assert_eq!(fast.edges, hw.edges);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::new(vec![0], vec![]);
+        let report = CamTriangleCounter::new().run(&g);
+        assert_eq!(report.triangles, 0);
+        assert_eq!(report.edges, 0);
+        assert_eq!(report.cycles, PipelineCosts::default().kernel_setup);
+    }
+
+    #[test]
+    fn long_list_chunks_through_small_unit() {
+        // A tiny 2-block unit (capacity 8) against a hub of degree 20.
+        let mut edges = Vec::new();
+        for v in 1..=20u32 {
+            edges.push((0, v));
+        }
+        edges.push((1, 2)); // one triangle through the hub
+        let g = graph(&edges);
+        let geometry = CamGeometry {
+            block_size: 4,
+            num_blocks: 2,
+            words_per_beat: 16,
+        };
+        let counter = CamTriangleCounter::with_model(geometry, PipelineCosts::default());
+        let fast = counter.run(&g);
+        assert_eq!(fast.triangles, 1);
+        let hw = counter.run_on_hardware_model(&g).unwrap();
+        assert_eq!(hw.triangles, 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # tc-accel — the triangle-counting case study (Section V of the paper)
+//!
+//! Two accelerator models over the same DDR-attached CSR graph:
+//!
+//! * [`accel::CamTriangleCounter`] — the paper's design (Fig. 6): per edge
+//!   `(u, v)`, the longer adjacency list is loaded into the CAM unit
+//!   (duplicated across its groups) and the shorter list streams through
+//!   as `M` parallel search keys per cycle;
+//! * [`baseline::MergeTriangleCounter`] — the AMD Vitis graph-library
+//!   style baseline: a fully pipelined, merge-based set intersection at
+//!   one comparison per cycle.
+//!
+//! Both process every undirected edge by intersecting the two endpoints'
+//! *full* adjacency lists (each triangle is seen from its three edges, so
+//! the total divides by three) — the processing pattern Fig. 5 shows.
+//! Both share the same single-channel DDR model and 300 MHz clock (the
+//! paper constrains both designs to one DDR channel and one SLR).
+//!
+//! Functional results are exact (and tested against the `dsp-cam-graph`
+//! oracles); execution time comes from the cycle model in [`model`], which
+//! DESIGN.md and EXPERIMENTS.md document and calibrate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod accel;
+pub mod baseline;
+pub mod memory;
+pub mod model;
+pub mod perf;
+
+pub use accel::CamTriangleCounter;
+pub use baseline::MergeTriangleCounter;
+pub use model::{CamGeometry, PipelineCosts};
+pub use perf::{compare_dataset, ComparisonRow, TcReport};

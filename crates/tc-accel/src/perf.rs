@@ -1,0 +1,140 @@
+//! Execution reports and the Table IX comparison harness.
+
+use dsp_cam_graph::builder::GraphBuilder;
+use dsp_cam_graph::datasets::Dataset;
+use serde::Serialize;
+
+use crate::accel::CamTriangleCounter;
+use crate::baseline::MergeTriangleCounter;
+
+/// Execution profile of one accelerator run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TcReport {
+    /// Which engine produced the report.
+    pub name: &'static str,
+    /// Exact triangle count.
+    pub triangles: u64,
+    /// Modelled execution cycles.
+    pub cycles: u64,
+    /// Modelled execution time in milliseconds.
+    pub ms: f64,
+    /// Undirected edges processed.
+    pub edges: u64,
+    /// Sequential intersection steps (merge comparisons or CAM searches).
+    pub intersection_steps: u64,
+}
+
+/// One Table IX row: our measurement against the paper's.
+#[derive(Debug, Clone, Serialize)]
+pub struct ComparisonRow {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Shrink divisor applied to the synthetic stand-in.
+    pub scale: u32,
+    /// Triangles found in the stand-in (differs from the real trace).
+    pub triangles: u64,
+    /// CAM accelerator time on the stand-in (ms).
+    pub ours_ms: f64,
+    /// Merge baseline time on the stand-in (ms).
+    pub baseline_ms: f64,
+    /// Our measured speedup.
+    pub speedup: f64,
+    /// The paper's published speedup on the real trace.
+    pub paper_speedup: f64,
+}
+
+/// Run both accelerators on a dataset's synthetic stand-in at `scale`.
+#[must_use]
+pub fn compare_dataset(dataset: &Dataset, scale: u32) -> ComparisonRow {
+    let edges = dataset.generate(scale);
+    let graph = GraphBuilder::from_edges(edges).build_undirected();
+    let cam = CamTriangleCounter::new().run(&graph);
+    let merge = MergeTriangleCounter::new().run(&graph);
+    debug_assert_eq!(cam.triangles, merge.triangles);
+    ComparisonRow {
+        dataset: dataset.name,
+        scale,
+        triangles: cam.triangles,
+        ours_ms: cam.ms,
+        baseline_ms: merge.ms,
+        speedup: merge.cycles as f64 / cam.cycles as f64,
+        paper_speedup: dataset.paper_speedup(),
+    }
+}
+
+/// Run the full Table IX sweep at each dataset's default scale.
+#[must_use]
+pub fn table_ix() -> Vec<ComparisonRow> {
+    Dataset::all()
+        .iter()
+        .map(|d| compare_dataset(d, d.default_scale))
+        .collect()
+}
+
+/// Geometric-mean speedup across rows.
+#[must_use]
+pub fn mean_speedup(rows: &[ComparisonRow]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(|r| r.speedup).sum::<f64>() / rows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_row_on_small_dataset() {
+        let d = Dataset::by_name("as20000102").unwrap();
+        let row = compare_dataset(&d, 4);
+        assert!(row.speedup > 1.0, "CAM must win: {:.2}x", row.speedup);
+        assert!(row.ours_ms > 0.0);
+        assert!(row.baseline_ms > row.ours_ms);
+        assert_eq!(row.dataset, "as20000102");
+    }
+
+    #[test]
+    fn as_topology_speedup_is_outsized() {
+        let d = Dataset::by_name("as20000102").unwrap();
+        let row = compare_dataset(&d, 1);
+        // The paper's standout 17.5x row; the stand-in must show the same
+        // outlier character (well above the typical single-digit band).
+        assert!(row.speedup > 4.0, "AS speedup only {:.2}x", row.speedup);
+    }
+
+    #[test]
+    fn road_speedup_is_smallest() {
+        let road = compare_dataset(&Dataset::by_name("roadNet-PA").unwrap(), 64);
+        let slash = compare_dataset(&Dataset::by_name("soc-Slashdot0811").unwrap(), 32);
+        assert!(road.speedup < slash.speedup,
+            "road {:.2}x should trail slashdot {:.2}x", road.speedup, slash.speedup);
+        assert!(road.speedup >= 1.0);
+    }
+
+    #[test]
+    fn mean_speedup_math() {
+        let rows = vec![
+            ComparisonRow {
+                dataset: "a",
+                scale: 1,
+                triangles: 0,
+                ours_ms: 1.0,
+                baseline_ms: 2.0,
+                speedup: 2.0,
+                paper_speedup: 2.0,
+            },
+            ComparisonRow {
+                dataset: "b",
+                scale: 1,
+                triangles: 0,
+                ours_ms: 1.0,
+                baseline_ms: 4.0,
+                speedup: 4.0,
+                paper_speedup: 4.0,
+            },
+        ];
+        assert!((mean_speedup(&rows) - 3.0).abs() < 1e-12);
+        assert_eq!(mean_speedup(&[]), 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the case-study engines: both accelerators agree
+//! with the oracle on arbitrary graphs, and the cycle model respects its
+//! structural invariants.
+
+use dsp_cam_graph::builder::GraphBuilder;
+use dsp_cam_graph::triangle;
+use proptest::prelude::*;
+use tc_accel::model::{CamGeometry, PipelineCosts};
+use tc_accel::{CamTriangleCounter, MergeTriangleCounter};
+
+fn edge_list(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0..n, 0..n), 1..max_edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn both_engines_match_the_oracle(edges in edge_list(40, 200)) {
+        let graph = GraphBuilder::from_edges(edges.iter().copied()).build_undirected();
+        let expect = triangle::count_edges(&edges);
+        let cam = CamTriangleCounter::new().run(&graph);
+        let merge = MergeTriangleCounter::new().run(&graph);
+        prop_assert_eq!(cam.triangles, expect);
+        prop_assert_eq!(merge.triangles, expect);
+        prop_assert_eq!(cam.edges, merge.edges);
+    }
+
+    #[test]
+    fn triangle_count_is_geometry_invariant(
+        edges in edge_list(32, 120),
+        block_size in prop_oneof![Just(4usize), Just(32), Just(128)],
+        num_blocks in prop_oneof![Just(2usize), Just(8), Just(16)],
+    ) {
+        // The CAM geometry changes cycles, never correctness.
+        let graph = GraphBuilder::from_edges(edges.iter().copied()).build_undirected();
+        let expect = triangle::count_edges(&edges);
+        let geometry = CamGeometry {
+            block_size,
+            num_blocks,
+            words_per_beat: 16,
+        };
+        let report = CamTriangleCounter::with_model(geometry, PipelineCosts::default())
+            .run(&graph);
+        prop_assert_eq!(report.triangles, expect);
+    }
+
+    #[test]
+    fn cycles_scale_monotonically_with_edges(edges in edge_list(32, 150)) {
+        // Removing edges can only reduce modelled cycles.
+        let full = GraphBuilder::from_edges(edges.iter().copied()).build_undirected();
+        let half: Vec<(u32, u32)> = edges.iter().copied().take(edges.len() / 2).collect();
+        let half_graph = GraphBuilder::from_edges(half.iter().copied()).build_undirected();
+        let f = CamTriangleCounter::new().run(&full);
+        let h = CamTriangleCounter::new().run(&half_graph);
+        prop_assert!(f.cycles >= h.cycles);
+        prop_assert!(f.edges >= h.edges);
+    }
+
+    #[test]
+    fn intersect_cycles_invariants(longer in 0usize..6000, shorter in 0usize..6000) {
+        let g = CamGeometry::case_study();
+        let c = g.intersect_cycles(longer, shorter);
+        prop_assert!(c >= 1);
+        // More probes never get cheaper.
+        prop_assert!(g.intersect_cycles(longer, shorter + 1) >= c);
+        // The CAM never does worse than a fully sequential probe plus load.
+        let sequential = (longer.div_ceil(16) + shorter) as u64 + 1;
+        let chunks = longer.div_ceil(g.capacity()).max(1) as u64;
+        prop_assert!(
+            c <= sequential * chunks + 1,
+            "cam {} vs sequential bound {}",
+            c,
+            sequential * chunks
+        );
+    }
+
+    #[test]
+    fn groups_for_always_divides_the_block_count(len in 0usize..10_000) {
+        let g = CamGeometry::case_study();
+        let m = g.groups_for(len);
+        prop_assert!(m >= 1);
+        prop_assert!(g.capacity().is_multiple_of(m * g.block_size) || m == 1);
+        prop_assert!(16_usize.is_multiple_of(m), "M={m} must divide the block count");
+        // And the resident list actually fits the group.
+        if len <= g.capacity() {
+            let blocks_per_group = 16 / m;
+            prop_assert!(blocks_per_group * g.block_size >= len.min(g.capacity()));
+        }
+    }
+}

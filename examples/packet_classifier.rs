@@ -1,0 +1,114 @@
+//! Packet classifier: a ternary CAM as an IP longest-prefix-match routing
+//! table — the classic networking workload from the paper's introduction.
+//!
+//! Each route `prefix/len` is stored in its own TCAM partition (one
+//! partition per prefix length, searched in decreasing-length order, as
+//! hardware LPM tables are organised); the host bits are "don't care".
+//!
+//! ```sh
+//! cargo run --example packet_classifier
+//! ```
+
+use dsp_cam::prelude::*;
+
+/// A route: IPv4 prefix, length, next hop.
+struct Route {
+    prefix: [u8; 4],
+    len: u32,
+    next_hop: &'static str,
+}
+
+fn ip(a: u8, b: u8, c: u8, d: u8) -> u64 {
+    u64::from(u32::from_be_bytes([a, b, c, d]))
+}
+
+/// One TCAM partition per prefix length: all entries in a partition share
+/// the same don't-care mask (the low `32 - len` bits).
+struct LpmTable {
+    partitions: Vec<(u32, CamUnit, Vec<&'static str>)>,
+}
+
+impl LpmTable {
+    fn new(routes: &[Route]) -> Result<Self, Box<dyn std::error::Error>> {
+        let mut lens: Vec<u32> = routes.iter().map(|r| r.len).collect();
+        lens.sort_unstable();
+        lens.dedup();
+        lens.reverse(); // longest prefix wins
+
+        let mut partitions = Vec::new();
+        for &len in &lens {
+            let host_bits = 32 - len;
+            let dont_care = if host_bits == 0 {
+                0
+            } else {
+                (1u64 << host_bits) - 1
+            };
+            let config = UnitConfig::builder()
+                .kind(CamKind::Ternary)
+                .data_width(32)
+                .ternary_mask(dont_care)
+                .block_size(64)
+                .num_blocks(1)
+                .bus_width(512)
+                .build()?;
+            let mut cam = CamUnit::new(config)?;
+            let mut hops = Vec::new();
+            for r in routes.iter().filter(|r| r.len == len) {
+                let [a, b, c, d] = r.prefix;
+                cam.update(&[ip(a, b, c, d)])?;
+                hops.push(r.next_hop);
+            }
+            partitions.push((len, cam, hops));
+        }
+        Ok(LpmTable { partitions })
+    }
+
+    /// Longest-prefix lookup: first partition (longest length) that hits.
+    fn lookup(&mut self, addr: u64) -> Option<(&'static str, u32)> {
+        for (len, cam, hops) in &mut self.partitions {
+            let hit = cam.search(addr);
+            if let Some(idx) = hit.first_address() {
+                return Some((hops[idx], *len));
+            }
+        }
+        None
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let routes = [
+        Route { prefix: [10, 0, 0, 0], len: 8, next_hop: "core-1" },
+        Route { prefix: [10, 1, 0, 0], len: 16, next_hop: "edge-7" },
+        Route { prefix: [10, 1, 2, 0], len: 24, next_hop: "rack-42" },
+        Route { prefix: [192, 168, 0, 0], len: 16, next_hop: "lab" },
+        Route { prefix: [0, 0, 0, 0], len: 0, next_hop: "default-gw" },
+    ];
+    let mut table = LpmTable::new(&routes)?;
+    println!(
+        "LPM table: {} routes in {} TCAM partitions.",
+        routes.len(),
+        table.partitions.len()
+    );
+
+    let queries = [
+        (ip(10, 1, 2, 99), "rack-42", 24),   // most specific /24
+        (ip(10, 1, 99, 1), "edge-7", 16),    // falls back to /16
+        (ip(10, 200, 0, 1), "core-1", 8),    // falls back to /8
+        (ip(192, 168, 7, 7), "lab", 16),
+        (ip(8, 8, 8, 8), "default-gw", 0),   // default route
+    ];
+    for (addr, expect_hop, expect_len) in queries {
+        let (hop, len) = table.lookup(addr).expect("default route always hits");
+        println!(
+            "lookup {:>3}.{:>3}.{:>3}.{:>3} -> {hop} (matched /{len})",
+            (addr >> 24) & 0xFF,
+            (addr >> 16) & 0xFF,
+            (addr >> 8) & 0xFF,
+            addr & 0xFF
+        );
+        assert_eq!((hop, len), (expect_hop, expect_len));
+    }
+
+    println!("All longest-prefix lookups resolved correctly.");
+    Ok(())
+}

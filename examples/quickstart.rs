@@ -1,0 +1,60 @@
+//! Quickstart: build a CAM unit, store entries, search, and use
+//! multi-query groups.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use dsp_cam::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A unit shaped like the paper's case study: 32-bit binary entries,
+    // 4 blocks of 128 DSP-backed cells, 512-bit bus.
+    let config = UnitConfig::builder()
+        .kind(CamKind::Binary)
+        .data_width(32)
+        .block_size(128)
+        .num_blocks(4)
+        .bus_width(512)
+        .build()?;
+    let mut cam = CamUnit::new(config)?;
+    println!(
+        "Built a {}-entry CAM unit ({} blocks x {} cells, one DSP48E2 each).",
+        cam.capacity(),
+        cam.config().num_blocks,
+        cam.config().block.block_size
+    );
+    println!(
+        "Latency: {} cycles per update, {} cycles per search (Table VIII).",
+        cam.config().update_latency(),
+        cam.config().search_latency()
+    );
+
+    // One 512-bit beat updates sixteen 32-bit entries in parallel.
+    let words: Vec<u64> = (0..16).map(|i| 1000 + i * 111).collect();
+    cam.update(&words)?;
+    println!("Stored {} entries in one bus beat.", words.len());
+
+    // Searches return the fill-order address of the (first) match.
+    let hit = cam.search(1333);
+    println!("search(1333) -> match={}, address={:?}", hit.is_match(), hit.first_address());
+    assert_eq!(hit.first_address(), Some(3));
+    assert!(!cam.search(999).is_match());
+
+    // Reconfigure into four groups: four concurrent queries per cycle.
+    cam.configure_groups(4)?;
+    cam.update(&words)?; // data is replicated into every group
+    let keys = [1000u64, 1111, 9999, 1555];
+    let hits = cam.search_multi(&keys);
+    for (key, hit) in keys.iter().zip(&hits) {
+        println!(
+            "group {} answered search({key}) -> {}",
+            hit.group,
+            if hit.is_match() { "hit" } else { "miss" }
+        );
+    }
+    assert_eq!(hits.iter().filter(|h| h.is_match()).count(), 3);
+
+    println!("Quickstart complete.");
+    Ok(())
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Full verification sweep: build, lint, test, examples, and every
+# paper-table harness. Criterion microbenches are excluded by default
+# (pass --with-micro to include them; they add ~15 minutes).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+cargo build --workspace --all-targets
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tests =="
+cargo test --workspace
+
+echo "== examples =="
+for ex in quickstart packet_classifier database_index dynamic_groups \
+          stream_dedup rtl_export waveform_dump; do
+    echo "--- example: $ex"
+    cargo run --quiet --release --example "$ex"
+done
+echo "--- example: triangle_counting (as20000102 @ 1/4)"
+cargo run --quiet --release --example triangle_counting as20000102 4
+
+echo "== paper tables =="
+for bench in fig1_characteristics table1_survey table3_params table5_cell \
+             table6_block table7_unit_resources table8_unit_perf \
+             table9_triangle ablation_geometry; do
+    echo "--- bench: $bench"
+    cargo bench --quiet -p dsp-cam-bench --bench "$bench"
+done
+
+if [[ "${1:-}" == "--with-micro" ]]; then
+    echo "== criterion microbenches =="
+    for bench in micro_dsp48 micro_cam_ops micro_intersect micro_streaming; do
+        cargo bench -p dsp-cam-bench --bench "$bench"
+    done
+fi
+
+echo "ALL CHECKS PASSED"

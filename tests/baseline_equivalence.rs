@@ -1,0 +1,123 @@
+//! Differential testing across CAM families: every implementation behind
+//! the `Cam` trait — including ours — must agree with the functional
+//! reference model under randomized operation sequences, while their
+//! implementation models (latency/resources) preserve the survey's
+//! qualitative ordering.
+
+use dsp_cam::baselines::{all_cams, Cam, DspCamAdapter, DspCascadeCam, LutramCam};
+use dsp_cam::cam::func::RefCam;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn every_family_matches_the_reference_model() {
+    let entries = 48;
+    let width = 12;
+    let mut rng = StdRng::seed_from_u64(0xCA11);
+    let mut cams = all_cams(entries, width);
+    let mut oracle = RefCam::new(entries, width, 0);
+
+    for step in 0..400 {
+        let op = rng.gen_range(0..10);
+        if op < 4 {
+            let v = rng.gen_range(0..1u64 << width);
+            let expect_ok = !oracle.is_full();
+            if expect_ok {
+                oracle.insert(v);
+            }
+            for cam in &mut cams {
+                assert_eq!(
+                    cam.insert(v).is_ok(),
+                    expect_ok,
+                    "{} diverged on insert at step {step}",
+                    cam.name()
+                );
+            }
+        } else if op < 9 {
+            let k = rng.gen_range(0..1u64 << width);
+            let expect = oracle.search(k).is_some();
+            for cam in &mut cams {
+                // Address semantics differ for duplicates (the DSP cascade
+                // reports the newest); membership must agree exactly.
+                assert_eq!(
+                    cam.search(k).is_some(),
+                    expect,
+                    "{} diverged on search({k}) at step {step}",
+                    cam.name()
+                );
+            }
+        } else {
+            oracle.clear();
+            for cam in &mut cams {
+                cam.clear();
+            }
+        }
+        for cam in &cams {
+            assert_eq!(cam.len(), oracle.len(), "{} length drift", cam.name());
+        }
+    }
+}
+
+#[test]
+fn survey_orderings_hold_at_equal_geometry() {
+    let entries = 1024;
+    let width = 32;
+    let ours = DspCamAdapter::new(entries, width);
+    let cascade = DspCascadeCam::new(entries, width);
+    let lutram = LutramCam::new(entries, width);
+
+    // The paper's claims, at one geometry:
+    // 1. Our search latency is constant and far below the DSP cascade's.
+    assert!(ours.search_latency() <= 8);
+    assert!(cascade.search_latency() >= 5 * ours.search_latency());
+    // 2. Our update path beats the LUTRAM walk by an order of magnitude.
+    assert!(lutram.update_latency() >= 10 * ours.update_latency());
+    // 3. We spend DSPs, they spend LUTs: the register CAM burns well over
+    //    our LUT bill at the same geometry, and the LUT families use no
+    //    DSPs at all. (At 48 bits and above our per-entry LUT cost also
+    //    undercuts the transposed LUTRAM design — Table I's 72178 LUTs for
+    //    9728x48 vs Frac-TCAM's 16384 for 1024x160.)
+    let register_cam = dsp_cam::baselines::LutCam::new(entries, width);
+    assert!(register_cam.resources().lut > ours.resources().lut);
+    assert!(ours.resources().dsp >= entries as u64);
+    assert_eq!(lutram.resources().dsp, 0);
+    assert_eq!(register_cam.resources().dsp, 0);
+}
+
+#[test]
+fn unique_value_addresses_agree_across_families() {
+    // With distinct values, even the fill-order address must agree
+    // everywhere (no duplicates, so newest-first vs oldest-first coincide).
+    let mut cams = all_cams(32, 16);
+    let values: Vec<u64> = (0..32u64).map(|i| i * 97 + 13).collect();
+    for cam in &mut cams {
+        for &v in &values {
+            cam.insert(v).unwrap();
+        }
+    }
+    for (addr, &v) in values.iter().enumerate() {
+        for cam in &mut cams {
+            assert_eq!(
+                cam.search(v),
+                Some(addr),
+                "{} wrong address for value {v}",
+                cam.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn capacity_exhaustion_is_uniform() {
+    let mut cams = all_cams(8, 8);
+    for cam in &mut cams {
+        for v in 0..8u64 {
+            cam.insert(v).unwrap();
+        }
+        assert!(cam.insert(99).is_err(), "{} over-accepted", cam.name());
+        cam.clear();
+        assert!(cam.is_empty(), "{}", cam.name());
+        cam.insert(5).unwrap();
+        assert_eq!(cam.search(5), Some(0), "{} reuse after clear", cam.name());
+    }
+}

@@ -1,0 +1,142 @@
+//! Configuration-matrix build-out: sweep the Table III parameter space,
+//! build every combination, and exercise a store/search cycle on each.
+
+use dsp_cam::prelude::*;
+
+#[test]
+fn kind_width_size_encoding_matrix() {
+    let widths = [8u32, 16, 32, 48];
+    let block_sizes = [4usize, 16, 64];
+    let encodings = [
+        Encoding::Priority,
+        Encoding::OneHot,
+        Encoding::AddressList,
+        Encoding::MatchCount,
+    ];
+    let mut built = 0;
+    for kind in CamKind::ALL {
+        for &width in &widths {
+            for &block_size in &block_sizes {
+                for &encoding in &encodings {
+                    let config = UnitConfig::builder()
+                        .kind(kind)
+                        .data_width(width)
+                        .block_size(block_size)
+                        .num_blocks(2)
+                        .bus_width(512)
+                        .encoding(encoding)
+                        .build()
+                        .unwrap_or_else(|e| {
+                            panic!("{kind} w{width} b{block_size} {encoding:?}: {e}")
+                        });
+                    let mut cam = CamUnit::new(config).expect("constructible");
+                    let probe = 1u64 << (width - 1) | 1;
+                    match kind {
+                        CamKind::RangeMatching => {
+                            cam.update_ranges(&[RangeSpec::new(probe, 0).expect("aligned")])
+                                .expect("fits");
+                        }
+                        _ => cam.update(&[probe]).expect("fits"),
+                    }
+                    assert!(
+                        cam.search(probe).is_match(),
+                        "{kind} w{width} b{block_size} {encoding:?} lost its entry"
+                    );
+                    assert!(!cam.search(probe ^ 1).is_match());
+                    built += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(built, 3 * 4 * 3 * 4);
+}
+
+#[test]
+fn group_sweep_over_power_of_two_units() {
+    for num_blocks in [1usize, 2, 4, 8, 16] {
+        let mut cam = CamUnit::new(
+            UnitConfig::builder()
+                .data_width(16)
+                .block_size(4)
+                .num_blocks(num_blocks)
+                .bus_width(64)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut m = 1;
+        while m <= num_blocks {
+            cam.configure_groups(m).unwrap();
+            assert_eq!(cam.groups(), m);
+            assert_eq!(cam.capacity(), num_blocks / m * 4);
+            let fill: Vec<u64> = (0..cam.capacity() as u64).collect();
+            cam.update(&fill).unwrap();
+            assert!(cam.search(0).is_match());
+            assert!(cam.search(cam.capacity() as u64 - 1).is_match());
+            m *= 2;
+        }
+    }
+}
+
+#[test]
+fn narrow_bus_wide_data_combinations() {
+    // A 48-bit word on a 64-bit bus: one word per beat, still functional.
+    let mut cam = CamUnit::new(
+        UnitConfig::builder()
+            .data_width(48)
+            .block_size(4)
+            .num_blocks(1)
+            .bus_width(64)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(cam.config().words_per_beat(), 1);
+    cam.update(&[0xFFFF_FFFF_FFFF]).unwrap();
+    assert!(cam.search(0xFFFF_FFFF_FFFF).is_match());
+}
+
+#[test]
+fn every_illegal_axis_is_rejected() {
+    // One representative violation per validation rule.
+    assert!(UnitConfig::builder().data_width(0).build().is_err());
+    assert!(UnitConfig::builder().data_width(49).build().is_err());
+    assert!(UnitConfig::builder().block_size(0).build().is_err());
+    assert!(UnitConfig::builder().block_size(3).build().is_err());
+    assert!(UnitConfig::builder().num_blocks(0).build().is_err());
+    assert!(UnitConfig::builder()
+        .bus_width(100)
+        .data_width(32)
+        .build()
+        .is_err());
+    assert!(UnitConfig::builder()
+        .kind(CamKind::Ternary)
+        .data_width(8)
+        .ternary_mask(0xF00)
+        .build()
+        .is_err());
+}
+
+#[test]
+fn capacity_errors_are_exact_at_every_group_count() {
+    let mut cam = CamUnit::new(
+        UnitConfig::builder()
+            .data_width(16)
+            .block_size(4)
+            .num_blocks(4)
+            .bus_width(64)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    for m in [1usize, 2, 4] {
+        cam.configure_groups(m).unwrap();
+        let cap = cam.capacity();
+        let over: Vec<u64> = (0..cap as u64 + 3).collect();
+        match cam.update(&over) {
+            Err(CamError::Full { rejected }) => assert_eq!(rejected, 3, "M={m}"),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert!(cam.is_empty(), "rejection must be atomic at M={m}");
+    }
+}

@@ -1,0 +1,257 @@
+//! Full-stack integration: the CAM hierarchy really sits on the DSP48E2
+//! slice model, the bus really packs bits, and the resource model agrees
+//! with what can actually be constructed.
+
+use dsp_cam::cam::bus::{pack_beats, unpack_beat, BusCommand, Opcode};
+use dsp_cam::fpga::{CamResourceModel, Device, FrequencyModel, SlrModel};
+use dsp_cam::prelude::*;
+
+#[test]
+fn unit_search_is_real_dsp_pattern_detect() {
+    // A value stored through the unit's datapath must be observable in the
+    // underlying block's DSP cells and match via the pattern detector.
+    let mut cam = CamUnit::new(
+        UnitConfig::builder()
+            .data_width(48)
+            .block_size(8)
+            .num_blocks(2)
+            .bus_width(512)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let value = 0xABCD_EF01_2345u64;
+    cam.update(&[value]).unwrap();
+    // The first block's first cell holds the word.
+    let stored: Vec<u64> = cam.blocks()[0].stored().collect();
+    assert_eq!(stored, vec![value]);
+    // And the search path (XOR + pattern detect across every slice in the
+    // group) reports exactly one match at address 0.
+    let hit = cam.search(value);
+    assert_eq!(hit.first_address(), Some(0));
+    // A 1-bit difference anywhere in 48 bits must miss.
+    for bit in 0..48 {
+        assert!(
+            !cam.search(value ^ (1 << bit)).is_match(),
+            "bit {bit} flip must miss"
+        );
+    }
+}
+
+#[test]
+fn bus_beats_roundtrip_through_unit_updates() {
+    // Pack words into 512-bit beats, unpack, and feed the unit — the
+    // full input-bus path of Fig. 4.
+    let mut cam = CamUnit::new(
+        UnitConfig::builder()
+            .data_width(48)
+            .block_size(16)
+            .num_blocks(1)
+            .bus_width(512)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let words: Vec<u64> = (0..10).map(|i| 0x1000_0000_0000 + i * 999).collect();
+    let beats = pack_beats(&words, 48, 512);
+    assert_eq!(beats.len(), 1, "ten 48-bit words fit one 512-bit beat");
+    let mut unpacked = unpack_beat(&beats[0], 48, 512);
+    unpacked.truncate(words.len());
+    cam.update(&unpacked).unwrap();
+    for &w in &words {
+        assert!(cam.search(w).is_match(), "word {w:#x}");
+    }
+}
+
+#[test]
+fn bus_command_protocol_drives_the_unit() {
+    let mut cam = CamUnit::new(
+        UnitConfig::builder()
+            .data_width(32)
+            .block_size(8)
+            .num_blocks(4)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    // Configure 2 groups, update, search, reset — all over BusCommand.
+    cam.execute(&BusCommand {
+        opcode: Opcode::ConfigureGroups,
+        words: vec![2],
+    })
+    .unwrap();
+    cam.execute(&BusCommand::update(vec![5, 6, 7])).unwrap();
+    let resp = cam.execute(&BusCommand::search(6)).unwrap();
+    match resp {
+        dsp_cam::cam::unit::BusResponse::Search(hit) => assert!(hit.is_match()),
+        other => panic!("unexpected {other:?}"),
+    }
+    cam.execute(&BusCommand::reset()).unwrap();
+    assert!(cam.is_empty());
+}
+
+#[test]
+fn resource_model_matches_constructible_configs() {
+    let model = CamResourceModel::u250();
+    let freq = FrequencyModel::u250_unit();
+    let slr = SlrModel::for_device(&Device::u250());
+    // Every Table VII point must be constructible and fit the device.
+    for cells in [512u64, 1024, 2048, 4096, 6144, 8192, 9728] {
+        let config = UnitConfig::builder()
+            .data_width(48)
+            .block_size(256)
+            .num_blocks((cells / 256) as usize)
+            .build()
+            .unwrap();
+        let cam = CamUnit::new(config).unwrap();
+        assert_eq!(cam.config().total_cells() as u64, cells);
+        model.check_fit(cells).unwrap();
+        let usage = model.unit_resources(cells, true);
+        assert!(usage.fits(&Device::u250()));
+        assert!(freq.frequency_mhz(cells) >= 235.0);
+        assert!(slr.slrs_needed(cells) <= 4);
+    }
+    // And one past the ceiling must be rejected by the model.
+    assert!(model.check_fit(12_000).is_err());
+}
+
+#[test]
+fn all_cam_kinds_share_the_unit_datapath() {
+    // Table V's claim at unit scale: the same geometry builds for every
+    // kind and answers kind-appropriate queries.
+    let mut bcam = CamUnit::new(
+        UnitConfig::builder()
+            .kind(CamKind::Binary)
+            .data_width(16)
+            .block_size(8)
+            .num_blocks(2)
+            .bus_width(64)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    bcam.update(&[0x1234]).unwrap();
+    assert!(bcam.search(0x1234).is_match());
+    assert!(!bcam.search(0x1230).is_match());
+
+    let mut tcam = CamUnit::new(
+        UnitConfig::builder()
+            .kind(CamKind::Ternary)
+            .ternary_mask(0x000F)
+            .data_width(16)
+            .block_size(8)
+            .num_blocks(2)
+            .bus_width(64)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    tcam.update(&[0x1230]).unwrap();
+    assert!(tcam.search(0x123F).is_match(), "low nibble is wildcard");
+    assert!(!tcam.search(0x1330).is_match());
+
+    let mut rmcam = CamUnit::new(
+        UnitConfig::builder()
+            .kind(CamKind::RangeMatching)
+            .data_width(16)
+            .block_size(8)
+            .num_blocks(2)
+            .bus_width(64)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    rmcam
+        .update_ranges(&[RangeSpec::new(0x40, 5).unwrap()])
+        .unwrap();
+    assert!(rmcam.search(0x5F).is_match());
+    assert!(!rmcam.search(0x60).is_match());
+}
+
+#[test]
+fn paper_example_two_blocks_per_group() {
+    // Section III-C.4's worked example: groups of two blocks, sequential
+    // fill with spill, M concurrent keys.
+    let mut cam = CamUnit::new(
+        UnitConfig::builder()
+            .data_width(32)
+            .block_size(4)
+            .num_blocks(8)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let m = cam.config().num_blocks / 2;
+    cam.configure_groups(m).unwrap();
+    assert_eq!(cam.blocks_per_group(), 2);
+    // Six entries: first block (4) fills, then round-robin to the second.
+    cam.update(&[1, 2, 3, 4, 5, 6]).unwrap();
+    for g in 0..m {
+        let first = &cam.blocks()[cam.routing_table().iter().position(|&x| x == g).unwrap()];
+        assert_eq!(first.len(), 4, "group {g} first block full");
+    }
+    // M concurrent searches, one per group, all answered in one issue.
+    let issues = cam.issue_cycles();
+    let hits = cam.search_multi(&[1, 2, 3, 4]);
+    assert_eq!(cam.issue_cycles() - issues, 1);
+    assert!(hits.iter().all(dsp_cam::cam::unit::SearchResult::is_match));
+}
+
+#[test]
+fn unit_level_one_hot_and_address_list_encodings() {
+    // Matches spanning multiple blocks of a group must combine into one
+    // group-local result under every encoding.
+    for encoding in [Encoding::OneHot, Encoding::AddressList] {
+        let mut cam = CamUnit::new(
+            UnitConfig::builder()
+                .data_width(16)
+                .block_size(4)
+                .num_blocks(2)
+                .bus_width(64)
+                .encoding(encoding)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        // 6 entries: value 9 at addresses 1 and 5 (second one in block 1).
+        cam.update(&[7, 9, 8, 6, 5, 9]).unwrap();
+        let hit = cam.search(9);
+        assert!(hit.is_match(), "{encoding:?}");
+        assert_eq!(hit.match_count(), Some(2), "{encoding:?}");
+        assert_eq!(hit.first_address(), Some(1), "{encoding:?}");
+        match (&encoding, &hit.output) {
+            (Encoding::AddressList, SearchOutput::AddressList(addrs)) => {
+                assert_eq!(addrs, &vec![1, 5]);
+            }
+            (Encoding::OneHot, SearchOutput::OneHot(v)) => {
+                assert_eq!(v.len(), 8, "group-local one-hot width");
+                assert!(v.get(1) && v.get(5));
+                assert_eq!(v.count(), 2);
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn multi_query_with_duplicates_across_groups() {
+    let mut cam = CamUnit::new(
+        UnitConfig::builder()
+            .data_width(16)
+            .block_size(4)
+            .num_blocks(4)
+            .bus_width(64)
+            .encoding(Encoding::MatchCount)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    cam.configure_groups(2).unwrap();
+    cam.update(&[3, 3, 4]).unwrap();
+    // Both groups hold both 3s; each concurrent query sees its own group's
+    // replica and reports the same count.
+    let hits = cam.search_multi(&[3, 3]);
+    assert_eq!(hits[0].match_count(), Some(2));
+    assert_eq!(hits[1].match_count(), Some(2));
+    assert_ne!(hits[0].group, hits[1].group);
+}
