@@ -151,7 +151,11 @@ mod tests {
             // Frequencies compare across silicon generations (the survey
             // spans Virtex-6 through UltraScale+), so they get a wider
             // band than same-node resource/latency counts.
-            let factor = if row.metric == "frequency_mhz" { 2.5 } else { 2.0 };
+            let factor = if row.metric == "frequency_mhz" {
+                2.5
+            } else {
+                2.0
+            };
             assert!(
                 row.within(factor),
                 "{} {}: published {} vs modelled {} (ratio {:.2})",

@@ -27,8 +27,8 @@
 
 pub mod bram_cam;
 pub mod cam;
-pub mod fidelity;
 pub mod dsp_queue;
+pub mod fidelity;
 pub mod hybrid_cam;
 pub mod lut_cam;
 pub mod lutram_cam;

@@ -30,12 +30,14 @@ fn main() {
 
     // Aggregate each category at its best (the figure draws family
     // envelopes, not individual designs).
-    for category in [Category::Lut, Category::Bram, Category::Hybrid, Category::Dsp] {
+    for category in [
+        Category::Lut,
+        Category::Bram,
+        Category::Hybrid,
+        Category::Dsp,
+    ] {
         let mut best = [0.0f64; 5];
-        for entry in published_survey()
-            .iter()
-            .filter(|e| e.category == category)
-        {
+        for entry in published_survey().iter().filter(|e| e.category == category) {
             let s = fig1_scores(entry);
             for (slot, v) in [
                 s.scalability,

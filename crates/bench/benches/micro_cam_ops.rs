@@ -2,7 +2,7 @@
 //! unit update/search rates at several geometries, and the baseline CAM
 //! implementations for comparison.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use dsp_cam_baselines::{Cam, DspCascadeCam, LutCam, LutramCam};
 use dsp_cam_core::prelude::*;
 use std::hint::black_box;
@@ -73,6 +73,40 @@ fn bench_unit_ops(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_fidelity_tiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cam_unit_search_tier");
+    group.sample_size(10);
+    for (label, fidelity) in [
+        ("bit_accurate", FidelityMode::BitAccurate),
+        ("fast", FidelityMode::Fast),
+    ] {
+        for entries in [512usize, 2048] {
+            let id = format!("{label}_{entries}");
+            group.bench_function(&id, |b| {
+                let mut unit = CamUnit::new(
+                    UnitConfig::builder()
+                        .data_width(32)
+                        .block_size(256)
+                        .num_blocks(entries / 256)
+                        .bus_width(512)
+                        .fidelity(fidelity)
+                        .build()
+                        .expect("valid"),
+                )
+                .expect("constructible");
+                let words: Vec<u64> = (0..entries as u64).collect();
+                unit.update(&words).expect("fits");
+                let mut key = 0u64;
+                b.iter(|| {
+                    key = (key + 7) % (2 * entries as u64);
+                    black_box(unit.search(black_box(key)))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_baseline_cams(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline_cam_search");
     let entries = 1024usize;
@@ -99,5 +133,16 @@ fn bench_baseline_cams(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_block_search, bench_unit_ops, bench_baseline_cams);
-criterion_main!(benches);
+criterion_group!(
+    benches,
+    bench_block_search,
+    bench_unit_ops,
+    bench_fidelity_tiers,
+    bench_baseline_cams
+);
+
+fn main() {
+    benches();
+    // Machine-readable fast-vs-accurate rates, tracked across PRs.
+    dsp_cam_bench::search_rates::emit_bench_search_json("micro_cam_ops");
+}

@@ -53,7 +53,10 @@ fn main() {
         ]);
     }
     print!("{table}");
-    if let Ok(p) = table.save_csv(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/paper_tables"), "table1_survey") {
+    if let Ok(p) = table.save_csv(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/paper_tables"),
+        "table1_survey",
+    ) {
         println!("(csv: {})", p.display());
     }
 

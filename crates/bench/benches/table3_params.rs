@@ -16,7 +16,12 @@ fn main() {
 
     let mut table = Table::new(
         "Table III (reproduced): parameter inventory",
-        &["Granularity", "Parameter", "Supported values", "Rejected example"],
+        &[
+            "Granularity",
+            "Parameter",
+            "Supported values",
+            "Rejected example",
+        ],
     );
 
     // Cell type.

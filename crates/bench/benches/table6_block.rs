@@ -87,7 +87,10 @@ fn main() {
         table.row(&row);
     }
     print!("{table}");
-    if let Ok(p) = table.save_csv(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/paper_tables"), "table6_block") {
+    if let Ok(p) = table.save_csv(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/paper_tables"),
+        "table6_block",
+    ) {
         println!("(csv: {})", p.display());
     }
 

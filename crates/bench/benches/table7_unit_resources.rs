@@ -61,7 +61,10 @@ fn main() {
         ]);
     }
     print!("{table}");
-    if let Ok(p) = table.save_csv(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/paper_tables"), "table7_unit_resources") {
+    if let Ok(p) = table.save_csv(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/paper_tables"),
+        "table7_unit_resources",
+    ) {
         println!("(csv: {})", p.display());
     }
 

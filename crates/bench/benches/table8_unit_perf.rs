@@ -80,7 +80,10 @@ fn main() {
         table.row(&row);
     }
     print!("{table}");
-    if let Ok(p) = table.save_csv(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/paper_tables"), "table8_unit_perf") {
+    if let Ok(p) = table.save_csv(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/paper_tables"),
+        "table8_unit_perf",
+    ) {
         println!("(csv: {})", p.display());
     }
 
@@ -95,4 +98,8 @@ fn main() {
          follows the table data (buffer from 2048 cells up) — see \
          EXPERIMENTS.md."
     );
+
+    // Host-side simulation rates for the same geometries: the fast
+    // match-index tier vs the full DSP-level simulation.
+    dsp_cam_bench::search_rates::emit_bench_search_json("table8_unit_perf");
 }

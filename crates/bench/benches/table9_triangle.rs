@@ -8,8 +8,10 @@
 //! modest one on road networks, with a single-digit average.
 
 use dsp_cam_bench::banner;
+use dsp_cam_core::prelude::FidelityMode;
 use fpga_model::report::{fmt_f, Table};
 use tc_accel::perf::{mean_speedup, table_ix};
+use tc_accel::CamTriangleCounter;
 
 fn main() {
     banner(
@@ -44,16 +46,17 @@ fn main() {
         ]);
     }
     print!("{table}");
-    if let Ok(p) = table.save_csv(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/paper_tables"), "table9_triangle") {
+    if let Ok(p) = table.save_csv(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/paper_tables"),
+        "table9_triangle",
+    ) {
         println!("(csv: {})", p.display());
     }
 
     let avg = mean_speedup(&rows);
     let paper_avg: f64 = rows.iter().map(|r| r.paper_speedup).sum::<f64>() / rows.len() as f64;
     println!();
-    println!(
-        "Average speedup: {avg:.2}x (paper: {paper_avg:.2}x on the real traces)."
-    );
+    println!("Average speedup: {avg:.2}x (paper: {paper_avg:.2}x on the real traces).");
 
     // Shape assertions — the properties the reproduction claims.
     assert!(
@@ -75,4 +78,25 @@ fn main() {
         "hub-skewed graphs ({skewed_min:.2}x) must beat road networks ({road_max:.2}x)"
     );
     println!("Shape checks passed: CAM wins everywhere; skew ({skewed_min:.2}x) > road ({road_max:.2}x).");
+
+    // Cross-validate the analytical model against the simulated hardware
+    // on a small graph — through the fast match-index tier, which makes
+    // the full-unit drive cheap while computing exactly what the
+    // DSP-level simulation would.
+    let edges = dsp_cam_graph::generate::erdos_renyi(48, 160, 11);
+    let g = dsp_cam_graph::builder::GraphBuilder::from_edges(edges).build_undirected();
+    let counter = CamTriangleCounter::new();
+    let analytical = counter.run(&g);
+    let hw = counter
+        .run_on_hardware_model_with(&g, FidelityMode::Fast)
+        .expect("default geometry is valid");
+    assert_eq!(
+        analytical.triangles, hw.triangles,
+        "hardware-model triangle count must match the analytical engine"
+    );
+    assert_eq!(analytical.cycles, hw.cycles, "cycle model must agree");
+    println!(
+        "Hardware cross-check (fast tier): {} triangles, {} cycles — matches the analytical engine.",
+        hw.triangles, hw.cycles
+    );
 }

@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod search_rates;
+
 /// Print the standard bench header naming the reproduced artefact.
 pub fn banner(artifact: &str, summary: &str) {
     println!();

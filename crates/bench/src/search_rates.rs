@@ -1,0 +1,182 @@
+//! Host-side search-rate measurement for the two execution tiers, and
+//! the machine-readable `BENCH_search.json` artefact tracked across PRs.
+//!
+//! Both `micro_cam_ops` and `table8_unit_perf` call
+//! [`measure_search_rates`] + [`write_bench_search_json`] so the
+//! fast-tier speedup over the bit-accurate DSP simulation is recorded in
+//! one canonical place regardless of which bench ran last.
+
+use std::hint::black_box;
+use std::io;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dsp_cam_core::prelude::*;
+
+/// Searches/sec of both tiers at one unit size.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchRateRow {
+    /// Unit capacity in entries.
+    pub entries: usize,
+    /// Host searches/sec through the `Fast` match-index tier.
+    pub fast_sps: f64,
+    /// Host searches/sec through the `BitAccurate` DSP48E2 tier.
+    pub accurate_sps: f64,
+}
+
+impl SearchRateRow {
+    /// Fast-tier speedup over the bit-accurate tier.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.fast_sps / self.accurate_sps
+    }
+}
+
+/// The canonical sizes recorded in `BENCH_search.json`.
+pub const BENCH_SIZES: [usize; 3] = [512, 2048, 8192];
+
+fn unit_of(entries: usize, fidelity: FidelityMode) -> CamUnit {
+    let block_size = if entries >= 256 { 256 } else { 128 };
+    let config = UnitConfig::builder()
+        .data_width(32)
+        .block_size(block_size)
+        .num_blocks(entries / block_size)
+        .bus_width(512)
+        .fidelity(fidelity)
+        .build()
+        .expect("bench geometry is valid");
+    let mut unit = CamUnit::new(config).expect("constructible");
+    let words: Vec<u64> = (0..entries as u64).map(|i| i * 3).collect();
+    unit.update(&words).expect("fits");
+    unit
+}
+
+/// Time broadcast searches on `unit` until the sample is stable enough
+/// (at least 8 searches and ~120 ms of wall clock, whichever is later).
+fn searches_per_sec(unit: &mut CamUnit) -> f64 {
+    // A mix of hits and misses, warmed up before timing starts.
+    let keys: [u64; 4] = [3, 7, 300, 1_000_003];
+    for &k in &keys {
+        black_box(unit.search(black_box(k)));
+    }
+    let mut iters = 0u64;
+    let start = Instant::now();
+    loop {
+        for &k in &keys {
+            black_box(unit.search(black_box(k)));
+        }
+        iters += keys.len() as u64;
+        let elapsed = start.elapsed();
+        if (iters >= 8 && elapsed.as_millis() >= 120) || iters >= 4_000_000 {
+            return iters as f64 / elapsed.as_secs_f64();
+        }
+    }
+}
+
+/// Measure both tiers at each of `sizes` entries.
+#[must_use]
+pub fn measure_search_rates(sizes: &[usize]) -> Vec<SearchRateRow> {
+    sizes
+        .iter()
+        .map(|&entries| {
+            let accurate_sps = searches_per_sec(&mut unit_of(entries, FidelityMode::BitAccurate));
+            let fast_sps = searches_per_sec(&mut unit_of(entries, FidelityMode::Fast));
+            SearchRateRow {
+                entries,
+                fast_sps,
+                accurate_sps,
+            }
+        })
+        .collect()
+}
+
+/// Serialise `rows` to `BENCH_search.json` at the repository root,
+/// recording which bench produced them. Returns the written path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_bench_search_json(source: &str, rows: &[SearchRateRow]) -> io::Result<PathBuf> {
+    let path = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_search.json"
+    ));
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str(&format!("  \"source\": \"{source}\",\n"));
+    body.push_str("  \"metric\": \"host searches/sec, Fast (match-index) vs BitAccurate (DSP48E2 simulation)\",\n");
+    body.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"entries\": {}, \"fast_searches_per_sec\": {:.1}, \
+             \"bit_accurate_searches_per_sec\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            row.entries,
+            row.fast_sps,
+            row.accurate_sps,
+            row.speedup(),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+/// Measure, write the artefact, print a summary, and enforce the
+/// fast-tier speedup floor at 8192 entries.
+///
+/// # Panics
+///
+/// Panics if the fast tier is below 10× the bit-accurate tier at 8192
+/// entries — the two-tier engine's reason to exist.
+pub fn emit_bench_search_json(source: &str) {
+    let rows = measure_search_rates(&BENCH_SIZES);
+    println!();
+    println!("Two-tier search rates (host):");
+    for row in &rows {
+        println!(
+            "  {:>5} entries: fast {:>12.0} searches/s, bit-accurate {:>10.0} searches/s ({:>6.1}x)",
+            row.entries,
+            row.fast_sps,
+            row.accurate_sps,
+            row.speedup(),
+        );
+    }
+    match write_bench_search_json(source, &rows) {
+        Ok(path) => println!("(json: {})", path.display()),
+        Err(err) => println!("(failed to write BENCH_search.json: {err})"),
+    }
+    let at_8k = rows
+        .iter()
+        .find(|r| r.entries == 8192)
+        .expect("8192 is a canonical size");
+    assert!(
+        at_8k.speedup() >= 10.0,
+        "fast tier must be >= 10x bit-accurate at 8192 entries, got {:.1}x",
+        at_8k.speedup()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_tiers_agree_on_results_in_the_bench_geometry() {
+        let mut accurate = unit_of(512, FidelityMode::BitAccurate);
+        let mut fast = unit_of(512, FidelityMode::Fast);
+        for key in [0u64, 3, 5, 1533, 1_000_003] {
+            assert_eq!(accurate.search(key), fast.search(key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn json_rows_roundtrip_shape() {
+        let rows = [SearchRateRow {
+            entries: 512,
+            fast_sps: 2.0e6,
+            accurate_sps: 1.0e5,
+        }];
+        assert!((rows[0].speedup() - 20.0).abs() < 1e-9);
+    }
+}

@@ -18,10 +18,11 @@
 use serde::{Deserialize, Serialize};
 
 use crate::cell::CamCell;
-use crate::config::BlockConfig;
+use crate::config::{BlockConfig, FidelityMode};
 use crate::encoder::{MatchVector, SearchOutput};
 use crate::error::{CamError, ConfigError};
 use crate::mask::RangeSpec;
+use crate::match_index::MatchIndex;
 
 /// A CAM block: cells plus update/search control and the result encoder.
 ///
@@ -45,6 +46,11 @@ use crate::mask::RangeSpec;
 pub struct CamBlock {
     config: BlockConfig,
     cells: Vec<CamCell>,
+    /// Shadow of the cell state for the fast search tier; kept coherent
+    /// on every mutation regardless of the configured fidelity, so the
+    /// mode can be compared (and, via [`CamBlock::set_fidelity`],
+    /// switched) at any time.
+    index: MatchIndex,
     /// The Cell Address Controller's fill pointer.
     write_ptr: usize,
     cycles: u64,
@@ -63,14 +69,23 @@ impl CamBlock {
         let cells = (0..config.block_size)
             .map(|_| CamCell::new(config.cell))
             .collect::<Result<Vec<_>, _>>()?;
+        let mut index = MatchIndex::new(cells.len());
+        index.refresh_all(&cells);
         Ok(CamBlock {
             config,
             cells,
+            index,
             write_ptr: 0,
             cycles: 0,
             update_beats: 0,
             searches: 0,
         })
+    }
+
+    /// Switch the search execution tier in place. Contents, counters and
+    /// results are unaffected — both tiers answer identically.
+    pub fn set_fidelity(&mut self, fidelity: FidelityMode) {
+        self.config.fidelity = fidelity;
     }
 
     /// The block configuration.
@@ -164,6 +179,8 @@ impl CamBlock {
             self.cells[self.write_ptr]
                 .write(word)
                 .expect("validated above");
+            self.index
+                .refresh(self.write_ptr, &self.cells[self.write_ptr]);
             self.write_ptr += 1;
         }
         let beats = words.len().div_ceil(self.config.words_per_beat()).max(1) as u64;
@@ -199,6 +216,8 @@ impl CamBlock {
         }
         for &range in ranges {
             self.cells[self.write_ptr].write_range(range)?;
+            self.index
+                .refresh(self.write_ptr, &self.cells[self.write_ptr]);
             self.write_ptr += 1;
         }
         let beats = ranges.len().div_ceil(self.config.words_per_beat()).max(1) as u64;
@@ -207,34 +226,36 @@ impl CamBlock {
         Ok(())
     }
 
+    /// The one broadcast path both public searches share: mask the key,
+    /// produce the match vector on the configured tier, account cycles.
+    /// The two tiers are interchangeable by construction — identical key
+    /// masking, identical compare semantics, identical counter bumps.
+    fn broadcast(&mut self, key: u64) -> MatchVector {
+        let key = self.mask_key(key);
+        let matches = match self.config.fidelity {
+            FidelityMode::BitAccurate => {
+                self.cells.iter_mut().map(|cell| cell.search(key)).collect()
+            }
+            FidelityMode::Fast => self.index.search(key),
+        };
+        self.cycles += self.config.search_latency();
+        self.searches += 1;
+        matches
+    }
+
     /// Broadcast `key` to every cell and encode the match vector.
     ///
     /// Redundant key bits beyond the data width are masked off, per the
     /// paper's search-path description.
     pub fn search(&mut self, key: u64) -> SearchOutput {
-        let key = self.mask_key(key);
-        let matches: MatchVector = self
-            .cells
-            .iter_mut()
-            .map(|cell| cell.search(key))
-            .collect();
-        self.cycles += self.config.search_latency();
-        self.searches += 1;
+        let matches = self.broadcast(key);
         self.config.encoding.encode(&matches)
     }
 
     /// Raw match vector for `key` (bypasses the Encoder; used by tests and
     /// by encodings layered at unit level).
     pub fn search_vector(&mut self, key: u64) -> MatchVector {
-        let key = self.mask_key(key);
-        let v: MatchVector = self
-            .cells
-            .iter_mut()
-            .map(|cell| cell.search(key))
-            .collect();
-        self.cycles += self.config.search_latency();
-        self.searches += 1;
-        v
+        self.broadcast(key)
     }
 
     /// Invalidate the entry at `cell` (extension beyond the paper: the
@@ -249,6 +270,7 @@ impl CamBlock {
     pub fn invalidate(&mut self, cell: usize) {
         assert!(cell < self.cells.len(), "cell {cell} out of range");
         self.cells[cell].clear();
+        self.index.refresh(cell, &self.cells[cell]);
         self.cycles += 1;
     }
 
@@ -276,6 +298,8 @@ impl CamBlock {
             });
         }
         self.cells[self.write_ptr].write_masked(value, dont_care)?;
+        self.index
+            .refresh(self.write_ptr, &self.cells[self.write_ptr]);
         self.write_ptr += 1;
         self.cycles += self.config.update_latency();
         self.update_beats += 1;
@@ -287,6 +311,7 @@ impl CamBlock {
         for cell in &mut self.cells {
             cell.clear();
         }
+        self.index.refresh_all(&self.cells);
         self.write_ptr = 0;
         self.cycles += 1;
     }
@@ -492,5 +517,40 @@ mod tests {
     fn invalid_config_rejected() {
         let cfg = BlockConfig::standalone(CellConfig::binary(32), 100, 512);
         assert!(CamBlock::new(cfg).is_err());
+    }
+
+    #[test]
+    fn fast_tier_matches_bit_accurate_results_and_counters() {
+        use crate::config::FidelityMode;
+        let base = BlockConfig::standalone(CellConfig::binary(16), 32, 512);
+        let mut accurate = CamBlock::new(base).unwrap();
+        let mut fast = CamBlock::new(base.with_fidelity(FidelityMode::Fast)).unwrap();
+        for b in [&mut accurate, &mut fast] {
+            b.update(&[7, 7, 0xAB, 0]).unwrap();
+            b.invalidate(1);
+        }
+        for key in [7u64, 0xAB, 0, 0xFFFF_0000_0000_0007, 5] {
+            assert_eq!(
+                accurate.search_vector(key),
+                fast.search_vector(key),
+                "key {key:#x}"
+            );
+            assert_eq!(accurate.search(key), fast.search(key), "key {key:#x}");
+        }
+        assert_eq!(accurate.cycles(), fast.cycles(), "block cycle accounting");
+        assert_eq!(accurate.searches(), fast.searches());
+        assert_eq!(accurate.update_beats(), fast.update_beats());
+    }
+
+    #[test]
+    fn fidelity_switchable_in_place() {
+        use crate::config::FidelityMode;
+        let mut b = block(16);
+        b.update(&[4, 9]).unwrap();
+        let before = b.search_vector(9);
+        b.set_fidelity(FidelityMode::Fast);
+        assert_eq!(b.search_vector(9), before);
+        b.set_fidelity(FidelityMode::BitAccurate);
+        assert_eq!(b.search_vector(9), before);
     }
 }

@@ -76,6 +76,16 @@ impl CamCell {
         self.dsp.stored().value()
     }
 
+    /// The pattern-detector mask currently programmed into the DSP (a `1`
+    /// bit is "don't care"). This is the composed width/kind/entry mask —
+    /// reading it back from the slice keeps shadow structures like
+    /// [`MatchIndex`](crate::match_index::MatchIndex) derived from the
+    /// oracle state instead of re-deriving the composition rules.
+    #[must_use]
+    pub fn pattern_mask(&self) -> P48 {
+        self.dsp.mask()
+    }
+
     /// Clock cycles consumed by this cell's DSP so far.
     #[must_use]
     pub fn cycles(&self) -> u64 {
@@ -144,11 +154,8 @@ impl CamCell {
         }
         self.check_width(value)?;
         self.check_width(dont_care)?;
-        self.dsp.set_mask(
-            self.base_mask
-                .with_entry_mask(P48::new(dont_care))
-                .bits(),
-        );
+        self.dsp
+            .set_mask(self.base_mask.with_entry_mask(P48::new(dont_care)).bits());
         self.dsp.write(value);
         self.valid = true;
         Ok(())

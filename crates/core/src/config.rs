@@ -13,6 +13,25 @@ use crate::error::ConfigError;
 use crate::kind::CamKind;
 use crate::mask::CamMask;
 
+/// How faithfully search execution models the DSP48E2 hardware.
+///
+/// Both tiers produce **identical** match vectors, encoded outputs and
+/// block/unit cycle counters; they differ only in how the comparison is
+/// computed. [`BitAccurate`](FidelityMode::BitAccurate) drives every
+/// cell's DSP slice model through its real register pipeline (and so
+/// also advances the per-cell DSP cycle counters). [`Fast`](FidelityMode::Fast)
+/// answers searches from a struct-of-arrays shadow of the cell state —
+/// a branch-free compare loop roughly an order of magnitude faster —
+/// leaving the per-cell DSP models untouched between writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum FidelityMode {
+    /// Tick each DSP slice model for every search (the default).
+    #[default]
+    BitAccurate,
+    /// Answer searches from the shadow match index.
+    Fast,
+}
+
 /// Cell-level parameters (Table III, "CAM Cell").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CellConfig {
@@ -97,6 +116,8 @@ pub struct BlockConfig {
     /// enables it from 256 cells up on standalone blocks, and on every
     /// block of a unit larger than 2048 cells, to close timing).
     pub encoder_buffer: bool,
+    /// Search execution tier (identical results and counters either way).
+    pub fidelity: FidelityMode,
 }
 
 impl BlockConfig {
@@ -110,7 +131,15 @@ impl BlockConfig {
             bus_width,
             encoding: Encoding::Priority,
             encoder_buffer: block_size >= 256,
+            fidelity: FidelityMode::BitAccurate,
         }
+    }
+
+    /// The same configuration with a different [`FidelityMode`].
+    #[must_use]
+    pub fn with_fidelity(mut self, fidelity: FidelityMode) -> Self {
+        self.fidelity = fidelity;
+        self
     }
 
     /// Words carried per bus beat (`bus_width / data_width`, at least 1).
@@ -176,6 +205,13 @@ pub struct UnitConfig {
     /// Unit-level bus width in bits (the paper uses 512 to match the DDR
     /// port).
     pub bus_width: u32,
+    /// Worker threads sharding independent blocks/groups during
+    /// multi-query searches and group-replicated updates. `1` (the
+    /// default) keeps everything on the calling thread; `0` means one
+    /// worker per available CPU. Results and counters are identical at
+    /// any setting — this is a host-side execution knob, not a hardware
+    /// parameter.
+    pub workers: usize,
 }
 
 impl UnitConfig {
@@ -235,7 +271,9 @@ impl UnitConfig {
 
 impl Default for UnitConfig {
     fn default() -> Self {
-        UnitConfig::builder().build().expect("default config is valid")
+        UnitConfig::builder()
+            .build()
+            .expect("default config is valid")
     }
 }
 
@@ -252,6 +290,8 @@ pub struct UnitConfigBuilder {
     encoder_buffer: Option<bool>,
     num_blocks: usize,
     bus_width: u32,
+    fidelity: FidelityMode,
+    workers: usize,
 }
 
 impl Default for UnitConfigBuilder {
@@ -266,6 +306,8 @@ impl Default for UnitConfigBuilder {
             encoder_buffer: None,
             num_blocks: 4,
             bus_width: 512,
+            fidelity: FidelityMode::BitAccurate,
+            workers: 1,
         }
     }
 }
@@ -335,6 +377,22 @@ impl UnitConfigBuilder {
         self
     }
 
+    /// Set the search execution tier (defaults to
+    /// [`FidelityMode::BitAccurate`]).
+    #[must_use]
+    pub fn fidelity(mut self, fidelity: FidelityMode) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// Set the worker-thread count for multi-query searches and
+    /// replicated updates (default 1 = serial; 0 = one per CPU).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
     /// Validate and produce the configuration.
     ///
     /// # Errors
@@ -342,9 +400,7 @@ impl UnitConfigBuilder {
     /// Returns the first [`ConfigError`] found by the Table III rules.
     pub fn build(self) -> Result<UnitConfig, ConfigError> {
         let total = self.block_size * self.num_blocks;
-        let buffer = self
-            .encoder_buffer
-            .unwrap_or(total >= 2048);
+        let buffer = self.encoder_buffer.unwrap_or(total >= 2048);
         let cell = CellConfig {
             kind: self.kind,
             data_width: self.data_width,
@@ -356,11 +412,13 @@ impl UnitConfigBuilder {
             bus_width: self.block_bus_width.unwrap_or(self.bus_width),
             encoding: self.encoding,
             encoder_buffer: buffer,
+            fidelity: self.fidelity,
         };
         let config = UnitConfig {
             block,
             num_blocks: self.num_blocks,
             bus_width: self.bus_width,
+            workers: self.workers,
         };
         config.validate()?;
         Ok(config)
@@ -494,7 +552,10 @@ mod tests {
             .num_blocks(8)
             .build()
             .unwrap();
-        assert!(big.block.encoder_buffer, "2048 cells: buffered (Table VIII)");
+        assert!(
+            big.block.encoder_buffer,
+            "2048 cells: buffered (Table VIII)"
+        );
     }
 
     #[test]
@@ -511,9 +572,6 @@ mod tests {
     fn cell_constructors() {
         assert_eq!(CellConfig::binary(16).kind, CamKind::Binary);
         assert_eq!(CellConfig::ternary(16, 1).ternary_mask, 1);
-        assert_eq!(
-            CellConfig::range_matching(16).kind,
-            CamKind::RangeMatching
-        );
+        assert_eq!(CellConfig::range_matching(16).kind, CamKind::RangeMatching);
     }
 }

@@ -19,6 +19,7 @@
 use dsp48::simd_cam::{SimdCamDsp, LANES, LANE_MAX};
 use serde::{Deserialize, Serialize};
 
+use crate::config::FidelityMode;
 use crate::encoder::MatchVector;
 use crate::error::CamError;
 
@@ -40,6 +41,12 @@ use crate::error::CamError;
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DenseCamBlock {
     slices: Vec<SimdCamDsp>,
+    /// Lane-value shadow for the fast search tier (one entry per lane,
+    /// mirrored from the slice on every write).
+    lane_values: Vec<u64>,
+    /// Packed lane-valid bitmap.
+    lane_valid: Vec<u64>,
+    fidelity: FidelityMode,
     write_ptr: usize,
     cycles: u64,
 }
@@ -58,9 +65,27 @@ impl DenseCamBlock {
     /// Panics if `capacity` is zero.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        DenseCamBlock::with_fidelity(capacity, FidelityMode::BitAccurate)
+    }
+
+    /// Create a block on a specific search execution tier (results and
+    /// cycle accounting are identical on either).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_fidelity(capacity: usize, fidelity: FidelityMode) -> Self {
         assert!(capacity > 0, "capacity must be positive");
+        let slices: Vec<SimdCamDsp> = (0..capacity.div_ceil(LANES))
+            .map(|_| SimdCamDsp::new())
+            .collect();
+        let lanes = slices.len() * LANES;
         DenseCamBlock {
-            slices: (0..capacity.div_ceil(LANES)).map(|_| SimdCamDsp::new()).collect(),
+            slices,
+            lane_values: vec![0; lanes],
+            lane_valid: vec![0; lanes.div_ceil(64)],
+            fidelity,
             write_ptr: 0,
             cycles: 0,
         }
@@ -115,6 +140,9 @@ impl DenseCamBlock {
         let slice = self.write_ptr / LANES;
         let lane = self.write_ptr % LANES;
         self.slices[slice].write_lane(lane, value);
+        // Mirror the oracle: read the lane back from the slice registers.
+        self.lane_values[self.write_ptr] = self.slices[slice].lane_value(lane);
+        self.lane_valid[self.write_ptr / 64] |= 1 << (self.write_ptr % 64);
         self.write_ptr += 1;
         self.cycles += Self::UPDATE_LATENCY;
         Ok(())
@@ -133,15 +161,30 @@ impl DenseCamBlock {
                 data_width: 12,
             });
         }
-        let mut matches = MatchVector::new(self.capacity());
-        for (s, slice) in self.slices.iter_mut().enumerate() {
-            let flags = slice.search(key);
-            for (lane, &hit) in flags.iter().enumerate() {
-                if hit {
-                    matches.set(s * LANES + lane);
+        let matches = match self.fidelity {
+            FidelityMode::BitAccurate => {
+                let mut matches = MatchVector::new(self.capacity());
+                for (s, slice) in self.slices.iter_mut().enumerate() {
+                    let flags = slice.search(key);
+                    for (lane, &hit) in flags.iter().enumerate() {
+                        if hit {
+                            matches.set(s * LANES + lane);
+                        }
+                    }
                 }
+                matches
             }
-        }
+            FidelityMode::Fast => {
+                let mut matches = MatchVector::new(self.capacity());
+                for (i, &stored) in self.lane_values.iter().enumerate() {
+                    let valid = self.lane_valid[i / 64] >> (i % 64) & 1 == 1;
+                    if valid && stored == key {
+                        matches.set(i);
+                    }
+                }
+                matches
+            }
+        };
         self.cycles += Self::SEARCH_LATENCY;
         Ok(matches)
     }
@@ -151,6 +194,8 @@ impl DenseCamBlock {
         for slice in &mut self.slices {
             slice.clear();
         }
+        self.lane_values.fill(0);
+        self.lane_valid.fill(0);
         self.write_ptr = 0;
         self.cycles += 1;
     }
@@ -227,6 +272,28 @@ mod tests {
         let cam = DenseCamBlock::new(5);
         assert_eq!(cam.capacity(), 8);
         assert_eq!(cam.dsp_count(), 2);
+    }
+
+    #[test]
+    fn fast_tier_matches_bit_accurate() {
+        use crate::config::FidelityMode;
+        let mut accurate = DenseCamBlock::new(16);
+        let mut fast = DenseCamBlock::with_fidelity(16, FidelityMode::Fast);
+        for cam in [&mut accurate, &mut fast] {
+            for v in [5u64, 100, 4095, 0, 77, 5] {
+                cam.insert(v).unwrap();
+            }
+        }
+        for probe in [5u64, 100, 4095, 0, 77, 1, 4094] {
+            assert_eq!(
+                accurate.search(probe).unwrap(),
+                fast.search(probe).unwrap(),
+                "probe {probe}"
+            );
+        }
+        assert_eq!(accurate.cycles(), fast.cycles());
+        fast.reset();
+        assert!(!fast.search(5).unwrap().any(), "reset clears the shadow");
     }
 
     #[test]

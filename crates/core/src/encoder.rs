@@ -25,6 +25,25 @@ impl MatchVector {
         }
     }
 
+    /// Build a vector directly from packed match words (the fast-path
+    /// [`MatchIndex`](crate::match_index::MatchIndex) output). Bits at or
+    /// beyond `len` are cleared so `count`/`first` invariants hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is shorter than `len` requires.
+    pub(crate) fn from_raw(mut bits: Vec<u64>, len: usize) -> Self {
+        assert!(bits.len() >= len.div_ceil(64), "packed words too short");
+        bits.truncate(len.div_ceil(64));
+        if let Some(last) = bits.last_mut() {
+            let tail = len % 64;
+            if tail != 0 {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+        MatchVector { bits, len }
+    }
+
     /// Number of cells covered.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -215,9 +215,12 @@ mod tests {
         }
         .to_string()
         .contains("0x100"));
-        assert!(CamError::NoSuchGroup { group: 5, groups: 4 }
-            .to_string()
-            .contains('5'));
+        assert!(CamError::NoSuchGroup {
+            group: 5,
+            groups: 4
+        }
+        .to_string()
+        .contains('5'));
         assert!(CamError::TooManyQueries {
             presented: 9,
             capacity: 4

@@ -56,6 +56,7 @@ pub mod error;
 pub mod func;
 pub mod kind;
 pub mod mask;
+pub mod match_index;
 pub mod pipelined;
 pub mod unit;
 pub mod verilog;
@@ -64,16 +65,17 @@ pub mod verilog;
 pub mod prelude {
     pub use crate::block::CamBlock;
     pub use crate::cell::CamCell;
-    pub use crate::config::{BlockConfig, CellConfig, UnitConfig};
+    pub use crate::config::{BlockConfig, CellConfig, FidelityMode, UnitConfig};
     pub use crate::dense::DenseCamBlock;
     pub use crate::encoder::{Encoding, MatchVector, SearchOutput};
     pub use crate::error::{CamError, ConfigError};
     pub use crate::func::RefCam;
     pub use crate::kind::CamKind;
     pub use crate::mask::{range_mask, width_mask, CamMask, RangeSpec};
+    pub use crate::match_index::MatchIndex;
     pub use crate::pipelined::{Completion, Op, StreamingCam};
-    pub use crate::verilog::RtlBundle;
     pub use crate::unit::{CamUnit, SearchResult};
+    pub use crate::verilog::RtlBundle;
 }
 
 pub use prelude::*;

@@ -25,7 +25,9 @@ use crate::kind::CamKind;
 /// Returns [`ConfigError::DataWidth`] unless `1 ≤ data_width ≤ 48`.
 pub fn width_mask(data_width: u32) -> Result<P48, ConfigError> {
     if !(1..=48).contains(&data_width) {
-        return Err(ConfigError::DataWidth { requested: data_width });
+        return Err(ConfigError::DataWidth {
+            requested: data_width,
+        });
     }
     Ok(P48::new(!mask_width(data_width)))
 }

@@ -1,0 +1,182 @@
+//! The shadow match index: the fast search tier.
+//!
+//! [`MatchIndex`] keeps a struct-of-arrays copy of the per-cell state a
+//! search actually depends on — the stored 48-bit word, the *care* mask
+//! (the complement of the DSP pattern-detector mask) and the valid bit —
+//! so a broadcast search reduces to one branch-free compare per cell:
+//!
+//! ```text
+//! match[i] = ((stored[i] ^ key) & care[i]) == 0  &&  valid[i]
+//! ```
+//!
+//! which is exactly the DSP48E2 pattern-detect condition of Eq. 1
+//! (`O = (A:B) ⊕ C`, detected against zero under the mask, where a `1`
+//! mask bit is "don't care" per Table II) combined with the fabric valid
+//! flop. The block refreshes the index from the oracle cell state after
+//! every mutation, so the index never re-derives mask composition — it
+//! reads back what the write actually programmed into the slice. This is
+//! what makes the [`FidelityMode::Fast`](crate::config::FidelityMode)
+//! tier provably equivalent: same inputs, same compare semantics, same
+//! [`MatchVector`] out.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::CamCell;
+use crate::encoder::MatchVector;
+
+/// Mask selecting the DSP datapath's 48 bits.
+const M48: u64 = (1 << 48) - 1;
+
+/// Struct-of-arrays shadow of a block's cells, answering broadcast
+/// searches without ticking any DSP model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchIndex {
+    /// Stored 48-bit word per cell.
+    stored: Vec<u64>,
+    /// Care mask per cell (`!pattern_mask`, truncated to 48 bits).
+    care: Vec<u64>,
+    /// Packed valid bitmap, one bit per cell.
+    valid: Vec<u64>,
+    len: usize,
+}
+
+impl MatchIndex {
+    /// An index over `len` cells, all invalid.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        MatchIndex {
+            stored: vec![0; len],
+            care: vec![M48; len],
+            valid: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of cells shadowed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index shadows zero cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Re-shadow `cell` from its oracle state (called by the block after
+    /// every write, masked write, range write, invalidate or clear).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn refresh(&mut self, cell: usize, from: &CamCell) {
+        assert!(cell < self.len, "cell {cell} out of range {}", self.len);
+        self.stored[cell] = from.stored() & M48;
+        self.care[cell] = !from.pattern_mask().value() & M48;
+        let bit = 1u64 << (cell % 64);
+        if from.is_valid() {
+            self.valid[cell / 64] |= bit;
+        } else {
+            self.valid[cell / 64] &= !bit;
+        }
+    }
+
+    /// Re-shadow every cell (the block's reset path).
+    pub fn refresh_all(&mut self, cells: &[CamCell]) {
+        assert_eq!(cells.len(), self.len, "cell count changed under the index");
+        for (i, cell) in cells.iter().enumerate() {
+            self.refresh(i, cell);
+        }
+    }
+
+    /// Broadcast `key` to every shadowed cell; the fast search tier.
+    ///
+    /// The caller passes the block-masked key exactly as it would to the
+    /// DSP path; the index truncates to the 48-bit datapath the same way
+    /// `P48::new` does.
+    #[must_use]
+    pub fn search(&self, key: u64) -> MatchVector {
+        let key = key & M48;
+        let mut bits = vec![0u64; self.len.div_ceil(64)];
+        for (i, (&stored, &care)) in self.stored.iter().zip(&self.care).enumerate() {
+            let hit = ((stored ^ key) & care) == 0;
+            bits[i / 64] |= u64::from(hit) << (i % 64);
+        }
+        for (word, &valid) in bits.iter_mut().zip(&self.valid) {
+            *word &= valid;
+        }
+        MatchVector::from_raw(bits, self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CellConfig;
+    use crate::mask::RangeSpec;
+
+    fn shadowed(cells: &[CamCell]) -> MatchIndex {
+        let mut idx = MatchIndex::new(cells.len());
+        idx.refresh_all(cells);
+        idx
+    }
+
+    #[test]
+    fn agrees_with_cells_binary() {
+        let mut cells: Vec<CamCell> = (0..8)
+            .map(|_| CamCell::new(CellConfig::binary(16)).unwrap())
+            .collect();
+        cells[0].write(0xBEEF).unwrap();
+        cells[3].write(0x0001).unwrap();
+        cells[5].write(0xBEEF).unwrap();
+        let idx = shadowed(&cells);
+        for key in [0xBEEFu64, 0x0001, 0x0002, 0] {
+            let oracle: MatchVector = cells.iter_mut().map(|c| c.search(key)).collect();
+            assert_eq!(idx.search(key), oracle, "key {key:#x}");
+        }
+    }
+
+    #[test]
+    fn invalid_cells_never_match() {
+        let cells: Vec<CamCell> = (0..4)
+            .map(|_| CamCell::new(CellConfig::binary(32)).unwrap())
+            .collect();
+        let idx = shadowed(&cells);
+        assert!(!idx.search(0).any(), "empty cells must not match key 0");
+    }
+
+    #[test]
+    fn ternary_and_range_masks_shadowed() {
+        let mut t = CamCell::new(CellConfig::ternary(16, 0x00FF)).unwrap();
+        t.write(0x1200).unwrap();
+        let mut r = CamCell::new(CellConfig::range_matching(32)).unwrap();
+        r.write_range(RangeSpec::new(0x1000, 8).unwrap()).unwrap();
+        let mut cells = vec![t, r];
+        let idx = shadowed(&cells);
+        for key in [0x1234u64, 0x12FF, 0x1334, 0x1000, 0x10FF, 0x1100] {
+            let oracle: MatchVector = cells.iter_mut().map(|c| c.search(key)).collect();
+            assert_eq!(idx.search(key), oracle, "key {key:#x}");
+        }
+    }
+
+    #[test]
+    fn refresh_tracks_invalidation() {
+        let mut cells = vec![CamCell::new(CellConfig::binary(32)).unwrap()];
+        cells[0].write(42).unwrap();
+        let mut idx = shadowed(&cells);
+        assert!(idx.search(42).any());
+        cells[0].clear();
+        idx.refresh(0, &cells[0]);
+        assert!(!idx.search(42).any());
+    }
+
+    #[test]
+    fn key_truncated_to_datapath() {
+        let mut cells = vec![CamCell::new(CellConfig::binary(16)).unwrap()];
+        cells[0].write(0xAB).unwrap();
+        let idx = shadowed(&cells);
+        // Upper bus bits beyond 48 and beyond the width mask are ignored.
+        assert!(idx.search(0xFFFF_0000_0000_00AB).any());
+    }
+}

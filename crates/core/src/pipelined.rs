@@ -23,6 +23,10 @@ pub enum Op {
     Update(Vec<u64>),
     /// Search for a key.
     Search(u64),
+    /// Search up to `M` keys in one issue cycle, key *i* served by group
+    /// *i* (Section III-C.3). Sharded across worker threads when the
+    /// unit's `workers` knob is above one.
+    SearchMulti(Vec<u64>),
 }
 
 /// A completed operation emerging from the pipeline.
@@ -32,6 +36,9 @@ pub enum Completion {
     Update(Result<(), CamError>),
     /// A search retired with its result.
     Search(SearchResult),
+    /// A multi-query search retired with one result per key (or failed
+    /// with the recorded error, e.g. more keys than groups).
+    SearchMulti(Result<Vec<SearchResult>, CamError>),
 }
 
 /// A [`CamUnit`] behind a cycle-accurate issue/retire pipeline.
@@ -121,6 +128,26 @@ impl StreamingCam {
         Ok(())
     }
 
+    /// Issue a batch of operations back to back at initiation interval 1:
+    /// each operation takes the issue slot of one cycle and the pipeline
+    /// is ticked once per operation. Returns the number of operations
+    /// issued. Completions accumulate in issue order; call
+    /// [`StreamingCam::drain`] to retire the tail still in flight.
+    pub fn issue_batch(&mut self, ops: impl IntoIterator<Item = Op>) -> usize {
+        let mut issued = 0;
+        for op in ops {
+            if self.pending.is_some() {
+                // A caller-staged op occupies this cycle's slot; let it go
+                // first.
+                self.tick();
+            }
+            self.pending = Some(op);
+            self.tick();
+            issued += 1;
+        }
+        issued
+    }
+
     /// Completions retired so far as `(cycle, completion)` pairs;
     /// draining resets the list.
     pub fn drain_retired(&mut self) -> Vec<(u64, Completion)> {
@@ -151,6 +178,10 @@ impl Clocked for StreamingCam {
             Some(Op::Search(key)) => {
                 let result = self.unit.search(key);
                 (None, Some(Completion::Search(result)))
+            }
+            Some(Op::SearchMulti(keys)) => {
+                let result = self.unit.try_search_multi(&keys);
+                (None, Some(Completion::SearchMulti(result)))
             }
             None => (None, None),
         };
@@ -272,7 +303,7 @@ mod tests {
             .iter()
             .map(|(_, c)| match c {
                 Completion::Search(hit) => hit.is_match(),
-                Completion::Update(_) => unreachable!("only searches issued"),
+                other => unreachable!("only searches issued, got {other:?}"),
             })
             .collect();
         assert_eq!(hits, vec![true, false, true]);
@@ -316,6 +347,110 @@ mod tests {
             Completion::Update(Err(CamError::Full { rejected })) => assert_eq!(*rejected, 1),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn search_multi_flows_through_the_search_pipe() {
+        let cfg = config();
+        let mut cam = StreamingCam::new(cfg).unwrap();
+        cam.unit_mut().configure_groups(4).unwrap();
+        cam.issue(Op::Update(vec![10, 20, 30])).unwrap();
+        cam.drain();
+        cam.drain_retired();
+        let issue_cycle = cam.cycle();
+        cam.issue(Op::SearchMulti(vec![10, 99, 30, 20])).unwrap();
+        cam.drain();
+        let retired = cam.drain_retired();
+        assert_eq!(retired.len(), 1);
+        assert_eq!(retired[0].0 - issue_cycle, cfg.search_latency() - 1);
+        match &retired[0].1 {
+            Completion::SearchMulti(Ok(results)) => {
+                let hits: Vec<bool> = results.iter().map(SearchResult::is_match).collect();
+                assert_eq!(hits, vec![true, false, true, true]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_multi_error_reports_through_the_pipe() {
+        let mut cam = StreamingCam::new(config()).unwrap();
+        // Single group: two concurrent keys is one too many.
+        cam.issue(Op::SearchMulti(vec![1, 2])).unwrap();
+        cam.drain();
+        match &cam.drain_retired()[0].1 {
+            Completion::SearchMulti(Err(CamError::TooManyQueries {
+                presented,
+                capacity,
+            })) => {
+                assert_eq!((*presented, *capacity), (2, 1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn issue_batch_streams_at_initiation_interval_one() {
+        let cfg = config();
+        let mut cam = StreamingCam::new(cfg).unwrap();
+        cam.unit_mut().configure_groups(4).unwrap();
+        cam.issue_batch([Op::Update(vec![1, 2, 3, 4])]);
+        cam.drain();
+        cam.drain_retired();
+        let start = cam.cycle();
+        let batch: Vec<Op> = (0..50)
+            .map(|i| Op::SearchMulti(vec![1 + (i % 4), 2, 3, 4]))
+            .collect();
+        assert_eq!(cam.issue_batch(batch), 50);
+        cam.drain();
+        assert_eq!(
+            cam.cycle() - start,
+            50 + cfg.search_latency() - 1,
+            "II = 1: N ops retire in N + latency - 1 cycles"
+        );
+        let retired = cam.drain_retired();
+        assert_eq!(retired.len(), 50);
+        assert!(retired.iter().all(|(_, c)| matches!(
+            c,
+            Completion::SearchMulti(Ok(results)) if results.iter().all(SearchResult::is_match)
+        )));
+    }
+
+    #[test]
+    fn issue_batch_respects_a_staged_op() {
+        let mut cam = StreamingCam::new(config()).unwrap();
+        cam.issue(Op::Update(vec![5])).unwrap();
+        // The staged update must not be clobbered by the batch.
+        cam.issue_batch([Op::Search(5)]);
+        cam.drain();
+        let retired = cam.drain_retired();
+        assert!(matches!(retired[0].1, Completion::Update(Ok(()))));
+        assert!(
+            matches!(&retired[1].1, Completion::Search(hit) if hit.is_match()),
+            "search issued after the update observes it"
+        );
+    }
+
+    #[test]
+    fn batch_results_identical_across_worker_counts() {
+        let mut serial = StreamingCam::new(config()).unwrap();
+        let sharded_cfg = UnitConfig::builder()
+            .data_width(32)
+            .block_size(128)
+            .num_blocks(8)
+            .workers(4)
+            .build()
+            .unwrap();
+        let mut sharded = StreamingCam::new(sharded_cfg).unwrap();
+        for cam in [&mut serial, &mut sharded] {
+            cam.unit_mut().configure_groups(4).unwrap();
+            cam.issue_batch((0..32).map(|i| Op::Update(vec![i * 5])));
+            cam.issue_batch((0..32).map(|i| Op::SearchMulti(vec![i * 5, i, 7, 160])));
+            cam.drain();
+        }
+        let a = serial.drain_retired();
+        let b = sharded.drain_retired();
+        assert_eq!(a, b, "sharded batch issue must match serial exactly");
     }
 
     #[test]

@@ -26,7 +26,7 @@ use serde::{Deserialize, Serialize};
 use crate::block::CamBlock;
 use crate::bus::{BusCommand, Opcode};
 use crate::config::UnitConfig;
-use crate::encoder::{MatchVector, SearchOutput};
+use crate::encoder::{Encoding, MatchVector, SearchOutput};
 use crate::error::{CamError, ConfigError};
 use crate::mask::RangeSpec;
 
@@ -154,6 +154,21 @@ impl CamUnit {
     #[must_use]
     pub fn config(&self) -> &UnitConfig {
         &self.config
+    }
+
+    /// Switch every block's search execution tier in place (contents,
+    /// counters and results are unaffected).
+    pub fn set_fidelity(&mut self, fidelity: crate::config::FidelityMode) {
+        self.config.block.fidelity = fidelity;
+        for block in &mut self.blocks {
+            block.set_fidelity(fidelity);
+        }
+    }
+
+    /// Set the worker-thread count for subsequent multi-query searches
+    /// and replicated updates (see [`UnitConfig::workers`]).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.config.workers = workers;
     }
 
     /// Current group count `M`.
@@ -293,6 +308,48 @@ impl CamUnit {
         self.capacity() - self.entries_per_group
     }
 
+    /// Resolve the configured worker count (0 = one per available CPU).
+    fn effective_workers(&self) -> usize {
+        match self.config.workers {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
+    /// Distribute the blocks of the first `count` groups into per-group
+    /// buckets of mutable references, each bucket in the group's fill
+    /// order. Groups own disjoint block sets (the Routing Table is a
+    /// partition), which is what makes sharding them across threads
+    /// sound.
+    fn group_shards<'a>(
+        blocks: &'a mut [CamBlock],
+        fill: &[GroupFill],
+        count: usize,
+    ) -> Vec<Vec<&'a mut CamBlock>> {
+        let mut owner: Vec<Option<(usize, usize)>> = vec![None; blocks.len()];
+        for (g, f) in fill.iter().enumerate().take(count) {
+            for (pos, &b) in f.blocks.iter().enumerate() {
+                owner[b] = Some((g, pos));
+            }
+        }
+        let mut buckets: Vec<Vec<(usize, &mut CamBlock)>> =
+            (0..count).map(|_| Vec::new()).collect();
+        for (b, block) in blocks.iter_mut().enumerate() {
+            if let Some((g, pos)) = owner[b] {
+                buckets[g].push((pos, block));
+            }
+        }
+        buckets
+            .into_iter()
+            .map(|mut bucket| {
+                bucket.sort_by_key(|&(pos, _)| pos);
+                bucket.into_iter().map(|(_, block)| block).collect()
+            })
+            .collect()
+    }
+
     /// Update: replicate `words` to every group and fill round-robin
     /// (Section III-C.2). Atomic: either every group accepts every word or
     /// nothing is written.
@@ -317,36 +374,47 @@ impl CamUnit {
                 data_width: self.config.block.cell.data_width,
             });
         }
-        for g in 0..self.groups {
-            self.write_group(g, words);
+        let workers = self.effective_workers().min(self.groups);
+        let shards = Self::group_shards(&mut self.blocks, &self.fill, self.groups);
+        let mut work: Vec<(usize, usize, Vec<&mut CamBlock>)> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(g, blocks)| (g, self.fill[g].current, blocks))
+            .collect();
+        let outcomes: Vec<(usize, usize)> = if workers <= 1 {
+            work.drain(..)
+                .map(|(g, current, mut blocks)| (g, write_group_words(&mut blocks, current, words)))
+                .collect()
+        } else {
+            let mut chunks = chunked(work, workers);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .drain(..)
+                    .map(|chunk| {
+                        s.spawn(move || {
+                            chunk
+                                .into_iter()
+                                .map(|(g, current, mut blocks)| {
+                                    (g, write_group_words(&mut blocks, current, words))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("update worker panicked"))
+                    .collect()
+            })
+        };
+        for (g, current) in outcomes {
+            self.fill[g].current = current;
         }
         self.entries_per_group += words.len();
         let beats = words.len().div_ceil(self.config.words_per_beat()) as u64;
         self.issue_cycles += beats;
         self.update_words += words.len() as u64;
         Ok(())
-    }
-
-    fn write_group(&mut self, group: usize, words: &[u64]) {
-        if self.fill[group].blocks.is_empty() {
-            // A (custom-routed) group with no blocks stores nothing.
-            return;
-        }
-        let mut remaining = words;
-        while !remaining.is_empty() {
-            let fill = &mut self.fill[group];
-            let block_idx = fill.blocks[fill.current];
-            let taken = self.blocks[block_idx].update_partial(remaining);
-            remaining = &remaining[taken..];
-            if !remaining.is_empty() {
-                // Round-robin to the next block in the group.
-                fill.current += 1;
-                debug_assert!(
-                    fill.current < fill.blocks.len(),
-                    "capacity was checked before writing"
-                );
-            }
-        }
     }
 
     /// RMCAM update path: replicate power-of-two ranges to every group.
@@ -424,11 +492,46 @@ impl CamUnit {
         }
         self.issue_cycles += 1;
         self.search_count += keys.len() as u64;
-        Ok(keys
-            .iter()
+        let workers = self.effective_workers().min(keys.len().max(1));
+        if workers <= 1 {
+            return Ok(keys
+                .iter()
+                .enumerate()
+                .map(|(g, &key)| self.search_in_group(g, key))
+                .collect());
+        }
+        let block_size = self.config.block.block_size;
+        let encoding = self.config.block.encoding;
+        let shards = Self::group_shards(&mut self.blocks, &self.fill, keys.len());
+        let work: Vec<(usize, u64, Vec<&mut CamBlock>)> = shards
+            .into_iter()
             .enumerate()
-            .map(|(g, &key)| self.search_in_group(g, key))
-            .collect())
+            .map(|(g, blocks)| (g, keys[g], blocks))
+            .collect();
+        let mut chunks = chunked(work, workers);
+        let mut answered: Vec<(usize, SearchResult)> = std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .drain(..)
+                .map(|chunk| {
+                    s.spawn(move || {
+                        chunk
+                            .into_iter()
+                            .map(|(g, key, mut blocks)| {
+                                let vectors: Vec<MatchVector> =
+                                    blocks.iter_mut().map(|b| b.search_vector(key)).collect();
+                                (g, combine_group(g, block_size, encoding, &vectors))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("search worker panicked"))
+                .collect()
+        });
+        answered.sort_by_key(|&(g, _)| g);
+        Ok(answered.into_iter().map(|(_, result)| result).collect())
     }
 
     /// Multi-query search, panicking variant of
@@ -461,19 +564,17 @@ impl CamUnit {
     }
 
     fn search_in_group(&mut self, group: usize, key: u64) -> SearchResult {
-        let block_size = self.config.block.block_size;
         let block_ids: Vec<usize> = self.fill[group].blocks.clone();
-        let mut combined = MatchVector::new(block_ids.len() * block_size);
-        for (slot, &b) in block_ids.iter().enumerate() {
-            let v = self.blocks[b].search_vector(key);
-            for cell in v.iter_matches() {
-                combined.set(slot * block_size + cell);
-            }
-        }
-        SearchResult {
+        let vectors: Vec<MatchVector> = block_ids
+            .iter()
+            .map(|&b| self.blocks[b].search_vector(key))
+            .collect();
+        combine_group(
             group,
-            output: self.config.block.encoding.encode(&combined),
-        }
+            self.config.block.block_size,
+            self.config.block.encoding,
+            &vectors,
+        )
     }
 
     /// Delete the first entry matching `key` (extension beyond the paper:
@@ -573,10 +674,11 @@ impl CamUnit {
             }
             Opcode::ConfigureGroups => {
                 let m = command.words.first().copied().unwrap_or(1) as usize;
-                self.configure_groups(m).map_err(|_| CamError::NoSuchGroup {
-                    group: m,
-                    groups: self.config.num_blocks,
-                })?;
+                self.configure_groups(m)
+                    .map_err(|_| CamError::NoSuchGroup {
+                        group: m,
+                        groups: self.config.num_blocks,
+                    })?;
                 Ok(BusResponse::Done)
             }
             Opcode::WriteRoutingTable => {
@@ -636,6 +738,63 @@ fn mask_limit(width: u32) -> u64 {
     } else {
         (1u64 << width) - 1
     }
+}
+
+/// Combine per-block match vectors into a group-local result — the one
+/// place the slot-interleaved address math lives, shared by the serial
+/// and sharded search paths so they cannot diverge.
+fn combine_group(
+    group: usize,
+    block_size: usize,
+    encoding: Encoding,
+    vectors: &[MatchVector],
+) -> SearchResult {
+    let mut combined = MatchVector::new(vectors.len() * block_size);
+    for (slot, v) in vectors.iter().enumerate() {
+        for cell in v.iter_matches() {
+            combined.set(slot * block_size + cell);
+        }
+    }
+    SearchResult {
+        group,
+        output: encoding.encode(&combined),
+    }
+}
+
+/// Round-robin `words` into one group's blocks starting at fill position
+/// `current`; returns the new position. Shared by the serial and sharded
+/// replicated-update paths. A (custom-routed) group with no blocks
+/// stores nothing.
+fn write_group_words(blocks: &mut [&mut CamBlock], mut current: usize, words: &[u64]) -> usize {
+    if blocks.is_empty() {
+        return current;
+    }
+    let mut remaining = words;
+    while !remaining.is_empty() {
+        let taken = blocks[current].update_partial(remaining);
+        remaining = &remaining[taken..];
+        if !remaining.is_empty() {
+            current += 1;
+            debug_assert!(
+                current < blocks.len(),
+                "capacity was checked before writing"
+            );
+        }
+    }
+    current
+}
+
+/// Split `work` into at most `parts` contiguous chunks for the worker
+/// threads (order within and across chunks is irrelevant to callers —
+/// they reassemble by the embedded group index).
+fn chunked<T>(mut work: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let per = work.len().div_ceil(parts.max(1));
+    let mut chunks = Vec::new();
+    while !work.is_empty() {
+        let split = work.len().saturating_sub(per);
+        chunks.push(work.split_off(split));
+    }
+    chunks
 }
 
 #[cfg(test)]
@@ -895,7 +1054,8 @@ mod tests {
             .build()
             .unwrap();
         let mut cam = CamUnit::new(config).unwrap();
-        cam.update_ranges(&[RangeSpec::new(0x1000, 8).unwrap()]).unwrap();
+        cam.update_ranges(&[RangeSpec::new(0x1000, 8).unwrap()])
+            .unwrap();
         assert!(cam.search(0x10FF).is_match());
         assert!(!cam.search(0x1100).is_match());
     }
@@ -940,5 +1100,74 @@ mod tests {
         let c0 = cam.issue_cycles();
         cam.update(&[]).unwrap();
         assert_eq!(cam.issue_cycles(), c0);
+    }
+
+    fn exercised(mut cam: CamUnit) -> (Vec<SearchResult>, UnitSnapshot) {
+        cam.configure_groups(4).unwrap();
+        let words: Vec<u64> = (0..24).map(|i| i * 3).collect();
+        cam.update(&words).unwrap();
+        cam.update(&[1000, 2000]).unwrap();
+        let mut results = Vec::new();
+        for round in 0..8u64 {
+            results.extend(cam.search_multi(&[round * 3, 1000, 7, 2000]));
+        }
+        (results, cam.snapshot())
+    }
+
+    #[test]
+    fn worker_sharding_leaves_results_and_counters_unchanged() {
+        let config = UnitConfig::builder()
+            .data_width(32)
+            .block_size(32)
+            .num_blocks(8)
+            .build()
+            .unwrap();
+        let serial = exercised(CamUnit::new(config).unwrap());
+        for workers in [2, 4, 0] {
+            let config = UnitConfig::builder()
+                .data_width(32)
+                .block_size(32)
+                .num_blocks(8)
+                .workers(workers)
+                .build()
+                .unwrap();
+            let sharded = exercised(CamUnit::new(config).unwrap());
+            assert_eq!(serial.0, sharded.0, "workers={workers}: results differ");
+            assert_eq!(serial.1, sharded.1, "workers={workers}: counters differ");
+        }
+    }
+
+    #[test]
+    fn worker_sharding_with_custom_routing() {
+        // Unequal groups (group 0 = {0}, group 1 = {1,2,3}) exercise the
+        // shard builder's fill-order bookkeeping.
+        let mut serial = unit(4, 32);
+        let mut sharded = unit(4, 32);
+        sharded.set_workers(4);
+        for cam in [&mut serial, &mut sharded] {
+            cam.configure_groups(2).unwrap();
+            cam.write_routing_entry(1, 1).unwrap();
+            let words: Vec<u64> = (0..24).collect();
+            cam.update(&words).unwrap();
+        }
+        for key in 0..45u64 {
+            assert_eq!(
+                serial.try_search_multi(&[key, key + 1]).unwrap(),
+                sharded.try_search_multi(&[key, key + 1]).unwrap(),
+                "key {key}"
+            );
+        }
+        assert_eq!(serial.snapshot(), sharded.snapshot());
+    }
+
+    #[test]
+    fn set_fidelity_switches_all_blocks() {
+        use crate::config::FidelityMode;
+        let mut cam = unit(4, 32);
+        cam.update(&[5, 6]).unwrap();
+        let before = cam.search(5);
+        cam.set_fidelity(FidelityMode::Fast);
+        assert_eq!(cam.config().block.fidelity, FidelityMode::Fast);
+        assert_eq!(cam.search(5), before, "same issue cycle bump either way");
     }
 }

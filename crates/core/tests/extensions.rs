@@ -23,7 +23,10 @@ fn block_invalidate_clears_one_entry() {
     block.update(&[1, 2, 3]).unwrap();
     block.invalidate(1);
     assert!(block.search(1).is_match());
-    assert!(!block.search(2).is_match(), "invalidated entry must not hit");
+    assert!(
+        !block.search(2).is_match(),
+        "invalidated entry must not hit"
+    );
     assert!(block.search(3).is_match());
     // The hole is not reused: the fill pointer continues forward.
     block.update(&[4]).unwrap();
@@ -147,10 +150,7 @@ fn masked_update_spills_round_robin() {
 #[test]
 fn masked_update_rejected_on_binary_units() {
     let mut cam = binary_unit(1, 4);
-    assert_eq!(
-        cam.update_masked(1, 2).unwrap_err(),
-        CamError::KindMismatch
-    );
+    assert_eq!(cam.update_masked(1, 2).unwrap_err(), CamError::KindMismatch);
 }
 
 #[test]

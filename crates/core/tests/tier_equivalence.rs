@@ -1,0 +1,217 @@
+//! Differential property tests for the two-tier execution engine: the
+//! `Fast` match-index tier must be observationally identical to the
+//! `BitAccurate` DSP48E2 tier — same search results, same addresses, and
+//! same block/unit cycle accounting — under random operation sequences.
+//!
+//! The default proptest configuration runs 256 random sequences per
+//! property, which is the acceptance floor for this suite.
+
+use dsp_cam_core::prelude::*;
+use proptest::prelude::*;
+
+/// A random operation applied identically to both tiers.
+#[derive(Debug, Clone)]
+enum TierOp {
+    /// Batch update of 1..=4 words.
+    Update(Vec<u64>),
+    Search(u64),
+    /// One key per configured group.
+    SearchMulti(Vec<u64>),
+    DeleteFirst(u64),
+    Reset,
+    /// Repartition into `M` groups (resets contents, as in hardware).
+    ConfigureGroups(usize),
+}
+
+fn tier_op(width: u32) -> impl Strategy<Value = TierOp> {
+    let limit = (1u64 << width) - 1;
+    prop_oneof![
+        4 => proptest::collection::vec(0..=limit, 1..4).prop_map(TierOp::Update),
+        4 => (0..=limit).prop_map(TierOp::Search),
+        3 => proptest::collection::vec(0..=limit, 1..4).prop_map(TierOp::SearchMulti),
+        1 => (0..=limit).prop_map(TierOp::DeleteFirst),
+        1 => Just(TierOp::Reset),
+        1 => prop_oneof![Just(1usize), Just(2), Just(4)].prop_map(TierOp::ConfigureGroups),
+    ]
+}
+
+fn build(fidelity: FidelityMode, workers: usize) -> CamUnit {
+    let config = UnitConfig::builder()
+        .data_width(16)
+        .block_size(8)
+        .num_blocks(4)
+        .bus_width(64)
+        .fidelity(fidelity)
+        .workers(workers)
+        .build()
+        .unwrap();
+    CamUnit::new(config).unwrap()
+}
+
+/// Apply `op` and return every observable output it produces.
+fn apply(cam: &mut CamUnit, op: &TierOp) -> String {
+    match op {
+        TierOp::Update(words) => format!("{:?}", cam.update(words)),
+        TierOp::Search(key) => format!("{:?}", cam.search(*key)),
+        TierOp::SearchMulti(keys) => {
+            // Clamp to the group count so both tiers take the same path.
+            let take = keys.len().min(cam.groups());
+            format!("{:?}", cam.try_search_multi(&keys[..take]))
+        }
+        TierOp::DeleteFirst(key) => format!("{:?}", cam.delete_first(*key)),
+        TierOp::Reset => {
+            cam.reset();
+            String::new()
+        }
+        TierOp::ConfigureGroups(m) => format!("{:?}", cam.configure_groups(*m)),
+    }
+}
+
+/// Per-block observable counters (the fast tier must tick them all).
+fn block_counters(cam: &CamUnit) -> Vec<(usize, u64, u64, u64)> {
+    cam.blocks()
+        .iter()
+        .map(|b| (b.len(), b.cycles(), b.update_beats(), b.searches()))
+        .collect()
+}
+
+proptest! {
+    // 256 random operation sequences per property (stub default).
+
+    #[test]
+    fn fast_tier_is_observationally_identical(
+        ops in proptest::collection::vec(tier_op(16), 1..40),
+    ) {
+        let mut accurate = build(FidelityMode::BitAccurate, 1);
+        let mut fast = build(FidelityMode::Fast, 1);
+        for (i, op) in ops.iter().enumerate() {
+            let a = apply(&mut accurate, op);
+            let f = apply(&mut fast, op);
+            prop_assert_eq!(&a, &f, "output diverged at op {} ({:?})", i, op);
+        }
+        prop_assert_eq!(accurate.snapshot(), fast.snapshot(), "unit counters diverged");
+        prop_assert_eq!(
+            block_counters(&accurate),
+            block_counters(&fast),
+            "block cycle accounting diverged"
+        );
+    }
+
+    #[test]
+    fn fast_tier_matches_on_ternary_units(
+        stored in proptest::collection::vec(0u64..0xFFFF, 1..8),
+        keys in proptest::collection::vec(0u64..0xFFFF, 1..16),
+        dont_care in 0u64..0xFF,
+    ) {
+        let mk = |fidelity| {
+            CamUnit::new(
+                UnitConfig::builder()
+                    .kind(CamKind::Ternary)
+                    .ternary_mask(dont_care)
+                    .data_width(16)
+                    .block_size(8)
+                    .num_blocks(1)
+                    .bus_width(64)
+                    .fidelity(fidelity)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap()
+        };
+        let mut accurate = mk(FidelityMode::BitAccurate);
+        let mut fast = mk(FidelityMode::Fast);
+        for &v in &stored {
+            accurate.update(&[v]).unwrap();
+            fast.update(&[v]).unwrap();
+        }
+        for &k in &keys {
+            prop_assert_eq!(
+                accurate.search(k),
+                fast.search(k),
+                "ternary divergence at key {:#x} mask {:#x}", k, dont_care
+            );
+        }
+        prop_assert_eq!(block_counters(&accurate), block_counters(&fast));
+    }
+
+    #[test]
+    fn fast_tier_matches_on_range_units(
+        ranges in proptest::collection::vec((0u64..0x1000, 0u32..8), 1..8),
+        keys in proptest::collection::vec(0u64..0x2000, 1..16),
+    ) {
+        let mk = |fidelity| {
+            CamUnit::new(
+                UnitConfig::builder()
+                    .kind(CamKind::RangeMatching)
+                    .data_width(16)
+                    .block_size(8)
+                    .num_blocks(1)
+                    .bus_width(64)
+                    .fidelity(fidelity)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap()
+        };
+        let mut accurate = mk(FidelityMode::BitAccurate);
+        let mut fast = mk(FidelityMode::Fast);
+        for &(base, log2) in &ranges {
+            let aligned = base & !((1u64 << log2) - 1);
+            let spec = RangeSpec::new(aligned, log2).unwrap();
+            accurate.update_ranges(&[spec]).unwrap();
+            fast.update_ranges(&[spec]).unwrap();
+        }
+        for &k in &keys {
+            prop_assert_eq!(
+                accurate.search(k),
+                fast.search(k),
+                "range divergence at key {:#x}", k
+            );
+        }
+        prop_assert_eq!(block_counters(&accurate), block_counters(&fast));
+    }
+
+    #[test]
+    fn worker_sharding_preserves_fast_tier_equivalence(
+        ops in proptest::collection::vec(tier_op(16), 1..30),
+    ) {
+        // Three configurations, one op stream: the serial bit-accurate
+        // oracle, the serial fast tier, and the sharded fast tier.
+        let mut oracle = build(FidelityMode::BitAccurate, 1);
+        let mut serial = build(FidelityMode::Fast, 1);
+        let mut sharded = build(FidelityMode::Fast, 4);
+        for (i, op) in ops.iter().enumerate() {
+            let a = apply(&mut oracle, op);
+            let b = apply(&mut serial, op);
+            let c = apply(&mut sharded, op);
+            prop_assert_eq!(&a, &b, "serial fast diverged at op {} ({:?})", i, op);
+            prop_assert_eq!(&b, &c, "sharded fast diverged at op {} ({:?})", i, op);
+        }
+        prop_assert_eq!(oracle.snapshot(), sharded.snapshot());
+        prop_assert_eq!(block_counters(&oracle), block_counters(&sharded));
+    }
+
+    #[test]
+    fn fidelity_switch_mid_stream_is_seamless(
+        before in proptest::collection::vec(tier_op(16), 1..20),
+        after in proptest::collection::vec(tier_op(16), 1..20),
+    ) {
+        // Running BitAccurate then hot-switching to Fast mid-stream must
+        // be indistinguishable from running BitAccurate throughout.
+        let mut reference = build(FidelityMode::BitAccurate, 1);
+        let mut switched = build(FidelityMode::BitAccurate, 1);
+        for op in &before {
+            let a = apply(&mut reference, op);
+            let b = apply(&mut switched, op);
+            prop_assert_eq!(a, b);
+        }
+        switched.set_fidelity(FidelityMode::Fast);
+        for (i, op) in after.iter().enumerate() {
+            let a = apply(&mut reference, op);
+            let b = apply(&mut switched, op);
+            prop_assert_eq!(&a, &b, "post-switch divergence at op {} ({:?})", i, op);
+        }
+        prop_assert_eq!(reference.snapshot(), switched.snapshot());
+        prop_assert_eq!(block_counters(&reference), block_counters(&switched));
+    }
+}

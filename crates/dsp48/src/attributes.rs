@@ -347,7 +347,9 @@ mod tests {
 
     #[test]
     fn attribute_error_display() {
-        assert!(AttributeError::SimdWithMultiplier.to_string().contains("ONE48"));
+        assert!(AttributeError::SimdWithMultiplier
+            .to_string()
+            .contains("ONE48"));
         let err = AttributeError::RegDepth {
             name: "AREG",
             value: 3,

@@ -210,7 +210,7 @@ mod tests {
         // Issue key 5; next cycle issue key 6 while draining the first.
         cell.search_issue(5u64);
         cell.search_issue(6u64); // this cycle also computes match for key 5
-        // The drain returns the result for key 6 (latency 2 after its issue).
+                                 // The drain returns the result for key 6 (latency 2 after its issue).
         let hit6 = cell.search_drain();
         assert!(!hit6);
         // And a fresh full search still works.

@@ -144,11 +144,7 @@ mod tests {
     #[test]
     fn chain_sums_operand_vectors() {
         let mut chain = AdderChain::new(4);
-        let sums = chain.run(&[
-            vec![1, 2, 3, 4],
-            vec![10, 20, 30, 40],
-            vec![0, 0, 0, 5],
-        ]);
+        let sums = chain.run(&[vec![1, 2, 3, 4], vec![10, 20, 30, 40], vec![0, 0, 0, 5]]);
         assert_eq!(sums[0].value(), 10);
         assert_eq!(sums[1].value(), 100);
         assert_eq!(sums[2].value(), 5);

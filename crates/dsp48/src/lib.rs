@@ -41,8 +41,8 @@
 
 pub mod alu;
 pub mod attributes;
-pub mod cascade;
 pub mod cam_profile;
+pub mod cascade;
 pub mod multiplier;
 pub mod opmode;
 pub mod pattern;

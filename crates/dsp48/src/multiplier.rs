@@ -78,9 +78,15 @@ mod tests {
     fn pre_adder_combinations() {
         assert_eq!(pre_add(10, 5, true, false, false), 15);
         assert_eq!(pre_add(10, 5, false, false, false), 10);
-        assert_eq!(pre_add(10, 5, true, true, false), truncate((-5i64) as u64, 27));
+        assert_eq!(
+            pre_add(10, 5, true, true, false),
+            truncate((-5i64) as u64, 27)
+        );
         assert_eq!(pre_add(10, 5, true, false, true), 5); // A gated off
-        assert_eq!(pre_add(10, 0, false, true, false), truncate((-10i64) as u64, 27));
+        assert_eq!(
+            pre_add(10, 0, false, true, false),
+            truncate((-10i64) as u64, 27)
+        );
     }
 
     #[test]

@@ -40,12 +40,7 @@ pub struct PatternDetector {
 impl PatternDetector {
     /// Create a detector from the static attribute values.
     #[must_use]
-    pub fn new(
-        sel_pattern: PatternSelect,
-        sel_mask: MaskSelect,
-        pattern: P48,
-        mask: P48,
-    ) -> Self {
+    pub fn new(sel_pattern: PatternSelect, sel_mask: MaskSelect, pattern: P48, mask: P48) -> Self {
         PatternDetector {
             sel_pattern,
             sel_mask,
@@ -166,12 +161,7 @@ mod tests {
 
     #[test]
     fn pattern_from_c_port() {
-        let det = PatternDetector::new(
-            PatternSelect::C,
-            MaskSelect::Mask,
-            P48::ZERO,
-            P48::ZERO,
-        );
+        let det = PatternDetector::new(PatternSelect::C, MaskSelect::Mask, P48::ZERO, P48::ZERO);
         let c = P48::new(0x1234);
         assert!(det.evaluate(P48::new(0x1234), c).detect);
         assert!(!det.evaluate(P48::new(0x1235), c).detect);
@@ -182,11 +172,19 @@ mod tests {
         let c = P48::new(0b0110);
         let det = PatternDetector::new(PatternSelect::Pattern, MaskSelect::C, P48::ZERO, P48::ZERO);
         assert_eq!(det.effective_mask(c).value(), 0b0110);
-        let det =
-            PatternDetector::new(PatternSelect::Pattern, MaskSelect::RoundedC1, P48::ZERO, P48::ZERO);
+        let det = PatternDetector::new(
+            PatternSelect::Pattern,
+            MaskSelect::RoundedC1,
+            P48::ZERO,
+            P48::ZERO,
+        );
         assert_eq!(det.effective_mask(c).value(), 0b1100);
-        let det =
-            PatternDetector::new(PatternSelect::Pattern, MaskSelect::RoundedC2, P48::ZERO, P48::ZERO);
+        let det = PatternDetector::new(
+            PatternSelect::Pattern,
+            MaskSelect::RoundedC2,
+            P48::ZERO,
+            P48::ZERO,
+        );
         assert_eq!(det.effective_mask(c).value(), 0b11000);
     }
 

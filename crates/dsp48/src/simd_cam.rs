@@ -71,6 +71,30 @@ impl SimdCamDsp {
         self.valid.iter().filter(|&&v| v).count()
     }
 
+    /// The value stored in `lane` (meaningful only when the lane is
+    /// valid). Reads the registered `A:B` word without ticking the slice,
+    /// so shadow structures can mirror the oracle state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 4`.
+    #[must_use]
+    pub fn lane_value(&self, lane: usize) -> u64 {
+        assert!(lane < LANES, "lane {lane} out of range");
+        (self.slice.stored_ab().value() >> (lane as u32 * LANE_BITS)) & LANE_MAX
+    }
+
+    /// Whether `lane` holds a valid entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 4`.
+    #[must_use]
+    pub fn lane_valid(&self, lane: usize) -> bool {
+        assert!(lane < LANES, "lane {lane} out of range");
+        self.valid[lane]
+    }
+
     /// Whether no lane is occupied.
     #[must_use]
     pub fn is_empty(&self) -> bool {

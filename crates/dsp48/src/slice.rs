@@ -292,9 +292,19 @@ impl Dsp48e2 {
         // ----- cycle-t values seen by combinational logic --------------
         // Effective control words.
         let (opmode, alumode, inmode, carryinsel) = if regs.ctrl == 0 {
-            (inputs.opmode, inputs.alumode, inputs.inmode, inputs.carryinsel)
+            (
+                inputs.opmode,
+                inputs.alumode,
+                inputs.inmode,
+                inputs.carryinsel,
+            )
         } else {
-            (s.ctrl_opmode, s.ctrl_alumode, s.ctrl_inmode, s.ctrl_carryinsel)
+            (
+                s.ctrl_opmode,
+                s.ctrl_alumode,
+                s.ctrl_inmode,
+                s.ctrl_carryinsel,
+            )
         };
 
         // A/B pipeline outputs during cycle t.

@@ -152,7 +152,11 @@ impl Utilisation {
     /// The largest fraction across all classes (the binding constraint).
     #[must_use]
     pub fn max(&self) -> f64 {
-        self.lut.max(self.ff).max(self.bram36).max(self.uram).max(self.dsp)
+        self.lut
+            .max(self.ff)
+            .max(self.bram36)
+            .max(self.uram)
+            .max(self.dsp)
     }
 }
 

@@ -191,8 +191,14 @@ mod tests {
     fn invariant_violations_rejected() {
         assert!(Csr::try_new(vec![], vec![]).is_err());
         assert!(Csr::try_new(vec![1, 2], vec![0]).is_err(), "offset[0] != 0");
-        assert!(Csr::try_new(vec![0, 2], vec![0]).is_err(), "bad final offset");
-        assert!(Csr::try_new(vec![0, 2, 1], vec![0, 0]).is_err(), "non-monotone");
+        assert!(
+            Csr::try_new(vec![0, 2], vec![0]).is_err(),
+            "bad final offset"
+        );
+        assert!(
+            Csr::try_new(vec![0, 2, 1], vec![0, 0]).is_err(),
+            "non-monotone"
+        );
         assert!(
             Csr::try_new(vec![0, 1], vec![5]).is_err(),
             "target out of range"

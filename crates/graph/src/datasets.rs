@@ -288,8 +288,15 @@ mod tests {
         assert!((fb.paper_speedup() - 3.70).abs() < 0.01);
         let as_g = Dataset::by_name("as20000102").unwrap();
         assert!((as_g.paper_speedup() - 17.54).abs() < 0.01);
-        let avg: f64 = Dataset::all().iter().map(Dataset::paper_speedup).sum::<f64>() / 10.0;
-        assert!((avg - 4.92).abs() < 0.15, "paper's average speedup, got {avg}");
+        let avg: f64 = Dataset::all()
+            .iter()
+            .map(Dataset::paper_speedup)
+            .sum::<f64>()
+            / 10.0;
+        assert!(
+            (avg - 4.92).abs() < 0.15,
+            "paper's average speedup, got {avg}"
+        );
     }
 
     #[test]

@@ -125,12 +125,7 @@ mod tests {
 
     #[test]
     fn all_kernels_agree_on_count() {
-        for (a, b) in [
-            (A, B),
-            (&[] as &[u32], B),
-            (A, &[] as &[u32]),
-            (A, A),
-        ] {
+        for (a, b) in [(A, B), (&[] as &[u32], B), (A, &[] as &[u32]), (A, A)] {
             let m = merge(a, b).count;
             assert_eq!(hash(a, b).count, m);
             assert_eq!(galloping(a, b).count, m);

@@ -163,8 +163,8 @@ mod tests {
 
     #[test]
     fn skew_separates_families() {
-        let road = GraphBuilder::from_edges(generate::road_grid(25, 25, 0.05, 1))
-            .build_undirected();
+        let road =
+            GraphBuilder::from_edges(generate::road_grid(25, 25, 0.05, 1)).build_undirected();
         let star = GraphBuilder::from_edges(generate::star_core(600, 5, 2)).build_undirected();
         assert!(degree_stats(&star).skew > 10.0 * degree_stats(&road).skew);
     }

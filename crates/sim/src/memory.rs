@@ -236,7 +236,10 @@ mod tests {
     #[test]
     fn row_crossing_depends_on_alignment() {
         let ch = DdrChannel::default();
-        let aligned = ch.access_cycles(MemRequest { addr: 0, bytes: 1024 });
+        let aligned = ch.access_cycles(MemRequest {
+            addr: 0,
+            bytes: 1024,
+        });
         let misaligned = ch.access_cycles(MemRequest {
             addr: 1020,
             bytes: 1024,
@@ -254,7 +257,13 @@ mod tests {
     fn clocked_requests_complete_in_order() {
         let mut ch = DdrChannel::default();
         ch.request(1, MemRequest { addr: 0, bytes: 64 });
-        ch.request(2, MemRequest { addr: 4096, bytes: 64 });
+        ch.request(
+            2,
+            MemRequest {
+                addr: 4096,
+                bytes: 64,
+            },
+        );
         let mut done = Vec::new();
         for _ in 0..100 {
             ch.tick();
@@ -268,7 +277,13 @@ mod tests {
     #[test]
     fn second_request_waits_for_first() {
         let mut ch = DdrChannel::default();
-        ch.request(1, MemRequest { addr: 0, bytes: 6400 }); // 100 beats
+        ch.request(
+            1,
+            MemRequest {
+                addr: 0,
+                bytes: 6400,
+            },
+        ); // 100 beats
         ch.request(2, MemRequest { addr: 0, bytes: 64 });
         // Request 2 cannot be ready before request 1's beats are done.
         let mut completion = std::collections::HashMap::new();

@@ -18,7 +18,11 @@ impl XorShift {
     #[must_use]
     pub fn new(seed: u64) -> Self {
         XorShift {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 

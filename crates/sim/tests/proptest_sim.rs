@@ -1,8 +1,8 @@
 //! Property tests for the simulation kernel: pipeline delay exactness,
 //! FIFO order/backpressure, and DDR cost monotonicity.
 
-use dsp_cam_sim::{DdrChannel, Fifo, Pipe, XorShift};
 use dsp_cam_sim::memory::MemRequest;
+use dsp_cam_sim::{DdrChannel, Fifo, Pipe, XorShift};
 use proptest::prelude::*;
 
 proptest! {

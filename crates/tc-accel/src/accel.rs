@@ -115,12 +115,30 @@ impl CamTriangleCounter {
     /// Propagates configuration errors from the unit construction (the
     /// default geometry never fails).
     pub fn run_on_hardware_model(&self, graph: &Csr) -> Result<TcReport, ConfigError> {
+        self.run_on_hardware_model_with(graph, FidelityMode::BitAccurate)
+    }
+
+    /// [`CamTriangleCounter::run_on_hardware_model`] with an explicit
+    /// execution tier. `FidelityMode::Fast` drives the same [`CamUnit`]
+    /// through its match-index tier — identical counts and cycle
+    /// accounting, at host speed — which makes larger graphs tractable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the unit construction (the
+    /// default geometry never fails).
+    pub fn run_on_hardware_model_with(
+        &self,
+        graph: &Csr,
+        fidelity: FidelityMode,
+    ) -> Result<TcReport, ConfigError> {
         let config = UnitConfig::builder()
             .data_width(32)
             .block_size(self.geometry.block_size)
             .num_blocks(self.geometry.num_blocks)
             .bus_width(512)
             .encoding(Encoding::Priority)
+            .fidelity(fidelity)
             .build()?;
         let mut unit = CamUnit::new(config)?;
         let mut cycles = self.costs.kernel_setup;
@@ -165,8 +183,12 @@ impl CamTriangleCounter {
                 cycles += self.costs.edge_cycles(adj_u.len(), adj_v.len(), compute);
             }
         }
+        let name = match fidelity {
+            FidelityMode::BitAccurate => "CAM accelerator (hardware model)",
+            FidelityMode::Fast => "CAM accelerator (hardware model, fast tier)",
+        };
         Ok(TcReport {
-            name: "CAM accelerator (hardware model)",
+            name,
             triangles: matches / 3,
             cycles,
             ms: self.costs.to_ms(cycles),
@@ -214,6 +236,20 @@ mod tests {
         assert_eq!(fast.triangles, hw.triangles);
         assert_eq!(fast.cycles, hw.cycles);
         assert_eq!(fast.edges, hw.edges);
+    }
+
+    #[test]
+    fn fast_tier_hardware_model_agrees_with_bit_accurate() {
+        let edges = dsp_cam_graph::generate::erdos_renyi(24, 60, 4);
+        let g = graph(&edges);
+        let counter = CamTriangleCounter::new();
+        let accurate = counter.run_on_hardware_model(&g).unwrap();
+        let fast = counter
+            .run_on_hardware_model_with(&g, FidelityMode::Fast)
+            .unwrap();
+        assert_eq!(accurate.triangles, fast.triangles);
+        assert_eq!(accurate.cycles, fast.cycles);
+        assert_eq!(accurate.intersection_steps, fast.intersection_steps);
     }
 
     #[test]

@@ -107,8 +107,12 @@ mod tests {
     fn road_speedup_is_smallest() {
         let road = compare_dataset(&Dataset::by_name("roadNet-PA").unwrap(), 64);
         let slash = compare_dataset(&Dataset::by_name("soc-Slashdot0811").unwrap(), 32);
-        assert!(road.speedup < slash.speedup,
-            "road {:.2}x should trail slashdot {:.2}x", road.speedup, slash.speedup);
+        assert!(
+            road.speedup < slash.speedup,
+            "road {:.2}x should trail slashdot {:.2}x",
+            road.speedup,
+            slash.speedup
+        );
         assert!(road.speedup >= 1.0);
     }
 

@@ -41,7 +41,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cover.len()
     );
     for r in &cover {
-        println!("  [{:>4}, {:>4})  (2^{} wide)", r.base, r.end(), r.log2_size);
+        println!(
+            "  [{:>4}, {:>4})  (2^{} wide)",
+            r.base,
+            r.end(),
+            r.log2_size
+        );
     }
 
     let config = UnitConfig::builder()
@@ -70,7 +75,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!(
             "  price {price:>5} -> {}",
-            if hit.is_match() { "SELECTED" } else { "filtered" }
+            if hit.is_match() {
+                "SELECTED"
+            } else {
+                "filtered"
+            }
         );
     }
     assert_eq!(selected, vec![150, 233, 512, 999]);

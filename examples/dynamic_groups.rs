@@ -24,7 +24,10 @@ fn phase(
 
     let words: Vec<u64> = (0..entries).map(|i| i * 17 + 5).collect();
     cam.update(&words)?;
-    println!("  loaded {} entries (replicated into every group)", words.len());
+    println!(
+        "  loaded {} entries (replicated into every group)",
+        words.len()
+    );
 
     // Drive batches of concurrent queries, mixing hits and misses.
     let mut hits = 0;

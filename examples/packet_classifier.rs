@@ -77,11 +77,31 @@ impl LpmTable {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let routes = [
-        Route { prefix: [10, 0, 0, 0], len: 8, next_hop: "core-1" },
-        Route { prefix: [10, 1, 0, 0], len: 16, next_hop: "edge-7" },
-        Route { prefix: [10, 1, 2, 0], len: 24, next_hop: "rack-42" },
-        Route { prefix: [192, 168, 0, 0], len: 16, next_hop: "lab" },
-        Route { prefix: [0, 0, 0, 0], len: 0, next_hop: "default-gw" },
+        Route {
+            prefix: [10, 0, 0, 0],
+            len: 8,
+            next_hop: "core-1",
+        },
+        Route {
+            prefix: [10, 1, 0, 0],
+            len: 16,
+            next_hop: "edge-7",
+        },
+        Route {
+            prefix: [10, 1, 2, 0],
+            len: 24,
+            next_hop: "rack-42",
+        },
+        Route {
+            prefix: [192, 168, 0, 0],
+            len: 16,
+            next_hop: "lab",
+        },
+        Route {
+            prefix: [0, 0, 0, 0],
+            len: 0,
+            next_hop: "default-gw",
+        },
     ];
     let mut table = LpmTable::new(&routes)?;
     println!(
@@ -91,11 +111,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let queries = [
-        (ip(10, 1, 2, 99), "rack-42", 24),   // most specific /24
-        (ip(10, 1, 99, 1), "edge-7", 16),    // falls back to /16
-        (ip(10, 200, 0, 1), "core-1", 8),    // falls back to /8
+        (ip(10, 1, 2, 99), "rack-42", 24), // most specific /24
+        (ip(10, 1, 99, 1), "edge-7", 16),  // falls back to /16
+        (ip(10, 200, 0, 1), "core-1", 8),  // falls back to /8
         (ip(192, 168, 7, 7), "lab", 16),
-        (ip(8, 8, 8, 8), "default-gw", 0),   // default route
+        (ip(8, 8, 8, 8), "default-gw", 0), // default route
     ];
     for (addr, expect_hop, expect_len) in queries {
         let (hop, len) = table.lookup(addr).expect("default route always hits");

@@ -37,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Searches return the fill-order address of the (first) match.
     let hit = cam.search(1333);
-    println!("search(1333) -> match={}, address={:?}", hit.is_match(), hit.first_address());
+    println!(
+        "search(1333) -> match={}, address={:?}",
+        hit.is_match(),
+        hit.first_address()
+    );
     assert_eq!(hit.first_address(), Some(3));
     assert!(!cam.search(999).is_match());
 

@@ -79,10 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             merge.cycles as f64 / cam.cycles as f64,
             p
         ),
-        None => println!(
-            "  speedup: {:.2}x",
-            merge.cycles as f64 / cam.cycles as f64
-        ),
+        None => println!("  speedup: {:.2}x", merge.cycles as f64 / cam.cycles as f64),
     }
 
     // Validate the fast model against the full DSP-level simulation on a

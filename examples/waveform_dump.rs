@@ -50,6 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let (u, s, key) = match &op {
                     Op::Update(_) => (1, 0, 0),
                     Op::Search(k) => (0, 1, *k),
+                    // This trace drives single-key traffic only.
+                    Op::SearchMulti(keys) => (0, 1, keys.first().copied().unwrap_or(0)),
                 };
                 vcd.sample(t, s_issue_update, u);
                 vcd.sample(t, s_issue_search, s);
@@ -80,6 +82,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Some((cycle, Completion::Update(result))) => {
                 vcd.sample(*cycle, s_retire_valid, 1);
                 vcd.sample(*cycle, s_retire_match, u64::from(result.is_ok()));
+            }
+            Some((cycle, Completion::SearchMulti(result))) => {
+                vcd.sample(*cycle, s_retire_valid, 1);
+                vcd.sample(
+                    *cycle,
+                    s_retire_match,
+                    u64::from(
+                        result
+                            .as_ref()
+                            .is_ok_and(|r| r.iter().any(|h| h.is_match())),
+                    ),
+                );
             }
             None => {
                 vcd.sample(t, s_retire_valid, 0);

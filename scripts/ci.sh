@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, and the full test suite.
+# Everything resolves against the vendored stand-in crates (vendor/),
+# so no network or registry access is needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test -q --offline --workspace
+
+echo "CI green."

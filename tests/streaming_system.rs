@@ -25,7 +25,9 @@ fn streaming_pipeline_reproduces_transaction_results() {
     let values: Vec<u64> = (0..48).map(|i| i * 13 + 5).collect();
     // Stream updates one beat at a time.
     for beat in values.chunks(16) {
-        streaming.issue(Op::Update(beat.to_vec())).expect("slot free");
+        streaming
+            .issue(Op::Update(beat.to_vec()))
+            .expect("slot free");
         streaming.tick();
         reference.update(beat).unwrap();
     }
@@ -94,7 +96,10 @@ fn rtl_defines_match_the_behavioural_configuration() {
     let defines = rtl.file("dsp_cam_defines.vh").unwrap();
 
     // Every number the RTL bakes in must agree with the simulated unit.
-    assert!(defines.contains(&format!("`define CAM_TOTAL_CELLS  {}", config.total_cells())));
+    assert!(defines.contains(&format!(
+        "`define CAM_TOTAL_CELLS  {}",
+        config.total_cells()
+    )));
     assert!(defines.contains(&format!("`define CAM_NUM_BLOCKS   {}", config.num_blocks)));
     assert!(defines.contains(&format!(
         "`define CAM_BLOCK_SIZE   {}",

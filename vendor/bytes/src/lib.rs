@@ -1,0 +1,106 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the small slice of the API this workspace uses — immutable
+//! [`Bytes`] produced by freezing a zero-initialised [`BytesMut`] — backed
+//! by a plain `Vec<u8>`. No shared-buffer refcounting; cloning copies.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, DerefMut};
+
+/// An immutable byte buffer (stand-in: owned `Vec<u8>`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Bytes(Vec::new())
+    }
+
+    /// Copy `data` into a new buffer.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(data.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+/// A mutable byte buffer (stand-in: owned `Vec<u8>`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    /// A buffer of `len` zero bytes.
+    #[must_use]
+    pub fn zeroed(len: usize) -> Self {
+        BytesMut(vec![0; len])
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_freeze_roundtrip() {
+        let mut m = BytesMut::zeroed(8);
+        m[3] = 0xAB;
+        let b = m.freeze();
+        assert_eq!(b.len(), 8);
+        assert_eq!(b[3], 0xAB);
+        assert_eq!(b[0], 0);
+    }
+}

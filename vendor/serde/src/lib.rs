@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io; this workspace uses serde
+//! purely as `#[derive(Serialize, Deserialize)]` decoration and never
+//! serializes a value, so this facade provides the two trait names (as
+//! empty markers) and re-exports the no-op derive macros. Swapping the
+//! workspace dependency back to the real `serde` requires no source
+//! changes anywhere else.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (never implemented or required).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (never implemented or
+/// required).
+pub trait Deserialize<'de> {}
