@@ -79,6 +79,7 @@ fn bench_fidelity_tiers(c: &mut Criterion) {
     for (label, fidelity) in [
         ("bit_accurate", FidelityMode::BitAccurate),
         ("fast", FidelityMode::Fast),
+        ("turbo", FidelityMode::Turbo),
     ] {
         for entries in [512usize, 2048] {
             let id = format!("{label}_{entries}");
@@ -143,6 +144,6 @@ criterion_group!(
 
 fn main() {
     benches();
-    // Machine-readable fast-vs-accurate rates, tracked across PRs.
+    // Machine-readable per-tier rates, tracked across PRs.
     dsp_cam_bench::search_rates::emit_bench_search_json("micro_cam_ops");
 }

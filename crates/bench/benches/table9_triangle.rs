@@ -80,7 +80,7 @@ fn main() {
     println!("Shape checks passed: CAM wins everywhere; skew ({skewed_min:.2}x) > road ({road_max:.2}x).");
 
     // Cross-validate the analytical model against the simulated hardware
-    // on a small graph — through the fast match-index tier, which makes
+    // on a small graph — through the turbo bit-sliced tier, which makes
     // the full-unit drive cheap while computing exactly what the
     // DSP-level simulation would.
     let edges = dsp_cam_graph::generate::erdos_renyi(48, 160, 11);
@@ -88,7 +88,7 @@ fn main() {
     let counter = CamTriangleCounter::new();
     let analytical = counter.run(&g);
     let hw = counter
-        .run_on_hardware_model_with(&g, FidelityMode::Fast)
+        .run_on_hardware_model_with(&g, FidelityMode::Turbo)
         .expect("default geometry is valid");
     assert_eq!(
         analytical.triangles, hw.triangles,
@@ -96,7 +96,7 @@ fn main() {
     );
     assert_eq!(analytical.cycles, hw.cycles, "cycle model must agree");
     println!(
-        "Hardware cross-check (fast tier): {} triangles, {} cycles — matches the analytical engine.",
+        "Hardware cross-check (turbo tier): {} triangles, {} cycles — matches the analytical engine.",
         hw.triangles, hw.cycles
     );
 }

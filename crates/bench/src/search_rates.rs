@@ -1,9 +1,9 @@
-//! Host-side search-rate measurement for the two execution tiers, and
+//! Host-side search-rate measurement for the three execution tiers, and
 //! the machine-readable `BENCH_search.json` artefact tracked across PRs.
 //!
 //! Both `micro_cam_ops` and `table8_unit_perf` call
-//! [`measure_search_rates`] + [`write_bench_search_json`] so the
-//! fast-tier speedup over the bit-accurate DSP simulation is recorded in
+//! [`measure_search_rates`] + [`write_bench_search_json`] so the shadow
+//! tiers' speedups over the bit-accurate DSP simulation are recorded in
 //! one canonical place regardless of which bench ran last.
 
 use std::hint::black_box;
@@ -13,11 +13,13 @@ use std::time::Instant;
 
 use dsp_cam_core::prelude::*;
 
-/// Searches/sec of both tiers at one unit size.
+/// Searches/sec of all three tiers at one unit size.
 #[derive(Debug, Clone, Copy)]
 pub struct SearchRateRow {
     /// Unit capacity in entries.
     pub entries: usize,
+    /// Host searches/sec through the `Turbo` bit-sliced tier.
+    pub turbo_sps: f64,
     /// Host searches/sec through the `Fast` match-index tier.
     pub fast_sps: f64,
     /// Host searches/sec through the `BitAccurate` DSP48E2 tier.
@@ -29,6 +31,12 @@ impl SearchRateRow {
     #[must_use]
     pub fn speedup(&self) -> f64 {
         self.fast_sps / self.accurate_sps
+    }
+
+    /// Turbo-tier speedup over the fast tier.
+    #[must_use]
+    pub fn turbo_speedup(&self) -> f64 {
+        self.turbo_sps / self.fast_sps
     }
 }
 
@@ -73,7 +81,7 @@ fn searches_per_sec(unit: &mut CamUnit) -> f64 {
     }
 }
 
-/// Measure both tiers at each of `sizes` entries.
+/// Measure all three tiers at each of `sizes` entries.
 #[must_use]
 pub fn measure_search_rates(sizes: &[usize]) -> Vec<SearchRateRow> {
     sizes
@@ -81,8 +89,10 @@ pub fn measure_search_rates(sizes: &[usize]) -> Vec<SearchRateRow> {
         .map(|&entries| {
             let accurate_sps = searches_per_sec(&mut unit_of(entries, FidelityMode::BitAccurate));
             let fast_sps = searches_per_sec(&mut unit_of(entries, FidelityMode::Fast));
+            let turbo_sps = searches_per_sec(&mut unit_of(entries, FidelityMode::Turbo));
             SearchRateRow {
                 entries,
+                turbo_sps,
                 fast_sps,
                 accurate_sps,
             }
@@ -104,16 +114,23 @@ pub fn write_bench_search_json(source: &str, rows: &[SearchRateRow]) -> io::Resu
     let mut body = String::new();
     body.push_str("{\n");
     body.push_str(&format!("  \"source\": \"{source}\",\n"));
-    body.push_str("  \"metric\": \"host searches/sec, Fast (match-index) vs BitAccurate (DSP48E2 simulation)\",\n");
+    body.push_str(
+        "  \"metric\": \"host searches/sec, Turbo (bit-sliced) vs Fast (match-index) vs \
+         BitAccurate (DSP48E2 simulation)\",\n",
+    );
     body.push_str("  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
         body.push_str(&format!(
-            "    {{\"entries\": {}, \"fast_searches_per_sec\": {:.1}, \
-             \"bit_accurate_searches_per_sec\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            "    {{\"entries\": {}, \"turbo_searches_per_sec\": {:.1}, \
+             \"fast_searches_per_sec\": {:.1}, \
+             \"bit_accurate_searches_per_sec\": {:.1}, \"speedup\": {:.2}, \
+             \"turbo_speedup_over_fast\": {:.2}}}{}\n",
             row.entries,
+            row.turbo_sps,
             row.fast_sps,
             row.accurate_sps,
             row.speedup(),
+            row.turbo_speedup(),
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -123,23 +140,27 @@ pub fn write_bench_search_json(source: &str, rows: &[SearchRateRow]) -> io::Resu
 }
 
 /// Measure, write the artefact, print a summary, and enforce the
-/// fast-tier speedup floor at 8192 entries.
+/// tier speedup floors at 8192 entries.
 ///
 /// # Panics
 ///
-/// Panics if the fast tier is below 10× the bit-accurate tier at 8192
-/// entries — the two-tier engine's reason to exist.
+/// Panics if the fast tier is below 10× the bit-accurate tier, or the
+/// turbo tier below 5× the fast tier, at 8192 entries — each tier's
+/// reason to exist.
 pub fn emit_bench_search_json(source: &str) {
     let rows = measure_search_rates(&BENCH_SIZES);
     println!();
-    println!("Two-tier search rates (host):");
+    println!("Search-tier rates (host):");
     for row in &rows {
         println!(
-            "  {:>5} entries: fast {:>12.0} searches/s, bit-accurate {:>10.0} searches/s ({:>6.1}x)",
+            "  {:>5} entries: turbo {:>12.0} searches/s, fast {:>12.0} searches/s, \
+             bit-accurate {:>10.0} searches/s (fast {:>6.1}x, turbo {:>5.1}x fast)",
             row.entries,
+            row.turbo_sps,
             row.fast_sps,
             row.accurate_sps,
             row.speedup(),
+            row.turbo_speedup(),
         );
     }
     match write_bench_search_json(source, &rows) {
@@ -155,6 +176,11 @@ pub fn emit_bench_search_json(source: &str) {
         "fast tier must be >= 10x bit-accurate at 8192 entries, got {:.1}x",
         at_8k.speedup()
     );
+    assert!(
+        at_8k.turbo_speedup() >= 5.0,
+        "turbo tier must be >= 5x fast at 8192 entries, got {:.1}x",
+        at_8k.turbo_speedup()
+    );
 }
 
 #[cfg(test)]
@@ -162,11 +188,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn both_tiers_agree_on_results_in_the_bench_geometry() {
+    fn all_tiers_agree_on_results_in_the_bench_geometry() {
         let mut accurate = unit_of(512, FidelityMode::BitAccurate);
         let mut fast = unit_of(512, FidelityMode::Fast);
+        let mut turbo = unit_of(512, FidelityMode::Turbo);
         for key in [0u64, 3, 5, 1533, 1_000_003] {
-            assert_eq!(accurate.search(key), fast.search(key), "key {key}");
+            let want = accurate.search(key);
+            assert_eq!(want, fast.search(key), "fast, key {key}");
+            assert_eq!(want, turbo.search(key), "turbo, key {key}");
         }
     }
 
@@ -174,9 +203,11 @@ mod tests {
     fn json_rows_roundtrip_shape() {
         let rows = [SearchRateRow {
             entries: 512,
+            turbo_sps: 2.0e7,
             fast_sps: 2.0e6,
             accurate_sps: 1.0e5,
         }];
         assert!((rows[0].speedup() - 20.0).abs() < 1e-9);
+        assert!((rows[0].turbo_speedup() - 10.0).abs() < 1e-9);
     }
 }

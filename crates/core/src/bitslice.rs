@@ -1,0 +1,310 @@
+//! The transposed (bit-sliced) match engine: the `Turbo` search tier.
+//!
+//! Where [`MatchIndex`](crate::match_index::MatchIndex) keeps one
+//! horizontal `(stored, care)` pair per cell and compares them one cell
+//! at a time, [`BitSliceIndex`] keeps the *vertical* layout: for every
+//! key bit position `b` it stores two packed N-cell bitmaps,
+//!
+//! ```text
+//! match_if_0[b]  — cells that match when key bit b is 0
+//! match_if_1[b]  — cells that match when key bit b is 1
+//! ```
+//!
+//! A cell that *cares* about bit `b` appears in exactly one of the two
+//! (the one agreeing with its stored bit); a don't-care cell appears in
+//! both. A broadcast search then ANDs one bitmap per key bit into the
+//! valid bitmap:
+//!
+//! ```text
+//! match = valid & plane[b0][key_b0] & plane[b1][key_b1] & ...
+//! ```
+//!
+//! which answers all 64 cells of a word per AND — the same vertical
+//! trick RAM-based FPGA CAMs use to answer every cell per cycle, and the
+//! closest software analogue of the paper's all-cells-in-parallel DSP
+//! array. The planes are stored word-major (all `2 × width` plane words
+//! of one 64-cell word group are contiguous) so the search walks each
+//! word group once and **exits early** the moment its accumulator hits
+//! zero — on sparse-match workloads most word groups die within a
+//! handful of planes, independent of key width.
+//!
+//! Updates stay incremental: re-shadowing one cell touches one bit in
+//! each of the `2 × width` plane bitmaps plus the valid bitmap —
+//! `O(width)`, the same cheap-update property that motivates using DSP
+//! slices as update queues in the first place.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::CamCell;
+use crate::encoder::MatchVector;
+
+/// Mask selecting the DSP datapath's 48 bits.
+const M48: u64 = (1 << 48) - 1;
+
+/// Transposed shadow of a block's cells: two packed match bitmaps per
+/// key bit position, answering broadcast searches word-parallel.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitSliceIndex {
+    /// Plane words, word-major: the `2 × width` plane words of 64-cell
+    /// word group `w` live at `planes[w * 2 * width ..]` — first the
+    /// `match_if_0` plane for each bit, then the `match_if_1` plane.
+    planes: Vec<u64>,
+    /// Packed valid bitmap, one bit per cell.
+    valid: Vec<u64>,
+    /// Key bits shadowed (the cell data width; care masks never extend
+    /// beyond it).
+    width: usize,
+    len: usize,
+}
+
+impl BitSliceIndex {
+    /// An index over `len` cells of `width`-bit keys, all invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside the DSP datapath (`1..=48`).
+    #[must_use]
+    pub fn new(len: usize, width: u32) -> Self {
+        assert!(
+            (1..=48).contains(&width),
+            "width {width} outside the 48-bit datapath"
+        );
+        let width = width as usize;
+        let words = len.div_ceil(64);
+        BitSliceIndex {
+            // A fresh cell stores 0 with every in-width bit cared: it
+            // belongs to every match_if_0 plane and no match_if_1 plane
+            // (the valid bitmap hides it until it is written).
+            planes: (0..words * 2 * width)
+                .map(|i| {
+                    if (i / width).is_multiple_of(2) {
+                        u64::MAX
+                    } else {
+                        0
+                    }
+                })
+                .collect(),
+            valid: vec![0; words],
+            width,
+            len,
+        }
+    }
+
+    /// Number of cells shadowed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index shadows zero cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Key bits shadowed.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Re-shadow `cell` from its oracle state (called by the block after
+    /// every write, masked write, range write, invalidate or clear):
+    /// flip the cell's bit in each of the `2 × width` planes and in the
+    /// valid bitmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn refresh(&mut self, cell: usize, from: &CamCell) {
+        assert!(cell < self.len, "cell {cell} out of range {}", self.len);
+        let stored = from.stored() & M48;
+        let care = !from.pattern_mask().value() & M48;
+        let bit = 1u64 << (cell % 64);
+        let base = (cell / 64) * 2 * self.width;
+        for b in 0..self.width {
+            let cares = care >> b & 1 == 1;
+            let one = stored >> b & 1 == 1;
+            let zero_plane = &mut self.planes[base + b];
+            if !cares || !one {
+                *zero_plane |= bit;
+            } else {
+                *zero_plane &= !bit;
+            }
+            let one_plane = &mut self.planes[base + self.width + b];
+            if !cares || one {
+                *one_plane |= bit;
+            } else {
+                *one_plane &= !bit;
+            }
+        }
+        if from.is_valid() {
+            self.valid[cell / 64] |= bit;
+        } else {
+            self.valid[cell / 64] &= !bit;
+        }
+    }
+
+    /// Re-shadow every cell (the block's reset path).
+    pub fn refresh_all(&mut self, cells: &[CamCell]) {
+        assert_eq!(cells.len(), self.len, "cell count changed under the index");
+        for (i, cell) in cells.iter().enumerate() {
+            self.refresh(i, cell);
+        }
+    }
+
+    /// Broadcast `key` into `scratch` as packed match words, reusing the
+    /// buffer's allocation: `scratch[w]` bit `i` is the match flag of
+    /// cell `w * 64 + i`.
+    ///
+    /// The caller passes the block-masked key exactly as it would to the
+    /// DSP path; plane selection only reads the low `width` bits, which
+    /// is the same truncation `P48::new` + the care mask perform.
+    pub fn search_into(&self, key: u64, scratch: &mut Vec<u64>) {
+        let width = self.width;
+        scratch.clear();
+        scratch.resize(self.valid.len(), 0);
+        for (w, out) in scratch.iter_mut().enumerate() {
+            let mut acc = self.valid[w];
+            let base = w * 2 * width;
+            let group = &self.planes[base..base + 2 * width];
+            for b in 0..width {
+                if acc == 0 {
+                    break;
+                }
+                let take_one = key >> b & 1 == 1;
+                acc &= group[b + usize::from(take_one) * width];
+            }
+            *out = acc;
+        }
+    }
+
+    /// Broadcast `key` to every shadowed cell (allocating wrapper around
+    /// [`BitSliceIndex::search_into`]).
+    #[must_use]
+    pub fn search(&self, key: u64) -> MatchVector {
+        let mut bits = Vec::new();
+        self.search_into(key, &mut bits);
+        MatchVector::from_raw(bits, self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CellConfig;
+    use crate::mask::RangeSpec;
+    use crate::match_index::MatchIndex;
+
+    fn shadowed(cells: &[CamCell], width: u32) -> BitSliceIndex {
+        let mut idx = BitSliceIndex::new(cells.len(), width);
+        idx.refresh_all(cells);
+        idx
+    }
+
+    #[test]
+    fn agrees_with_cells_binary() {
+        let mut cells: Vec<CamCell> = (0..8)
+            .map(|_| CamCell::new(CellConfig::binary(16)).unwrap())
+            .collect();
+        cells[0].write(0xBEEF).unwrap();
+        cells[3].write(0x0001).unwrap();
+        cells[5].write(0xBEEF).unwrap();
+        let idx = shadowed(&cells, 16);
+        for key in [0xBEEFu64, 0x0001, 0x0002, 0] {
+            let oracle: MatchVector = cells.iter_mut().map(|c| c.search(key)).collect();
+            assert_eq!(idx.search(key), oracle, "key {key:#x}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_match_index_across_word_boundary() {
+        // 130 cells spans three packed words with a ragged tail.
+        let mut cells: Vec<CamCell> = (0..130)
+            .map(|_| CamCell::new(CellConfig::binary(12)).unwrap())
+            .collect();
+        for (i, cell) in cells.iter_mut().enumerate() {
+            if i % 3 != 0 {
+                cell.write((i % 7) as u64).unwrap();
+            }
+        }
+        let bitsliced = shadowed(&cells, 12);
+        let mut horizontal = MatchIndex::new(cells.len());
+        horizontal.refresh_all(&cells);
+        for key in 0..8u64 {
+            assert_eq!(bitsliced.search(key), horizontal.search(key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn invalid_cells_never_match() {
+        let cells: Vec<CamCell> = (0..70)
+            .map(|_| CamCell::new(CellConfig::binary(32)).unwrap())
+            .collect();
+        let idx = shadowed(&cells, 32);
+        assert!(!idx.search(0).any(), "empty cells must not match key 0");
+    }
+
+    #[test]
+    fn ternary_and_range_masks_shadowed() {
+        let mut t = CamCell::new(CellConfig::ternary(16, 0x00FF)).unwrap();
+        t.write(0x1200).unwrap();
+        let mut r = CamCell::new(CellConfig::range_matching(32)).unwrap();
+        r.write_range(RangeSpec::new(0x1000, 8).unwrap()).unwrap();
+        let mut cells = vec![t, r];
+        let idx = shadowed(&cells, 32);
+        for key in [0x1234u64, 0x12FF, 0x1334, 0x1000, 0x10FF, 0x1100] {
+            let oracle: MatchVector = cells.iter_mut().map(|c| c.search(key)).collect();
+            assert_eq!(idx.search(key), oracle, "key {key:#x}");
+        }
+    }
+
+    #[test]
+    fn refresh_tracks_overwrite_and_invalidation() {
+        let mut cells = vec![CamCell::new(CellConfig::binary(32)).unwrap()];
+        cells[0].write(42).unwrap();
+        let mut idx = shadowed(&cells, 32);
+        assert!(idx.search(42).any());
+        // Overwrite in place: the old planes must be fully cleared.
+        cells[0].clear();
+        cells[0].write(41).unwrap();
+        idx.refresh(0, &cells[0]);
+        assert!(!idx.search(42).any(), "stale planes after overwrite");
+        assert!(idx.search(41).any());
+        // Invalidate: the valid bitmap must hide the cell.
+        cells[0].clear();
+        idx.refresh(0, &cells[0]);
+        assert!(!idx.search(41).any());
+        assert!(!idx.search(0).any(), "cleared cell stores 0 but is invalid");
+    }
+
+    #[test]
+    fn key_truncated_to_datapath() {
+        let mut cells = vec![CamCell::new(CellConfig::binary(16)).unwrap()];
+        cells[0].write(0xAB).unwrap();
+        let idx = shadowed(&cells, 16);
+        // Upper bus bits beyond the width mask are ignored (the block
+        // masks them before broadcast; the planes only cover `width`).
+        assert!(idx.search(0x0000_0000_0000_00AB).any());
+    }
+
+    #[test]
+    fn search_into_reuses_the_scratch_allocation() {
+        let mut cells: Vec<CamCell> = (0..4)
+            .map(|_| CamCell::new(CellConfig::binary(8)).unwrap())
+            .collect();
+        cells[2].write(9).unwrap();
+        let idx = shadowed(&cells, 8);
+        let mut scratch = vec![u64::MAX; 7]; // stale, oversized
+        idx.search_into(9, &mut scratch);
+        assert_eq!(scratch, vec![0b100]);
+        idx.search_into(1, &mut scratch);
+        assert_eq!(scratch, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the 48-bit datapath")]
+    fn zero_width_rejected() {
+        let _ = BitSliceIndex::new(8, 0);
+    }
+}

@@ -17,6 +17,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::bitslice::BitSliceIndex;
 use crate::cell::CamCell;
 use crate::config::{BlockConfig, FidelityMode};
 use crate::encoder::{MatchVector, SearchOutput};
@@ -51,11 +52,18 @@ pub struct CamBlock {
     /// mode can be compared (and, via [`CamBlock::set_fidelity`],
     /// switched) at any time.
     index: MatchIndex,
+    /// Transposed shadow for the turbo search tier, kept coherent the
+    /// same way (`O(width)` per cell mutation).
+    bitslice: BitSliceIndex,
     /// The Cell Address Controller's fill pointer.
     write_ptr: usize,
     cycles: u64,
     update_beats: u64,
     searches: u64,
+    /// Reusable match vector behind [`CamBlock::search`] — host-side
+    /// scratch, not architectural state.
+    #[serde(skip)]
+    vector_scratch: MatchVector,
 }
 
 impl CamBlock {
@@ -71,15 +79,25 @@ impl CamBlock {
             .collect::<Result<Vec<_>, _>>()?;
         let mut index = MatchIndex::new(cells.len());
         index.refresh_all(&cells);
+        let mut bitslice = BitSliceIndex::new(cells.len(), config.cell.data_width);
+        bitslice.refresh_all(&cells);
         Ok(CamBlock {
             config,
             cells,
             index,
+            bitslice,
             write_ptr: 0,
             cycles: 0,
             update_beats: 0,
             searches: 0,
+            vector_scratch: MatchVector::default(),
         })
+    }
+
+    /// Re-shadow `cell` in both shadow tiers after a mutation.
+    fn reshadow(&mut self, cell: usize) {
+        self.index.refresh(cell, &self.cells[cell]);
+        self.bitslice.refresh(cell, &self.cells[cell]);
     }
 
     /// Switch the search execution tier in place. Contents, counters and
@@ -179,8 +197,7 @@ impl CamBlock {
             self.cells[self.write_ptr]
                 .write(word)
                 .expect("validated above");
-            self.index
-                .refresh(self.write_ptr, &self.cells[self.write_ptr]);
+            self.reshadow(self.write_ptr);
             self.write_ptr += 1;
         }
         let beats = words.len().div_ceil(self.config.words_per_beat()).max(1) as u64;
@@ -216,8 +233,7 @@ impl CamBlock {
         }
         for &range in ranges {
             self.cells[self.write_ptr].write_range(range)?;
-            self.index
-                .refresh(self.write_ptr, &self.cells[self.write_ptr]);
+            self.reshadow(self.write_ptr);
             self.write_ptr += 1;
         }
         let beats = ranges.len().div_ceil(self.config.words_per_beat()).max(1) as u64;
@@ -226,21 +242,35 @@ impl CamBlock {
         Ok(())
     }
 
-    /// The one broadcast path both public searches share: mask the key,
+    /// The one broadcast path every public search shares: mask the key,
     /// produce the match vector on the configured tier, account cycles.
-    /// The two tiers are interchangeable by construction — identical key
+    /// The tiers are interchangeable by construction — identical key
     /// masking, identical compare semantics, identical counter bumps.
-    fn broadcast(&mut self, key: u64) -> MatchVector {
+    /// Writes into `out` reusing its allocation; the shadow tiers also
+    /// reuse the block's packed-word scratch, so a warmed-up block
+    /// broadcasts without touching the heap.
+    fn broadcast_into(&mut self, key: u64, out: &mut MatchVector) {
         let key = self.mask_key(key);
-        let matches = match self.config.fidelity {
+        match self.config.fidelity {
             FidelityMode::BitAccurate => {
-                self.cells.iter_mut().map(|cell| cell.search(key)).collect()
+                out.reset(self.cells.len());
+                for (i, cell) in self.cells.iter_mut().enumerate() {
+                    if cell.search(key) {
+                        out.set(i);
+                    }
+                }
             }
-            FidelityMode::Fast => self.index.search(key),
-        };
+            FidelityMode::Fast => {
+                let index = &self.index;
+                out.fill_raw(index.len(), |bits| index.search_into(key, bits));
+            }
+            FidelityMode::Turbo => {
+                let bitslice = &self.bitslice;
+                out.fill_raw(bitslice.len(), |bits| bitslice.search_into(key, bits));
+            }
+        }
         self.cycles += self.config.search_latency();
         self.searches += 1;
-        matches
     }
 
     /// Broadcast `key` to every cell and encode the match vector.
@@ -248,14 +278,26 @@ impl CamBlock {
     /// Redundant key bits beyond the data width are masked off, per the
     /// paper's search-path description.
     pub fn search(&mut self, key: u64) -> SearchOutput {
-        let matches = self.broadcast(key);
-        self.config.encoding.encode(&matches)
+        let mut matches = std::mem::take(&mut self.vector_scratch);
+        self.broadcast_into(key, &mut matches);
+        let out = self.config.encoding.encode(&matches);
+        self.vector_scratch = matches;
+        out
     }
 
     /// Raw match vector for `key` (bypasses the Encoder; used by tests and
     /// by encodings layered at unit level).
     pub fn search_vector(&mut self, key: u64) -> MatchVector {
-        self.broadcast(key)
+        let mut matches = MatchVector::default();
+        self.broadcast_into(key, &mut matches);
+        matches
+    }
+
+    /// [`CamBlock::search_vector`] into a caller-provided vector, reusing
+    /// its allocation — the building block of the unit's batched search
+    /// paths.
+    pub fn search_vector_into(&mut self, key: u64, out: &mut MatchVector) {
+        self.broadcast_into(key, out);
     }
 
     /// Invalidate the entry at `cell` (extension beyond the paper: the
@@ -270,7 +312,7 @@ impl CamBlock {
     pub fn invalidate(&mut self, cell: usize) {
         assert!(cell < self.cells.len(), "cell {cell} out of range");
         self.cells[cell].clear();
-        self.index.refresh(cell, &self.cells[cell]);
+        self.reshadow(cell);
         self.cycles += 1;
     }
 
@@ -298,8 +340,7 @@ impl CamBlock {
             });
         }
         self.cells[self.write_ptr].write_masked(value, dont_care)?;
-        self.index
-            .refresh(self.write_ptr, &self.cells[self.write_ptr]);
+        self.reshadow(self.write_ptr);
         self.write_ptr += 1;
         self.cycles += self.config.update_latency();
         self.update_beats += 1;
@@ -312,6 +353,7 @@ impl CamBlock {
             cell.clear();
         }
         self.index.refresh_all(&self.cells);
+        self.bitslice.refresh_all(&self.cells);
         self.write_ptr = 0;
         self.cycles += 1;
     }
@@ -520,26 +562,49 @@ mod tests {
     }
 
     #[test]
-    fn fast_tier_matches_bit_accurate_results_and_counters() {
+    fn shadow_tiers_match_bit_accurate_results_and_counters() {
         use crate::config::FidelityMode;
         let base = BlockConfig::standalone(CellConfig::binary(16), 32, 512);
         let mut accurate = CamBlock::new(base).unwrap();
         let mut fast = CamBlock::new(base.with_fidelity(FidelityMode::Fast)).unwrap();
-        for b in [&mut accurate, &mut fast] {
+        let mut turbo = CamBlock::new(base.with_fidelity(FidelityMode::Turbo)).unwrap();
+        for b in [&mut accurate, &mut fast, &mut turbo] {
             b.update(&[7, 7, 0xAB, 0]).unwrap();
             b.invalidate(1);
         }
         for key in [7u64, 0xAB, 0, 0xFFFF_0000_0000_0007, 5] {
-            assert_eq!(
-                accurate.search_vector(key),
-                fast.search_vector(key),
-                "key {key:#x}"
-            );
-            assert_eq!(accurate.search(key), fast.search(key), "key {key:#x}");
+            let oracle = accurate.search_vector(key);
+            assert_eq!(oracle, fast.search_vector(key), "fast, key {key:#x}");
+            assert_eq!(oracle, turbo.search_vector(key), "turbo, key {key:#x}");
+            let encoded = accurate.search(key);
+            assert_eq!(encoded, fast.search(key), "fast, key {key:#x}");
+            assert_eq!(encoded, turbo.search(key), "turbo, key {key:#x}");
         }
-        assert_eq!(accurate.cycles(), fast.cycles(), "block cycle accounting");
-        assert_eq!(accurate.searches(), fast.searches());
-        assert_eq!(accurate.update_beats(), fast.update_beats());
+        for b in [&fast, &turbo] {
+            assert_eq!(accurate.cycles(), b.cycles(), "block cycle accounting");
+            assert_eq!(accurate.searches(), b.searches());
+            assert_eq!(accurate.update_beats(), b.update_beats());
+        }
+    }
+
+    #[test]
+    fn search_vector_into_reuses_the_buffer() {
+        use crate::config::FidelityMode;
+        let mut b = block(32);
+        b.update(&[10, 20, 30]).unwrap();
+        let mut out = MatchVector::new(1); // wrong shape on purpose
+        for fidelity in [
+            FidelityMode::BitAccurate,
+            FidelityMode::Fast,
+            FidelityMode::Turbo,
+        ] {
+            b.set_fidelity(fidelity);
+            b.search_vector_into(20, &mut out);
+            assert_eq!(out.len(), 32, "{fidelity:?}");
+            assert_eq!(out.first(), Some(1), "{fidelity:?}");
+            b.search_vector_into(25, &mut out);
+            assert!(!out.any(), "{fidelity:?}");
+        }
     }
 
     #[test]
@@ -549,6 +614,8 @@ mod tests {
         b.update(&[4, 9]).unwrap();
         let before = b.search_vector(9);
         b.set_fidelity(FidelityMode::Fast);
+        assert_eq!(b.search_vector(9), before);
+        b.set_fidelity(FidelityMode::Turbo);
         assert_eq!(b.search_vector(9), before);
         b.set_fidelity(FidelityMode::BitAccurate);
         assert_eq!(b.search_vector(9), before);

@@ -15,7 +15,7 @@ use crate::mask::CamMask;
 
 /// How faithfully search execution models the DSP48E2 hardware.
 ///
-/// Both tiers produce **identical** match vectors, encoded outputs and
+/// All tiers produce **identical** match vectors, encoded outputs and
 /// block/unit cycle counters; they differ only in how the comparison is
 /// computed. [`BitAccurate`](FidelityMode::BitAccurate) drives every
 /// cell's DSP slice model through its real register pipeline (and so
@@ -23,6 +23,10 @@ use crate::mask::CamMask;
 /// answers searches from a struct-of-arrays shadow of the cell state —
 /// a branch-free compare loop roughly an order of magnitude faster —
 /// leaving the per-cell DSP models untouched between writes.
+/// [`Turbo`](FidelityMode::Turbo) answers from a transposed (bit-sliced)
+/// shadow: one packed per-cell bitmap pair per key bit position, so a
+/// search is `O(width × N/64)` word-wide ANDs with per-word early exit —
+/// the software mirror of the hardware's all-cells-per-cycle parallelism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum FidelityMode {
     /// Tick each DSP slice model for every search (the default).
@@ -30,6 +34,8 @@ pub enum FidelityMode {
     BitAccurate,
     /// Answer searches from the shadow match index.
     Fast,
+    /// Answer searches from the transposed bit-sliced match engine.
+    Turbo,
 }
 
 /// Cell-level parameters (Table III, "CAM Cell").

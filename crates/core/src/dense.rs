@@ -46,9 +46,31 @@ pub struct DenseCamBlock {
     lane_values: Vec<u64>,
     /// Packed lane-valid bitmap.
     lane_valid: Vec<u64>,
+    /// Transposed shadow for the turbo tier, word-major like
+    /// [`BitSliceIndex`](crate::bitslice::BitSliceIndex): the
+    /// `2 × 12` plane words of 64-lane word group `w` live at
+    /// `planes[w * 24 ..]` — `match_if_0` per bit, then `match_if_1`.
+    planes: Vec<u64>,
     fidelity: FidelityMode,
     write_ptr: usize,
     cycles: u64,
+}
+
+/// Bits per packed lane (the `FOUR12` SIMD granularity).
+const LANE_BITS: usize = 12;
+
+/// Plane words for `words` 64-lane word groups, all lanes "store 0":
+/// every `match_if_0` plane is all-ones, every `match_if_1` plane zero.
+fn fresh_planes(words: usize) -> Vec<u64> {
+    (0..words * 2 * LANE_BITS)
+        .map(|i| {
+            if (i / LANE_BITS).is_multiple_of(2) {
+                u64::MAX
+            } else {
+                0
+            }
+        })
+        .collect()
 }
 
 impl DenseCamBlock {
@@ -85,6 +107,7 @@ impl DenseCamBlock {
             slices,
             lane_values: vec![0; lanes],
             lane_valid: vec![0; lanes.div_ceil(64)],
+            planes: fresh_planes(lanes.div_ceil(64)),
             fidelity,
             write_ptr: 0,
             cycles: 0,
@@ -141,8 +164,20 @@ impl DenseCamBlock {
         let lane = self.write_ptr % LANES;
         self.slices[slice].write_lane(lane, value);
         // Mirror the oracle: read the lane back from the slice registers.
-        self.lane_values[self.write_ptr] = self.slices[slice].lane_value(lane);
+        let stored = self.slices[slice].lane_value(lane);
+        self.lane_values[self.write_ptr] = stored;
         self.lane_valid[self.write_ptr / 64] |= 1 << (self.write_ptr % 64);
+        let bit = 1u64 << (self.write_ptr % 64);
+        let base = (self.write_ptr / 64) * 2 * LANE_BITS;
+        for b in 0..LANE_BITS {
+            if stored >> b & 1 == 1 {
+                self.planes[base + b] &= !bit;
+                self.planes[base + LANE_BITS + b] |= bit;
+            } else {
+                self.planes[base + b] |= bit;
+                self.planes[base + LANE_BITS + b] &= !bit;
+            }
+        }
         self.write_ptr += 1;
         self.cycles += Self::UPDATE_LATENCY;
         Ok(())
@@ -184,6 +219,28 @@ impl DenseCamBlock {
                 }
                 matches
             }
+            FidelityMode::Turbo => {
+                let capacity = self.capacity();
+                let (planes, valid) = (&self.planes, &self.lane_valid);
+                let mut matches = MatchVector::default();
+                matches.fill_raw(capacity, |bits| {
+                    bits.clear();
+                    bits.resize(valid.len(), 0);
+                    for (w, out) in bits.iter_mut().enumerate() {
+                        let mut acc = valid[w];
+                        let base = w * 2 * LANE_BITS;
+                        for b in 0..LANE_BITS {
+                            if acc == 0 {
+                                break;
+                            }
+                            let take_one = key >> b & 1 == 1;
+                            acc &= planes[base + b + usize::from(take_one) * LANE_BITS];
+                        }
+                        *out = acc;
+                    }
+                });
+                matches
+            }
         };
         self.cycles += Self::SEARCH_LATENCY;
         Ok(matches)
@@ -196,6 +253,8 @@ impl DenseCamBlock {
         }
         self.lane_values.fill(0);
         self.lane_valid.fill(0);
+        let words = self.lane_valid.len();
+        self.planes.copy_from_slice(&fresh_planes(words));
         self.write_ptr = 0;
         self.cycles += 1;
     }
@@ -275,25 +334,46 @@ mod tests {
     }
 
     #[test]
-    fn fast_tier_matches_bit_accurate() {
+    fn shadow_tiers_match_bit_accurate() {
         use crate::config::FidelityMode;
         let mut accurate = DenseCamBlock::new(16);
         let mut fast = DenseCamBlock::with_fidelity(16, FidelityMode::Fast);
-        for cam in [&mut accurate, &mut fast] {
+        let mut turbo = DenseCamBlock::with_fidelity(16, FidelityMode::Turbo);
+        for cam in [&mut accurate, &mut fast, &mut turbo] {
             for v in [5u64, 100, 4095, 0, 77, 5] {
                 cam.insert(v).unwrap();
             }
         }
         for probe in [5u64, 100, 4095, 0, 77, 1, 4094] {
+            let want = accurate.search(probe).unwrap();
+            assert_eq!(want, fast.search(probe).unwrap(), "fast, probe {probe}");
+            assert_eq!(want, turbo.search(probe).unwrap(), "turbo, probe {probe}");
+        }
+        assert_eq!(accurate.cycles(), fast.cycles());
+        assert_eq!(accurate.cycles(), turbo.cycles());
+        for cam in [&mut fast, &mut turbo] {
+            cam.reset();
+            assert!(!cam.search(5).unwrap().any(), "reset clears the shadow");
+        }
+    }
+
+    #[test]
+    fn turbo_tier_across_word_boundary() {
+        use crate::config::FidelityMode;
+        let mut accurate = DenseCamBlock::new(130);
+        let mut turbo = DenseCamBlock::with_fidelity(130, FidelityMode::Turbo);
+        for cam in [&mut accurate, &mut turbo] {
+            for i in 0..130u64 {
+                cam.insert(i % 7).unwrap();
+            }
+        }
+        for probe in 0..8u64 {
             assert_eq!(
                 accurate.search(probe).unwrap(),
-                fast.search(probe).unwrap(),
+                turbo.search(probe).unwrap(),
                 "probe {probe}"
             );
         }
-        assert_eq!(accurate.cycles(), fast.cycles());
-        fast.reset();
-        assert!(!fast.search(5).unwrap().any(), "reset clears the shadow");
     }
 
     #[test]

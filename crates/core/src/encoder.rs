@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 /// A bit-packed vector of per-cell match flags.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct MatchVector {
     bits: Vec<u64>,
     len: usize,
@@ -42,6 +42,66 @@ impl MatchVector {
             }
         }
         MatchVector { bits, len }
+    }
+
+    /// Re-initialise in place as an all-miss vector over `len` cells,
+    /// reusing the existing allocation (the scratch-buffer twin of
+    /// [`MatchVector::new`]).
+    pub(crate) fn reset(&mut self, len: usize) {
+        self.bits.clear();
+        self.bits.resize(len.div_ceil(64), 0);
+        self.len = len;
+    }
+
+    /// Run `fill` on the raw packed words (cleared first), then adopt
+    /// `len` — the allocation-free bridge from the shadow indexes'
+    /// `search_into` to a reusable vector. Bits at or beyond `len` are
+    /// masked so `count`/`first` invariants hold; `fill` must leave at
+    /// least `len.div_ceil(64)` words behind.
+    pub(crate) fn fill_raw(&mut self, len: usize, fill: impl FnOnce(&mut Vec<u64>)) {
+        fill(&mut self.bits);
+        assert!(
+            self.bits.len() >= len.div_ceil(64),
+            "packed words too short"
+        );
+        self.bits.truncate(len.div_ceil(64));
+        self.len = len;
+        self.mask_tail();
+    }
+
+    fn mask_tail(&mut self) {
+        if let Some(last) = self.bits.last_mut() {
+            let tail = self.len % 64;
+            if tail != 0 {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// OR `other` into this vector with its cell 0 landing at
+    /// `offset` — the Post-Router's slot-interleaved combine, word-wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + other.len()` exceeds this vector's length.
+    pub(crate) fn or_offset(&mut self, other: &MatchVector, offset: usize) {
+        assert!(
+            offset + other.len <= self.len,
+            "combine window {offset}+{} out of range {}",
+            other.len,
+            self.len
+        );
+        let word = offset / 64;
+        let shift = offset % 64;
+        for (i, &w) in other.bits.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            self.bits[word + i] |= w << shift;
+            if shift != 0 && (w >> (64 - shift)) != 0 {
+                self.bits[word + i + 1] |= w >> (64 - shift);
+            }
+        }
     }
 
     /// Number of cells covered.

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitslice;
 pub mod block;
 pub mod bus;
 pub mod cell;
@@ -63,6 +64,7 @@ pub mod verilog;
 
 /// Convenient glob import of the public API.
 pub mod prelude {
+    pub use crate::bitslice::BitSliceIndex;
     pub use crate::block::CamBlock;
     pub use crate::cell::CamCell;
     pub use crate::config::{BlockConfig, CellConfig, FidelityMode, UnitConfig};

@@ -90,22 +90,33 @@ impl MatchIndex {
         }
     }
 
+    /// Broadcast `key` into `scratch` as packed match words, reusing the
+    /// buffer's allocation: `scratch[w]` bit `i` is the match flag of
+    /// cell `w * 64 + i`. This is the allocation-free core of the fast
+    /// search tier; [`MatchIndex::search`] wraps it.
+    pub fn search_into(&self, key: u64, scratch: &mut Vec<u64>) {
+        let key = key & M48;
+        scratch.clear();
+        scratch.resize(self.len.div_ceil(64), 0);
+        for (i, (&stored, &care)) in self.stored.iter().zip(&self.care).enumerate() {
+            let hit = ((stored ^ key) & care) == 0;
+            scratch[i / 64] |= u64::from(hit) << (i % 64);
+        }
+        for (word, &valid) in scratch.iter_mut().zip(&self.valid) {
+            *word &= valid;
+        }
+    }
+
     /// Broadcast `key` to every shadowed cell; the fast search tier.
     ///
     /// The caller passes the block-masked key exactly as it would to the
     /// DSP path; the index truncates to the 48-bit datapath the same way
-    /// `P48::new` does.
+    /// `P48::new` does. Thin allocating wrapper around
+    /// [`MatchIndex::search_into`].
     #[must_use]
     pub fn search(&self, key: u64) -> MatchVector {
-        let key = key & M48;
-        let mut bits = vec![0u64; self.len.div_ceil(64)];
-        for (i, (&stored, &care)) in self.stored.iter().zip(&self.care).enumerate() {
-            let hit = ((stored ^ key) & care) == 0;
-            bits[i / 64] |= u64::from(hit) << (i % 64);
-        }
-        for (word, &valid) in bits.iter_mut().zip(&self.valid) {
-            *word &= valid;
-        }
+        let mut bits = Vec::new();
+        self.search_into(key, &mut bits);
         MatchVector::from_raw(bits, self.len)
     }
 }
@@ -169,6 +180,20 @@ mod tests {
         cells[0].clear();
         idx.refresh(0, &cells[0]);
         assert!(!idx.search(42).any());
+    }
+
+    #[test]
+    fn search_into_reuses_the_scratch_allocation() {
+        let mut cells: Vec<CamCell> = (0..4)
+            .map(|_| CamCell::new(CellConfig::binary(8)).unwrap())
+            .collect();
+        cells[1].write(5).unwrap();
+        let idx = shadowed(&cells);
+        let mut scratch = vec![u64::MAX; 9]; // stale, oversized
+        idx.search_into(5, &mut scratch);
+        assert_eq!(scratch, vec![0b10]);
+        idx.search_into(6, &mut scratch);
+        assert_eq!(scratch, vec![0]);
     }
 
     #[test]

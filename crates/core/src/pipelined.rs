@@ -27,6 +27,12 @@ pub enum Op {
     /// *i* (Section III-C.3). Sharded across worker threads when the
     /// unit's `workers` knob is above one.
     SearchMulti(Vec<u64>),
+    /// Stream any number of keys through the unit's batched search path
+    /// ([`CamUnit::search_stream`]): duplicates deduplicated, unique keys
+    /// packed `M` per issue cycle. The op occupies one pipeline slot and
+    /// the whole batch retires together; the unit's issue-cycle counter
+    /// carries the `ceil(unique / M)` bus cost.
+    SearchStream(Vec<u64>),
 }
 
 /// A completed operation emerging from the pipeline.
@@ -39,6 +45,10 @@ pub enum Completion {
     /// A multi-query search retired with one result per key (or failed
     /// with the recorded error, e.g. more keys than groups).
     SearchMulti(Result<Vec<SearchResult>, CamError>),
+    /// A streamed batch retired with one result per presented key,
+    /// duplicates included (the batched path cannot over-subscribe the
+    /// groups, so it cannot fail).
+    SearchStream(Vec<SearchResult>),
 }
 
 /// A [`CamUnit`] behind a cycle-accurate issue/retire pipeline.
@@ -182,6 +192,10 @@ impl Clocked for StreamingCam {
             Some(Op::SearchMulti(keys)) => {
                 let result = self.unit.try_search_multi(&keys);
                 (None, Some(Completion::SearchMulti(result)))
+            }
+            Some(Op::SearchStream(keys)) => {
+                let result = self.unit.search_stream(&keys);
+                (None, Some(Completion::SearchStream(result)))
             }
             None => (None, None),
         };
@@ -387,6 +401,38 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn search_stream_flows_through_the_search_pipe() {
+        let cfg = config();
+        let mut cam = StreamingCam::new(cfg).unwrap();
+        cam.unit_mut().configure_groups(4).unwrap();
+        cam.issue(Op::Update(vec![10, 20, 30])).unwrap();
+        cam.drain();
+        cam.drain_retired();
+        let issue_cycle = cam.cycle();
+        let issued = cam.unit().issue_cycles();
+        // 7 keys (5 unique) exceed the 4 groups: the batched path packs
+        // them where SearchMulti would refuse.
+        cam.issue(Op::SearchStream(vec![10, 99, 10, 30, 20, 40, 99]))
+            .unwrap();
+        cam.drain();
+        let retired = cam.drain_retired();
+        assert_eq!(retired.len(), 1);
+        assert_eq!(retired[0].0 - issue_cycle, cfg.search_latency() - 1);
+        match &retired[0].1 {
+            Completion::SearchStream(results) => {
+                let hits: Vec<bool> = results.iter().map(SearchResult::is_match).collect();
+                assert_eq!(hits, vec![true, false, true, true, true, false, false]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            cam.unit().issue_cycles() - issued,
+            2,
+            "5 unique keys over 4 groups cost two issue cycles"
+        );
     }
 
     #[test]

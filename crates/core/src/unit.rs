@@ -21,12 +21,14 @@
 //! with replication, exactly as in the paper's triangle-counting case
 //! study where the adjacency list is duplicated in all groups.
 
+use std::collections::HashMap;
+
 use serde::{Deserialize, Serialize};
 
 use crate::block::CamBlock;
 use crate::bus::{BusCommand, Opcode};
 use crate::config::UnitConfig;
-use crate::encoder::{Encoding, MatchVector, SearchOutput};
+use crate::encoder::{MatchVector, SearchOutput};
 use crate::error::{CamError, ConfigError};
 use crate::mask::RangeSpec;
 
@@ -109,6 +111,15 @@ struct GroupFill {
     current: usize,
 }
 
+/// Reusable per-search working buffers: the combined group vector plus
+/// one per-block vector, so a stream of searches allocates nothing per
+/// key once the buffers reach steady-state size.
+#[derive(Debug, Clone, Default)]
+struct GroupScratch {
+    combined: MatchVector,
+    block: MatchVector,
+}
+
 /// The configurable DSP-based CAM unit.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CamUnit {
@@ -122,6 +133,8 @@ pub struct CamUnit {
     issue_cycles: u64,
     update_words: u64,
     search_count: u64,
+    #[serde(skip)]
+    scratch: GroupScratch,
 }
 
 impl CamUnit {
@@ -145,6 +158,7 @@ impl CamUnit {
             issue_cycles: 0,
             update_words: 0,
             search_count: 0,
+            scratch: GroupScratch::default(),
         };
         unit.rebuild_groups(1);
         Ok(unit)
@@ -514,12 +528,13 @@ impl CamUnit {
                 .drain(..)
                 .map(|chunk| {
                     s.spawn(move || {
+                        let mut scratch = GroupScratch::default();
                         chunk
                             .into_iter()
                             .map(|(g, key, mut blocks)| {
-                                let vectors: Vec<MatchVector> =
-                                    blocks.iter_mut().map(|b| b.search_vector(key)).collect();
-                                (g, combine_group(g, block_size, encoding, &vectors))
+                                search_group_into(&mut blocks, key, block_size, &mut scratch);
+                                let output = encoding.encode(&scratch.combined);
+                                (g, SearchResult { group: g, output })
                             })
                             .collect::<Vec<_>>()
                     })
@@ -545,6 +560,89 @@ impl CamUnit {
             .expect("more concurrent queries than configured groups")
     }
 
+    /// Streaming multi-query search: any number of keys, batched onto the
+    /// `M` groups internally (unique key *j* is served by group `j mod M`,
+    /// `M` keys per issue cycle — the steady-state version of
+    /// [`CamUnit::search_multi`] for an accelerator draining a work list).
+    ///
+    /// Duplicate keys within the batch are deduplicated before touching
+    /// the engine: data is replicated and fill order is identical in every
+    /// group, so group-local addresses are the same wherever a key lands,
+    /// and repeats can reuse the first answer (only `group` reflects the
+    /// dedup). Counters account for the *unique* keys actually issued:
+    /// `issue_cycles += unique.div_ceil(M)`, `search_count += unique`, and
+    /// block-level cycle/search counters tick once per unique key —
+    /// identically on every fidelity tier.
+    ///
+    /// Results come back in the caller's key order, duplicates included.
+    pub fn search_stream(&mut self, keys: &[u64]) -> Vec<SearchResult> {
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        // Dedup preserving first-occurrence order; `slots[i]` is the
+        // unique-key index answering original key `i`.
+        let mut seen: HashMap<u64, usize> = HashMap::with_capacity(keys.len());
+        let mut unique: Vec<u64> = Vec::new();
+        let mut slots: Vec<usize> = Vec::with_capacity(keys.len());
+        for &key in keys {
+            let next = unique.len();
+            let slot = *seen.entry(key).or_insert_with(|| {
+                unique.push(key);
+                next
+            });
+            slots.push(slot);
+        }
+        let groups = self.groups;
+        self.issue_cycles += unique.len().div_ceil(groups) as u64;
+        self.search_count += unique.len() as u64;
+        let workers = self.effective_workers().min(groups);
+        let answers: Vec<SearchResult> = if workers <= 1 {
+            unique
+                .iter()
+                .enumerate()
+                .map(|(j, &key)| self.search_in_group(j % groups, key))
+                .collect()
+        } else {
+            let block_size = self.config.block.block_size;
+            let encoding = self.config.block.encoding;
+            let shards = Self::group_shards(&mut self.blocks, &self.fill, groups);
+            let work: Vec<(usize, Vec<&mut CamBlock>)> = shards.into_iter().enumerate().collect();
+            let mut chunks = chunked(work, workers);
+            let unique_keys = &unique;
+            let mut answered: Vec<(usize, SearchResult)> = std::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .drain(..)
+                    .map(|chunk| {
+                        s.spawn(move || {
+                            let mut scratch = GroupScratch::default();
+                            let mut out = Vec::new();
+                            for (g, mut blocks) in chunk {
+                                for (j, &key) in
+                                    unique_keys.iter().enumerate().skip(g).step_by(groups)
+                                {
+                                    search_group_into(&mut blocks, key, block_size, &mut scratch);
+                                    let output = encoding.encode(&scratch.combined);
+                                    out.push((j, SearchResult { group: g, output }));
+                                }
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("search worker panicked"))
+                    .collect()
+            });
+            answered.sort_by_key(|&(j, _)| j);
+            answered.into_iter().map(|(_, result)| result).collect()
+        };
+        slots
+            .into_iter()
+            .map(|slot| answers[slot].clone())
+            .collect()
+    }
+
     /// Search a specific group (the case-study accelerator addresses
     /// groups explicitly).
     ///
@@ -564,17 +662,24 @@ impl CamUnit {
     }
 
     fn search_in_group(&mut self, group: usize, key: u64) -> SearchResult {
-        let block_ids: Vec<usize> = self.fill[group].blocks.clone();
-        let vectors: Vec<MatchVector> = block_ids
-            .iter()
-            .map(|&b| self.blocks[b].search_vector(key))
-            .collect();
-        combine_group(
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let block_size = self.config.block.block_size;
+        let (fill, blocks) = (&self.fill, &mut self.blocks);
+        scratch
+            .combined
+            .reset(fill[group].blocks.len() * block_size);
+        for (slot, &b) in fill[group].blocks.iter().enumerate() {
+            blocks[b].search_vector_into(key, &mut scratch.block);
+            scratch
+                .combined
+                .or_offset(&scratch.block, slot * block_size);
+        }
+        let result = SearchResult {
             group,
-            self.config.block.block_size,
-            self.config.block.encoding,
-            &vectors,
-        )
+            output: self.config.block.encoding.encode(&scratch.combined),
+        };
+        self.scratch = scratch;
+        result
     }
 
     /// Delete the first entry matching `key` (extension beyond the paper:
@@ -740,24 +845,24 @@ fn mask_limit(width: u32) -> u64 {
     }
 }
 
-/// Combine per-block match vectors into a group-local result — the one
-/// place the slot-interleaved address math lives, shared by the serial
-/// and sharded search paths so they cannot diverge.
-fn combine_group(
-    group: usize,
+/// Broadcast `key` to one group's blocks and combine the per-block match
+/// vectors into `scratch.combined` — the slot-interleaved address math
+/// (`block_within_group * block_size + cell`) done word-wide via
+/// [`MatchVector::or_offset`], with zero per-key allocation. Shared by
+/// the sharded multi-query and streaming search paths (the serial path
+/// in [`CamUnit::search_in_group`] mirrors it over block indices).
+fn search_group_into(
+    blocks: &mut [&mut CamBlock],
+    key: u64,
     block_size: usize,
-    encoding: Encoding,
-    vectors: &[MatchVector],
-) -> SearchResult {
-    let mut combined = MatchVector::new(vectors.len() * block_size);
-    for (slot, v) in vectors.iter().enumerate() {
-        for cell in v.iter_matches() {
-            combined.set(slot * block_size + cell);
-        }
-    }
-    SearchResult {
-        group,
-        output: encoding.encode(&combined),
+    scratch: &mut GroupScratch,
+) {
+    scratch.combined.reset(blocks.len() * block_size);
+    for (slot, block) in blocks.iter_mut().enumerate() {
+        block.search_vector_into(key, &mut scratch.block);
+        scratch
+            .combined
+            .or_offset(&scratch.block, slot * block_size);
     }
 }
 
@@ -1158,6 +1263,87 @@ mod tests {
             );
         }
         assert_eq!(serial.snapshot(), sharded.snapshot());
+    }
+
+    #[test]
+    fn search_stream_batches_and_dedupes() {
+        let mut cam = unit(4, 32);
+        cam.configure_groups(4).unwrap();
+        cam.update(&[1, 2, 3, 4, 5]).unwrap();
+        let c0 = cam.issue_cycles();
+        let s0 = cam.search_count();
+        // 9 keys, 7 unique (1 and 2 repeat): ceil(7/4) = 2 issue cycles.
+        let keys = [1u64, 2, 1, 99, 3, 2, 7, 4, 5];
+        let hits = cam.search_stream(&keys);
+        assert_eq!(hits.len(), keys.len(), "one result per presented key");
+        assert_eq!(cam.issue_cycles() - c0, 2);
+        assert_eq!(cam.search_count() - s0, 7, "unique keys only");
+        for (i, (&key, hit)) in keys.iter().zip(&hits).enumerate() {
+            assert_eq!(hit.is_match(), key <= 5, "key {key} at {i}");
+        }
+        // Duplicates reuse the first occurrence's answer verbatim.
+        assert_eq!(hits[2], hits[0]);
+        assert_eq!(hits[5], hits[1]);
+        // Unique key j is served by group j % M.
+        assert_eq!(hits[0].group, 0);
+        assert_eq!(hits[1].group, 1);
+        assert_eq!(hits[4].group, 3, "3 is the fourth unique key");
+        assert_eq!(hits[8].group, 2, "5 is the seventh unique key");
+    }
+
+    #[test]
+    fn search_stream_addresses_match_direct_group_search() {
+        let config = UnitConfig::builder()
+            .data_width(32)
+            .block_size(4)
+            .num_blocks(4)
+            .build()
+            .unwrap();
+        let mut cam = CamUnit::new(config).unwrap();
+        cam.configure_groups(2).unwrap();
+        let words: Vec<u64> = (0..7).map(|i| 100 + i).collect();
+        cam.update(&words).unwrap();
+        let keys: Vec<u64> = (0..10).map(|i| 100 + i).collect();
+        let streamed = cam.search_stream(&keys);
+        for (i, &key) in keys.iter().enumerate() {
+            let direct = cam.search_group(streamed[i].group, key).unwrap();
+            assert_eq!(streamed[i], direct, "key {key}");
+        }
+    }
+
+    #[test]
+    fn search_stream_worker_sharding_is_equivalent() {
+        let build = |workers: usize| {
+            let config = UnitConfig::builder()
+                .data_width(32)
+                .block_size(32)
+                .num_blocks(8)
+                .workers(workers)
+                .build()
+                .unwrap();
+            let mut cam = CamUnit::new(config).unwrap();
+            cam.configure_groups(4).unwrap();
+            let words: Vec<u64> = (0..24).map(|i| i * 3).collect();
+            cam.update(&words).unwrap();
+            let keys: Vec<u64> = (0..40).map(|i| i % 13 * 3).collect();
+            let hits = cam.search_stream(&keys);
+            (hits, cam.snapshot())
+        };
+        let serial = build(1);
+        for workers in [2, 4, 0] {
+            let sharded = build(workers);
+            assert_eq!(serial.0, sharded.0, "workers={workers}: results differ");
+            assert_eq!(serial.1, sharded.1, "workers={workers}: counters differ");
+        }
+    }
+
+    #[test]
+    fn search_stream_empty_is_a_noop() {
+        let mut cam = unit(2, 16);
+        let c0 = cam.issue_cycles();
+        assert!(cam.search_stream(&[]).is_empty());
+        assert_eq!(cam.issue_cycles(), c0);
+        assert_eq!(cam.search_count(), 0);
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! Differential property tests for the two-tier execution engine: the
-//! `Fast` match-index tier must be observationally identical to the
-//! `BitAccurate` DSP48E2 tier — same search results, same addresses, and
-//! same block/unit cycle accounting — under random operation sequences.
+//! Differential property tests for the three-tier execution engine: the
+//! `Fast` match-index tier and the `Turbo` bit-sliced tier must both be
+//! observationally identical to the `BitAccurate` DSP48E2 tier — same
+//! search results, same addresses, and same block/unit cycle accounting —
+//! under random operation sequences.
 //!
 //! The default proptest configuration runs 256 random sequences per
 //! property, which is the acceptance floor for this suite.
@@ -9,7 +10,7 @@
 use dsp_cam_core::prelude::*;
 use proptest::prelude::*;
 
-/// A random operation applied identically to both tiers.
+/// A random operation applied identically to all tiers.
 #[derive(Debug, Clone)]
 enum TierOp {
     /// Batch update of 1..=4 words.
@@ -17,6 +18,9 @@ enum TierOp {
     Search(u64),
     /// One key per configured group.
     SearchMulti(Vec<u64>),
+    /// Arbitrary-length batch; keys drawn from a narrow domain so
+    /// duplicates (and the dedup path) occur often.
+    SearchStream(Vec<u64>),
     DeleteFirst(u64),
     Reset,
     /// Repartition into `M` groups (resets contents, as in hardware).
@@ -29,6 +33,7 @@ fn tier_op(width: u32) -> impl Strategy<Value = TierOp> {
         4 => proptest::collection::vec(0..=limit, 1..4).prop_map(TierOp::Update),
         4 => (0..=limit).prop_map(TierOp::Search),
         3 => proptest::collection::vec(0..=limit, 1..4).prop_map(TierOp::SearchMulti),
+        3 => proptest::collection::vec(0u64..32, 1..10).prop_map(TierOp::SearchStream),
         1 => (0..=limit).prop_map(TierOp::DeleteFirst),
         1 => Just(TierOp::Reset),
         1 => prop_oneof![Just(1usize), Just(2), Just(4)].prop_map(TierOp::ConfigureGroups),
@@ -58,6 +63,7 @@ fn apply(cam: &mut CamUnit, op: &TierOp) -> String {
             let take = keys.len().min(cam.groups());
             format!("{:?}", cam.try_search_multi(&keys[..take]))
         }
+        TierOp::SearchStream(keys) => format!("{:?}", cam.search_stream(keys)),
         TierOp::DeleteFirst(key) => format!("{:?}", cam.delete_first(*key)),
         TierOp::Reset => {
             cam.reset();
@@ -67,7 +73,7 @@ fn apply(cam: &mut CamUnit, op: &TierOp) -> String {
     }
 }
 
-/// Per-block observable counters (the fast tier must tick them all).
+/// Per-block observable counters (the shadow tiers must tick them all).
 fn block_counters(cam: &CamUnit) -> Vec<(usize, u64, u64, u64)> {
     cam.blocks()
         .iter()
@@ -79,26 +85,35 @@ proptest! {
     // 256 random operation sequences per property (stub default).
 
     #[test]
-    fn fast_tier_is_observationally_identical(
+    fn shadow_tiers_are_observationally_identical(
         ops in proptest::collection::vec(tier_op(16), 1..40),
     ) {
         let mut accurate = build(FidelityMode::BitAccurate, 1);
         let mut fast = build(FidelityMode::Fast, 1);
+        let mut turbo = build(FidelityMode::Turbo, 1);
         for (i, op) in ops.iter().enumerate() {
             let a = apply(&mut accurate, op);
             let f = apply(&mut fast, op);
-            prop_assert_eq!(&a, &f, "output diverged at op {} ({:?})", i, op);
+            let t = apply(&mut turbo, op);
+            prop_assert_eq!(&a, &f, "fast diverged at op {} ({:?})", i, op);
+            prop_assert_eq!(&a, &t, "turbo diverged at op {} ({:?})", i, op);
         }
-        prop_assert_eq!(accurate.snapshot(), fast.snapshot(), "unit counters diverged");
+        prop_assert_eq!(accurate.snapshot(), fast.snapshot(), "fast unit counters diverged");
+        prop_assert_eq!(accurate.snapshot(), turbo.snapshot(), "turbo unit counters diverged");
         prop_assert_eq!(
             block_counters(&accurate),
             block_counters(&fast),
-            "block cycle accounting diverged"
+            "fast block cycle accounting diverged"
+        );
+        prop_assert_eq!(
+            block_counters(&accurate),
+            block_counters(&turbo),
+            "turbo block cycle accounting diverged"
         );
     }
 
     #[test]
-    fn fast_tier_matches_on_ternary_units(
+    fn shadow_tiers_match_on_ternary_units(
         stored in proptest::collection::vec(0u64..0xFFFF, 1..8),
         keys in proptest::collection::vec(0u64..0xFFFF, 1..16),
         dont_care in 0u64..0xFF,
@@ -120,22 +135,29 @@ proptest! {
         };
         let mut accurate = mk(FidelityMode::BitAccurate);
         let mut fast = mk(FidelityMode::Fast);
+        let mut turbo = mk(FidelityMode::Turbo);
         for &v in &stored {
             accurate.update(&[v]).unwrap();
             fast.update(&[v]).unwrap();
+            turbo.update(&[v]).unwrap();
         }
         for &k in &keys {
+            let want = accurate.search(k);
             prop_assert_eq!(
-                accurate.search(k),
-                fast.search(k),
-                "ternary divergence at key {:#x} mask {:#x}", k, dont_care
+                &want, &fast.search(k),
+                "fast ternary divergence at key {:#x} mask {:#x}", k, dont_care
+            );
+            prop_assert_eq!(
+                &want, &turbo.search(k),
+                "turbo ternary divergence at key {:#x} mask {:#x}", k, dont_care
             );
         }
         prop_assert_eq!(block_counters(&accurate), block_counters(&fast));
+        prop_assert_eq!(block_counters(&accurate), block_counters(&turbo));
     }
 
     #[test]
-    fn fast_tier_matches_on_range_units(
+    fn shadow_tiers_match_on_range_units(
         ranges in proptest::collection::vec((0u64..0x1000, 0u32..8), 1..8),
         keys in proptest::collection::vec(0u64..0x2000, 1..16),
     ) {
@@ -155,49 +177,64 @@ proptest! {
         };
         let mut accurate = mk(FidelityMode::BitAccurate);
         let mut fast = mk(FidelityMode::Fast);
+        let mut turbo = mk(FidelityMode::Turbo);
         for &(base, log2) in &ranges {
             let aligned = base & !((1u64 << log2) - 1);
             let spec = RangeSpec::new(aligned, log2).unwrap();
             accurate.update_ranges(&[spec]).unwrap();
             fast.update_ranges(&[spec]).unwrap();
+            turbo.update_ranges(&[spec]).unwrap();
         }
         for &k in &keys {
+            let want = accurate.search(k);
             prop_assert_eq!(
-                accurate.search(k),
-                fast.search(k),
-                "range divergence at key {:#x}", k
+                &want, &fast.search(k),
+                "fast range divergence at key {:#x}", k
+            );
+            prop_assert_eq!(
+                &want, &turbo.search(k),
+                "turbo range divergence at key {:#x}", k
             );
         }
         prop_assert_eq!(block_counters(&accurate), block_counters(&fast));
+        prop_assert_eq!(block_counters(&accurate), block_counters(&turbo));
     }
 
     #[test]
-    fn worker_sharding_preserves_fast_tier_equivalence(
+    fn worker_sharding_preserves_tier_equivalence(
         ops in proptest::collection::vec(tier_op(16), 1..30),
     ) {
-        // Three configurations, one op stream: the serial bit-accurate
-        // oracle, the serial fast tier, and the sharded fast tier.
+        // Four configurations, one op stream: the serial bit-accurate
+        // oracle, the serial fast tier, and the sharded fast and turbo
+        // tiers.
         let mut oracle = build(FidelityMode::BitAccurate, 1);
         let mut serial = build(FidelityMode::Fast, 1);
-        let mut sharded = build(FidelityMode::Fast, 4);
+        let mut sharded_fast = build(FidelityMode::Fast, 4);
+        let mut sharded_turbo = build(FidelityMode::Turbo, 4);
         for (i, op) in ops.iter().enumerate() {
             let a = apply(&mut oracle, op);
             let b = apply(&mut serial, op);
-            let c = apply(&mut sharded, op);
+            let c = apply(&mut sharded_fast, op);
+            let d = apply(&mut sharded_turbo, op);
             prop_assert_eq!(&a, &b, "serial fast diverged at op {} ({:?})", i, op);
             prop_assert_eq!(&b, &c, "sharded fast diverged at op {} ({:?})", i, op);
+            prop_assert_eq!(&b, &d, "sharded turbo diverged at op {} ({:?})", i, op);
         }
-        prop_assert_eq!(oracle.snapshot(), sharded.snapshot());
-        prop_assert_eq!(block_counters(&oracle), block_counters(&sharded));
+        prop_assert_eq!(oracle.snapshot(), sharded_fast.snapshot());
+        prop_assert_eq!(oracle.snapshot(), sharded_turbo.snapshot());
+        prop_assert_eq!(block_counters(&oracle), block_counters(&sharded_fast));
+        prop_assert_eq!(block_counters(&oracle), block_counters(&sharded_turbo));
     }
 
     #[test]
     fn fidelity_switch_mid_stream_is_seamless(
-        before in proptest::collection::vec(tier_op(16), 1..20),
-        after in proptest::collection::vec(tier_op(16), 1..20),
+        before in proptest::collection::vec(tier_op(16), 1..15),
+        between in proptest::collection::vec(tier_op(16), 1..15),
+        after in proptest::collection::vec(tier_op(16), 1..15),
     ) {
-        // Running BitAccurate then hot-switching to Fast mid-stream must
-        // be indistinguishable from running BitAccurate throughout.
+        // Hot-switching BitAccurate -> Turbo -> Fast mid-stream must be
+        // indistinguishable from running BitAccurate throughout (and the
+        // shadow indexes must stay coherent across the switches).
         let mut reference = build(FidelityMode::BitAccurate, 1);
         let mut switched = build(FidelityMode::BitAccurate, 1);
         for op in &before {
@@ -205,11 +242,17 @@ proptest! {
             let b = apply(&mut switched, op);
             prop_assert_eq!(a, b);
         }
+        switched.set_fidelity(FidelityMode::Turbo);
+        for (i, op) in between.iter().enumerate() {
+            let a = apply(&mut reference, op);
+            let b = apply(&mut switched, op);
+            prop_assert_eq!(&a, &b, "post-turbo-switch divergence at op {} ({:?})", i, op);
+        }
         switched.set_fidelity(FidelityMode::Fast);
         for (i, op) in after.iter().enumerate() {
             let a = apply(&mut reference, op);
             let b = apply(&mut switched, op);
-            prop_assert_eq!(&a, &b, "post-switch divergence at op {} ({:?})", i, op);
+            prop_assert_eq!(&a, &b, "post-fast-switch divergence at op {} ({:?})", i, op);
         }
         prop_assert_eq!(reference.snapshot(), switched.snapshot());
         prop_assert_eq!(block_counters(&reference), block_counters(&switched));

@@ -120,8 +120,9 @@ impl CamTriangleCounter {
 
     /// [`CamTriangleCounter::run_on_hardware_model`] with an explicit
     /// execution tier. `FidelityMode::Fast` drives the same [`CamUnit`]
-    /// through its match-index tier — identical counts and cycle
-    /// accounting, at host speed — which makes larger graphs tractable.
+    /// through its match-index tier and `FidelityMode::Turbo` through its
+    /// bit-sliced tier — identical counts and cycle accounting, at host
+    /// speed — which makes larger graphs tractable.
     ///
     /// # Errors
     ///
@@ -167,13 +168,14 @@ impl CamTriangleCounter {
                     unit.configure_groups(m).expect("M divides the block count");
                     let words: Vec<u64> = chunk.iter().map(|&x| u64::from(x)).collect();
                     unit.update(&words).expect("chunk fits one group");
-                    for keys in shorter.chunks(m) {
-                        let keys: Vec<u64> = keys.iter().map(|&x| u64::from(x)).collect();
-                        for hit in unit.search_multi(&keys) {
-                            searches += 1;
-                            if hit.is_match() {
-                                matches += 1;
-                            }
+                    // One batched probe for the whole shorter list: the
+                    // unit packs keys M per issue cycle internally and
+                    // reuses its search scratch across the batch.
+                    let keys: Vec<u64> = shorter.iter().map(|&x| u64::from(x)).collect();
+                    for hit in unit.search_stream(&keys) {
+                        searches += 1;
+                        if hit.is_match() {
+                            matches += 1;
                         }
                     }
                     unit.reset();
@@ -186,6 +188,7 @@ impl CamTriangleCounter {
         let name = match fidelity {
             FidelityMode::BitAccurate => "CAM accelerator (hardware model)",
             FidelityMode::Fast => "CAM accelerator (hardware model, fast tier)",
+            FidelityMode::Turbo => "CAM accelerator (hardware model, turbo tier)",
         };
         Ok(TcReport {
             name,
@@ -239,17 +242,20 @@ mod tests {
     }
 
     #[test]
-    fn fast_tier_hardware_model_agrees_with_bit_accurate() {
+    fn shadow_tier_hardware_models_agree_with_bit_accurate() {
         let edges = dsp_cam_graph::generate::erdos_renyi(24, 60, 4);
         let g = graph(&edges);
         let counter = CamTriangleCounter::new();
         let accurate = counter.run_on_hardware_model(&g).unwrap();
-        let fast = counter
-            .run_on_hardware_model_with(&g, FidelityMode::Fast)
-            .unwrap();
-        assert_eq!(accurate.triangles, fast.triangles);
-        assert_eq!(accurate.cycles, fast.cycles);
-        assert_eq!(accurate.intersection_steps, fast.intersection_steps);
+        for tier in [FidelityMode::Fast, FidelityMode::Turbo] {
+            let shadow = counter.run_on_hardware_model_with(&g, tier).unwrap();
+            assert_eq!(accurate.triangles, shadow.triangles, "{tier:?}");
+            assert_eq!(accurate.cycles, shadow.cycles, "{tier:?}");
+            assert_eq!(
+                accurate.intersection_steps, shadow.intersection_steps,
+                "{tier:?}"
+            );
+        }
     }
 
     #[test]

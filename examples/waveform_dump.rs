@@ -51,7 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     Op::Update(_) => (1, 0, 0),
                     Op::Search(k) => (0, 1, *k),
                     // This trace drives single-key traffic only.
-                    Op::SearchMulti(keys) => (0, 1, keys.first().copied().unwrap_or(0)),
+                    Op::SearchMulti(keys) | Op::SearchStream(keys) => {
+                        (0, 1, keys.first().copied().unwrap_or(0))
+                    }
                 };
                 vcd.sample(t, s_issue_update, u);
                 vcd.sample(t, s_issue_search, s);
@@ -93,6 +95,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                             .as_ref()
                             .is_ok_and(|r| r.iter().any(|h| h.is_match())),
                     ),
+                );
+            }
+            Some((cycle, Completion::SearchStream(results))) => {
+                vcd.sample(*cycle, s_retire_valid, 1);
+                vcd.sample(
+                    *cycle,
+                    s_retire_match,
+                    u64::from(results.iter().any(|h| h.is_match())),
                 );
             }
             None => {

@@ -14,4 +14,7 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --offline --workspace
 
+echo "==> cargo bench --no-run (benches must keep compiling)"
+cargo bench --offline --workspace --no-run
+
 echo "CI green."
