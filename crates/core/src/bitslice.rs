@@ -153,6 +153,43 @@ impl BitSliceIndex {
         }
     }
 
+    /// Bit-accurate audit pass: re-derive every cell's expected plane
+    /// and valid bits from the oracle cells and return the number of
+    /// cells whose shadowed state diverges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is not the cell array this index shadows.
+    #[must_use]
+    pub fn audit(&self, cells: &[CamCell]) -> usize {
+        assert_eq!(cells.len(), self.len, "cell count changed under the index");
+        let mut expected = BitSliceIndex::new(self.len, self.width as u32);
+        expected.refresh_all(cells);
+        (0..self.len)
+            .filter(|&cell| {
+                let bit = 1u64 << (cell % 64);
+                let base = (cell / 64) * 2 * self.width;
+                let planes_differ = (0..2 * self.width)
+                    .any(|p| (self.planes[base + p] ^ expected.planes[base + p]) & bit != 0);
+                planes_differ || (self.valid[cell / 64] ^ expected.valid[cell / 64]) & bit != 0
+            })
+            .count()
+    }
+
+    /// Flip a cell's membership bit in one `match_if_0` plane — a
+    /// fault-injection hook modelling an upset in the transposed shadow
+    /// (the DSP oracle is untouched, so [`BitSliceIndex::audit`] must
+    /// flag the cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn corrupt_plane_bit(&mut self, cell: usize, key_bit: usize) {
+        assert!(cell < self.len, "cell {cell} out of range {}", self.len);
+        let base = (cell / 64) * 2 * self.width;
+        self.planes[base + key_bit % self.width] ^= 1u64 << (cell % 64);
+    }
+
     /// Broadcast `key` into `scratch` as packed match words, reusing the
     /// buffer's allocation: `scratch[w]` bit `i` is the match flag of
     /// cell `w * 64 + i`.

@@ -64,6 +64,20 @@ pub struct CamBlock {
     /// scratch, not architectural state.
     #[serde(skip)]
     vector_scratch: MatchVector,
+    /// Monitoring tallies for the observability layer — plain fields
+    /// bumped on the broadcast path (no locking) and read at publish
+    /// time, so the hot loop never touches a sink.
+    #[cfg(feature = "obs")]
+    #[serde(skip)]
+    obs: BlockObs,
+}
+
+/// Match/miss tallies kept per block when the `obs` feature is on.
+#[cfg(feature = "obs")]
+#[derive(Debug, Clone, Copy, Default)]
+struct BlockObs {
+    matches: u64,
+    misses: u64,
 }
 
 impl CamBlock {
@@ -91,6 +105,8 @@ impl CamBlock {
             update_beats: 0,
             searches: 0,
             vector_scratch: MatchVector::default(),
+            #[cfg(feature = "obs")]
+            obs: BlockObs::default(),
         })
     }
 
@@ -158,6 +174,48 @@ impl CamBlock {
     #[must_use]
     pub fn searches(&self) -> u64 {
         self.searches
+    }
+
+    /// Broadcasts that hit at least one valid cell (obs monitoring).
+    #[cfg(feature = "obs")]
+    #[must_use]
+    pub fn obs_matches(&self) -> u64 {
+        self.obs.matches
+    }
+
+    /// Broadcasts that missed every valid cell (obs monitoring).
+    #[cfg(feature = "obs")]
+    #[must_use]
+    pub fn obs_misses(&self) -> u64 {
+        self.obs.misses
+    }
+
+    /// Per-cell `(is_valid, pd_fires)` observations, in cell order —
+    /// the publish-time source for `.../cell{c}` scope metrics.
+    #[cfg(feature = "obs")]
+    pub fn cell_observations(&self) -> impl Iterator<Item = (bool, u64)> + '_ {
+        self.cells.iter().map(|c| (c.is_valid(), c.pd_fires()))
+    }
+
+    /// Bit-accurate audit pass over both shadow tiers: re-derive the
+    /// expected shadow state of every cell from the DSP oracle and
+    /// return the number of divergent shadow entries (a healthy block
+    /// always returns 0; see [`CamBlock::inject_shadow_fault`]).
+    #[must_use]
+    pub fn audit_shadows(&self) -> usize {
+        self.index.audit(&self.cells) + self.bitslice.audit(&self.cells)
+    }
+
+    /// Corrupt one cell's entry in *both* shadow tiers — a
+    /// fault-injection hook for tests; the next
+    /// [`CamBlock::audit_shadows`] pass must report it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn inject_shadow_fault(&mut self, cell: usize) {
+        self.index.corrupt_stored_bit(cell, 0);
+        self.bitslice.corrupt_plane_bit(cell, 0);
     }
 
     fn mask_key(&self, key: u64) -> u64 {
@@ -271,6 +329,12 @@ impl CamBlock {
         }
         self.cycles += self.config.search_latency();
         self.searches += 1;
+        #[cfg(feature = "obs")]
+        if out.any() {
+            self.obs.matches += 1;
+        } else {
+            self.obs.misses += 1;
+        }
     }
 
     /// Broadcast `key` to every cell and encode the match vector.

@@ -92,6 +92,14 @@ impl CamCell {
         self.dsp.cycles()
     }
 
+    /// Pattern-detect rising edges of the underlying DSP slice — one
+    /// per matching bit-accurate search broadcast.
+    #[cfg(feature = "obs")]
+    #[must_use]
+    pub fn pd_fires(&self) -> u64 {
+        self.dsp.slice().pd_fires()
+    }
+
     fn check_width(&self, value: u64) -> Result<(), CamError> {
         let limit = if self.config.data_width == 64 {
             u64::MAX

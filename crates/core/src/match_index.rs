@@ -90,6 +90,40 @@ impl MatchIndex {
         }
     }
 
+    /// Bit-accurate audit pass: compare the shadow against the oracle
+    /// cells it mirrors and return the number of cells whose shadowed
+    /// state (stored word, care mask or valid bit) diverges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is not the cell array this index shadows.
+    #[must_use]
+    pub fn audit(&self, cells: &[CamCell]) -> usize {
+        assert_eq!(cells.len(), self.len, "cell count changed under the index");
+        cells
+            .iter()
+            .enumerate()
+            .filter(|&(i, cell)| {
+                let valid = self.valid[i / 64] >> (i % 64) & 1 == 1;
+                valid != cell.is_valid()
+                    || self.stored[i] != cell.stored() & M48
+                    || self.care[i] != !cell.pattern_mask().value() & M48
+            })
+            .count()
+    }
+
+    /// Flip one bit of a cell's shadowed stored word — a fault-injection
+    /// hook modelling an upset in the fabric shadow memory (the DSP
+    /// oracle is untouched, so [`MatchIndex::audit`] must flag the cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn corrupt_stored_bit(&mut self, cell: usize, bit: u32) {
+        assert!(cell < self.len, "cell {cell} out of range {}", self.len);
+        self.stored[cell] ^= 1 << (bit % 48);
+    }
+
     /// Broadcast `key` into `scratch` as packed match words, reusing the
     /// buffer's allocation: `scratch[w]` bit `i` is the match flag of
     /// cell `w * 64 + i`. This is the allocation-free core of the fast

@@ -9,6 +9,11 @@
 //! [`dsp_cam_sim::Pipe`] — so Table VI/VIII's "throughput = frequency"
 //! rows can be *demonstrated*, not just computed.
 
+#[cfg(feature = "obs")]
+use std::sync::Arc;
+
+#[cfg(feature = "obs")]
+use dsp_cam_obs::{ObsSink, ScopeId};
 use dsp_cam_sim::{Clocked, Pipe};
 use serde::{Deserialize, Serialize};
 
@@ -78,10 +83,16 @@ pub enum Completion {
 pub struct StreamingCam {
     unit: CamUnit,
     pending: Option<Op>,
-    update_pipe: Pipe<Completion>,
-    search_pipe: Pipe<Completion>,
+    /// Pipes carry `(issue_cycle, completion)` so the retire edge can
+    /// attribute end-to-end latency.
+    update_pipe: Pipe<(u64, Completion)>,
+    search_pipe: Pipe<(u64, Completion)>,
     cycle: u64,
     retired: Vec<(u64, Completion)>,
+    /// Observability sink plus the interned `"pipeline"` scope the
+    /// retire-latency histograms land under.
+    #[cfg(feature = "obs")]
+    observer: Option<(Arc<ObsSink>, ScopeId)>,
 }
 
 impl StreamingCam {
@@ -102,7 +113,36 @@ impl StreamingCam {
             search_pipe: Pipe::new(config.search_latency() as usize - 1),
             cycle: 0,
             retired: Vec::new(),
+            #[cfg(feature = "obs")]
+            observer: None,
         })
+    }
+
+    /// Attach a shared observability sink: the wrapped unit records its
+    /// events under the `"unit"` scope, and the pipeline wrapper adds
+    /// retire-latency histograms (`search_latency_cycles`,
+    /// `update_latency_cycles`) under `"pipeline"`.
+    #[cfg(feature = "obs")]
+    pub fn attach_observer(&mut self, sink: &Arc<ObsSink>) {
+        self.unit.attach_observer(sink);
+        self.observer = Some((Arc::clone(sink), sink.register_scope("pipeline")));
+    }
+
+    /// Record a completion at the current cycle's retire edge.
+    fn retire(&mut self, issued: u64, done: Completion) {
+        #[cfg(feature = "obs")]
+        if let Some((sink, scope)) = &self.observer {
+            let metric = match &done {
+                Completion::Update(_) => "update_latency_cycles",
+                _ => "search_latency_cycles",
+            };
+            // Result visible the cycle after the retire edge: latency =
+            // retire - issue + 1 (the configured pipe latency).
+            sink.observe(*scope, metric, self.cycle - issued + 1);
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = issued;
+        self.retired.push((self.cycle, done));
     }
 
     /// The wrapped unit (e.g. to reconfigure groups between phases; doing
@@ -199,11 +239,12 @@ impl Clocked for StreamingCam {
             }
             None => (None, None),
         };
-        if let Some(done) = self.update_pipe.shift(into_update) {
-            self.retired.push((self.cycle, done));
+        let issued = self.cycle;
+        if let Some((at, done)) = self.update_pipe.shift(into_update.map(|c| (issued, c))) {
+            self.retire(at, done);
         }
-        if let Some(done) = self.search_pipe.shift(into_search) {
-            self.retired.push((self.cycle, done));
+        if let Some((at, done)) = self.search_pipe.shift(into_search.map(|c| (issued, c))) {
+            self.retire(at, done);
         }
         self.cycle += 1;
     }
@@ -506,5 +547,46 @@ mod tests {
         assert!(cam.unit().is_empty());
         cam.unit_mut().configure_groups(2).unwrap();
         assert_eq!(cam.unit().groups(), 2);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn retire_latency_histograms_match_configured_latencies() {
+        use dsp_cam_obs::ObsSink;
+
+        let cfg = config();
+        let sink = Arc::new(ObsSink::new());
+        let mut cam = StreamingCam::new(cfg).unwrap();
+        cam.attach_observer(&sink);
+        cam.issue(Op::Update(vec![42])).unwrap();
+        cam.drain();
+        cam.issue(Op::Search(42)).unwrap();
+        cam.tick();
+        cam.issue(Op::Search(7)).unwrap();
+        cam.drain();
+        cam.drain_retired();
+
+        let snap = sink.snapshot();
+        let update = snap
+            .registry
+            .histogram("pipeline", "update_latency_cycles")
+            .expect("update latency observed");
+        assert_eq!(update.count(), 1);
+        assert_eq!(update.min(), cfg.update_latency());
+        assert_eq!(update.max(), cfg.update_latency());
+        let search = snap
+            .registry
+            .histogram("pipeline", "search_latency_cycles")
+            .expect("search latency observed");
+        assert_eq!(search.count(), 2);
+        assert_eq!(search.min(), cfg.search_latency());
+        assert_eq!(search.max(), cfg.search_latency());
+        // The wrapped unit shares the sink under its own scope.
+        cam.unit().publish_metrics();
+        let snap = sink.snapshot();
+        assert_eq!(
+            snap.registry.counter("unit", "issue_cycles"),
+            cam.unit().issue_cycles()
+        );
     }
 }

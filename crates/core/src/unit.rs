@@ -22,7 +22,11 @@
 //! study where the adjacency list is duplicated in all groups.
 
 use std::collections::HashMap;
+#[cfg(feature = "obs")]
+use std::sync::Arc;
 
+#[cfg(feature = "obs")]
+use dsp_cam_obs::{Event, ObsBatch, ObsSink, OpKind, ScopeId, Tier};
 use serde::{Deserialize, Serialize};
 
 use crate::block::CamBlock;
@@ -120,6 +124,17 @@ struct GroupScratch {
     block: MatchVector,
 }
 
+/// An attached observability sink plus the interned scope path the unit
+/// records under (default `"unit"`; the triangle-count accelerator
+/// nests its internal unit under `"accel/unit"`).
+#[cfg(feature = "obs")]
+#[derive(Debug, Clone)]
+struct Observer {
+    sink: Arc<ObsSink>,
+    scope: ScopeId,
+    path: String,
+}
+
 /// The configurable DSP-based CAM unit.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CamUnit {
@@ -135,6 +150,12 @@ pub struct CamUnit {
     search_count: u64,
     #[serde(skip)]
     scratch: GroupScratch,
+    /// Attached observability sink; host-side monitoring, never
+    /// architectural state (results and counters are identical with or
+    /// without it — see `tests/obs_equivalence.rs`).
+    #[cfg(feature = "obs")]
+    #[serde(skip)]
+    observer: Option<Observer>,
 }
 
 impl CamUnit {
@@ -159,6 +180,8 @@ impl CamUnit {
             update_words: 0,
             search_count: 0,
             scratch: GroupScratch::default(),
+            #[cfg(feature = "obs")]
+            observer: None,
         };
         unit.rebuild_groups(1);
         Ok(unit)
@@ -177,6 +200,10 @@ impl CamUnit {
         for block in &mut self.blocks {
             block.set_fidelity(fidelity);
         }
+        #[cfg(feature = "obs")]
+        self.trace_event(Event::TierSwitch {
+            tier: tier_of(fidelity),
+        });
     }
 
     /// Set the worker-thread count for subsequent multi-query searches
@@ -251,6 +278,162 @@ impl CamUnit {
         self.search_count
     }
 
+    /// Attach a shared observability sink under the default `"unit"`
+    /// scope path; subsequent operations emit cycle-stamped trace events
+    /// and [`CamUnit::publish_metrics`] fills the hierarchical registry.
+    #[cfg(feature = "obs")]
+    pub fn attach_observer(&mut self, sink: &Arc<ObsSink>) {
+        self.attach_observer_as(sink, "unit");
+    }
+
+    /// Attach a shared observability sink under a caller-chosen scope
+    /// path (used when several units share one sink).
+    #[cfg(feature = "obs")]
+    pub fn attach_observer_as(&mut self, sink: &Arc<ObsSink>, path: &str) {
+        self.observer = Some(Observer {
+            sink: Arc::clone(sink),
+            scope: sink.register_scope(path),
+            path: path.to_owned(),
+        });
+    }
+
+    /// Detach the observability sink (recording stops immediately).
+    #[cfg(feature = "obs")]
+    pub fn detach_observer(&mut self) {
+        self.observer = None;
+    }
+
+    /// Whether an observability sink is attached.
+    #[cfg(feature = "obs")]
+    #[must_use]
+    pub fn has_observer(&self) -> bool {
+        self.observer.is_some()
+    }
+
+    /// Publish the unit's architectural counters into the attached
+    /// sink's registry under the hierarchical scope paths `{unit}`,
+    /// `{unit}/group{g}` and `{unit}/group{g}/block{b}` (physical block
+    /// indices, stable across routing rewrites). Counter writes use set
+    /// semantics, so repeated publishes are idempotent. No-op without an
+    /// attached observer.
+    #[cfg(feature = "obs")]
+    pub fn publish_metrics(&self) {
+        let Some(obs) = &self.observer else { return };
+        // Scope interning allocates, so resolve ids before taking the
+        // batch lock.
+        let group_scopes: Vec<ScopeId> = (0..self.groups)
+            .map(|g| obs.sink.register_scope(&format!("{}/group{g}", obs.path)))
+            .collect();
+        let block_scopes: Vec<ScopeId> = (0..self.blocks.len())
+            .map(|b| {
+                let g = self.routing[b];
+                obs.sink
+                    .register_scope(&format!("{}/group{g}/block{b}", obs.path))
+            })
+            .collect();
+        obs.sink.with(|o| {
+            o.set_counter(obs.scope, "issue_cycles", self.issue_cycles);
+            o.set_counter(obs.scope, "update_words", self.update_words);
+            o.set_counter(obs.scope, "search_count", self.search_count);
+            o.set_gauge(obs.scope, "groups", self.groups as i64);
+            o.set_gauge(
+                obs.scope,
+                "entries_per_group",
+                self.entries_per_group as i64,
+            );
+            o.set_gauge(obs.scope, "capacity", self.capacity() as i64);
+            for (g, &scope) in group_scopes.iter().enumerate() {
+                let blocks = &self.fill[g].blocks;
+                o.set_gauge(scope, "blocks", blocks.len() as i64);
+                let sum =
+                    |f: fn(&CamBlock) -> u64| blocks.iter().map(|&b| f(&self.blocks[b])).sum();
+                o.set_counter(scope, "searches", sum(CamBlock::searches));
+                o.set_counter(scope, "cycles", sum(CamBlock::cycles));
+                o.set_counter(scope, "update_beats", sum(CamBlock::update_beats));
+                o.set_counter(scope, "matches", sum(CamBlock::obs_matches));
+                o.set_counter(scope, "misses", sum(CamBlock::obs_misses));
+            }
+            for (b, &scope) in block_scopes.iter().enumerate() {
+                let block = &self.blocks[b];
+                o.set_counter(scope, "searches", block.searches());
+                o.set_counter(scope, "cycles", block.cycles());
+                o.set_counter(scope, "update_beats", block.update_beats());
+                o.set_counter(scope, "matches", block.obs_matches());
+                o.set_counter(scope, "misses", block.obs_misses());
+                o.set_counter(
+                    scope,
+                    "pd_fires",
+                    block.cell_observations().map(|(_, pd)| pd).sum(),
+                );
+                o.set_gauge(scope, "occupancy", block.len() as i64);
+                o.set_gauge(scope, "capacity", block.capacity() as i64);
+            }
+        });
+    }
+
+    /// Publish per-cell metrics (`{unit}/group{g}/block{b}/cell{c}`:
+    /// `pd_fires` counter + `valid` gauge) — separate from
+    /// [`CamUnit::publish_metrics`] because cell scopes multiply the
+    /// registry size by the block size. No-op without an observer.
+    #[cfg(feature = "obs")]
+    pub fn publish_cell_metrics(&self) {
+        let Some(obs) = &self.observer else { return };
+        for (b, block) in self.blocks.iter().enumerate() {
+            let g = self.routing[b];
+            let scopes: Vec<ScopeId> = (0..block.capacity())
+                .map(|c| {
+                    obs.sink
+                        .register_scope(&format!("{}/group{g}/block{b}/cell{c}", obs.path))
+                })
+                .collect();
+            obs.sink.with(|o| {
+                for ((valid, pd_fires), &scope) in block.cell_observations().zip(&scopes) {
+                    o.set_counter(scope, "pd_fires", pd_fires);
+                    o.set_gauge(scope, "valid", i64::from(valid));
+                }
+            });
+        }
+    }
+
+    /// Bit-accurate audit pass over every block's shadow tiers: re-derive
+    /// the expected `MatchIndex`/`BitSliceIndex` state from the DSP
+    /// oracle and return the number of divergent shadow entries (0 for a
+    /// healthy unit). With the `obs` feature and an attached observer,
+    /// the divergence total is also added to the `shadow_divergence`
+    /// counter at unit and block scope.
+    pub fn audit_shadows(&self) -> usize {
+        let per_block: Vec<usize> = self.blocks.iter().map(CamBlock::audit_shadows).collect();
+        let total: usize = per_block.iter().sum();
+        #[cfg(feature = "obs")]
+        if let Some(obs) = &self.observer {
+            let block_scopes: Vec<ScopeId> = (0..self.blocks.len())
+                .map(|b| {
+                    let g = self.routing[b];
+                    obs.sink
+                        .register_scope(&format!("{}/group{g}/block{b}", obs.path))
+                })
+                .collect();
+            obs.sink.with(|o| {
+                o.add(obs.scope, "shadow_audits", 1);
+                o.add(obs.scope, "shadow_divergence", total as u64);
+                for (&scope, &divergent) in block_scopes.iter().zip(&per_block) {
+                    o.add(scope, "shadow_divergence", divergent as u64);
+                }
+            });
+        }
+        total
+    }
+
+    /// Corrupt one cell's shadow entries in block `block` — the unit-level
+    /// fault-injection hook behind [`CamBlock::inject_shadow_fault`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` or `cell` is out of range.
+    pub fn inject_shadow_fault(&mut self, block: usize, cell: usize) {
+        self.blocks[block].inject_shadow_fault(cell);
+    }
+
     fn rebuild_groups(&mut self, m: usize) {
         let n = self.config.num_blocks / m;
         self.groups = m;
@@ -284,6 +467,12 @@ impl CamUnit {
         }
         self.rebuild_groups(m);
         self.issue_cycles += 1;
+        #[cfg(feature = "obs")]
+        self.trace_event(Event::Issue {
+            kind: OpKind::ConfigureGroups,
+            group: 0,
+            worker: 0,
+        });
         Ok(())
     }
 
@@ -315,6 +504,12 @@ impl CamUnit {
             .collect();
         self.entries_per_group = 0;
         self.issue_cycles += 1;
+        #[cfg(feature = "obs")]
+        self.trace_event(Event::Issue {
+            kind: OpKind::RoutingWrite,
+            group: group as u32,
+            worker: 0,
+        });
         Ok(())
     }
 
@@ -428,6 +623,11 @@ impl CamUnit {
         let beats = words.len().div_ceil(self.config.words_per_beat()) as u64;
         self.issue_cycles += beats;
         self.update_words += words.len() as u64;
+        #[cfg(feature = "obs")]
+        self.trace_event(Event::Update {
+            words: words.len() as u32,
+            beats: beats as u32,
+        });
         Ok(())
     }
 
@@ -472,6 +672,11 @@ impl CamUnit {
         let beats = ranges.len().div_ceil(self.config.words_per_beat()) as u64;
         self.issue_cycles += beats;
         self.update_words += ranges.len() as u64;
+        #[cfg(feature = "obs")]
+        self.trace_event(Event::Update {
+            words: ranges.len() as u32,
+            beats: beats as u32,
+        });
         Ok(())
     }
 
@@ -488,7 +693,10 @@ impl CamUnit {
         let group = self.route_key(key);
         self.issue_cycles += 1;
         self.search_count += 1;
-        self.search_in_group(group, key)
+        let result = self.search_in_group(group, key);
+        #[cfg(feature = "obs")]
+        self.trace_single(OpKind::Search, key, &result);
+        result
     }
 
     /// Multi-query search: up to `M` keys, key *i* served by group *i*,
@@ -508,11 +716,14 @@ impl CamUnit {
         self.search_count += keys.len() as u64;
         let workers = self.effective_workers().min(keys.len().max(1));
         if workers <= 1 {
-            return Ok(keys
+            let results: Vec<SearchResult> = keys
                 .iter()
                 .enumerate()
                 .map(|(g, &key)| self.search_in_group(g, key))
-                .collect());
+                .collect();
+            #[cfg(feature = "obs")]
+            self.trace_multi(keys, &results, 1);
+            return Ok(results);
         }
         let block_size = self.config.block.block_size;
         let encoding = self.config.block.encoding;
@@ -546,7 +757,10 @@ impl CamUnit {
                 .collect()
         });
         answered.sort_by_key(|&(g, _)| g);
-        Ok(answered.into_iter().map(|(_, result)| result).collect())
+        let results: Vec<SearchResult> = answered.into_iter().map(|(_, result)| result).collect();
+        #[cfg(feature = "obs")]
+        self.trace_multi(keys, &results, workers);
+        Ok(results)
     }
 
     /// Multi-query search, panicking variant of
@@ -593,6 +807,8 @@ impl CamUnit {
             slots.push(slot);
         }
         let groups = self.groups;
+        #[cfg(feature = "obs")]
+        let issue_base = self.issue_cycles;
         self.issue_cycles += unique.len().div_ceil(groups) as u64;
         self.search_count += unique.len() as u64;
         let workers = self.effective_workers().min(groups);
@@ -637,6 +853,8 @@ impl CamUnit {
             answered.sort_by_key(|&(j, _)| j);
             answered.into_iter().map(|(_, result)| result).collect()
         };
+        #[cfg(feature = "obs")]
+        self.trace_stream(keys.len(), &unique, &answers, issue_base, workers);
         slots
             .into_iter()
             .map(|slot| answers[slot].clone())
@@ -658,7 +876,10 @@ impl CamUnit {
         }
         self.issue_cycles += 1;
         self.search_count += 1;
-        Ok(self.search_in_group(group, key))
+        let result = self.search_in_group(group, key);
+        #[cfg(feature = "obs")]
+        self.trace_single(OpKind::Search, key, &result);
+        Ok(result)
     }
 
     fn search_in_group(&mut self, group: usize, key: u64) -> SearchResult {
@@ -703,6 +924,12 @@ impl CamUnit {
         if deleted_any {
             self.issue_cycles += 1;
         }
+        #[cfg(feature = "obs")]
+        self.trace_event(Event::Issue {
+            kind: OpKind::Delete,
+            group: 0,
+            worker: 0,
+        });
         deleted_any
     }
 
@@ -740,6 +967,8 @@ impl CamUnit {
         self.entries_per_group += 1;
         self.issue_cycles += 1;
         self.update_words += 1;
+        #[cfg(feature = "obs")]
+        self.trace_event(Event::Update { words: 1, beats: 1 });
         Ok(())
     }
 
@@ -753,6 +982,12 @@ impl CamUnit {
         }
         self.entries_per_group = 0;
         self.issue_cycles += 1;
+        #[cfg(feature = "obs")]
+        self.trace_event(Event::Issue {
+            kind: OpKind::Reset,
+            group: 0,
+            worker: 0,
+        });
     }
 
     /// Execute a [`BusCommand`] (the accelerator-facing interface).
@@ -815,6 +1050,91 @@ impl CamUnit {
         }
     }
 
+    /// Trace a single-key search: Issue plus Match/Miss, one lock.
+    #[cfg(feature = "obs")]
+    fn trace_single(&self, kind: OpKind, key: u64, result: &SearchResult) {
+        let Some(obs) = &self.observer else { return };
+        let cycle = self.issue_cycles;
+        obs.sink.with(|o| {
+            o.record(
+                cycle,
+                Event::Issue {
+                    kind,
+                    group: result.group as u32,
+                    worker: 0,
+                },
+            );
+            record_outcome(o, cycle, key, result);
+        });
+    }
+
+    /// Trace a multi-query batch with worker-shard attribution.
+    #[cfg(feature = "obs")]
+    fn trace_multi(&self, keys: &[u64], results: &[SearchResult], workers: usize) {
+        let Some(obs) = &self.observer else { return };
+        let cycle = self.issue_cycles;
+        obs.sink.with(|o| {
+            for (g, (&key, result)) in keys.iter().zip(results).enumerate() {
+                o.record(
+                    cycle,
+                    Event::Issue {
+                        kind: OpKind::SearchMulti,
+                        group: g as u32,
+                        worker: worker_of(keys.len(), workers, g),
+                    },
+                );
+                record_outcome(o, cycle, key, result);
+            }
+        });
+    }
+
+    /// Trace a streaming batch: StreamBatch plus one Issue + outcome per
+    /// unique key, stamped with the issue slot the key was packed into
+    /// (`base + j / M`). One lock for the whole batch.
+    #[cfg(feature = "obs")]
+    fn trace_stream(
+        &self,
+        presented: usize,
+        unique: &[u64],
+        answers: &[SearchResult],
+        base: u64,
+        workers: usize,
+    ) {
+        let Some(obs) = &self.observer else { return };
+        let groups = self.groups;
+        obs.sink.with(|o| {
+            o.record(
+                base,
+                Event::StreamBatch {
+                    presented: presented as u32,
+                    unique: unique.len() as u32,
+                    groups: groups as u32,
+                },
+            );
+            for (j, (&key, result)) in unique.iter().zip(answers).enumerate() {
+                let cycle = base + (j / groups) as u64;
+                o.record(
+                    cycle,
+                    Event::Issue {
+                        kind: OpKind::SearchStream,
+                        group: result.group as u32,
+                        // The sharded path chunks *groups* across workers.
+                        worker: worker_of(groups, workers, result.group),
+                    },
+                );
+                record_outcome(o, cycle, key, result);
+            }
+        });
+    }
+
+    /// Record one event stamped with the current issue-cycle counter.
+    #[cfg(feature = "obs")]
+    fn trace_event(&self, event: Event) {
+        if let Some(obs) = &self.observer {
+            obs.sink.record(self.issue_cycles, event);
+        }
+    }
+
     /// Borrow the underlying blocks (inspection in tests/benches).
     #[must_use]
     pub fn blocks(&self) -> &[CamBlock] {
@@ -834,6 +1154,44 @@ impl CamUnit {
             update_words: self.update_words,
             search_count: self.search_count,
         }
+    }
+}
+
+/// Record a search outcome as a Match or Miss event.
+#[cfg(feature = "obs")]
+fn record_outcome(o: &mut ObsBatch<'_>, cycle: u64, key: u64, result: &SearchResult) {
+    let group = result.group as u32;
+    if result.is_match() {
+        o.record(
+            cycle,
+            Event::Match {
+                key,
+                group,
+                // u32::MAX marks "no address" encodings (match-count).
+                address: result.first_address().map_or(u32::MAX, |a| a as u32),
+            },
+        );
+    } else {
+        o.record(cycle, Event::Miss { key, group });
+    }
+}
+
+/// Which worker shard of `chunked(count items, workers)` executed item
+/// `g`: chunks are split off the tail, so chunk 0 holds the *last*
+/// `ceil(count / workers)` items.
+#[cfg(feature = "obs")]
+fn worker_of(count: usize, workers: usize, g: usize) -> u32 {
+    let per = count.div_ceil(workers.max(1));
+    ((count - 1 - g) / per) as u32
+}
+
+/// The obs-crate mirror of a [`FidelityMode`](crate::config::FidelityMode).
+#[cfg(feature = "obs")]
+fn tier_of(fidelity: crate::config::FidelityMode) -> Tier {
+    match fidelity {
+        crate::config::FidelityMode::BitAccurate => Tier::BitAccurate,
+        crate::config::FidelityMode::Fast => Tier::Fast,
+        crate::config::FidelityMode::Turbo => Tier::Turbo,
     }
 }
 

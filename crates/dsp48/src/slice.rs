@@ -230,6 +230,11 @@ pub struct Dsp48e2 {
     attrs: Attributes,
     detector: PatternDetector,
     state: State,
+    /// Rising edges of the visible pattern-detect output; monitoring
+    /// only, never read by the datapath.
+    #[cfg(feature = "obs")]
+    #[serde(skip)]
+    pd_fires: u64,
 }
 
 impl Dsp48e2 {
@@ -250,7 +255,17 @@ impl Dsp48e2 {
             attrs,
             detector,
             state: State::default(),
+            #[cfg(feature = "obs")]
+            pd_fires: 0,
         }
+    }
+
+    /// Rising edges of the pattern-detect output since construction (a
+    /// CAM cell "fires" once per matching search broadcast).
+    #[cfg(feature = "obs")]
+    #[must_use]
+    pub fn pd_fires(&self) -> u64 {
+        self.pd_fires
     }
 
     /// The slice's static attributes.
@@ -483,6 +498,11 @@ impl Dsp48e2 {
         let left_band = ns.pattern_detect_past && !pat_vis;
         let overflow = left_band && !p_vis.bit(47);
         let underflow = left_band && p_vis.bit(47);
+
+        #[cfg(feature = "obs")]
+        if pat_vis && !s.pattern_detect {
+            self.pd_fires += 1;
+        }
 
         DspOutputs {
             p: p_vis,

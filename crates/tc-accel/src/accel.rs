@@ -15,12 +15,70 @@
 //! — to validate that the fast path computes exactly what the hardware
 //! hierarchy would.
 
+#[cfg(feature = "obs")]
+use std::sync::Arc;
+
 use dsp_cam_core::prelude::*;
 use dsp_cam_graph::csr::Csr;
 use dsp_cam_graph::intersect;
+#[cfg(feature = "obs")]
+use dsp_cam_obs::{ObsSink, ScopeId};
 
 use crate::model::{CamGeometry, PipelineCosts};
 use crate::perf::TcReport;
+
+/// Probe-loop instrumentation for the hardware-model path.
+///
+/// Zero-cost unless the `obs` feature is on *and* a sink is attached:
+/// without the feature the struct is empty and every method body
+/// compiles away.
+#[derive(Debug, Default)]
+struct PhaseProbe {
+    #[cfg(feature = "obs")]
+    sink: Option<(Arc<ObsSink>, ScopeId)>,
+}
+
+impl PhaseProbe {
+    /// A probe publishing under the `"accel"` scope of `sink`.
+    #[cfg(feature = "obs")]
+    fn attached(sink: &Arc<ObsSink>) -> Self {
+        PhaseProbe {
+            sink: Some((Arc::clone(sink), sink.register_scope("accel"))),
+        }
+    }
+
+    /// Attach the driven unit to the same sink, under `"accel/unit"`.
+    fn attach_unit(&self, _unit: &mut CamUnit) {
+        #[cfg(feature = "obs")]
+        if let Some((sink, _)) = &self.sink {
+            _unit.attach_observer_as(sink, "accel/unit");
+        }
+    }
+
+    /// Observe one phase-duration sample (issue-cycle delta).
+    fn phase(&self, _name: &'static str, _cycles: u64) {
+        #[cfg(feature = "obs")]
+        if let Some((sink, scope)) = &self.sink {
+            sink.observe(*scope, _name, _cycles);
+        }
+    }
+
+    /// Bump an accel-scope counter.
+    fn count(&self, _name: &'static str, _by: u64) {
+        #[cfg(feature = "obs")]
+        if let Some((sink, scope)) = &self.sink {
+            sink.add(*scope, _name, _by);
+        }
+    }
+
+    /// Snapshot the unit's hierarchical counters into the registry.
+    fn publish_unit(&self, _unit: &CamUnit) {
+        #[cfg(feature = "obs")]
+        if self.sink.is_some() {
+            _unit.publish_metrics();
+        }
+    }
+}
 
 /// The CAM-based accelerator model.
 ///
@@ -133,6 +191,36 @@ impl CamTriangleCounter {
         graph: &Csr,
         fidelity: FidelityMode,
     ) -> Result<TcReport, ConfigError> {
+        self.run_hw_model(graph, fidelity, &PhaseProbe::default())
+    }
+
+    /// [`CamTriangleCounter::run_on_hardware_model_with`] publishing
+    /// probe-loop phase timings to `sink` as it runs: per-chunk
+    /// `load_cycles` / `probe_cycles` issue-cycle histograms and
+    /// `edges` / `chunks` / `keys_probed` / `matches` counters under the
+    /// `"accel"` scope, plus the driven unit's full event stream and
+    /// hierarchical counters under `"accel/unit"`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the unit construction (the
+    /// default geometry never fails).
+    #[cfg(feature = "obs")]
+    pub fn run_on_hardware_model_observed(
+        &self,
+        graph: &Csr,
+        fidelity: FidelityMode,
+        sink: &Arc<ObsSink>,
+    ) -> Result<TcReport, ConfigError> {
+        self.run_hw_model(graph, fidelity, &PhaseProbe::attached(sink))
+    }
+
+    fn run_hw_model(
+        &self,
+        graph: &Csr,
+        fidelity: FidelityMode,
+        probe: &PhaseProbe,
+    ) -> Result<TcReport, ConfigError> {
         let config = UnitConfig::builder()
             .data_width(32)
             .block_size(self.geometry.block_size)
@@ -142,6 +230,7 @@ impl CamTriangleCounter {
             .fidelity(fidelity)
             .build()?;
         let mut unit = CamUnit::new(config)?;
+        probe.attach_unit(&mut unit);
         let mut cycles = self.costs.kernel_setup;
         let mut matches = 0u64;
         let mut edges = 0u64;
@@ -165,26 +254,37 @@ impl CamTriangleCounter {
                     let (chunk, rest) = remaining.split_at(take);
                     remaining = rest;
                     let m = self.geometry.groups_for(chunk.len());
+                    let load_start = unit.issue_cycles();
                     unit.configure_groups(m).expect("M divides the block count");
                     let words: Vec<u64> = chunk.iter().map(|&x| u64::from(x)).collect();
                     unit.update(&words).expect("chunk fits one group");
+                    probe.phase("load_cycles", unit.issue_cycles() - load_start);
                     // One batched probe for the whole shorter list: the
                     // unit packs keys M per issue cycle internally and
                     // reuses its search scratch across the batch.
                     let keys: Vec<u64> = shorter.iter().map(|&x| u64::from(x)).collect();
+                    let probe_start = unit.issue_cycles();
+                    let mut chunk_matches = 0u64;
                     for hit in unit.search_stream(&keys) {
                         searches += 1;
                         if hit.is_match() {
-                            matches += 1;
+                            chunk_matches += 1;
                         }
                     }
+                    matches += chunk_matches;
+                    probe.phase("probe_cycles", unit.issue_cycles() - probe_start);
+                    probe.count("chunks", 1);
+                    probe.count("keys_probed", keys.len() as u64);
+                    probe.count("matches", chunk_matches);
                     unit.reset();
                 }
                 edges += 1;
+                probe.count("edges", 1);
                 let compute = self.geometry.intersect_cycles(longer.len(), shorter.len());
                 cycles += self.costs.edge_cycles(adj_u.len(), adj_v.len(), compute);
             }
         }
+        probe.publish_unit(&unit);
         let name = match fidelity {
             FidelityMode::BitAccurate => "CAM accelerator (hardware model)",
             FidelityMode::Fast => "CAM accelerator (hardware model, fast tier)",

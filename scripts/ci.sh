@@ -11,8 +11,14 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "==> cargo test"
+echo "==> cargo test (default features: obs compiled out)"
 cargo test -q --offline --workspace
+
+echo "==> cargo test (--features obs: metrics + tracing instrumented)"
+cargo test -q --offline --workspace --features obs
+
+echo "==> clippy + compile-check the obs example"
+cargo clippy --offline --features obs --example trace_report -- -D warnings
 
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --offline --workspace --no-run

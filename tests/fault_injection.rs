@@ -130,6 +130,67 @@ fn reset_mid_burst_yields_a_clean_slate() {
 }
 
 #[test]
+fn shadow_bit_flip_detected_by_audit_and_cleared_by_reset() {
+    let mut cam = unit();
+    cam.configure_groups(2).unwrap();
+    cam.update(&[0xAB, 0xCD]).unwrap();
+    assert_eq!(cam.audit_shadows(), 0, "healthy shadows audit clean");
+
+    // Flip shadow state under a written cell: the MatchIndex and
+    // BitSliceIndex copies both diverge from the DSP oracle.
+    cam.inject_shadow_fault(0, 0);
+    let divergent = cam.audit_shadows();
+    assert!(divergent > 0, "audit must flag the corrupted shadow");
+
+    // The oracle itself is untouched: the bit-accurate tier (the unit's
+    // default) still answers correctly through the corruption.
+    assert!(cam.search(0xAB).is_match());
+    assert!(!cam.search(0xEE).is_match());
+
+    // Reset rebuilds every shadow from the oracle: clean audit again.
+    cam.reset();
+    assert_eq!(cam.audit_shadows(), 0, "reset must repair the shadows");
+    cam.update(&[0x11]).unwrap();
+    assert!(cam.search(0x11).is_match());
+}
+
+#[cfg(feature = "obs")]
+#[test]
+fn shadow_divergence_is_counted_in_the_obs_registry() {
+    use dsp_cam_obs::ObsSink;
+    use std::sync::Arc;
+
+    let sink = Arc::new(ObsSink::new());
+    let mut cam = unit();
+    cam.attach_observer(&sink);
+    cam.update(&[1, 2, 3]).unwrap();
+
+    assert_eq!(cam.audit_shadows(), 0);
+    let snap = sink.snapshot();
+    assert_eq!(snap.registry.counter("unit", "shadow_audits"), 1);
+    assert_eq!(snap.registry.counter("unit", "shadow_divergence"), 0);
+
+    // Inject a bit flip into block 0's shadows; the next bit-accurate
+    // audit pass must bump the divergence counter by exactly what it saw.
+    cam.inject_shadow_fault(0, 0);
+    let divergent = cam.audit_shadows();
+    assert!(divergent > 0);
+    let snap = sink.snapshot();
+    assert_eq!(snap.registry.counter("unit", "shadow_audits"), 2);
+    assert_eq!(
+        snap.registry.counter("unit", "shadow_divergence"),
+        divergent as u64
+    );
+    // And the per-block scope attributes it to the corrupted block.
+    let g = cam.routing_table()[0];
+    assert_eq!(
+        snap.registry
+            .counter(&format!("unit/group{g}/block0"), "shadow_divergence"),
+        divergent as u64
+    );
+}
+
+#[test]
 fn checkpoint_clone_preserves_unit_state() {
     // The whole hierarchy (down to each DSP slice's registers) is Clone +
     // Serialize, which is how a host driver checkpoints the accelerator
