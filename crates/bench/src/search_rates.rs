@@ -107,7 +107,6 @@ pub fn measure_search_rate_quick(entries: usize, min_millis: u128, rounds: usize
 }
 
 /// Batched `search_stream` throughput in keys/sec on `unit`.
-#[cfg(feature = "obs")]
 fn stream_keys_per_sec(unit: &mut CamUnit, keys: &[u64], min_millis: u128) -> f64 {
     black_box(unit.search_stream(black_box(keys)));
     let mut streamed = 0u64;
@@ -147,6 +146,74 @@ pub fn measure_turbo_trace_overhead_pct(entries: usize) -> f64 {
     ((plain_sps - observed_sps) / plain_sps * 100.0).max(0.0)
 }
 
+/// Batched `search_stream` throughput of the persistent worker pool
+/// versus per-batch scoped threads, at one unit size.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolVsScopedRow {
+    /// Unit capacity in cells (four replicated groups share them).
+    pub entries: usize,
+    /// Keys/sec with [`DispatchMode::Pool`] (persistent workers).
+    pub pool_sps: f64,
+    /// Keys/sec with [`DispatchMode::ScopedThreads`] (spawn per batch).
+    pub scoped_sps: f64,
+}
+
+impl PoolVsScopedRow {
+    /// Pool throughput over scoped-thread throughput.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.pool_sps / self.scoped_sps
+    }
+}
+
+/// A sharded unit at `entries` total cells: Turbo tier, four replicated
+/// groups on four workers, filled to its per-group capacity.
+fn sharded_unit_of(entries: usize, dispatch: DispatchMode) -> CamUnit {
+    // At least four blocks, so four groups always fit.
+    let block_size = (entries / 4).min(256);
+    let config = UnitConfig::builder()
+        .data_width(32)
+        .block_size(block_size)
+        .num_blocks(entries / block_size)
+        .bus_width(512)
+        .fidelity(FidelityMode::Turbo)
+        .workers(4)
+        .dispatch(dispatch)
+        .build()
+        .expect("bench geometry is valid");
+    let mut unit = CamUnit::new(config).expect("constructible");
+    unit.configure_groups(4)
+        .expect("entries/block_size blocks split 4 ways");
+    let words: Vec<u64> = (0..(entries / 4) as u64).map(|i| i * 3).collect();
+    unit.update(&words).expect("fits the replicated capacity");
+    unit
+}
+
+/// Compare the persistent worker-pool dispatcher against per-batch
+/// scoped threads on `search_stream` batches of 1024 keys at `entries`.
+///
+/// Pool and scoped samples are interleaved round by round (each sampled
+/// for `min_millis`, best of `rounds` kept) so clock drift and cache
+/// noise hit both sides equally — the same discipline as
+/// [`measure_turbo_trace_overhead_pct`].
+#[must_use]
+pub fn measure_pool_vs_scoped(entries: usize, min_millis: u128, rounds: usize) -> PoolVsScopedRow {
+    let keys: Vec<u64> = (0..1024u64).map(|i| i * 7 % (entries as u64 * 3)).collect();
+    let mut pooled = sharded_unit_of(entries, DispatchMode::Pool);
+    let mut scoped = sharded_unit_of(entries, DispatchMode::ScopedThreads);
+    let mut pool_sps = 0.0f64;
+    let mut scoped_sps = 0.0f64;
+    for _ in 0..rounds.max(1) {
+        pool_sps = pool_sps.max(stream_keys_per_sec(&mut pooled, &keys, min_millis));
+        scoped_sps = scoped_sps.max(stream_keys_per_sec(&mut scoped, &keys, min_millis));
+    }
+    PoolVsScopedRow {
+        entries,
+        pool_sps,
+        scoped_sps,
+    }
+}
+
 /// Measure all three tiers at each of `sizes` entries.
 #[must_use]
 pub fn measure_search_rates(sizes: &[usize]) -> Vec<SearchRateRow> {
@@ -177,6 +244,7 @@ pub fn write_bench_search_json(
     source: &str,
     rows: &[SearchRateRow],
     trace_overhead_pct: Option<f64>,
+    pool: Option<&PoolVsScopedRow>,
 ) -> io::Result<PathBuf> {
     let path = PathBuf::from(concat!(
         env!("CARGO_MANIFEST_DIR"),
@@ -191,6 +259,16 @@ pub fn write_bench_search_json(
     );
     if let Some(pct) = trace_overhead_pct {
         body.push_str(&format!("  \"turbo_trace_overhead_pct\": {pct:.2},\n"));
+    }
+    if let Some(row) = pool {
+        body.push_str(&format!(
+            "  \"pool_vs_scoped\": {{\"entries\": {}, \"pool_searches_per_sec\": {:.1}, \
+             \"scoped_searches_per_sec\": {:.1}, \"pool_over_scoped\": {:.2}}},\n",
+            row.entries,
+            row.pool_sps,
+            row.scoped_sps,
+            row.ratio(),
+        ));
     }
     body.push_str("  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
@@ -214,16 +292,20 @@ pub fn write_bench_search_json(
 }
 
 /// Measure, write the artefact, print a summary, and enforce the
-/// tier speedup floors at 8192 entries. With the `obs` feature on, the
-/// tracer overhead on Turbo `search_stream` at 8192 entries is measured
-/// too, recorded in the artefact, and bounded at 3%.
+/// tier speedup floors at 8192 entries. The persistent worker pool is
+/// also raced against per-batch scoped threads on sharded
+/// `search_stream` batches at 8192 entries, recorded in the artefact,
+/// and floored at parity. With the `obs` feature on, the tracer
+/// overhead on Turbo `search_stream` at 8192 entries is measured too,
+/// recorded in the artefact, and bounded at 3%.
 ///
 /// # Panics
 ///
 /// Panics if the fast tier is below 10× the bit-accurate tier, or the
 /// turbo tier below 5× the fast tier, at 8192 entries — each tier's
-/// reason to exist — or (with `obs`) if tracing costs ≥ 3% of Turbo
-/// stream throughput.
+/// reason to exist — or if the worker pool is slower than spawning
+/// scoped threads per batch, or (with `obs`) if tracing costs ≥ 3% of
+/// Turbo stream throughput.
 pub fn emit_bench_search_json(source: &str) {
     let rows = measure_search_rates(&BENCH_SIZES);
     println!();
@@ -248,10 +330,24 @@ pub fn emit_bench_search_json(source: &str) {
     };
     #[cfg(not(feature = "obs"))]
     let trace_overhead = None;
-    match write_bench_search_json(source, &rows, trace_overhead) {
+    let pool = measure_pool_vs_scoped(8192, 100, 5);
+    println!(
+        "  pool vs scoped threads on sharded search_stream at 8192 entries: \
+         pool {:>12.0} keys/s, scoped {:>12.0} keys/s ({:.2}x)",
+        pool.pool_sps,
+        pool.scoped_sps,
+        pool.ratio(),
+    );
+    match write_bench_search_json(source, &rows, trace_overhead, Some(&pool)) {
         Ok(path) => println!("(json: {})", path.display()),
         Err(err) => println!("(failed to write BENCH_search.json: {err})"),
     }
+    assert!(
+        pool.ratio() >= 1.0,
+        "the persistent worker pool must not lose to per-batch scoped threads \
+         at 8192 entries, got {:.2}x",
+        pool.ratio()
+    );
     if let Some(pct) = trace_overhead {
         assert!(
             pct < 3.0,
@@ -321,6 +417,29 @@ mod tests {
             pct < 15.0,
             "tracer overhead exploded on turbo search_stream: {pct:.2}%"
         );
+    }
+
+    #[test]
+    fn pool_and_scoped_streams_agree_in_the_bench_geometry() {
+        let mut pooled = sharded_unit_of(512, DispatchMode::Pool);
+        let mut scoped = sharded_unit_of(512, DispatchMode::ScopedThreads);
+        let keys: Vec<u64> = (0..64u64).map(|i| i * 7 % 1536).collect();
+        assert_eq!(
+            pooled.search_stream(&keys),
+            scoped.search_stream(&keys),
+            "dispatch mode must not change stream results"
+        );
+    }
+
+    #[test]
+    fn pool_vs_scoped_measurement_is_sane() {
+        // The >= 1.0x floor is release-only (emit_bench_search_json);
+        // in debug the comparison just has to produce finite, positive
+        // rates on both sides.
+        let row = measure_pool_vs_scoped(512, 10, 1);
+        assert!(row.pool_sps > 0.0 && row.pool_sps.is_finite());
+        assert!(row.scoped_sps > 0.0 && row.scoped_sps.is_finite());
+        assert!(row.ratio() > 0.0);
     }
 
     #[test]

@@ -55,8 +55,15 @@ pub struct CamBlock {
     /// Transposed shadow for the turbo search tier, kept coherent the
     /// same way (`O(width)` per cell mutation).
     bitslice: BitSliceIndex,
-    /// The Cell Address Controller's fill pointer.
+    /// The Cell Address Controller's fill pointer (high-water mark: cells
+    /// at and beyond it have never been written).
     write_ptr: usize,
+    /// Free-list of invalidated cells below `write_ptr`, kept sorted in
+    /// *descending* address order so `pop()` hands out the lowest free
+    /// address first — deleted entries are reused before the fill pointer
+    /// advances.
+    #[serde(default)]
+    holes: Vec<usize>,
     cycles: u64,
     update_beats: u64,
     searches: u64,
@@ -101,6 +108,7 @@ impl CamBlock {
             index,
             bitslice,
             write_ptr: 0,
+            holes: Vec::new(),
             cycles: 0,
             update_beats: 0,
             searches: 0,
@@ -137,25 +145,50 @@ impl CamBlock {
     /// Number of occupied cells.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.write_ptr
+        self.write_ptr - self.holes.len()
     }
 
     /// Whether no cell is occupied.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.write_ptr == 0
+        self.len() == 0
     }
 
     /// Whether every cell is occupied.
     #[must_use]
     pub fn is_full(&self) -> bool {
-        self.write_ptr >= self.cells.len()
+        self.free_slots() == 0
     }
 
-    /// Free cells remaining.
+    /// Free cells remaining (never-written cells beyond the fill pointer
+    /// plus invalidated cells awaiting reuse).
     #[must_use]
     pub fn free_slots(&self) -> usize {
-        self.cells.len() - self.write_ptr
+        self.cells.len() - self.write_ptr + self.holes.len()
+    }
+
+    /// Claim the next cell for a write: the lowest invalidated address if
+    /// one exists, otherwise the fill pointer (which then advances).
+    fn alloc_cell(&mut self) -> usize {
+        match self.holes.pop() {
+            Some(cell) => cell,
+            None => {
+                let cell = self.write_ptr;
+                self.write_ptr += 1;
+                cell
+            }
+        }
+    }
+
+    /// Return a just-allocated cell whose write failed, undoing
+    /// [`CamBlock::alloc_cell`] so failed operations stay atomic.
+    fn release_cell(&mut self, cell: usize) {
+        if cell + 1 == self.write_ptr {
+            self.write_ptr -= 1;
+        } else {
+            let at = self.holes.partition_point(|&h| h > cell);
+            self.holes.insert(at, cell);
+        }
     }
 
     /// Block-level cycles consumed so far.
@@ -252,11 +285,9 @@ impl CamBlock {
             });
         }
         for &word in words {
-            self.cells[self.write_ptr]
-                .write(word)
-                .expect("validated above");
-            self.reshadow(self.write_ptr);
-            self.write_ptr += 1;
+            let cell = self.alloc_cell();
+            self.cells[cell].write(word).expect("validated above");
+            self.reshadow(cell);
         }
         let beats = words.len().div_ceil(self.config.words_per_beat()).max(1) as u64;
         self.cycles += beats * self.config.update_latency();
@@ -290,9 +321,12 @@ impl CamBlock {
             });
         }
         for &range in ranges {
-            self.cells[self.write_ptr].write_range(range)?;
-            self.reshadow(self.write_ptr);
-            self.write_ptr += 1;
+            let cell = self.alloc_cell();
+            if let Err(err) = self.cells[cell].write_range(range) {
+                self.release_cell(cell);
+                return Err(err);
+            }
+            self.reshadow(cell);
         }
         let beats = ranges.len().div_ceil(self.config.words_per_beat()).max(1) as u64;
         self.cycles += beats * self.config.update_latency();
@@ -366,18 +400,37 @@ impl CamBlock {
 
     /// Invalidate the entry at `cell` (extension beyond the paper: the
     /// valid bit is one fabric flop, so per-address invalidation costs the
-    /// same single cycle as the global reset). The fill pointer is *not*
-    /// rewound — holes are not reused until the next reset, matching the
-    /// sequential Cell Address Controller.
+    /// same single cycle as the global reset). The freed cell joins a
+    /// free-list and is reused by subsequent updates, lowest address
+    /// first, before the fill pointer advances — so deletion genuinely
+    /// returns capacity.
     ///
     /// # Panics
     ///
     /// Panics if `cell >= capacity`.
     pub fn invalidate(&mut self, cell: usize) {
         assert!(cell < self.cells.len(), "cell {cell} out of range");
+        if cell < self.write_ptr && self.cells[cell].is_valid() {
+            let at = self.holes.partition_point(|&h| h > cell);
+            self.holes.insert(at, cell);
+        }
         self.cells[cell].clear();
         self.reshadow(cell);
         self.cycles += 1;
+    }
+
+    /// Lowest cell address whose *valid* contents match `key`, without
+    /// perturbing any search counter or cycle accounting — the probe
+    /// behind [`CamUnit`](crate::unit::CamUnit)'s deletion path. Answers
+    /// from the always-coherent shadow [`MatchIndex`], so the result is
+    /// identical on every fidelity tier.
+    #[must_use]
+    pub fn probe_first(&self, key: u64) -> Option<usize> {
+        let key = self.mask_key(key);
+        let mut out = MatchVector::default();
+        let index = &self.index;
+        out.fill_raw(index.len(), |bits| index.search_into(key, bits));
+        out.first()
     }
 
     /// Per-entry ternary update (extension beyond the paper's shared-mask
@@ -403,9 +456,12 @@ impl CamBlock {
                 data_width: self.config.cell.data_width,
             });
         }
-        self.cells[self.write_ptr].write_masked(value, dont_care)?;
-        self.reshadow(self.write_ptr);
-        self.write_ptr += 1;
+        let cell = self.alloc_cell();
+        if let Err(err) = self.cells[cell].write_masked(value, dont_care) {
+            self.release_cell(cell);
+            return Err(err);
+        }
+        self.reshadow(cell);
         self.cycles += self.config.update_latency();
         self.update_beats += 1;
         Ok(())
@@ -419,12 +475,16 @@ impl CamBlock {
         self.index.refresh_all(&self.cells);
         self.bitslice.refresh_all(&self.cells);
         self.write_ptr = 0;
+        self.holes.clear();
         self.cycles += 1;
     }
 
-    /// The stored values of the occupied cells, in fill order.
+    /// The stored values of the occupied (valid) cells, in address order.
     pub fn stored(&self) -> impl Iterator<Item = u64> + '_ {
-        self.cells[..self.write_ptr].iter().map(CamCell::stored)
+        self.cells[..self.write_ptr]
+            .iter()
+            .filter(|c| c.is_valid())
+            .map(CamCell::stored)
     }
 
     /// Cycles a pipelined stream of `n` searches occupies (initiation
@@ -669,6 +729,78 @@ mod tests {
             b.search_vector_into(25, &mut out);
             assert!(!out.any(), "{fidelity:?}");
         }
+    }
+
+    #[test]
+    fn invalidated_cells_are_reused_lowest_first() {
+        let mut b = block(4);
+        b.update(&[10, 20, 30, 40]).unwrap();
+        assert!(b.is_full());
+        b.invalidate(2);
+        b.invalidate(0);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.free_slots(), 2);
+        assert!(!b.is_full());
+        b.update(&[50]).unwrap();
+        assert_eq!(b.search(50).first_address(), Some(0), "lowest hole first");
+        b.update(&[60]).unwrap();
+        assert_eq!(b.search(60).first_address(), Some(2));
+        assert!(b.is_full());
+        assert!(matches!(b.update(&[70]), Err(CamError::Full { .. })));
+        let got: Vec<u64> = b.stored().collect();
+        assert_eq!(got, vec![50, 20, 60, 40]);
+    }
+
+    #[test]
+    fn double_invalidate_does_not_double_count() {
+        let mut b = block(4);
+        b.update(&[1, 2]).unwrap();
+        b.invalidate(1);
+        b.invalidate(1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.free_slots(), 3);
+        // A never-written cell frees nothing extra either.
+        b.invalidate(3);
+        assert_eq!(b.free_slots(), 3);
+    }
+
+    #[test]
+    fn probe_first_is_counter_neutral_on_every_tier() {
+        use crate::config::FidelityMode;
+        let mut b = block(8);
+        b.update(&[5, 9, 5]).unwrap();
+        for fidelity in [
+            FidelityMode::BitAccurate,
+            FidelityMode::Fast,
+            FidelityMode::Turbo,
+        ] {
+            b.set_fidelity(fidelity);
+            let (c, s) = (b.cycles(), b.searches());
+            assert_eq!(b.probe_first(5), Some(0), "{fidelity:?}");
+            assert_eq!(b.probe_first(6), None, "{fidelity:?}");
+            assert_eq!((b.cycles(), b.searches()), (c, s), "{fidelity:?}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_the_free_list() {
+        let mut b = block(4);
+        b.update(&[1, 2, 3]).unwrap();
+        b.invalidate(0);
+        b.reset();
+        b.update(&[7]).unwrap();
+        assert_eq!(b.search(7).first_address(), Some(0));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.free_slots(), 3);
+    }
+
+    #[test]
+    fn failed_range_write_releases_the_allocated_cell() {
+        let mut b = block(8);
+        b.update(&[1]).unwrap();
+        assert!(b.update_ranges(&[RangeSpec::new(0, 2).unwrap()]).is_err());
+        assert_eq!(b.len(), 1, "failed write must not consume a cell");
+        assert_eq!(b.free_slots(), 7);
     }
 
     #[test]

@@ -38,6 +38,25 @@ pub enum FidelityMode {
     Turbo,
 }
 
+/// How multi-worker operations are executed on the host (a pure
+/// execution knob — results and counters are identical either way; see
+/// `tests/tier_equivalence.rs`).
+///
+/// [`Pool`](DispatchMode::Pool) dispatches group shards to the unit's
+/// persistent [`CamRuntime`](crate::runtime::CamRuntime) worker pool:
+/// long-lived threads, bounded hand-off queues, per-thread scratch reuse.
+/// [`ScopedThreads`](DispatchMode::ScopedThreads) spawns and joins a
+/// fresh `std::thread::scope` per call — the pre-pool behaviour, kept as
+/// the baseline the `pool_vs_scoped` benchmark compares against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DispatchMode {
+    /// Dispatch to the persistent sharded worker pool (the default).
+    #[default]
+    Pool,
+    /// Spawn a fresh thread scope per operation (legacy baseline).
+    ScopedThreads,
+}
+
 /// Cell-level parameters (Table III, "CAM Cell").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CellConfig {
@@ -218,6 +237,11 @@ pub struct UnitConfig {
     /// any setting — this is a host-side execution knob, not a hardware
     /// parameter.
     pub workers: usize,
+    /// How multi-worker operations are executed when `workers > 1`:
+    /// dispatched to the persistent [`CamRuntime`](crate::runtime::CamRuntime)
+    /// pool (the default) or run on per-call scoped threads.
+    #[serde(default)]
+    pub dispatch: DispatchMode,
 }
 
 impl UnitConfig {
@@ -298,6 +322,7 @@ pub struct UnitConfigBuilder {
     bus_width: u32,
     fidelity: FidelityMode,
     workers: usize,
+    dispatch: DispatchMode,
 }
 
 impl Default for UnitConfigBuilder {
@@ -314,6 +339,7 @@ impl Default for UnitConfigBuilder {
             bus_width: 512,
             fidelity: FidelityMode::BitAccurate,
             workers: 1,
+            dispatch: DispatchMode::Pool,
         }
     }
 }
@@ -399,6 +425,14 @@ impl UnitConfigBuilder {
         self
     }
 
+    /// Set the multi-worker execution strategy (defaults to
+    /// [`DispatchMode::Pool`]).
+    #[must_use]
+    pub fn dispatch(mut self, dispatch: DispatchMode) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
     /// Validate and produce the configuration.
     ///
     /// # Errors
@@ -425,6 +459,7 @@ impl UnitConfigBuilder {
             num_blocks: self.num_blocks,
             bus_width: self.bus_width,
             workers: self.workers,
+            dispatch: self.dispatch,
         };
         config.validate()?;
         Ok(config)
@@ -572,6 +607,16 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(c.words_per_beat(), 1);
+    }
+
+    #[test]
+    fn dispatch_defaults_to_pool_and_is_settable() {
+        assert_eq!(UnitConfig::default().dispatch, DispatchMode::Pool);
+        let scoped = UnitConfig::builder()
+            .dispatch(DispatchMode::ScopedThreads)
+            .build()
+            .unwrap();
+        assert_eq!(scoped.dispatch, DispatchMode::ScopedThreads);
     }
 
     #[test]

@@ -119,6 +119,22 @@ pub enum CamError {
         /// The number of groups currently configured.
         groups: usize,
     },
+    /// A Routing Table write addressed a block index beyond the unit.
+    NoSuchBlock {
+        /// The requested block.
+        block: usize,
+        /// The number of blocks in the unit.
+        blocks: usize,
+    },
+    /// A worker of the persistent [`CamRuntime`](crate::runtime::CamRuntime)
+    /// pool panicked (or died) while executing a sharded operation. The
+    /// operation did not complete; the unit's contents and counters are
+    /// unspecified afterwards (structurally sound, but possibly partially
+    /// applied) and the pool is rebuilt on the next dispatch.
+    WorkerPoolPoisoned {
+        /// The pool worker that failed.
+        worker: usize,
+    },
     /// More concurrent search keys than configured groups.
     TooManyQueries {
         /// Keys presented.
@@ -143,6 +159,15 @@ impl fmt::Display for CamError {
             ),
             CamError::NoSuchGroup { group, groups } => {
                 write!(f, "group {group} does not exist ({groups} configured)")
+            }
+            CamError::NoSuchBlock { block, blocks } => {
+                write!(f, "block {block} does not exist (unit has {blocks} blocks)")
+            }
+            CamError::WorkerPoolPoisoned { worker } => {
+                write!(
+                    f,
+                    "worker {worker} of the sharded runtime pool panicked mid-operation"
+                )
             }
             CamError::TooManyQueries {
                 presented,
@@ -227,6 +252,14 @@ mod tests {
         }
         .to_string()
         .contains('9'));
+        let msg = CamError::NoSuchBlock {
+            block: 7,
+            blocks: 4,
+        }
+        .to_string();
+        assert!(msg.contains('7') && msg.contains("block"), "{msg:?}");
+        let msg = CamError::WorkerPoolPoisoned { worker: 3 }.to_string();
+        assert!(msg.contains('3') && msg.contains("panicked"), "{msg:?}");
         assert!(!CamError::KindMismatch.to_string().is_empty());
     }
 

@@ -59,6 +59,7 @@ pub mod kind;
 pub mod mask;
 pub mod match_index;
 pub mod pipelined;
+pub mod runtime;
 pub mod unit;
 pub mod verilog;
 
@@ -67,7 +68,7 @@ pub mod prelude {
     pub use crate::bitslice::BitSliceIndex;
     pub use crate::block::CamBlock;
     pub use crate::cell::CamCell;
-    pub use crate::config::{BlockConfig, CellConfig, FidelityMode, UnitConfig};
+    pub use crate::config::{BlockConfig, CellConfig, DispatchMode, FidelityMode, UnitConfig};
     pub use crate::dense::DenseCamBlock;
     pub use crate::encoder::{Encoding, MatchVector, SearchOutput};
     pub use crate::error::{CamError, ConfigError};
@@ -76,6 +77,7 @@ pub mod prelude {
     pub use crate::mask::{range_mask, width_mask, CamMask, RangeSpec};
     pub use crate::match_index::MatchIndex;
     pub use crate::pipelined::{Completion, Op, StreamingCam};
+    pub use crate::runtime::CamRuntime;
     pub use crate::unit::{CamUnit, SearchResult};
     pub use crate::verilog::RtlBundle;
 }

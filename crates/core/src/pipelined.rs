@@ -240,10 +240,17 @@ impl Clocked for StreamingCam {
             None => (None, None),
         };
         let issued = self.cycle;
-        if let Some((at, done)) = self.update_pipe.shift(into_update.map(|c| (issued, c))) {
-            self.retire(at, done);
-        }
-        if let Some((at, done)) = self.search_pipe.shift(into_search.map(|c| (issued, c))) {
+        let from_update = self.update_pipe.shift(into_update.map(|c| (issued, c)));
+        let from_search = self.search_pipe.shift(into_search.map(|c| (issued, c)));
+        // Both pipes can reach their retire edge on the same tick (the
+        // update pipe is one stage shorter, so an update issued at N+1
+        // lands with a search issued at N). Same-cycle retirements must
+        // leave in program order — by issue cycle — not in a fixed pipe
+        // order.
+        let mut retiring: Vec<(u64, Completion)> =
+            [from_update, from_search].into_iter().flatten().collect();
+        retiring.sort_by_key(|&(at, _)| at);
+        for (at, done) in retiring {
             self.retire(at, done);
         }
         self.cycle += 1;
@@ -385,6 +392,32 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(retired[0].0 < retired[1].0);
+    }
+
+    #[test]
+    fn same_cycle_retirements_follow_issue_order() {
+        // With a 7-cycle search pipe and a 6-cycle update pipe, a search
+        // issued at cycle N and an update issued at N+1 retire at the
+        // same edge; program order demands the search come out first.
+        let cfg = config();
+        assert_eq!(cfg.search_latency() - cfg.update_latency(), 1);
+        let mut cam = StreamingCam::new(cfg).unwrap();
+        cam.issue(Op::Update(vec![5])).unwrap();
+        cam.drain();
+        cam.drain_retired();
+        cam.issue(Op::Search(5)).unwrap();
+        cam.tick();
+        cam.issue(Op::Update(vec![6])).unwrap();
+        cam.drain();
+        let retired = cam.drain_retired();
+        assert_eq!(retired.len(), 2);
+        assert_eq!(retired[0].0, retired[1].0, "both retire at the same edge");
+        assert!(
+            matches!(&retired[0].1, Completion::Search(hit) if hit.is_match()),
+            "the earlier-issued search retires first, got {:?}",
+            retired[0].1
+        );
+        assert!(matches!(retired[1].1, Completion::Update(Ok(()))));
     }
 
     #[test]

@@ -1,0 +1,541 @@
+//! The persistent sharded worker-pool runtime behind
+//! [`CamUnit`](crate::unit::CamUnit)'s multi-worker dispatch.
+//!
+//! The paper's unit sustains one operation per cycle per group because
+//! the hardware datapath is always "warm". The software equivalent of a
+//! warm datapath is a pool of long-lived worker threads: spawning a
+//! fresh `std::thread::scope` per `update`/`search_multi`/`search_stream`
+//! call pays thread creation and teardown on every operation, which
+//! destroys exactly the sustained-rate figure of merit the architecture
+//! is built around.
+//!
+//! [`CamRuntime`] keeps one OS thread per worker alive across calls.
+//! Each dispatch moves the blocks of the affected CAM groups *by value*
+//! into per-worker [`GroupTask`]s (groups partition the block set, so
+//! sharding them is race-free by construction — and ownership transfer
+//! through channels keeps the whole crate `forbid(unsafe_code)`-clean),
+//! sends them through **bounded** MPSC work queues (capacity
+//! [`QUEUE_DEPTH`]; a full queue blocks the dispatcher — backpressure,
+//! not unbounded buffering), and collects blocks plus results from a
+//! bounded completion queue. Workers reuse one
+//! [`GroupScratch`](crate::unit) per thread, so steady-state searches
+//! allocate nothing.
+//!
+//! Failure containment: each group task runs under
+//! `std::panic::catch_unwind`, so a panicking operation still returns
+//! its blocks to the unit; the dispatcher surfaces the failure as a
+//! [`PoolError`] which the unit maps to
+//! [`CamError::WorkerPoolPoisoned`](crate::error::CamError). Dropping
+//! the runtime closes every work queue and joins every thread —
+//! shutdown is deterministic and never detaches a worker.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::block::CamBlock;
+use crate::encoder::Encoding;
+use crate::unit::{search_group_into, write_group_words, GroupScratch, SearchResult};
+
+/// Bound of each worker's work queue. The unit dispatches at most one
+/// job per worker per operation and waits for all completions before
+/// returning, so a deeper queue would only hide scheduling bugs; a full
+/// queue blocks the dispatcher (backpressure) instead of buffering.
+pub(crate) const QUEUE_DEPTH: usize = 1;
+
+/// One CAM group's blocks, moved to a worker for the duration of a job.
+#[derive(Debug)]
+pub(crate) struct GroupTask {
+    /// The group index.
+    pub group: usize,
+    /// The group's Block Address Controller position (fill pointer).
+    pub current: usize,
+    /// `(physical block index, block)` pairs in the group's fill order;
+    /// the physical index routes each block back to its slot in the unit.
+    pub blocks: Vec<(usize, CamBlock)>,
+}
+
+/// The operation a job applies to each of its group tasks.
+#[derive(Debug, Clone)]
+pub(crate) enum PoolOp {
+    /// Replicate `words` into every group (round-robin fill).
+    Update {
+        /// The words, shared across all workers' jobs.
+        words: Arc<Vec<u64>>,
+    },
+    /// Multi-query search: group `g` answers `keys[g]`.
+    SearchMulti {
+        /// One key per dispatched group.
+        keys: Arc<Vec<u64>>,
+        /// Cells per block (group-local address arithmetic).
+        block_size: usize,
+        /// Result encoding.
+        encoding: Encoding,
+    },
+    /// Streaming search: group `g` answers unique keys `j ≡ g (mod M)`.
+    SearchStream {
+        /// The deduplicated key batch.
+        unique: Arc<Vec<u64>>,
+        /// The group count `M`.
+        groups: usize,
+        /// Cells per block.
+        block_size: usize,
+        /// Result encoding.
+        encoding: Encoding,
+    },
+}
+
+/// A unit of work handed to one worker: some group tasks plus the op.
+struct Job {
+    tasks: Vec<GroupTask>,
+    op: PoolOp,
+    done: SyncSender<Done>,
+    enqueued: Instant,
+}
+
+/// A worker's reply: the blocks (always returned, even on panic) plus
+/// whatever the op produced.
+struct Done {
+    worker: usize,
+    tasks: Vec<GroupTask>,
+    fills: Vec<(usize, usize)>,
+    results: Vec<(usize, SearchResult)>,
+    panic: Option<String>,
+    wait_ns: u64,
+}
+
+/// Everything a successful dispatch returns to the unit.
+#[derive(Debug, Default)]
+pub(crate) struct PoolRun {
+    /// All group tasks, blocks included, in arbitrary order.
+    pub tasks: Vec<GroupTask>,
+    /// `(group, new fill position)` per updated group.
+    pub fills: Vec<(usize, usize)>,
+    /// `(slot, result)` per answered search (slot = group for
+    /// multi-query, unique-key index for streaming).
+    pub results: Vec<(usize, SearchResult)>,
+    /// `(worker, queue wait in ns)` per job, for the dispatch-latency
+    /// histograms.
+    pub wait_ns: Vec<(usize, u64)>,
+}
+
+/// A failed dispatch: a worker panicked (blocks still returned) or died
+/// (its blocks are lost; the unit re-materialises empty ones).
+#[derive(Debug)]
+pub(crate) struct PoolError {
+    /// The worker that failed.
+    pub worker: usize,
+    /// Group tasks that made it back despite the failure.
+    pub tasks: Vec<GroupTask>,
+}
+
+/// One pool worker: its bounded work queue, monitoring counters and
+/// join handle.
+#[derive(Debug)]
+struct Worker {
+    tx: Option<SyncSender<Job>>,
+    depth: Arc<AtomicUsize>,
+    jobs: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A persistent pool of worker threads executing sharded CAM operations
+/// (see the [module docs](self) for the dispatch and failure model).
+/// Construction, dispatch and inspection are crate-internal —
+/// [`CamUnit`](crate::unit::CamUnit) builds one lazily behind its
+/// `workers`/`dispatch` knobs; dropping it joins every worker.
+#[derive(Debug)]
+pub struct CamRuntime {
+    workers: Vec<Worker>,
+}
+
+impl CamRuntime {
+    /// Spawn a pool of `size` workers (at least one).
+    pub(crate) fn new(size: usize) -> Self {
+        let workers = (0..size.max(1))
+            .map(|w| {
+                let (tx, rx) = sync_channel::<Job>(QUEUE_DEPTH);
+                let depth = Arc::new(AtomicUsize::new(0));
+                let jobs = Arc::new(AtomicU64::new(0));
+                let handle = {
+                    let depth = Arc::clone(&depth);
+                    let jobs = Arc::clone(&jobs);
+                    std::thread::Builder::new()
+                        .name(format!("cam-pool-{w}"))
+                        .spawn(move || worker_loop(w, &rx, &depth, &jobs))
+                        .expect("spawning a CAM pool worker thread failed")
+                };
+                Worker {
+                    tx: Some(tx),
+                    depth,
+                    jobs,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        CamRuntime { workers }
+    }
+
+    /// Number of workers in the pool.
+    pub(crate) fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Per-worker `(queued jobs, executed jobs)` monitoring counters
+    /// (published by `CamUnit::publish_metrics` under the `obs` feature;
+    /// the pool's own tests exercise it unconditionally).
+    #[cfg_attr(not(any(test, feature = "obs")), allow(dead_code))]
+    pub(crate) fn worker_stats(&self) -> Vec<(usize, u64)> {
+        self.workers
+            .iter()
+            .map(|w| {
+                (
+                    w.depth.load(Ordering::Relaxed),
+                    w.jobs.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
+    /// Dispatch `chunks[i]` to worker `i` and wait for every completion.
+    /// Chunk order is significant: the unit's observability layer
+    /// attributes group `g` to the worker `chunked` assigned it to.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError`] if any worker panicked mid-job or died; the blocks
+    /// of surviving jobs (and of panicked-but-caught jobs) are returned
+    /// inside it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more chunks than workers are presented (a caller bug:
+    /// the unit clamps its chunk count to the pool size).
+    pub(crate) fn run(
+        &self,
+        chunks: Vec<Vec<GroupTask>>,
+        op: PoolOp,
+    ) -> Result<PoolRun, PoolError> {
+        assert!(
+            chunks.len() <= self.workers.len(),
+            "{} chunks exceed the {}-worker pool",
+            chunks.len(),
+            self.workers.len()
+        );
+        let lanes = chunks.iter().filter(|c| !c.is_empty()).count();
+        let (done_tx, done_rx) = sync_channel::<Done>(lanes.max(1));
+        let mut run = PoolRun::default();
+        let mut outstanding: Vec<usize> = Vec::with_capacity(lanes);
+        let mut failed: Option<usize> = None;
+        for (w, tasks) in chunks.into_iter().enumerate() {
+            if tasks.is_empty() {
+                continue;
+            }
+            let worker = &self.workers[w];
+            let job = Job {
+                tasks,
+                op: op.clone(),
+                done: done_tx.clone(),
+                enqueued: Instant::now(),
+            };
+            worker.depth.fetch_add(1, Ordering::Relaxed);
+            let tx = worker.tx.as_ref().expect("pool is alive until dropped");
+            match tx.send(job) {
+                Ok(()) => outstanding.push(w),
+                Err(send_error) => {
+                    // The worker thread is gone; reclaim the unsent job's
+                    // blocks and report the lane as failed.
+                    worker.depth.fetch_sub(1, Ordering::Relaxed);
+                    run.tasks.extend(send_error.0.tasks);
+                    failed.get_or_insert(w);
+                }
+            }
+        }
+        drop(done_tx);
+        for _ in 0..outstanding.len() {
+            match done_rx.recv() {
+                Ok(done) => {
+                    outstanding.retain(|&w| w != done.worker);
+                    run.wait_ns.push((done.worker, done.wait_ns));
+                    run.tasks.extend(done.tasks);
+                    if done.panic.is_some() {
+                        failed.get_or_insert(done.worker);
+                    } else {
+                        run.fills.extend(done.fills);
+                        run.results.extend(done.results);
+                    }
+                }
+                Err(_) => {
+                    // Every sender is gone yet replies are missing: a
+                    // worker died without replying and its blocks are
+                    // lost. The first silent lane identifies it.
+                    failed.get_or_insert(outstanding.first().copied().unwrap_or(0));
+                    break;
+                }
+            }
+        }
+        match failed {
+            None => Ok(run),
+            Some(worker) => Err(PoolError {
+                worker,
+                tasks: run.tasks,
+            }),
+        }
+    }
+}
+
+impl Drop for CamRuntime {
+    fn drop(&mut self) {
+        // Close every work queue first so all workers start draining
+        // concurrently, then join them.
+        for worker in &mut self.workers {
+            worker.tx.take();
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                // A worker that somehow died on its own is already the
+                // outcome joining would report; nothing left to do.
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// The worker thread body: receive jobs until the queue closes, run
+/// each group task under `catch_unwind`, always send the blocks back.
+fn worker_loop(worker: usize, rx: &Receiver<Job>, depth: &AtomicUsize, jobs: &AtomicU64) {
+    let mut scratch = GroupScratch::default();
+    while let Ok(mut job) = rx.recv() {
+        depth.fetch_sub(1, Ordering::Relaxed);
+        jobs.fetch_add(1, Ordering::Relaxed);
+        let wait_ns = u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let mut fills = Vec::new();
+        let mut results = Vec::new();
+        let mut panic = None;
+        for task in &mut job.tasks {
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                run_group(task, &job.op, &mut scratch, &mut fills, &mut results);
+            }));
+            if let Err(payload) = attempt {
+                panic.get_or_insert_with(|| panic_text(payload.as_ref()));
+                // The scratch may be mid-search; start clean.
+                scratch = GroupScratch::default();
+            }
+        }
+        let reply = Done {
+            worker,
+            tasks: job.tasks,
+            fills,
+            results,
+            panic,
+            wait_ns,
+        };
+        // A send error means the dispatcher stopped listening (it saw
+        // another lane fail first); the blocks drop with the reply and
+        // the unit re-materialises them as empty.
+        let _ = job.done.send(reply);
+    }
+}
+
+/// Apply `op` to one group's blocks, reusing the worker's scratch.
+fn run_group(
+    task: &mut GroupTask,
+    op: &PoolOp,
+    scratch: &mut GroupScratch,
+    fills: &mut Vec<(usize, usize)>,
+    results: &mut Vec<(usize, SearchResult)>,
+) {
+    let mut blocks: Vec<&mut CamBlock> = task.blocks.iter_mut().map(|(_, block)| block).collect();
+    match op {
+        PoolOp::Update { words } => {
+            let current = write_group_words(&mut blocks, task.current, words);
+            fills.push((task.group, current));
+        }
+        PoolOp::SearchMulti {
+            keys,
+            block_size,
+            encoding,
+        } => {
+            search_group_into(&mut blocks, keys[task.group], *block_size, scratch);
+            results.push((
+                task.group,
+                SearchResult {
+                    group: task.group,
+                    output: encoding.encode(&scratch.combined),
+                },
+            ));
+        }
+        PoolOp::SearchStream {
+            unique,
+            groups,
+            block_size,
+            encoding,
+        } => {
+            for (j, &key) in unique.iter().enumerate().skip(task.group).step_by(*groups) {
+                search_group_into(&mut blocks, key, *block_size, scratch);
+                results.push((
+                    j,
+                    SearchResult {
+                        group: task.group,
+                        output: encoding.encode(&scratch.combined),
+                    },
+                ));
+            }
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        (*text).to_owned()
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "worker panicked with a non-string payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BlockConfig, CellConfig};
+
+    fn task(group: usize, blocks: usize) -> GroupTask {
+        let config = BlockConfig::standalone(CellConfig::binary(16), 8, 64);
+        GroupTask {
+            group,
+            current: 0,
+            blocks: (0..blocks)
+                .map(|i| (group * blocks + i, CamBlock::new(config).unwrap()))
+                .collect(),
+        }
+    }
+
+    fn update_op(words: Vec<u64>) -> PoolOp {
+        PoolOp::Update {
+            words: Arc::new(words),
+        }
+    }
+
+    #[test]
+    fn pool_runs_update_then_search_jobs() {
+        let pool = CamRuntime::new(2);
+        let chunks = vec![vec![task(0, 2)], vec![task(1, 2)]];
+        let run = pool.run(chunks, update_op(vec![3, 5, 9])).unwrap();
+        assert_eq!(run.tasks.len(), 2);
+        let mut fills = run.fills.clone();
+        fills.sort_unstable();
+        assert_eq!(fills, vec![(0, 0), (1, 0)], "3 words fit the first block");
+        for task in &run.tasks {
+            let stored: Vec<u64> = task.blocks[0].1.stored().collect();
+            assert_eq!(stored, vec![3, 5, 9], "group {}", task.group);
+        }
+        // Re-dispatch the returned blocks for a multi-query search.
+        let mut tasks = run.tasks;
+        tasks.sort_by_key(|t| t.group);
+        let chunks: Vec<Vec<GroupTask>> = tasks.into_iter().map(|t| vec![t]).collect();
+        let op = PoolOp::SearchMulti {
+            keys: Arc::new(vec![5, 7]),
+            block_size: 8,
+            encoding: Encoding::Priority,
+        };
+        let run = pool.run(chunks, op).unwrap();
+        let mut results = run.results;
+        results.sort_by_key(|&(g, _)| g);
+        assert!(results[0].1.is_match(), "group 0 holds key 5");
+        assert_eq!(results[0].1.first_address(), Some(1));
+        assert!(!results[1].1.is_match(), "group 1 does not hold key 7");
+        assert_eq!(run.wait_ns.len(), 2, "one queue-wait sample per job");
+    }
+
+    #[test]
+    fn search_stream_jobs_cover_the_modular_key_schedule() {
+        let pool = CamRuntime::new(2);
+        // Two groups, each pre-filled with the same replicated words.
+        let prep = pool
+            .run(
+                vec![vec![task(0, 1)], vec![task(1, 1)]],
+                update_op(vec![10, 20, 30]),
+            )
+            .unwrap();
+        let mut tasks = prep.tasks;
+        tasks.sort_by_key(|t| t.group);
+        let chunks: Vec<Vec<GroupTask>> = tasks.into_iter().map(|t| vec![t]).collect();
+        let op = PoolOp::SearchStream {
+            unique: Arc::new(vec![10, 99, 30]),
+            groups: 2,
+            block_size: 8,
+            encoding: Encoding::Priority,
+        };
+        let run = pool.run(chunks, op).unwrap();
+        let mut results = run.results;
+        results.sort_by_key(|&(j, _)| j);
+        let slots: Vec<usize> = results.iter().map(|&(j, _)| j).collect();
+        assert_eq!(slots, vec![0, 1, 2], "every unique key answered once");
+        assert_eq!(results[0].1.group, 0, "key 0 served by group 0");
+        assert_eq!(results[1].1.group, 1, "key 1 served by group 1");
+        assert_eq!(results[2].1.group, 0, "key 2 wraps to group 0");
+        assert!(results[0].1.is_match());
+        assert!(!results[1].1.is_match());
+        assert!(results[2].1.is_match());
+    }
+
+    #[test]
+    fn poisoned_job_returns_blocks_and_keeps_the_pool_alive() {
+        let pool = CamRuntime::new(2);
+        // An out-of-range fill position makes write_group_words index
+        // past the block list — a contained panic inside the worker.
+        let mut bad = task(0, 1);
+        bad.current = 5;
+        let err = pool
+            .run(vec![vec![bad], vec![task(1, 1)]], update_op(vec![1]))
+            .unwrap_err();
+        assert_eq!(err.worker, 0, "the panicking lane is identified");
+        assert_eq!(err.tasks.len(), 2, "all blocks survive the panic");
+        // The same pool still executes subsequent jobs.
+        let run = pool
+            .run(vec![vec![task(0, 1)]], update_op(vec![42]))
+            .unwrap();
+        assert_eq!(run.fills, vec![(0, 0)]);
+        let stats = pool.worker_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0], (0, 2), "worker 0 drained both its jobs");
+        assert_eq!(stats[1], (0, 1));
+    }
+
+    #[test]
+    fn empty_chunks_are_skipped() {
+        let pool = CamRuntime::new(3);
+        let run = pool
+            .run(
+                vec![vec![task(0, 1)], Vec::new(), vec![task(1, 1)]],
+                update_op(vec![7]),
+            )
+            .unwrap();
+        assert_eq!(run.tasks.len(), 2);
+        assert_eq!(run.wait_ns.len(), 2);
+        let stats = pool.worker_stats();
+        assert_eq!(stats[1].1, 0, "the empty lane never received a job");
+    }
+
+    #[test]
+    fn drop_joins_every_worker() {
+        let pool = CamRuntime::new(4);
+        pool.run(vec![vec![task(0, 1)]], update_op(vec![1]))
+            .unwrap();
+        // Dropping must close the queues and join all four threads
+        // without hanging (the test itself is the assertion).
+        drop(pool);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunks exceed")]
+    fn more_chunks_than_workers_is_a_caller_bug() {
+        let pool = CamRuntime::new(1);
+        let _ = pool.run(vec![vec![task(0, 1)], vec![task(1, 1)]], update_op(vec![1]));
+    }
+}

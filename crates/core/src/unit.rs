@@ -22,7 +22,6 @@
 //! study where the adjacency list is duplicated in all groups.
 
 use std::collections::HashMap;
-#[cfg(feature = "obs")]
 use std::sync::Arc;
 
 #[cfg(feature = "obs")]
@@ -31,10 +30,15 @@ use serde::{Deserialize, Serialize};
 
 use crate::block::CamBlock;
 use crate::bus::{BusCommand, Opcode};
-use crate::config::UnitConfig;
+use crate::config::{DispatchMode, UnitConfig};
 use crate::encoder::{MatchVector, SearchOutput};
 use crate::error::{CamError, ConfigError};
 use crate::mask::RangeSpec;
+use crate::runtime::{CamRuntime, GroupTask, PoolOp, PoolRun};
+
+/// What one pool dispatch hands back: `(group, fill.current)` rewinds
+/// from updates and `(slot, result)` answers from searches.
+type PoolDispatch = (Vec<(usize, usize)>, Vec<(usize, SearchResult)>);
 
 /// The outcome of one unit-level search.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -117,11 +121,24 @@ struct GroupFill {
 
 /// Reusable per-search working buffers: the combined group vector plus
 /// one per-block vector, so a stream of searches allocates nothing per
-/// key once the buffers reach steady-state size.
+/// key once the buffers reach steady-state size. Each pool worker of the
+/// [`CamRuntime`] keeps one alive across jobs.
 #[derive(Debug, Clone, Default)]
-struct GroupScratch {
-    combined: MatchVector,
-    block: MatchVector,
+pub(crate) struct GroupScratch {
+    pub(crate) combined: MatchVector,
+    pub(crate) block: MatchVector,
+}
+
+/// Holder for the lazily-built persistent worker pool. Never serialized;
+/// a cloned unit starts with a cold slot and spins its own pool up on
+/// first sharded dispatch.
+#[derive(Debug, Default)]
+struct RuntimeSlot(Option<CamRuntime>);
+
+impl Clone for RuntimeSlot {
+    fn clone(&self) -> Self {
+        RuntimeSlot(None)
+    }
 }
 
 /// An attached observability sink plus the interned scope path the unit
@@ -150,6 +167,11 @@ pub struct CamUnit {
     search_count: u64,
     #[serde(skip)]
     scratch: GroupScratch,
+    /// The persistent sharded worker pool (see [`CamRuntime`]), built on
+    /// first multi-worker dispatch under [`DispatchMode::Pool`] and
+    /// rebuilt whenever the effective worker count changes.
+    #[serde(skip)]
+    runtime: RuntimeSlot,
     /// Attached observability sink; host-side monitoring, never
     /// architectural state (results and counters are identical with or
     /// without it — see `tests/obs_equivalence.rs`).
@@ -180,6 +202,7 @@ impl CamUnit {
             update_words: 0,
             search_count: 0,
             scratch: GroupScratch::default(),
+            runtime: RuntimeSlot::default(),
             #[cfg(feature = "obs")]
             observer: None,
         };
@@ -207,9 +230,22 @@ impl CamUnit {
     }
 
     /// Set the worker-thread count for subsequent multi-query searches
-    /// and replicated updates (see [`UnitConfig::workers`]).
+    /// and replicated updates (see [`UnitConfig::workers`]). Under
+    /// [`DispatchMode::Pool`] the persistent pool is rebuilt to the new
+    /// size on the next sharded dispatch.
     pub fn set_workers(&mut self, workers: usize) {
         self.config.workers = workers;
+    }
+
+    /// Select how multi-worker operations are dispatched: the persistent
+    /// [`CamRuntime`] pool (default) or a fresh `std::thread::scope` per
+    /// call (see [`DispatchMode`]). Switching to
+    /// [`DispatchMode::ScopedThreads`] shuts the pool down immediately.
+    pub fn set_dispatch(&mut self, dispatch: DispatchMode) {
+        self.config.dispatch = dispatch;
+        if dispatch == DispatchMode::ScopedThreads {
+            self.runtime.0 = None;
+        }
     }
 
     /// Current group count `M`.
@@ -331,6 +367,22 @@ impl CamUnit {
                     .register_scope(&format!("{}/group{g}/block{b}", obs.path))
             })
             .collect();
+        // Pool worker monitoring, once a persistent pool has spun up.
+        let pool_scopes: Vec<(ScopeId, usize, u64)> =
+            self.runtime.0.as_ref().map_or_else(Vec::new, |pool| {
+                pool.worker_stats()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(w, (depth, jobs))| {
+                        (
+                            obs.sink
+                                .register_scope(&format!("{}/pool/worker{w}", obs.path)),
+                            depth,
+                            jobs,
+                        )
+                    })
+                    .collect()
+            });
         obs.sink.with(|o| {
             o.set_counter(obs.scope, "issue_cycles", self.issue_cycles);
             o.set_counter(obs.scope, "update_words", self.update_words);
@@ -367,6 +419,10 @@ impl CamUnit {
                 );
                 o.set_gauge(scope, "occupancy", block.len() as i64);
                 o.set_gauge(scope, "capacity", block.capacity() as i64);
+            }
+            for &(scope, depth, jobs) in &pool_scopes {
+                o.set_gauge(scope, "queue_depth", depth as i64);
+                o.set_counter(scope, "jobs", jobs);
             }
         });
     }
@@ -482,10 +538,17 @@ impl CamUnit {
     ///
     /// # Errors
     ///
-    /// [`CamError::NoSuchGroup`] if `group ≥ M`; [`CamError::Full`] is
-    /// never returned here.
+    /// [`CamError::NoSuchBlock`] if `block` is beyond the unit (checked
+    /// first), [`CamError::NoSuchGroup`] if `group ≥ M`;
+    /// [`CamError::Full`] is never returned here.
     pub fn write_routing_entry(&mut self, block: usize, group: usize) -> Result<(), CamError> {
-        if group >= self.groups || block >= self.routing.len() {
+        if block >= self.routing.len() {
+            return Err(CamError::NoSuchBlock {
+                block,
+                blocks: self.routing.len(),
+            });
+        }
+        if group >= self.groups {
             return Err(CamError::NoSuchGroup {
                 group,
                 groups: self.groups,
@@ -559,6 +622,134 @@ impl CamUnit {
             .collect()
     }
 
+    /// Run `op` over the first `count` groups on the persistent worker
+    /// pool, chunking groups across `lanes` workers exactly as the
+    /// scoped-thread path does (chunk *i* → worker *i*, so observability
+    /// worker attribution is identical). Blocks move into the workers by
+    /// value and come back by value — `forbid(unsafe_code)`-compatible
+    /// sharding. The pool is built lazily and rebuilt when the effective
+    /// worker count changes.
+    ///
+    /// On a poisoned worker the surviving blocks are reinstalled, any
+    /// lost with a dead thread are re-materialised empty, the pool is
+    /// torn down (joining its threads), and
+    /// [`CamError::WorkerPoolPoisoned`] is returned.
+    fn dispatch_pool(
+        &mut self,
+        count: usize,
+        lanes: usize,
+        op: PoolOp,
+    ) -> Result<PoolDispatch, CamError> {
+        #[cfg(feature = "obs")]
+        let dispatched = std::time::Instant::now();
+        let pool_size = self.effective_workers().max(1);
+        if self
+            .runtime
+            .0
+            .as_ref()
+            .is_none_or(|pool| pool.size() != pool_size)
+        {
+            self.runtime.0 = Some(CamRuntime::new(pool_size));
+        }
+        let mut slots: Vec<Option<CamBlock>> = std::mem::take(&mut self.blocks)
+            .into_iter()
+            .map(Some)
+            .collect();
+        let tasks: Vec<GroupTask> = (0..count)
+            .map(|g| GroupTask {
+                group: g,
+                current: self.fill[g].current,
+                blocks: self.fill[g]
+                    .blocks
+                    .iter()
+                    .map(|&b| {
+                        (
+                            b,
+                            slots[b].take().expect("the Routing Table is a partition"),
+                        )
+                    })
+                    .collect(),
+            })
+            .collect();
+        let chunks = chunked(tasks, lanes);
+        let outcome = self
+            .runtime
+            .0
+            .as_ref()
+            .expect("pool built above")
+            .run(chunks, op);
+        let (returned, failed) = match outcome {
+            Ok(run) => (run, None),
+            Err(err) => (
+                PoolRun {
+                    tasks: err.tasks,
+                    ..PoolRun::default()
+                },
+                Some(err.worker),
+            ),
+        };
+        let PoolRun {
+            tasks,
+            fills,
+            results,
+            wait_ns,
+        } = returned;
+        for task in tasks {
+            for (b, block) in task.blocks {
+                slots[b] = Some(block);
+            }
+        }
+        let block_config = self.config.block;
+        self.blocks = slots
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    // Lost inside a dead worker thread: re-materialise an
+                    // empty block so the unit stays structurally sound.
+                    CamBlock::new(block_config).expect("config was validated at construction")
+                })
+            })
+            .collect();
+        if let Some(worker) = failed {
+            // The pool is suspect; tear it down (joining its threads)
+            // and let the next dispatch build a fresh one.
+            self.runtime.0 = None;
+            return Err(CamError::WorkerPoolPoisoned { worker });
+        }
+        #[cfg(feature = "obs")]
+        self.observe_dispatch(&wait_ns, dispatched.elapsed());
+        #[cfg(not(feature = "obs"))]
+        drop(wait_ns);
+        Ok((fills, results))
+    }
+
+    /// Record pool dispatch latency: per-worker queue-wait histograms
+    /// under `{unit}/pool/worker{w}` plus the whole batch's
+    /// dispatch-to-retire wall time under `{unit}/pool`.
+    #[cfg(feature = "obs")]
+    fn observe_dispatch(&self, waits: &[(usize, u64)], elapsed: std::time::Duration) {
+        let Some(obs) = &self.observer else { return };
+        // Scope interning allocates; resolve before taking the batch lock.
+        let worker_scopes: Vec<(ScopeId, u64)> = waits
+            .iter()
+            .map(|&(w, ns)| {
+                (
+                    obs.sink
+                        .register_scope(&format!("{}/pool/worker{w}", obs.path)),
+                    ns,
+                )
+            })
+            .collect();
+        let pool_scope = obs.sink.register_scope(&format!("{}/pool", obs.path));
+        let retire_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        obs.sink.with(|o| {
+            for &(scope, ns) in &worker_scopes {
+                o.observe(scope, "dispatch_wait_ns", ns);
+            }
+            o.observe(pool_scope, "batch_retire_ns", retire_ns);
+        });
+    }
+
     /// Update: replicate `words` to every group and fill round-robin
     /// (Section III-C.2). Atomic: either every group accepts every word or
     /// nothing is written.
@@ -566,7 +757,9 @@ impl CamUnit {
     /// # Errors
     ///
     /// * [`CamError::Full`] if a group lacks space;
-    /// * [`CamError::ValueTooWide`] for words beyond the data width.
+    /// * [`CamError::ValueTooWide`] for words beyond the data width;
+    /// * [`CamError::WorkerPoolPoisoned`] if a pool worker dies mid-write
+    ///   (contents are then unspecified until the next reset).
     pub fn update(&mut self, words: &[u64]) -> Result<(), CamError> {
         if words.is_empty() {
             return Ok(());
@@ -584,17 +777,31 @@ impl CamUnit {
             });
         }
         let workers = self.effective_workers().min(self.groups);
-        let shards = Self::group_shards(&mut self.blocks, &self.fill, self.groups);
-        let mut work: Vec<(usize, usize, Vec<&mut CamBlock>)> = shards
-            .into_iter()
-            .enumerate()
-            .map(|(g, blocks)| (g, self.fill[g].current, blocks))
-            .collect();
         let outcomes: Vec<(usize, usize)> = if workers <= 1 {
-            work.drain(..)
-                .map(|(g, current, mut blocks)| (g, write_group_words(&mut blocks, current, words)))
+            let shards = Self::group_shards(&mut self.blocks, &self.fill, self.groups);
+            shards
+                .into_iter()
+                .enumerate()
+                .map(|(g, mut blocks)| {
+                    (
+                        g,
+                        write_group_words(&mut blocks, self.fill[g].current, words),
+                    )
+                })
                 .collect()
+        } else if self.config.dispatch == DispatchMode::Pool {
+            let op = PoolOp::Update {
+                words: Arc::new(words.to_vec()),
+            };
+            let (fills, _) = self.dispatch_pool(self.groups, workers, op)?;
+            fills
         } else {
+            let shards = Self::group_shards(&mut self.blocks, &self.fill, self.groups);
+            let work: Vec<(usize, usize, Vec<&mut CamBlock>)> = shards
+                .into_iter()
+                .enumerate()
+                .map(|(g, blocks)| (g, self.fill[g].current, blocks))
+                .collect();
             let mut chunks = chunked(work, workers);
             std::thread::scope(|s| {
                 let handles: Vec<_> = chunks
@@ -704,7 +911,9 @@ impl CamUnit {
     ///
     /// # Errors
     ///
-    /// [`CamError::TooManyQueries`] if more keys than groups are presented.
+    /// [`CamError::TooManyQueries`] if more keys than groups are
+    /// presented; [`CamError::WorkerPoolPoisoned`] if a pool worker dies
+    /// mid-search.
     pub fn try_search_multi(&mut self, keys: &[u64]) -> Result<Vec<SearchResult>, CamError> {
         if keys.len() > self.groups {
             return Err(CamError::TooManyQueries {
@@ -727,35 +936,46 @@ impl CamUnit {
         }
         let block_size = self.config.block.block_size;
         let encoding = self.config.block.encoding;
-        let shards = Self::group_shards(&mut self.blocks, &self.fill, keys.len());
-        let work: Vec<(usize, u64, Vec<&mut CamBlock>)> = shards
-            .into_iter()
-            .enumerate()
-            .map(|(g, blocks)| (g, keys[g], blocks))
-            .collect();
-        let mut chunks = chunked(work, workers);
-        let mut answered: Vec<(usize, SearchResult)> = std::thread::scope(|s| {
-            let handles: Vec<_> = chunks
-                .drain(..)
-                .map(|chunk| {
-                    s.spawn(move || {
-                        let mut scratch = GroupScratch::default();
-                        chunk
-                            .into_iter()
-                            .map(|(g, key, mut blocks)| {
-                                search_group_into(&mut blocks, key, block_size, &mut scratch);
-                                let output = encoding.encode(&scratch.combined);
-                                (g, SearchResult { group: g, output })
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
+        let mut answered: Vec<(usize, SearchResult)> = if self.config.dispatch == DispatchMode::Pool
+        {
+            let op = PoolOp::SearchMulti {
+                keys: Arc::new(keys.to_vec()),
+                block_size,
+                encoding,
+            };
+            let (_, results) = self.dispatch_pool(keys.len(), workers, op)?;
+            results
+        } else {
+            let shards = Self::group_shards(&mut self.blocks, &self.fill, keys.len());
+            let work: Vec<(usize, u64, Vec<&mut CamBlock>)> = shards
                 .into_iter()
-                .flat_map(|h| h.join().expect("search worker panicked"))
-                .collect()
-        });
+                .enumerate()
+                .map(|(g, blocks)| (g, keys[g], blocks))
+                .collect();
+            let mut chunks = chunked(work, workers);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .drain(..)
+                    .map(|chunk| {
+                        s.spawn(move || {
+                            let mut scratch = GroupScratch::default();
+                            chunk
+                                .into_iter()
+                                .map(|(g, key, mut blocks)| {
+                                    search_group_into(&mut blocks, key, block_size, &mut scratch);
+                                    let output = encoding.encode(&scratch.combined);
+                                    (g, SearchResult { group: g, output })
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("search worker panicked"))
+                    .collect()
+            })
+        };
         answered.sort_by_key(|&(g, _)| g);
         let results: Vec<SearchResult> = answered.into_iter().map(|(_, result)| result).collect();
         #[cfg(feature = "obs")]
@@ -789,9 +1009,26 @@ impl CamUnit {
     /// identically on every fidelity tier.
     ///
     /// Results come back in the caller's key order, duplicates included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool worker dies mid-batch; use
+    /// [`CamUnit::try_search_stream`] to handle that as a [`CamError`].
     pub fn search_stream(&mut self, keys: &[u64]) -> Vec<SearchResult> {
+        self.try_search_stream(keys)
+            .expect("sharded runtime pool poisoned mid-stream")
+    }
+
+    /// Streaming multi-query search, fallible variant of
+    /// [`CamUnit::search_stream`] (same batching, dedup and counter
+    /// semantics).
+    ///
+    /// # Errors
+    ///
+    /// [`CamError::WorkerPoolPoisoned`] if a pool worker dies mid-batch.
+    pub fn try_search_stream(&mut self, keys: &[u64]) -> Result<Vec<SearchResult>, CamError> {
         if keys.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         // Dedup preserving first-occurrence order; `slots[i]` is the
         // unique-key index answering original key `i`.
@@ -818,6 +1055,16 @@ impl CamUnit {
                 .enumerate()
                 .map(|(j, &key)| self.search_in_group(j % groups, key))
                 .collect()
+        } else if self.config.dispatch == DispatchMode::Pool {
+            let op = PoolOp::SearchStream {
+                unique: Arc::new(unique.clone()),
+                groups,
+                block_size: self.config.block.block_size,
+                encoding: self.config.block.encoding,
+            };
+            let (_, mut answered) = self.dispatch_pool(groups, workers, op)?;
+            answered.sort_by_key(|&(j, _)| j);
+            answered.into_iter().map(|(_, result)| result).collect()
         } else {
             let block_size = self.config.block.block_size;
             let encoding = self.config.block.encoding;
@@ -855,10 +1102,10 @@ impl CamUnit {
         };
         #[cfg(feature = "obs")]
         self.trace_stream(keys.len(), &unique, &answers, issue_base, workers);
-        slots
+        Ok(slots
             .into_iter()
             .map(|slot| answers[slot].clone())
-            .collect()
+            .collect())
     }
 
     /// Search a specific group (the case-study accelerator addresses
@@ -907,29 +1154,39 @@ impl CamUnit {
     /// per-address valid-bit invalidation). Because updates replicate to
     /// every group, the deletion is applied to each group's first match so
     /// the replication invariant survives. Returns whether a match was
-    /// deleted. Freed cells are not reused until the next reset.
+    /// deleted.
+    ///
+    /// Deletion restores capacity: [`CamUnit::len`] drops by one, the
+    /// freed cell joins its block's free-list (reused lowest-address
+    /// first by subsequent updates), and each group's Block Address
+    /// Controller rewinds so round-robin filling revisits the partially
+    /// freed block. The probe searches used to locate matches touch no
+    /// search/cycle counters on any fidelity tier, and a miss consumes no
+    /// issue cycle and emits no observability event.
     pub fn delete_first(&mut self, key: u64) -> bool {
         let mut deleted_any = false;
         for g in 0..self.groups {
             let block_ids = self.fill[g].blocks.clone();
-            for &b in &block_ids {
-                let v = self.blocks[b].search_vector(key);
-                if let Some(cell) = v.first() {
+            for (pos, &b) in block_ids.iter().enumerate() {
+                if let Some(cell) = self.blocks[b].probe_first(key) {
                     self.blocks[b].invalidate(cell);
+                    let fill = &mut self.fill[g];
+                    fill.current = fill.current.min(pos);
                     deleted_any = true;
                     break;
                 }
             }
         }
         if deleted_any {
+            self.entries_per_group = self.entries_per_group.saturating_sub(1);
             self.issue_cycles += 1;
+            #[cfg(feature = "obs")]
+            self.trace_event(Event::Issue {
+                kind: OpKind::Delete,
+                group: 0,
+                worker: 0,
+            });
         }
-        #[cfg(feature = "obs")]
-        self.trace_event(Event::Issue {
-            kind: OpKind::Delete,
-            group: 0,
-            worker: 0,
-        });
         deleted_any
     }
 
@@ -1207,9 +1464,10 @@ fn mask_limit(width: u32) -> u64 {
 /// vectors into `scratch.combined` — the slot-interleaved address math
 /// (`block_within_group * block_size + cell`) done word-wide via
 /// [`MatchVector::or_offset`], with zero per-key allocation. Shared by
-/// the sharded multi-query and streaming search paths (the serial path
-/// in [`CamUnit::search_in_group`] mirrors it over block indices).
-fn search_group_into(
+/// the sharded multi-query and streaming search paths — scoped threads
+/// and [`CamRuntime`] pool workers alike (the serial path in
+/// [`CamUnit::search_in_group`] mirrors it over block indices).
+pub(crate) fn search_group_into(
     blocks: &mut [&mut CamBlock],
     key: u64,
     block_size: usize,
@@ -1225,10 +1483,14 @@ fn search_group_into(
 }
 
 /// Round-robin `words` into one group's blocks starting at fill position
-/// `current`; returns the new position. Shared by the serial and sharded
-/// replicated-update paths. A (custom-routed) group with no blocks
+/// `current`; returns the new position. Shared by the serial, scoped and
+/// pool replicated-update paths. A (custom-routed) group with no blocks
 /// stores nothing.
-fn write_group_words(blocks: &mut [&mut CamBlock], mut current: usize, words: &[u64]) -> usize {
+pub(crate) fn write_group_words(
+    blocks: &mut [&mut CamBlock],
+    mut current: usize,
+    words: &[u64],
+) -> usize {
     if blocks.is_empty() {
         return current;
     }
@@ -1713,5 +1975,224 @@ mod tests {
         cam.set_fidelity(FidelityMode::Fast);
         assert_eq!(cam.config().block.fidelity, FidelityMode::Fast);
         assert_eq!(cam.search(5), before, "same issue cycle bump either way");
+    }
+
+    #[test]
+    fn pool_scoped_and_serial_dispatch_agree() {
+        let build = |workers: usize, dispatch: DispatchMode| {
+            let config = UnitConfig::builder()
+                .data_width(32)
+                .block_size(32)
+                .num_blocks(8)
+                .workers(workers)
+                .dispatch(dispatch)
+                .build()
+                .unwrap();
+            CamUnit::new(config).unwrap()
+        };
+        let serial = exercised(build(1, DispatchMode::Pool));
+        for dispatch in [DispatchMode::Pool, DispatchMode::ScopedThreads] {
+            for workers in [2, 4, 0] {
+                let sharded = exercised(build(workers, dispatch));
+                assert_eq!(serial.0, sharded.0, "{dispatch:?}/{workers}: results");
+                assert_eq!(serial.1, sharded.1, "{dispatch:?}/{workers}: counters");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_dispatch_streams_identically_to_scoped() {
+        let run = |dispatch: DispatchMode| {
+            let config = UnitConfig::builder()
+                .data_width(32)
+                .block_size(16)
+                .num_blocks(8)
+                .workers(4)
+                .dispatch(dispatch)
+                .build()
+                .unwrap();
+            let mut cam = CamUnit::new(config).unwrap();
+            cam.configure_groups(4).unwrap();
+            cam.update(&(0..24).map(|i| i * 5).collect::<Vec<u64>>())
+                .unwrap();
+            let keys: Vec<u64> = (0..50).map(|i| i % 17 * 5).collect();
+            (cam.search_stream(&keys), cam.snapshot())
+        };
+        assert_eq!(run(DispatchMode::Pool), run(DispatchMode::ScopedThreads));
+    }
+
+    #[test]
+    fn poisoned_pool_surfaces_cam_error_and_recovers() {
+        let config = UnitConfig::builder()
+            .data_width(32)
+            .block_size(8)
+            .num_blocks(4)
+            .workers(2)
+            .build()
+            .unwrap();
+        let mut cam = CamUnit::new(config).unwrap();
+        cam.configure_groups(2).unwrap();
+        // Corrupt one group's Block Address Controller so the worker's
+        // round-robin write indexes past the group's block list and
+        // panics inside the pool.
+        cam.fill[0].current = 9;
+        let err = cam.update(&[1, 2]).unwrap_err();
+        assert!(
+            matches!(err, CamError::WorkerPoolPoisoned { .. }),
+            "got {err:?}"
+        );
+        // The unit survives: a reset restores a clean state and the next
+        // dispatch spins up a fresh pool.
+        cam.reset();
+        cam.update(&[7, 8]).unwrap();
+        let hits = cam.search_multi(&[7, 8]);
+        assert!(hits[0].is_match() && hits[1].is_match());
+        assert_eq!(cam.len(), 2);
+    }
+
+    #[test]
+    fn routing_entry_block_range_reported_as_no_such_block() {
+        let mut cam = unit(4, 32);
+        cam.configure_groups(2).unwrap();
+        assert_eq!(
+            cam.write_routing_entry(9, 0).unwrap_err(),
+            CamError::NoSuchBlock {
+                block: 9,
+                blocks: 4
+            }
+        );
+        assert_eq!(
+            cam.write_routing_entry(0, 9).unwrap_err(),
+            CamError::NoSuchGroup {
+                group: 9,
+                groups: 2
+            }
+        );
+        // The block check wins when both are out of range.
+        assert!(matches!(
+            cam.write_routing_entry(9, 9).unwrap_err(),
+            CamError::NoSuchBlock { .. }
+        ));
+    }
+
+    #[test]
+    fn delete_restores_capacity_and_reuses_cells() {
+        let config = UnitConfig::builder()
+            .data_width(32)
+            .block_size(4)
+            .num_blocks(4)
+            .build()
+            .unwrap();
+        let mut cam = CamUnit::new(config).unwrap();
+        cam.configure_groups(2).unwrap();
+        let words: Vec<u64> = (1..=8).collect();
+        cam.update(&words).unwrap(); // full: 8 entries per 2-block group
+        assert!(matches!(cam.update(&[99]), Err(CamError::Full { .. })));
+        assert!(cam.delete_first(3), "entry 3 lives in the first block");
+        assert_eq!(cam.len(), 7, "deletion decrements the entry count");
+        assert!((cam.snapshot().fill_fraction() - 7.0 / 8.0).abs() < 1e-12);
+        assert!(!cam.search(3).is_match());
+        // The freed cell is reusable: the unit is no longer Full and the
+        // replacement lands in the hole (lowest address first).
+        cam.update(&[99]).unwrap();
+        assert_eq!(cam.len(), 8);
+        assert!(cam.search(99).is_match());
+        assert_eq!(
+            cam.search(99).first_address(),
+            Some(2),
+            "replacement fills entry 3's freed cell"
+        );
+        assert!(matches!(cam.update(&[100]), Err(CamError::Full { .. })));
+    }
+
+    #[test]
+    fn delete_probes_and_misses_are_counter_neutral() {
+        let mut cam = unit(4, 32);
+        cam.configure_groups(2).unwrap();
+        cam.update(&[5, 6]).unwrap();
+        let searches: u64 = cam.blocks().iter().map(CamBlock::searches).sum();
+        let cycles_before: u64 = cam.blocks().iter().map(CamBlock::cycles).sum();
+        let (issue, count) = (cam.issue_cycles(), cam.search_count());
+        assert!(!cam.delete_first(777), "miss");
+        assert_eq!(cam.issue_cycles(), issue, "miss consumes no issue cycle");
+        assert_eq!(cam.search_count(), count);
+        assert!(cam.delete_first(5));
+        assert_eq!(cam.issue_cycles(), issue + 1, "hit consumes one");
+        assert_eq!(cam.search_count(), count, "probes are not searches");
+        let after: u64 = cam.blocks().iter().map(CamBlock::searches).sum();
+        assert_eq!(after, searches, "block search counters untouched");
+        // Only the two invalidations (one per group) ticked block cycles.
+        let cycles_after: u64 = cam.blocks().iter().map(CamBlock::cycles).sum();
+        assert_eq!(cycles_after, cycles_before + 2);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn pool_dispatch_publishes_worker_metrics() {
+        use dsp_cam_obs::ObsSink;
+
+        let config = UnitConfig::builder()
+            .data_width(32)
+            .block_size(16)
+            .num_blocks(4)
+            .workers(2)
+            .build()
+            .unwrap();
+        let mut cam = CamUnit::new(config).unwrap();
+        let sink = Arc::new(ObsSink::new());
+        cam.attach_observer(&sink);
+        cam.configure_groups(2).unwrap();
+        cam.update(&[1, 2, 3]).unwrap();
+        cam.search_multi(&[1, 2]);
+        cam.publish_metrics();
+        let snap = sink.snapshot();
+        // Dispatch/retire latency histograms from the two pool dispatches.
+        let retire = snap
+            .registry
+            .histogram("unit/pool", "batch_retire_ns")
+            .expect("batch retire histogram");
+        assert_eq!(retire.count(), 2, "one sample per dispatched batch");
+        let waits: u64 = (0..2)
+            .filter_map(|w| {
+                snap.registry
+                    .histogram(&format!("unit/pool/worker{w}"), "dispatch_wait_ns")
+            })
+            .map(dsp_cam_obs::Histogram::count)
+            .sum();
+        assert_eq!(waits, 4, "two workers waited on each of two batches");
+        // Per-worker queue gauges/counters: both lanes executed both
+        // batches and their queues drained.
+        for w in 0..2 {
+            let scope = format!("unit/pool/worker{w}");
+            assert_eq!(snap.registry.counter(&scope, "jobs"), 2, "worker {w}");
+            assert_eq!(
+                snap.registry.gauge(&scope, "queue_depth"),
+                Some(0),
+                "worker {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn delete_then_update_round_trips_at_full_capacity() {
+        let config = UnitConfig::builder()
+            .data_width(32)
+            .block_size(4)
+            .num_blocks(4)
+            .workers(4)
+            .build()
+            .unwrap();
+        let mut cam = CamUnit::new(config).unwrap();
+        cam.configure_groups(4).unwrap();
+        cam.update(&[10, 20, 30, 40]).unwrap();
+        for round in 0..3 {
+            assert!(cam.delete_first(20), "round {round}");
+            cam.update(&[20]).unwrap();
+            assert_eq!(cam.len(), 4);
+            assert_eq!(cam.audit_shadows(), 0, "round {round}");
+        }
+        for key in [10u64, 20, 30, 40] {
+            assert!(cam.search(key).is_match(), "key {key}");
+        }
     }
 }

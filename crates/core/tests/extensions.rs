@@ -28,9 +28,10 @@ fn block_invalidate_clears_one_entry() {
         "invalidated entry must not hit"
     );
     assert!(block.search(3).is_match());
-    // The hole is not reused: the fill pointer continues forward.
+    // The hole joins the free-list and is reused, lowest address first.
     block.update(&[4]).unwrap();
-    assert_eq!(block.search(4).first_address(), Some(3));
+    assert_eq!(block.search(4).first_address(), Some(1));
+    assert_eq!(block.len(), 3, "invalidation returned the capacity");
 }
 
 #[test]

@@ -41,6 +41,10 @@ fn tier_op(width: u32) -> impl Strategy<Value = TierOp> {
 }
 
 fn build(fidelity: FidelityMode, workers: usize) -> CamUnit {
+    build_dispatch(fidelity, workers, DispatchMode::Pool)
+}
+
+fn build_dispatch(fidelity: FidelityMode, workers: usize, dispatch: DispatchMode) -> CamUnit {
     let config = UnitConfig::builder()
         .data_width(16)
         .block_size(8)
@@ -48,9 +52,22 @@ fn build(fidelity: FidelityMode, workers: usize) -> CamUnit {
         .bus_width(64)
         .fidelity(fidelity)
         .workers(workers)
+        .dispatch(dispatch)
         .build()
         .unwrap();
     CamUnit::new(config).unwrap()
+}
+
+/// Delete/update-heavy operations from a narrow key domain, so deletions
+/// hit stored entries and freed cells get re-filled often.
+fn churn_op() -> impl Strategy<Value = TierOp> {
+    prop_oneof![
+        4 => proptest::collection::vec(0u64..16, 1..4).prop_map(TierOp::Update),
+        4 => (0u64..16).prop_map(TierOp::DeleteFirst),
+        2 => (0u64..16).prop_map(TierOp::Search),
+        2 => proptest::collection::vec(0u64..16, 1..8).prop_map(TierOp::SearchStream),
+        1 => prop_oneof![Just(1usize), Just(2), Just(4)].prop_map(TierOp::ConfigureGroups),
+    ]
 }
 
 /// Apply `op` and return every observable output it produces.
@@ -224,6 +241,74 @@ proptest! {
         prop_assert_eq!(oracle.snapshot(), sharded_turbo.snapshot());
         prop_assert_eq!(block_counters(&oracle), block_counters(&sharded_fast));
         prop_assert_eq!(block_counters(&oracle), block_counters(&sharded_turbo));
+    }
+
+    #[test]
+    fn delete_update_round_trips_coherently_across_tiers_and_workers(
+        ops in proptest::collection::vec(churn_op(), 1..40),
+    ) {
+        // Every tier at workers 1 and 4 (the 4-worker variants dispatch
+        // through the persistent pool) must agree under interleaved
+        // delete/update/search churn, keep coherent shadow indexes, and
+        // round-trip deleted capacity: a full unit becomes writable again
+        // after a deletion.
+        let mut units: Vec<CamUnit> = [
+            (FidelityMode::BitAccurate, 1),
+            (FidelityMode::BitAccurate, 4),
+            (FidelityMode::Fast, 1),
+            (FidelityMode::Fast, 4),
+            (FidelityMode::Turbo, 1),
+            (FidelityMode::Turbo, 4),
+        ]
+        .iter()
+        .map(|&(fidelity, workers)| build(fidelity, workers))
+        .collect();
+        for (i, op) in ops.iter().enumerate() {
+            let (oracle, rest) = units.split_first_mut().unwrap();
+            let want = apply(oracle, op);
+            for (u, cam) in rest.iter_mut().enumerate() {
+                let got = apply(cam, op);
+                prop_assert_eq!(&want, &got, "unit {} diverged at op {} ({:?})", u + 1, i, op);
+            }
+        }
+        for cam in &mut units {
+            prop_assert_eq!(cam.audit_shadows(), 0, "shadow divergence after churn");
+            // Full-capacity round trip: fill, prove Full, delete, refill.
+            let free = cam.capacity() - cam.len();
+            cam.update(&vec![9u64; free]).unwrap();
+            prop_assert!(matches!(cam.update(&[9]), Err(CamError::Full { .. })));
+            if cam.delete_first(9) {
+                cam.update(&[9]).unwrap();
+                prop_assert!(matches!(cam.update(&[9]), Err(CamError::Full { .. })));
+            }
+            prop_assert_eq!(cam.audit_shadows(), 0, "shadow divergence after round trip");
+        }
+        let want = units[0].snapshot();
+        for (u, cam) in units.iter().enumerate().skip(1) {
+            prop_assert_eq!(&want, &cam.snapshot(), "unit {} counters diverged", u);
+        }
+    }
+
+    #[test]
+    fn pool_dispatch_matches_scoped_threads(
+        ops in proptest::collection::vec(tier_op(16), 1..30),
+    ) {
+        // The persistent pool must be a drop-in replacement for per-call
+        // scoped threads: identical results, snapshots and block counters.
+        let mut serial = build_dispatch(FidelityMode::Fast, 1, DispatchMode::Pool);
+        let mut pool = build_dispatch(FidelityMode::Fast, 4, DispatchMode::Pool);
+        let mut scoped = build_dispatch(FidelityMode::Fast, 4, DispatchMode::ScopedThreads);
+        for (i, op) in ops.iter().enumerate() {
+            let a = apply(&mut serial, op);
+            let p = apply(&mut pool, op);
+            let s = apply(&mut scoped, op);
+            prop_assert_eq!(&a, &p, "pool diverged at op {} ({:?})", i, op);
+            prop_assert_eq!(&a, &s, "scoped diverged at op {} ({:?})", i, op);
+        }
+        prop_assert_eq!(serial.snapshot(), pool.snapshot());
+        prop_assert_eq!(serial.snapshot(), scoped.snapshot());
+        prop_assert_eq!(block_counters(&serial), block_counters(&pool));
+        prop_assert_eq!(block_counters(&serial), block_counters(&scoped));
     }
 
     #[test]

@@ -94,10 +94,23 @@ impl PhaseProbe {
 /// assert_eq!(report.triangles, 1);
 /// assert!(report.ms > 0.0);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CamTriangleCounter {
     geometry: CamGeometry,
     costs: PipelineCosts,
+    workers: usize,
+    dispatch: DispatchMode,
+}
+
+impl Default for CamTriangleCounter {
+    fn default() -> Self {
+        CamTriangleCounter {
+            geometry: CamGeometry::default(),
+            costs: PipelineCosts::default(),
+            workers: 1,
+            dispatch: DispatchMode::Pool,
+        }
+    }
 }
 
 impl CamTriangleCounter {
@@ -110,7 +123,22 @@ impl CamTriangleCounter {
     /// Accelerator with explicit geometry/costs (ablation studies).
     #[must_use]
     pub fn with_model(geometry: CamGeometry, costs: PipelineCosts) -> Self {
-        CamTriangleCounter { geometry, costs }
+        CamTriangleCounter {
+            geometry,
+            costs,
+            ..CamTriangleCounter::default()
+        }
+    }
+
+    /// Shard the driven unit's group work across `workers` host threads
+    /// (`0` = one per available core), executed by `dispatch`. Only the
+    /// hardware-model paths are affected; cycle accounting and counts
+    /// are worker-invariant.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize, dispatch: DispatchMode) -> Self {
+        self.workers = workers;
+        self.dispatch = dispatch;
+        self
     }
 
     /// The CAM geometry in use.
@@ -228,6 +256,8 @@ impl CamTriangleCounter {
             .bus_width(512)
             .encoding(Encoding::Priority)
             .fidelity(fidelity)
+            .workers(self.workers)
+            .dispatch(self.dispatch)
             .build()?;
         let mut unit = CamUnit::new(config)?;
         probe.attach_unit(&mut unit);
@@ -354,6 +384,27 @@ mod tests {
             assert_eq!(
                 accurate.intersection_steps, shadow.intersection_steps,
                 "{tier:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hardware_model_is_worker_invariant() {
+        let edges = dsp_cam_graph::generate::erdos_renyi(24, 60, 4);
+        let g = graph(&edges);
+        let serial = CamTriangleCounter::new()
+            .run_on_hardware_model_with(&g, FidelityMode::Turbo)
+            .unwrap();
+        for dispatch in [DispatchMode::Pool, DispatchMode::ScopedThreads] {
+            let sharded = CamTriangleCounter::new()
+                .with_workers(4, dispatch)
+                .run_on_hardware_model_with(&g, FidelityMode::Turbo)
+                .unwrap();
+            assert_eq!(serial.triangles, sharded.triangles, "{dispatch:?}");
+            assert_eq!(serial.cycles, sharded.cycles, "{dispatch:?}");
+            assert_eq!(
+                serial.intersection_steps, sharded.intersection_steps,
+                "{dispatch:?}"
             );
         }
     }

@@ -17,6 +17,17 @@ cargo test -q --offline --workspace
 echo "==> cargo test (--features obs: metrics + tracing instrumented)"
 cargo test -q --offline --workspace --features obs
 
+# The worker-pool runtime must also hold up without test-harness
+# parallelism masking ordering bugs: a single-threaded smoke pass of the
+# runtime + dispatch suites under both feature sets.
+echo "==> cargo test --test-threads=1 smoke (runtime + dispatch, default)"
+cargo test -q --offline -p dsp-cam-core -- runtime pool --test-threads=1
+cargo test -q --offline -p dsp-cam-core --test tier_equivalence pool -- --test-threads=1
+
+echo "==> cargo test --test-threads=1 smoke (runtime + dispatch, obs)"
+cargo test -q --offline -p dsp-cam-core --features obs -- runtime pool --test-threads=1
+cargo test -q --offline -p dsp-cam-core --features obs --test tier_equivalence pool -- --test-threads=1
+
 echo "==> clippy + compile-check the obs example"
 cargo clippy --offline --features obs --example trace_report -- -D warnings
 
