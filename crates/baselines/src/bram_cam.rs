@@ -77,7 +77,10 @@ impl Cam for BramCam {
     fn insert(&mut self, value: u64) -> Result<(), CamError> {
         self.geometry.check_value(value)?;
         if self.fill >= self.geometry.entries {
-            return Err(CamError::Full { rejected: 1 });
+            return Err(CamError::Full {
+                rejected: 1,
+                group: None,
+            });
         }
         let entry = self.fill;
         for chunk in 0..self.tables.len() {

@@ -51,7 +51,10 @@ impl Cam for DspCascadeCam {
     fn insert(&mut self, value: u64) -> Result<(), CamError> {
         self.geometry.check_value(value)?;
         if self.chain.len() >= self.geometry.entries {
-            return Err(CamError::Full { rejected: 1 });
+            return Err(CamError::Full {
+                rejected: 1,
+                group: None,
+            });
         }
         // New entries shift in at the head of the cascade.
         self.chain.insert(0, value);

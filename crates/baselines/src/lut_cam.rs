@@ -53,7 +53,10 @@ impl Cam for LutCam {
     fn insert(&mut self, value: u64) -> Result<(), CamError> {
         self.geometry.check_value(value)?;
         if self.fill >= self.entries.len() {
-            return Err(CamError::Full { rejected: 1 });
+            return Err(CamError::Full {
+                rejected: 1,
+                group: None,
+            });
         }
         self.entries[self.fill] = Some(value);
         self.fill += 1;

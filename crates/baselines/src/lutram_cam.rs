@@ -81,7 +81,10 @@ impl Cam for LutramCam {
     fn insert(&mut self, value: u64) -> Result<(), CamError> {
         self.geometry.check_value(value)?;
         if self.fill >= self.geometry.entries {
-            return Err(CamError::Full { rejected: 1 });
+            return Err(CamError::Full {
+                rejected: 1,
+                group: None,
+            });
         }
         let entry = self.fill;
         // The hardware walk: every row of every chunk table is visited to

@@ -61,7 +61,10 @@ impl Cam for DspCamAdapter {
 
     fn insert(&mut self, value: u64) -> Result<(), CamError> {
         if self.unit.len() >= self.requested_entries {
-            return Err(CamError::Full { rejected: 1 });
+            return Err(CamError::Full {
+                rejected: 1,
+                group: None,
+            });
         }
         self.unit.update(&[value])
     }

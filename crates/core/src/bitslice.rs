@@ -190,6 +190,58 @@ impl BitSliceIndex {
         self.planes[base + key_bit % self.width] ^= 1u64 << (cell % 64);
     }
 
+    /// Flip a cell's membership bit in one `match_if_1` plane — the
+    /// complementary upset to [`BitSliceIndex::corrupt_plane_bit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn corrupt_one_plane_bit(&mut self, cell: usize, key_bit: usize) {
+        assert!(cell < self.len, "cell {cell} out of range {}", self.len);
+        let base = (cell / 64) * 2 * self.width;
+        self.planes[base + self.width + key_bit % self.width] ^= 1u64 << (cell % 64);
+    }
+
+    /// Flip a cell's shadowed valid bit — models an upset in the packed
+    /// valid bitmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn corrupt_valid_bit(&mut self, cell: usize) {
+        assert!(cell < self.len, "cell {cell} out of range {}", self.len);
+        self.valid[cell / 64] ^= 1 << (cell % 64);
+    }
+
+    /// Audit a single cell against its oracle: `true` when any of the
+    /// cell's `2 × width` plane bits or its valid bit diverges from what
+    /// [`BitSliceIndex::refresh`] would program. `O(width)` — the core
+    /// the scrubber walks, unlike [`BitSliceIndex::audit`] which rebuilds
+    /// a whole expected index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    #[must_use]
+    pub fn audit_cell(&self, cell: usize, from: &CamCell) -> bool {
+        assert!(cell < self.len, "cell {cell} out of range {}", self.len);
+        let stored = from.stored() & M48;
+        let care = !from.pattern_mask().value() & M48;
+        let bit = 1u64 << (cell % 64);
+        let base = (cell / 64) * 2 * self.width;
+        if (self.valid[cell / 64] & bit != 0) != from.is_valid() {
+            return true;
+        }
+        (0..self.width).any(|b| {
+            let cares = care >> b & 1 == 1;
+            let one = stored >> b & 1 == 1;
+            let want_zero = !cares || !one;
+            let want_one = !cares || one;
+            (self.planes[base + b] & bit != 0) != want_zero
+                || (self.planes[base + self.width + b] & bit != 0) != want_one
+        })
+    }
+
     /// Broadcast `key` into `scratch` as packed match words, reusing the
     /// buffer's allocation: `scratch[w]` bit `i` is the match flag of
     /// cell `w * 64 + i`.

@@ -22,8 +22,12 @@ use crate::cell::CamCell;
 use crate::config::{BlockConfig, FidelityMode};
 use crate::encoder::{MatchVector, SearchOutput};
 use crate::error::{CamError, ConfigError};
+use crate::faults::ShadowFault;
 use crate::mask::RangeSpec;
 use crate::match_index::MatchIndex;
+
+/// Mask selecting the DSP datapath's 48 bits.
+const M48: u64 = (1 << 48) - 1;
 
 /// A CAM block: cells plus update/search control and the result encoder.
 ///
@@ -247,8 +251,83 @@ impl CamBlock {
     ///
     /// Panics if `cell` is out of range.
     pub fn inject_shadow_fault(&mut self, cell: usize) {
-        self.index.corrupt_stored_bit(cell, 0);
-        self.bitslice.corrupt_plane_bit(cell, 0);
+        self.inject_fault_at(ShadowFault::IndexStored { cell, bit: 0 });
+        self.inject_fault_at(ShadowFault::Plane {
+            cell,
+            key_bit: 0,
+            one_plane: false,
+        });
+    }
+
+    /// Apply one targeted [`ShadowFault`] to this block's shadow
+    /// structures (the DSP oracle is untouched). Subsumes
+    /// [`CamBlock::inject_shadow_fault`]; the general entry point of the
+    /// fault injector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault addresses a cell out of range.
+    pub fn inject_fault_at(&mut self, fault: ShadowFault) {
+        match fault {
+            ShadowFault::IndexStored { cell, bit } => self.index.corrupt_stored_bit(cell, bit),
+            ShadowFault::IndexCare { cell, bit } => self.index.corrupt_care_bit(cell, bit),
+            ShadowFault::IndexValid { cell } => self.index.corrupt_valid_bit(cell),
+            ShadowFault::Plane {
+                cell,
+                key_bit,
+                one_plane,
+            } => {
+                if one_plane {
+                    self.bitslice.corrupt_one_plane_bit(cell, key_bit);
+                } else {
+                    self.bitslice.corrupt_plane_bit(cell, key_bit);
+                }
+            }
+            ShadowFault::PlaneValid { cell } => self.bitslice.corrupt_valid_bit(cell),
+        }
+    }
+
+    /// Audit one cell's entries in both shadow tiers against the DSP
+    /// oracle and repair them in place when divergent. Returns how many
+    /// shadow entries (0, 1 or 2) were divergent — the scrubber's inner
+    /// step. `O(width)` when clean; repair re-shadows the cell exactly
+    /// like any mutation would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn scrub_cell(&mut self, cell: usize) -> usize {
+        let divergent = usize::from(self.index.audit_cell(cell, &self.cells[cell]))
+            + usize::from(self.bitslice.audit_cell(cell, &self.cells[cell]));
+        if divergent > 0 {
+            self.reshadow(cell);
+        }
+        divergent
+    }
+
+    /// Scrub every cell of the block (the governor's bulk-repair path
+    /// after a cross-check divergence). Returns total divergent shadow
+    /// entries repaired.
+    pub fn scrub_all(&mut self) -> usize {
+        (0..self.cells.len())
+            .map(|cell| self.scrub_cell(cell))
+            .sum()
+    }
+
+    /// Match vector for `key` computed straight from the DSP oracle cell
+    /// state — no shadow structure is consulted, no counter or cycle is
+    /// ticked, and `self` stays immutable. This is the reference answer
+    /// the scrubber's sampled cross-check compares the configured tier
+    /// against (and what repair re-derives).
+    pub fn oracle_vector_into(&self, key: u64, out: &mut MatchVector) {
+        let key = self.mask_key(key) & M48;
+        out.reset(self.cells.len());
+        for (i, cell) in self.cells.iter().enumerate() {
+            let care = !cell.pattern_mask().value() & M48;
+            if cell.is_valid() && ((cell.stored() & M48) ^ key) & care == 0 {
+                out.set(i);
+            }
+        }
     }
 
     fn mask_key(&self, key: u64) -> u64 {
@@ -274,6 +353,7 @@ impl CamBlock {
         if words.len() > self.free_slots() {
             return Err(CamError::Full {
                 rejected: words.len() - self.free_slots(),
+                group: None,
             });
         }
         // Validate before mutating so the operation is atomic.
@@ -318,6 +398,7 @@ impl CamBlock {
         if ranges.len() > self.free_slots() {
             return Err(CamError::Full {
                 rejected: ranges.len() - self.free_slots(),
+                group: None,
             });
         }
         for &range in ranges {
@@ -447,7 +528,10 @@ impl CamBlock {
             return Err(CamError::KindMismatch);
         }
         if self.is_full() {
-            return Err(CamError::Full { rejected: 1 });
+            return Err(CamError::Full {
+                rejected: 1,
+                group: None,
+            });
         }
         let limit = self.mask_key(u64::MAX);
         if value > limit || dont_care > limit {
@@ -477,6 +561,17 @@ impl CamBlock {
         self.write_ptr = 0;
         self.holes.clear();
         self.cycles += 1;
+    }
+
+    /// Reset every `#[serde(skip)]` field to its deserialization
+    /// default — the block half of [`CamUnit::rehydrate`]
+    /// (crate::unit::CamUnit::rehydrate)'s wire-round-trip model.
+    pub(crate) fn reset_transients(&mut self) {
+        self.vector_scratch = MatchVector::default();
+        #[cfg(feature = "obs")]
+        {
+            self.obs = BlockObs::default();
+        }
     }
 
     /// The stored values of the occupied (valid) cells, in address order.
@@ -566,7 +661,13 @@ mod tests {
         let mut b = block(4);
         b.update(&[1, 2, 3]).unwrap();
         let err = b.update(&[4, 5]).unwrap_err();
-        assert_eq!(err, CamError::Full { rejected: 1 });
+        assert_eq!(
+            err,
+            CamError::Full {
+                rejected: 1,
+                group: None
+            }
+        );
         // Nothing from the failed beat landed.
         assert_eq!(b.len(), 3);
         assert!(!b.search(4).is_match());
@@ -801,6 +902,81 @@ mod tests {
         assert!(b.update_ranges(&[RangeSpec::new(0, 2).unwrap()]).is_err());
         assert_eq!(b.len(), 1, "failed write must not consume a cell");
         assert_eq!(b.free_slots(), 7);
+    }
+
+    #[test]
+    fn scrub_cell_detects_and_repairs_every_fault_shape() {
+        let faults = [
+            ShadowFault::IndexStored { cell: 2, bit: 5 },
+            ShadowFault::IndexCare { cell: 2, bit: 0 },
+            ShadowFault::IndexValid { cell: 3 },
+            ShadowFault::Plane {
+                cell: 1,
+                key_bit: 3,
+                one_plane: false,
+            },
+            ShadowFault::Plane {
+                cell: 1,
+                key_bit: 3,
+                one_plane: true,
+            },
+            ShadowFault::PlaneValid { cell: 0 },
+        ];
+        for fault in faults {
+            let mut b = block(8);
+            b.update(&[10, 20, 30, 40]).unwrap();
+            b.inject_fault_at(fault);
+            assert_eq!(b.audit_shadows(), 1, "{fault:?}");
+            let cell = match fault {
+                ShadowFault::IndexStored { cell, .. }
+                | ShadowFault::IndexCare { cell, .. }
+                | ShadowFault::IndexValid { cell }
+                | ShadowFault::Plane { cell, .. }
+                | ShadowFault::PlaneValid { cell } => cell,
+            };
+            // Scrubbing an unrelated cell repairs nothing.
+            assert_eq!(b.scrub_cell((cell + 1) % 8), 0, "{fault:?}");
+            assert_eq!(b.scrub_cell(cell), 1, "{fault:?}");
+            assert_eq!(b.audit_shadows(), 0, "{fault:?}");
+            assert_eq!(b.scrub_cell(cell), 0, "repair is idempotent");
+        }
+    }
+
+    #[test]
+    fn scrub_all_repairs_a_multi_cell_campaign() {
+        let mut b = block(16);
+        b.update(&[1, 2, 3, 4, 5]).unwrap();
+        b.inject_shadow_fault(0);
+        b.inject_shadow_fault(4);
+        b.inject_fault_at(ShadowFault::IndexValid { cell: 9 });
+        assert_eq!(b.audit_shadows(), 5);
+        assert_eq!(b.scrub_all(), 5);
+        assert_eq!(b.audit_shadows(), 0);
+        assert_eq!(b.scrub_all(), 0, "second sweep finds nothing");
+    }
+
+    #[test]
+    fn oracle_vector_is_counter_neutral_and_fault_immune() {
+        use crate::config::FidelityMode;
+        let mut b = block(8);
+        b.update(&[5, 9, 5]).unwrap();
+        b.inject_shadow_fault(0);
+        b.inject_fault_at(ShadowFault::PlaneValid { cell: 1 });
+        let (c, s) = (b.cycles(), b.searches());
+        let mut oracle = MatchVector::default();
+        b.oracle_vector_into(5, &mut oracle);
+        assert_eq!((b.cycles(), b.searches()), (c, s), "counter neutral");
+        assert_eq!(oracle.first(), Some(0));
+        assert_eq!(oracle.count(), 2, "faulted shadows don't affect it");
+        b.scrub_all();
+        for fidelity in [
+            FidelityMode::BitAccurate,
+            FidelityMode::Fast,
+            FidelityMode::Turbo,
+        ] {
+            b.set_fidelity(fidelity);
+            assert_eq!(b.search_vector(5), oracle, "{fidelity:?}");
+        }
     }
 
     #[test]

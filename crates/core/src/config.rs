@@ -57,6 +57,55 @@ pub enum DispatchMode {
     ScopedThreads,
 }
 
+/// Background scrubbing and self-healing policy.
+///
+/// When set on [`UnitConfig::scrub`], the unit amortises an integrity
+/// sweep over its own operations: every update/search/delete also
+/// audits `cells_per_op` cells of shadow state against the DSP oracle
+/// and repairs divergence in place (see [`crate::scrub`]). Search paths
+/// additionally cross-check one answer in every `crosscheck_interval`
+/// against the oracle; a divergent answer is repaired and degrades the
+/// tier one step (Turbo → Fast → BitAccurate). After `restore_after`
+/// consecutive clean full sweeps the original tier is restored.
+///
+/// `strict` selects error semantics on a cross-check divergence:
+/// `false` (self-healing, the default) silently serves the corrected
+/// answer; `true` additionally surfaces
+/// [`CamError::ShadowDivergence`](crate::error::CamError::ShadowDivergence)
+/// from the fallible search paths — state is still repaired either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrubPolicy {
+    /// Shadow cells audited (and repaired if divergent) per operation.
+    pub cells_per_op: usize,
+    /// Cross-check one search answer against the oracle every this many
+    /// unique searched keys (`0` disables cross-checking).
+    pub crosscheck_interval: u64,
+    /// Consecutive clean full sweeps before a degraded tier is restored.
+    pub restore_after: u64,
+    /// Surface [`CamError::ShadowDivergence`](crate::error::CamError::ShadowDivergence)
+    /// instead of healing silently.
+    pub strict: bool,
+}
+
+impl Default for ScrubPolicy {
+    /// The default policy: 32 cells per op, one cross-check per 8192
+    /// unique keys, restore after 4 clean sweeps, self-healing mode.
+    ///
+    /// Each cross-check replays the answer through the bit-accurate
+    /// oracle — a full group scan — so the interval dominates the scrub
+    /// tax on the fast tiers. These rates keep default-policy scrubbing
+    /// under 5% of Turbo `search_stream` throughput at 8192 entries
+    /// (tracked as `scrub_overhead_pct` in `BENCH_search.json`).
+    fn default() -> Self {
+        ScrubPolicy {
+            cells_per_op: 32,
+            crosscheck_interval: 8192,
+            restore_after: 4,
+            strict: false,
+        }
+    }
+}
+
 /// Cell-level parameters (Table III, "CAM Cell").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CellConfig {
@@ -242,6 +291,16 @@ pub struct UnitConfig {
     /// pool (the default) or run on per-call scoped threads.
     #[serde(default)]
     pub dispatch: DispatchMode,
+    /// Background scrubbing / self-healing policy. `None` (the default)
+    /// disables scrubbing, cross-checking and tier degradation.
+    #[serde(default)]
+    pub scrub: Option<ScrubPolicy>,
+    /// Deadline in milliseconds for one pool dispatch; a worker that has
+    /// not answered by then poisons the pool and the call fails with
+    /// [`CamError::DispatchTimeout`](crate::error::CamError::DispatchTimeout).
+    /// `0` (the default) waits forever.
+    #[serde(default)]
+    pub dispatch_deadline_ms: u64,
 }
 
 impl UnitConfig {
@@ -323,6 +382,8 @@ pub struct UnitConfigBuilder {
     fidelity: FidelityMode,
     workers: usize,
     dispatch: DispatchMode,
+    scrub: Option<ScrubPolicy>,
+    dispatch_deadline_ms: u64,
 }
 
 impl Default for UnitConfigBuilder {
@@ -340,6 +401,8 @@ impl Default for UnitConfigBuilder {
             fidelity: FidelityMode::BitAccurate,
             workers: 1,
             dispatch: DispatchMode::Pool,
+            scrub: None,
+            dispatch_deadline_ms: 0,
         }
     }
 }
@@ -433,6 +496,22 @@ impl UnitConfigBuilder {
         self
     }
 
+    /// Enable background scrubbing / self-healing with the given policy
+    /// (defaults to off).
+    #[must_use]
+    pub fn scrub(mut self, policy: ScrubPolicy) -> Self {
+        self.scrub = Some(policy);
+        self
+    }
+
+    /// Set the pool dispatch deadline in milliseconds (default `0` =
+    /// wait forever).
+    #[must_use]
+    pub fn dispatch_deadline_ms(mut self, ms: u64) -> Self {
+        self.dispatch_deadline_ms = ms;
+        self
+    }
+
     /// Validate and produce the configuration.
     ///
     /// # Errors
@@ -460,6 +539,8 @@ impl UnitConfigBuilder {
             bus_width: self.bus_width,
             workers: self.workers,
             dispatch: self.dispatch,
+            scrub: self.scrub,
+            dispatch_deadline_ms: self.dispatch_deadline_ms,
         };
         config.validate()?;
         Ok(config)
@@ -617,6 +698,24 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(scoped.dispatch, DispatchMode::ScopedThreads);
+    }
+
+    #[test]
+    fn scrub_policy_defaults_pinned() {
+        let p = ScrubPolicy::default();
+        assert_eq!(p.cells_per_op, 32);
+        assert_eq!(p.crosscheck_interval, 8192);
+        assert_eq!(p.restore_after, 4, "K (clean sweeps to restore) is 4");
+        assert!(!p.strict, "self-healing mode is the default");
+        assert_eq!(UnitConfig::default().scrub, None, "scrubbing is opt-in");
+        assert_eq!(UnitConfig::default().dispatch_deadline_ms, 0);
+        let c = UnitConfig::builder()
+            .scrub(ScrubPolicy::default())
+            .dispatch_deadline_ms(250)
+            .build()
+            .unwrap();
+        assert_eq!(c.scrub, Some(ScrubPolicy::default()));
+        assert_eq!(c.dispatch_deadline_ms, 250);
     }
 
     #[test]

@@ -152,7 +152,10 @@ impl DenseCamBlock {
     /// * [`CamError::ValueTooWide`] for values beyond 12 bits.
     pub fn insert(&mut self, value: u64) -> Result<(), CamError> {
         if self.write_ptr >= self.capacity() {
-            return Err(CamError::Full { rejected: 1 });
+            return Err(CamError::Full {
+                rejected: 1,
+                group: None,
+            });
         }
         if value > LANE_MAX {
             return Err(CamError::ValueTooWide {

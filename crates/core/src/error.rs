@@ -103,6 +103,9 @@ pub enum CamError {
     Full {
         /// Entries the operation could not place.
         rejected: usize,
+        /// The capacity-limiting group, when the rejection happened at
+        /// unit scope (`None` for standalone blocks).
+        group: Option<usize>,
     },
     /// A value wider than the configured data width was presented.
     ValueTooWide {
@@ -145,14 +148,38 @@ pub enum CamError {
     /// A range entry was presented to a non-range-matching CAM (or vice
     /// versa a plain value to an RMCAM update path that expects ranges).
     KindMismatch,
+    /// A sampled cross-check caught a shadow answer diverging from the
+    /// DSP oracle. The divergent state has already been repaired and the
+    /// tier degraded; this error is only surfaced under
+    /// [`ScrubPolicy::strict`](crate::config::ScrubPolicy).
+    ShadowDivergence {
+        /// The group whose answer diverged.
+        group: usize,
+        /// The (masked) search key that exposed the divergence.
+        key: u64,
+    },
+    /// A pool worker failed to answer within the configured
+    /// [`dispatch_deadline_ms`](crate::config::UnitConfig::dispatch_deadline_ms).
+    /// The pool is torn down and rebuilt on the next dispatch; blocks
+    /// held by the stalled worker are re-materialised empty.
+    DispatchTimeout {
+        /// The pool worker that stalled.
+        worker: usize,
+        /// How long the dispatcher waited, in milliseconds.
+        waited_ms: u64,
+    },
 }
 
 impl fmt::Display for CamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CamError::Full { rejected } => {
-                write!(f, "CAM is full; {rejected} entries were rejected")
-            }
+            CamError::Full { rejected, group } => match group {
+                Some(group) => write!(
+                    f,
+                    "CAM group {group} is full; {rejected} entries were rejected"
+                ),
+                None => write!(f, "CAM is full; {rejected} entries were rejected"),
+            },
             CamError::ValueTooWide { value, data_width } => write!(
                 f,
                 "value {value:#x} does not fit in the {data_width}-bit data width"
@@ -179,6 +206,14 @@ impl fmt::Display for CamError {
             CamError::KindMismatch => {
                 write!(f, "operation does not match the configured CAM kind")
             }
+            CamError::ShadowDivergence { group, key } => write!(
+                f,
+                "shadow answer for key {key:#x} in group {group} diverged from the DSP oracle (repaired; tier degraded)"
+            ),
+            CamError::DispatchTimeout { worker, waited_ms } => write!(
+                f,
+                "pool worker {worker} missed the dispatch deadline after {waited_ms} ms"
+            ),
         }
     }
 }
@@ -233,7 +268,18 @@ mod tests {
 
     #[test]
     fn cam_error_messages() {
-        assert!(CamError::Full { rejected: 2 }.to_string().contains('2'));
+        assert!(CamError::Full {
+            rejected: 2,
+            group: None
+        }
+        .to_string()
+        .contains('2'));
+        let msg = CamError::Full {
+            rejected: 2,
+            group: Some(1),
+        }
+        .to_string();
+        assert!(msg.contains('2') && msg.contains("group 1"), "{msg:?}");
         assert!(CamError::ValueTooWide {
             value: 0x100,
             data_width: 8
@@ -261,6 +307,18 @@ mod tests {
         let msg = CamError::WorkerPoolPoisoned { worker: 3 }.to_string();
         assert!(msg.contains('3') && msg.contains("panicked"), "{msg:?}");
         assert!(!CamError::KindMismatch.to_string().is_empty());
+        let msg = CamError::ShadowDivergence {
+            group: 2,
+            key: 0xAB,
+        }
+        .to_string();
+        assert!(msg.contains("0xab") && msg.contains("group 2"), "{msg:?}");
+        let msg = CamError::DispatchTimeout {
+            worker: 1,
+            waited_ms: 50,
+        }
+        .to_string();
+        assert!(msg.contains("50") && msg.contains("deadline"), "{msg:?}");
     }
 
     #[test]

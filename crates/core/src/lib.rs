@@ -54,12 +54,14 @@ pub mod config;
 pub mod dense;
 pub mod encoder;
 pub mod error;
+pub mod faults;
 pub mod func;
 pub mod kind;
 pub mod mask;
 pub mod match_index;
 pub mod pipelined;
 pub mod runtime;
+pub mod scrub;
 pub mod unit;
 pub mod verilog;
 
@@ -68,16 +70,20 @@ pub mod prelude {
     pub use crate::bitslice::BitSliceIndex;
     pub use crate::block::CamBlock;
     pub use crate::cell::CamCell;
-    pub use crate::config::{BlockConfig, CellConfig, DispatchMode, FidelityMode, UnitConfig};
+    pub use crate::config::{
+        BlockConfig, CellConfig, DispatchMode, FidelityMode, ScrubPolicy, UnitConfig,
+    };
     pub use crate::dense::DenseCamBlock;
     pub use crate::encoder::{Encoding, MatchVector, SearchOutput};
     pub use crate::error::{CamError, ConfigError};
+    pub use crate::faults::{FaultPlan, FaultRates, FaultSite, ShadowFault};
     pub use crate::func::RefCam;
     pub use crate::kind::CamKind;
     pub use crate::mask::{range_mask, width_mask, CamMask, RangeSpec};
     pub use crate::match_index::MatchIndex;
     pub use crate::pipelined::{Completion, Op, StreamingCam};
     pub use crate::runtime::CamRuntime;
+    pub use crate::scrub::ScrubReport;
     pub use crate::unit::{CamUnit, SearchResult};
     pub use crate::verilog::RtlBundle;
 }

@@ -103,12 +103,7 @@ impl MatchIndex {
         cells
             .iter()
             .enumerate()
-            .filter(|&(i, cell)| {
-                let valid = self.valid[i / 64] >> (i % 64) & 1 == 1;
-                valid != cell.is_valid()
-                    || self.stored[i] != cell.stored() & M48
-                    || self.care[i] != !cell.pattern_mask().value() & M48
-            })
+            .filter(|&(i, cell)| self.audit_cell(i, cell))
             .count()
     }
 
@@ -122,6 +117,45 @@ impl MatchIndex {
     pub fn corrupt_stored_bit(&mut self, cell: usize, bit: u32) {
         assert!(cell < self.len, "cell {cell} out of range {}", self.len);
         self.stored[cell] ^= 1 << (bit % 48);
+    }
+
+    /// Flip one bit of a cell's shadowed care mask — models an upset in
+    /// the mask copy, which silently widens or narrows the compare.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn corrupt_care_bit(&mut self, cell: usize, bit: u32) {
+        assert!(cell < self.len, "cell {cell} out of range {}", self.len);
+        self.care[cell] ^= 1 << (bit % 48);
+    }
+
+    /// Flip a cell's shadowed valid bit — models an upset in the packed
+    /// valid bitmap (a ghost match or a silently dropped entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn corrupt_valid_bit(&mut self, cell: usize) {
+        assert!(cell < self.len, "cell {cell} out of range {}", self.len);
+        self.valid[cell / 64] ^= 1 << (cell % 64);
+    }
+
+    /// Audit a single cell against its oracle: `true` when the shadowed
+    /// state (stored word, care mask or valid bit) diverges. The O(1)
+    /// core the scrubber walks; [`MatchIndex::audit`] is the whole-block
+    /// fold over it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    #[must_use]
+    pub fn audit_cell(&self, cell: usize, from: &CamCell) -> bool {
+        assert!(cell < self.len, "cell {cell} out of range {}", self.len);
+        let valid = self.valid[cell / 64] >> (cell % 64) & 1 == 1;
+        valid != from.is_valid()
+            || self.stored[cell] != from.stored() & M48
+            || self.care[cell] != !from.pattern_mask().value() & M48
     }
 
     /// Broadcast `key` into `scratch` as packed match words, reusing the

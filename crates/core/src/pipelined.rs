@@ -164,6 +164,13 @@ impl StreamingCam {
         self.cycle
     }
 
+    /// Audit every block's shadow tiers against the DSP oracle and
+    /// return the number of divergent entries — the streaming façade of
+    /// [`CamUnit::audit_shadows`] (same counters and obs side effects).
+    pub fn audit_shadows(&self) -> usize {
+        self.unit.audit_shadows()
+    }
+
     /// Queue one operation for the next clock edge.
     ///
     /// # Errors
@@ -237,7 +244,13 @@ impl Clocked for StreamingCam {
                 let result = self.unit.search_stream(&keys);
                 (None, Some(Completion::SearchStream(result)))
             }
-            None => (None, None),
+            None => {
+                // An idle cycle still advances the background scrubber —
+                // exactly like a hardware scrub engine stealing unused
+                // port cycles (no-op without a configured policy).
+                self.unit.scrub_tick();
+                (None, None)
+            }
         };
         let issued = self.cycle;
         let from_update = self.update_pipe.shift(into_update.map(|c| (issued, c)));
@@ -432,7 +445,7 @@ mod tests {
         cam.issue(Op::Update(vec![1, 2, 3])).unwrap(); // over capacity
         cam.drain();
         match &cam.drain_retired()[0].1 {
-            Completion::Update(Err(CamError::Full { rejected })) => assert_eq!(*rejected, 1),
+            Completion::Update(Err(CamError::Full { rejected, .. })) => assert_eq!(*rejected, 1),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -86,6 +86,15 @@ pub(crate) enum PoolOp {
         /// Result encoding.
         encoding: Encoding,
     },
+    /// Test-only: sleep inside each group task, simulating a stalled
+    /// worker for the dispatch-deadline path.
+    #[cfg(test)]
+    StallMs(u64),
+    /// Test-only: panic while the shared fuse is armed, succeed once it
+    /// is spent — the one-shot failure behind the retry-with-rebuild
+    /// tests. Harmless and idempotent by construction.
+    #[cfg(test)]
+    FailOnce(Arc<std::sync::atomic::AtomicBool>),
 }
 
 /// A unit of work handed to one worker: some group tasks plus the op.
@@ -122,14 +131,19 @@ pub(crate) struct PoolRun {
     pub wait_ns: Vec<(usize, u64)>,
 }
 
-/// A failed dispatch: a worker panicked (blocks still returned) or died
-/// (its blocks are lost; the unit re-materialises empty ones).
+/// A failed dispatch: a worker panicked (blocks still returned), died
+/// (its blocks are lost; the unit re-materialises empty ones), or — with
+/// a deadline — stalled past it (its blocks are abandoned to the same
+/// re-materialisation path).
 #[derive(Debug)]
 pub(crate) struct PoolError {
     /// The worker that failed.
     pub worker: usize,
     /// Group tasks that made it back despite the failure.
     pub tasks: Vec<GroupTask>,
+    /// Whether the failure was a missed dispatch deadline rather than a
+    /// panic or a dead worker.
+    pub timed_out: bool,
 }
 
 /// One pool worker: its bounded work queue, monitoring counters and
@@ -204,11 +218,17 @@ impl CamRuntime {
     /// Chunk order is significant: the unit's observability layer
     /// attributes group `g` to the worker `chunked` assigned it to.
     ///
+    /// With a `deadline`, the wait for completions is bounded: once the
+    /// whole batch has been outstanding that long, the first silent lane
+    /// is reported as stalled (`timed_out`) and its blocks abandoned —
+    /// the caller tears the pool down, which joins the stalled thread
+    /// whenever it finally yields.
+    ///
     /// # Errors
     ///
-    /// [`PoolError`] if any worker panicked mid-job or died; the blocks
-    /// of surviving jobs (and of panicked-but-caught jobs) are returned
-    /// inside it.
+    /// [`PoolError`] if any worker panicked mid-job, died, or missed the
+    /// deadline; the blocks of surviving jobs (and of
+    /// panicked-but-caught jobs) are returned inside it.
     ///
     /// # Panics
     ///
@@ -218,6 +238,7 @@ impl CamRuntime {
         &self,
         chunks: Vec<Vec<GroupTask>>,
         op: PoolOp,
+        deadline: Option<std::time::Duration>,
     ) -> Result<PoolRun, PoolError> {
         assert!(
             chunks.len() <= self.workers.len(),
@@ -255,9 +276,28 @@ impl CamRuntime {
             }
         }
         drop(done_tx);
+        let started = Instant::now();
+        let mut timed_out = false;
         for _ in 0..outstanding.len() {
-            match done_rx.recv() {
-                Ok(done) => {
+            let next = match deadline {
+                Some(limit) => {
+                    let remaining = limit.saturating_sub(started.elapsed());
+                    match done_rx.recv_timeout(remaining) {
+                        Ok(done) => Some(done),
+                        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                            // A worker is stalled past the deadline; the
+                            // first silent lane identifies it.
+                            timed_out = true;
+                            failed.get_or_insert(outstanding.first().copied().unwrap_or(0));
+                            break;
+                        }
+                        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => None,
+                    }
+                }
+                None => done_rx.recv().ok(),
+            };
+            match next {
+                Some(done) => {
                     outstanding.retain(|&w| w != done.worker);
                     run.wait_ns.push((done.worker, done.wait_ns));
                     run.tasks.extend(done.tasks);
@@ -268,7 +308,7 @@ impl CamRuntime {
                         run.results.extend(done.results);
                     }
                 }
-                Err(_) => {
+                None => {
                     // Every sender is gone yet replies are missing: a
                     // worker died without replying and its blocks are
                     // lost. The first silent lane identifies it.
@@ -282,6 +322,7 @@ impl CamRuntime {
             Some(worker) => Err(PoolError {
                 worker,
                 tasks: run.tasks,
+                timed_out,
             }),
         }
     }
@@ -385,6 +426,14 @@ fn run_group(
                 ));
             }
         }
+        #[cfg(test)]
+        PoolOp::StallMs(ms) => std::thread::sleep(std::time::Duration::from_millis(*ms)),
+        #[cfg(test)]
+        PoolOp::FailOnce(fuse) => {
+            if fuse.swap(false, Ordering::Relaxed) {
+                panic!("fault-injected one-shot pool failure");
+            }
+        }
     }
 }
 
@@ -425,7 +474,7 @@ mod tests {
     fn pool_runs_update_then_search_jobs() {
         let pool = CamRuntime::new(2);
         let chunks = vec![vec![task(0, 2)], vec![task(1, 2)]];
-        let run = pool.run(chunks, update_op(vec![3, 5, 9])).unwrap();
+        let run = pool.run(chunks, update_op(vec![3, 5, 9]), None).unwrap();
         assert_eq!(run.tasks.len(), 2);
         let mut fills = run.fills.clone();
         fills.sort_unstable();
@@ -443,7 +492,7 @@ mod tests {
             block_size: 8,
             encoding: Encoding::Priority,
         };
-        let run = pool.run(chunks, op).unwrap();
+        let run = pool.run(chunks, op, None).unwrap();
         let mut results = run.results;
         results.sort_by_key(|&(g, _)| g);
         assert!(results[0].1.is_match(), "group 0 holds key 5");
@@ -460,6 +509,7 @@ mod tests {
             .run(
                 vec![vec![task(0, 1)], vec![task(1, 1)]],
                 update_op(vec![10, 20, 30]),
+                None,
             )
             .unwrap();
         let mut tasks = prep.tasks;
@@ -471,7 +521,7 @@ mod tests {
             block_size: 8,
             encoding: Encoding::Priority,
         };
-        let run = pool.run(chunks, op).unwrap();
+        let run = pool.run(chunks, op, None).unwrap();
         let mut results = run.results;
         results.sort_by_key(|&(j, _)| j);
         let slots: Vec<usize> = results.iter().map(|&(j, _)| j).collect();
@@ -492,13 +542,13 @@ mod tests {
         let mut bad = task(0, 1);
         bad.current = 5;
         let err = pool
-            .run(vec![vec![bad], vec![task(1, 1)]], update_op(vec![1]))
+            .run(vec![vec![bad], vec![task(1, 1)]], update_op(vec![1]), None)
             .unwrap_err();
         assert_eq!(err.worker, 0, "the panicking lane is identified");
         assert_eq!(err.tasks.len(), 2, "all blocks survive the panic");
         // The same pool still executes subsequent jobs.
         let run = pool
-            .run(vec![vec![task(0, 1)]], update_op(vec![42]))
+            .run(vec![vec![task(0, 1)]], update_op(vec![42]), None)
             .unwrap();
         assert_eq!(run.fills, vec![(0, 0)]);
         let stats = pool.worker_stats();
@@ -514,6 +564,7 @@ mod tests {
             .run(
                 vec![vec![task(0, 1)], Vec::new(), vec![task(1, 1)]],
                 update_op(vec![7]),
+                None,
             )
             .unwrap();
         assert_eq!(run.tasks.len(), 2);
@@ -525,7 +576,7 @@ mod tests {
     #[test]
     fn drop_joins_every_worker() {
         let pool = CamRuntime::new(4);
-        pool.run(vec![vec![task(0, 1)]], update_op(vec![1]))
+        pool.run(vec![vec![task(0, 1)]], update_op(vec![1]), None)
             .unwrap();
         // Dropping must close the queues and join all four threads
         // without hanging (the test itself is the assertion).
@@ -536,6 +587,10 @@ mod tests {
     #[should_panic(expected = "chunks exceed")]
     fn more_chunks_than_workers_is_a_caller_bug() {
         let pool = CamRuntime::new(1);
-        let _ = pool.run(vec![vec![task(0, 1)], vec![task(1, 1)]], update_op(vec![1]));
+        let _ = pool.run(
+            vec![vec![task(0, 1)], vec![task(1, 1)]],
+            update_op(vec![1]),
+            None,
+        );
     }
 }

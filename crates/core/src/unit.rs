@@ -30,11 +30,13 @@ use serde::{Deserialize, Serialize};
 
 use crate::block::CamBlock;
 use crate::bus::{BusCommand, Opcode};
-use crate::config::{DispatchMode, UnitConfig};
+use crate::config::{DispatchMode, FidelityMode, ScrubPolicy, UnitConfig};
 use crate::encoder::{MatchVector, SearchOutput};
 use crate::error::{CamError, ConfigError};
+use crate::faults::{FaultPlan, FaultSite};
 use crate::mask::RangeSpec;
 use crate::runtime::{CamRuntime, GroupTask, PoolOp, PoolRun};
+use crate::scrub::{ScrubReport, ScrubState};
 
 /// What one pool dispatch hands back: `(group, fill.current)` rewinds
 /// from updates and `(slot, result)` answers from searches.
@@ -165,6 +167,11 @@ pub struct CamUnit {
     issue_cycles: u64,
     update_words: u64,
     search_count: u64,
+    /// Background scrub walker + degradation-governor state (see
+    /// [`crate::scrub`]). Serialized with the unit; inert unless
+    /// [`UnitConfig::scrub`] carries a policy.
+    #[serde(default)]
+    scrub: ScrubState,
     #[serde(skip)]
     scratch: GroupScratch,
     /// The persistent sharded worker pool (see [`CamRuntime`]), built on
@@ -201,6 +208,7 @@ impl CamUnit {
             issue_cycles: 0,
             update_words: 0,
             search_count: 0,
+            scrub: ScrubState::default(),
             scratch: GroupScratch::default(),
             runtime: RuntimeSlot::default(),
             #[cfg(feature = "obs")]
@@ -217,9 +225,12 @@ impl CamUnit {
     }
 
     /// Switch every block's search execution tier in place (contents,
-    /// counters and results are unaffected).
-    pub fn set_fidelity(&mut self, fidelity: crate::config::FidelityMode) {
+    /// counters and results are unaffected). An explicit tier choice
+    /// overrides the degradation governor: any pending restore to a
+    /// pre-degradation tier is cancelled.
+    pub fn set_fidelity(&mut self, fidelity: FidelityMode) {
         self.config.block.fidelity = fidelity;
+        self.scrub.degraded_from = None;
         for block in &mut self.blocks {
             block.set_fidelity(fidelity);
         }
@@ -367,6 +378,7 @@ impl CamUnit {
                     .register_scope(&format!("{}/group{g}/block{b}", obs.path))
             })
             .collect();
+        let scrub_scope = obs.sink.register_scope(&format!("{}/scrub", obs.path));
         // Pool worker monitoring, once a persistent pool has spun up.
         let pool_scopes: Vec<(ScopeId, usize, u64)> =
             self.runtime.0.as_ref().map_or_else(Vec::new, |pool| {
@@ -424,6 +436,18 @@ impl CamUnit {
                 o.set_gauge(scope, "queue_depth", depth as i64);
                 o.set_counter(scope, "jobs", jobs);
             }
+            o.set_counter(scrub_scope, "cells_audited", self.scrub.cells_audited);
+            o.set_counter(scrub_scope, "faults_detected", self.scrub.faults_detected);
+            o.set_counter(scrub_scope, "faults_repaired", self.scrub.faults_repaired);
+            o.set_counter(scrub_scope, "sweeps_completed", self.scrub.sweeps_completed);
+            o.set_counter(scrub_scope, "crosschecks", self.scrub.crosschecks);
+            o.set_counter(scrub_scope, "divergences", self.scrub.divergences);
+            o.set_gauge(scrub_scope, "clean_sweeps", self.scrub.clean_sweeps as i64);
+            o.set_gauge(
+                scrub_scope,
+                "degraded",
+                i64::from(self.scrub.degraded_from.is_some()),
+            );
         });
     }
 
@@ -458,7 +482,7 @@ impl CamUnit {
     /// the divergence total is also added to the `shadow_divergence`
     /// counter at unit and block scope.
     pub fn audit_shadows(&self) -> usize {
-        let per_block: Vec<usize> = self.blocks.iter().map(CamBlock::audit_shadows).collect();
+        let per_block = self.audit_shadows_per_block();
         let total: usize = per_block.iter().sum();
         #[cfg(feature = "obs")]
         if let Some(obs) = &self.observer {
@@ -480,6 +504,14 @@ impl CamUnit {
         total
     }
 
+    /// Per-physical-block divergence counts behind
+    /// [`CamUnit::audit_shadows`] (index = physical block id).
+    /// Counter-neutral and side-effect free: no observability writes.
+    #[must_use]
+    pub fn audit_shadows_per_block(&self) -> Vec<usize> {
+        self.blocks.iter().map(CamBlock::audit_shadows).collect()
+    }
+
     /// Corrupt one cell's shadow entries in block `block` — the unit-level
     /// fault-injection hook behind [`CamBlock::inject_shadow_fault`].
     ///
@@ -488,6 +520,265 @@ impl CamUnit {
     /// Panics if `block` or `cell` is out of range.
     pub fn inject_shadow_fault(&mut self, block: usize, cell: usize) {
         self.blocks[block].inject_shadow_fault(cell);
+    }
+
+    /// Apply one targeted fault: a shadow-state bit flip inside a block
+    /// or a Routing Table corruption (see [`FaultSite`]). The one-shot
+    /// API behind [`CamUnit::inject_faults`]; subsumes
+    /// [`CamUnit::inject_shadow_fault`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site's block or cell index is beyond the unit.
+    pub fn inject_fault(&mut self, site: FaultSite) {
+        match site {
+            FaultSite::Shadow { block, fault } => self.blocks[block].inject_fault_at(fault),
+            FaultSite::Routing { block } => {
+                self.routing[block] = (self.routing[block] + 1) % self.groups;
+            }
+        }
+    }
+
+    /// Run a seeded [`FaultPlan`] for `cycles` upset opportunities
+    /// against this unit's geometry, applying every drawn fault.
+    /// Returns the number of faults injected (deterministic for a given
+    /// plan seed, rates and geometry).
+    pub fn inject_faults(&mut self, plan: &mut FaultPlan, cycles: u64) -> usize {
+        let mut sites = Vec::new();
+        for _ in 0..cycles {
+            plan.draw(
+                self.blocks.len(),
+                self.config.block.block_size,
+                self.config.block.cell.data_width,
+                &mut sites,
+            );
+        }
+        for &site in &sites {
+            self.inject_fault(site);
+        }
+        sites.len()
+    }
+
+    /// A point-in-time read-out of the scrub engine: audit/repair
+    /// totals, cross-check statistics and the governor's degradation
+    /// state (see [`ScrubReport`]). All zeros until a
+    /// [`ScrubPolicy`] is configured via [`UnitConfig::scrub`].
+    #[must_use]
+    pub fn scrub_report(&self) -> ScrubReport {
+        self.scrub.report(self.config.block.fidelity)
+    }
+
+    /// Advance the background scrubber by one operation's budget without
+    /// issuing an operation — the idle-cycle hook
+    /// [`StreamingCam`](crate::pipelined::StreamingCam) calls on ticks
+    /// with nothing to launch, so quiet units keep sweeping. No-op
+    /// unless [`UnitConfig::scrub`] carries a policy. Counter-neutral:
+    /// issue-cycle, search and block counters never move.
+    pub fn scrub_tick(&mut self) {
+        self.scrub_step();
+    }
+
+    /// The per-operation scrub walk: audit `cells_per_op` cells against
+    /// the DSP oracle, repairing divergence in place (see
+    /// [`crate::scrub`] for the full model).
+    fn scrub_step(&mut self) {
+        let Some(policy) = self.config.scrub else {
+            return;
+        };
+        if policy.cells_per_op == 0 || self.blocks.is_empty() {
+            return;
+        }
+        // A restored snapshot may carry a cursor from a larger geometry.
+        if self.scrub.cursor_block >= self.blocks.len() {
+            self.scrub.cursor_block = 0;
+            self.scrub.cursor_cell = 0;
+        }
+        #[cfg(feature = "obs")]
+        let mut repairs: Vec<u64> = Vec::new();
+        #[cfg(feature = "obs")]
+        let timing = self.observer.is_some();
+        for _ in 0..policy.cells_per_op {
+            let (b, c) = (self.scrub.cursor_block, self.scrub.cursor_cell);
+            #[cfg(feature = "obs")]
+            let started = timing.then(std::time::Instant::now);
+            let repaired = self.blocks[b].scrub_cell(c);
+            self.scrub.cells_audited += 1;
+            if repaired > 0 {
+                let repaired = repaired as u64;
+                self.scrub.faults_detected += repaired;
+                self.scrub.faults_repaired += repaired;
+                self.scrub.sweep_faults += repaired;
+                #[cfg(feature = "obs")]
+                if let Some(started) = started {
+                    repairs.push(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                }
+            }
+            self.scrub.cursor_cell += 1;
+            if self.scrub.cursor_cell >= self.blocks[b].capacity() {
+                self.scrub.cursor_cell = 0;
+                self.scrub.cursor_block += 1;
+                if self.scrub.cursor_block >= self.blocks.len() {
+                    self.scrub.cursor_block = 0;
+                    self.finish_sweep(policy);
+                }
+            }
+        }
+        #[cfg(feature = "obs")]
+        self.observe_repairs(&repairs);
+    }
+
+    /// Close out one full pass of the walker: audit the Routing Table
+    /// against group membership (the fill state is the golden copy —
+    /// search and update address blocks through it, so a repaired table
+    /// re-converges observability attribution, not results), score the
+    /// sweep, and let the governor restore the pre-degradation tier
+    /// after `restore_after` consecutive clean sweeps.
+    fn finish_sweep(&mut self, policy: ScrubPolicy) {
+        for (g, f) in self.fill.iter().enumerate() {
+            for &b in &f.blocks {
+                if self.routing[b] != g {
+                    self.routing[b] = g;
+                    self.scrub.faults_detected += 1;
+                    self.scrub.faults_repaired += 1;
+                    self.scrub.sweep_faults += 1;
+                }
+            }
+        }
+        self.scrub.sweeps_completed += 1;
+        if self.scrub.sweep_faults == 0 {
+            self.scrub.clean_sweeps += 1;
+        } else {
+            self.scrub.clean_sweeps = 0;
+        }
+        self.scrub.sweep_faults = 0;
+        if self.scrub.clean_sweeps >= policy.restore_after {
+            if let Some(tier) = self.scrub.degraded_from.take() {
+                self.scrub.clean_sweeps = 0;
+                self.set_fidelity(tier);
+            }
+        }
+    }
+
+    /// Sampled cross-check of one served answer against the DSP oracle.
+    /// Every `crosscheck_interval`-th unique key is recomputed straight
+    /// from cell state (counter-neutral); a mismatch proves the serving
+    /// shadow diverged, so the answering group is bulk-repaired, the
+    /// *corrected* answer substituted into `result`, and the tier
+    /// degraded one step. Returns whether a divergence was caught.
+    fn crosscheck_result(&mut self, key: u64, result: &mut SearchResult) -> bool {
+        let Some(policy) = self.config.scrub else {
+            return false;
+        };
+        if policy.crosscheck_interval == 0 {
+            return false;
+        }
+        self.scrub.crosscheck_clock += 1;
+        if !self
+            .scrub
+            .crosscheck_clock
+            .is_multiple_of(policy.crosscheck_interval)
+        {
+            return false;
+        }
+        self.scrub.crosschecks += 1;
+        let group = result.group;
+        let block_size = self.config.block.block_size;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch
+            .combined
+            .reset(self.fill[group].blocks.len() * block_size);
+        for (slot, &b) in self.fill[group].blocks.iter().enumerate() {
+            self.blocks[b].oracle_vector_into(key, &mut scratch.block);
+            scratch
+                .combined
+                .or_offset(&scratch.block, slot * block_size);
+        }
+        let expected = self.config.block.encoding.encode(&scratch.combined);
+        self.scratch = scratch;
+        if expected == result.output {
+            return false;
+        }
+        // The serving shadow lied. Repair the whole answering group from
+        // the oracle, serve the oracle's answer, and fall back one tier.
+        self.scrub.divergences += 1;
+        let block_ids = self.fill[group].blocks.clone();
+        let repaired: usize = block_ids
+            .into_iter()
+            .map(|b| self.blocks[b].scrub_all())
+            .sum();
+        let repaired = repaired as u64;
+        self.scrub.faults_detected += repaired;
+        self.scrub.faults_repaired += repaired;
+        self.scrub.sweep_faults += repaired;
+        self.scrub.clean_sweeps = 0;
+        result.output = expected;
+        self.degrade_tier();
+        true
+    }
+
+    /// Cross-check a batch of served answers (same sampling clock as
+    /// [`CamUnit::crosscheck_result`], advanced once per answer).
+    /// Returns the first divergence as `(group, key)` for strict-mode
+    /// error reporting; every caught divergence is repaired and
+    /// corrected regardless.
+    fn crosscheck_results(
+        &mut self,
+        keys: &[u64],
+        results: &mut [SearchResult],
+    ) -> Option<(usize, u64)> {
+        let mut first = None;
+        for (&key, result) in keys.iter().zip(results.iter_mut()) {
+            if self.crosscheck_result(key, result) && first.is_none() {
+                first = Some((result.group, key));
+            }
+        }
+        first
+    }
+
+    /// Whether a caught divergence should surface as
+    /// [`CamError::ShadowDivergence`] instead of healing silently.
+    fn strict_scrub(&self) -> bool {
+        self.config.scrub.is_some_and(|p| p.strict)
+    }
+
+    /// Fall back one step on the fidelity ladder (Turbo → Fast →
+    /// BitAccurate; the oracle itself cannot diverge, so BitAccurate is
+    /// the floor), remembering the tier the unit started from so the
+    /// governor can restore it after `restore_after` clean sweeps.
+    fn degrade_tier(&mut self) {
+        let from = self.config.block.fidelity;
+        let to = match from {
+            FidelityMode::Turbo => FidelityMode::Fast,
+            FidelityMode::Fast => FidelityMode::BitAccurate,
+            FidelityMode::BitAccurate => return,
+        };
+        if self.scrub.degraded_from.is_none() {
+            self.scrub.degraded_from = Some(from);
+        }
+        self.config.block.fidelity = to;
+        for block in &mut self.blocks {
+            block.set_fidelity(to);
+        }
+        #[cfg(feature = "obs")]
+        self.trace_event(Event::TierDegraded {
+            from: tier_of(from),
+            to: tier_of(to),
+        });
+    }
+
+    /// Record per-repair latency observations under `{unit}/scrub`.
+    #[cfg(feature = "obs")]
+    fn observe_repairs(&self, repairs: &[u64]) {
+        if repairs.is_empty() {
+            return;
+        }
+        let Some(obs) = &self.observer else { return };
+        let scope = obs.sink.register_scope(&format!("{}/scrub", obs.path));
+        obs.sink.with(|o| {
+            for &ns in repairs {
+                o.observe(scope, "repair_ns", ns);
+            }
+        });
     }
 
     fn rebuild_groups(&mut self, m: usize) {
@@ -580,6 +871,18 @@ impl CamUnit {
         self.capacity() - self.entries_per_group
     }
 
+    /// The group that caps the unit's effective capacity: the first
+    /// non-empty group with the fewest blocks (under the standard
+    /// partition, group 0). `None` only when no group owns any block.
+    fn limiting_group(&self) -> Option<usize> {
+        self.fill
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.blocks.is_empty())
+            .min_by_key(|(_, f)| f.blocks.len())
+            .map(|(g, _)| g)
+    }
+
     /// Resolve the configured worker count (0 = one per available CPU).
     fn effective_workers(&self) -> usize {
         match self.config.workers {
@@ -633,13 +936,46 @@ impl CamUnit {
     /// On a poisoned worker the surviving blocks are reinstalled, any
     /// lost with a dead thread are re-materialised empty, the pool is
     /// torn down (joining its threads), and
-    /// [`CamError::WorkerPoolPoisoned`] is returned.
+    /// [`CamError::WorkerPoolPoisoned`] is returned — unless the failed
+    /// op is an idempotent search batch whose blocks all came home, in
+    /// which case the dispatch is replayed exactly once on a freshly
+    /// built pool. Updates are never replayed (a partial write would be
+    /// double-applied), and neither are deadline misses (the stalled
+    /// worker may still be executing).
     fn dispatch_pool(
         &mut self,
         count: usize,
         lanes: usize,
         op: PoolOp,
     ) -> Result<PoolDispatch, CamError> {
+        let (err, lost) = match self.dispatch_pool_once(count, lanes, op.clone()) {
+            Ok(out) => return Ok(out),
+            Err(pair) => pair,
+        };
+        let idempotent = matches!(op, PoolOp::SearchMulti { .. } | PoolOp::SearchStream { .. });
+        #[cfg(test)]
+        let idempotent = idempotent || matches!(op, PoolOp::FailOnce(_));
+        if !(idempotent && lost == 0 && matches!(err, CamError::WorkerPoolPoisoned { .. })) {
+            return Err(err);
+        }
+        #[cfg(feature = "obs")]
+        if let Some(obs) = &self.observer {
+            let scope = obs.sink.register_scope(&format!("{}/pool", obs.path));
+            obs.sink.with(|o| o.add(scope, "retries", 1));
+        }
+        self.dispatch_pool_once(count, lanes, op)
+            .map_err(|(err, _)| err)
+    }
+
+    /// One pool dispatch attempt; on failure the error is paired with
+    /// the number of blocks lost inside dead workers (re-materialised
+    /// empty), which gates [`CamUnit::dispatch_pool`]'s one-shot replay.
+    fn dispatch_pool_once(
+        &mut self,
+        count: usize,
+        lanes: usize,
+        op: PoolOp,
+    ) -> Result<PoolDispatch, (CamError, usize)> {
         #[cfg(feature = "obs")]
         let dispatched = std::time::Instant::now();
         let pool_size = self.effective_workers().max(1);
@@ -672,12 +1008,14 @@ impl CamUnit {
             })
             .collect();
         let chunks = chunked(tasks, lanes);
+        let deadline = (self.config.dispatch_deadline_ms > 0)
+            .then(|| std::time::Duration::from_millis(self.config.dispatch_deadline_ms));
         let outcome = self
             .runtime
             .0
             .as_ref()
             .expect("pool built above")
-            .run(chunks, op);
+            .run(chunks, op, deadline);
         let (returned, failed) = match outcome {
             Ok(run) => (run, None),
             Err(err) => (
@@ -685,7 +1023,7 @@ impl CamUnit {
                     tasks: err.tasks,
                     ..PoolRun::default()
                 },
-                Some(err.worker),
+                Some((err.worker, err.timed_out)),
             ),
         };
         let PoolRun {
@@ -700,27 +1038,47 @@ impl CamUnit {
             }
         }
         let block_config = self.config.block;
+        let mut lost = 0usize;
         self.blocks = slots
             .into_iter()
             .map(|slot| {
                 slot.unwrap_or_else(|| {
-                    // Lost inside a dead worker thread: re-materialise an
-                    // empty block so the unit stays structurally sound.
+                    // Lost inside a dead (or deadline-abandoned) worker
+                    // thread: re-materialise an empty block so the unit
+                    // stays structurally sound.
+                    lost += 1;
                     CamBlock::new(block_config).expect("config was validated at construction")
                 })
             })
             .collect();
-        if let Some(worker) = failed {
+        if let Some((worker, timed_out)) = failed {
             // The pool is suspect; tear it down (joining its threads)
             // and let the next dispatch build a fresh one.
             self.runtime.0 = None;
-            return Err(CamError::WorkerPoolPoisoned { worker });
+            let err = if timed_out {
+                CamError::DispatchTimeout {
+                    worker,
+                    waited_ms: self.config.dispatch_deadline_ms,
+                }
+            } else {
+                CamError::WorkerPoolPoisoned { worker }
+            };
+            return Err((err, lost));
         }
         #[cfg(feature = "obs")]
         self.observe_dispatch(&wait_ns, dispatched.elapsed());
         #[cfg(not(feature = "obs"))]
         drop(wait_ns);
         Ok((fills, results))
+    }
+
+    /// Test-only: run an arbitrary [`PoolOp`] through the full pool
+    /// dispatch (deadline and retry handling included), sharding every
+    /// group across the configured workers.
+    #[cfg(test)]
+    pub(crate) fn dispatch_test_op(&mut self, op: PoolOp) -> Result<PoolDispatch, CamError> {
+        let lanes = self.effective_workers().min(self.groups).max(1);
+        self.dispatch_pool(self.groups, lanes, op)
     }
 
     /// Record pool dispatch latency: per-worker queue-wait histograms
@@ -767,6 +1125,7 @@ impl CamUnit {
         if words.len() > self.free_per_group() {
             return Err(CamError::Full {
                 rejected: words.len() - self.free_per_group(),
+                group: self.limiting_group(),
             });
         }
         let limit = mask_limit(self.config.block.cell.data_width);
@@ -835,6 +1194,7 @@ impl CamUnit {
             words: words.len() as u32,
             beats: beats as u32,
         });
+        self.scrub_step();
         Ok(())
     }
 
@@ -854,6 +1214,7 @@ impl CamUnit {
         if ranges.len() > self.free_per_group() {
             return Err(CamError::Full {
                 rejected: ranges.len() - self.free_per_group(),
+                group: self.limiting_group(),
             });
         }
         for g in 0..self.groups {
@@ -884,6 +1245,7 @@ impl CamUnit {
             words: ranges.len() as u32,
             beats: beats as u32,
         });
+        self.scrub_step();
         Ok(())
     }
 
@@ -896,11 +1258,18 @@ impl CamUnit {
     }
 
     /// Single-query search: route, broadcast within the group, combine.
+    ///
+    /// Under an active [`ScrubPolicy`] a sampled divergence self-heals
+    /// silently (the corrected answer is returned) — this path is
+    /// infallible even in strict mode; use [`CamUnit::search_group`] to
+    /// surface [`CamError::ShadowDivergence`].
     pub fn search(&mut self, key: u64) -> SearchResult {
         let group = self.route_key(key);
         self.issue_cycles += 1;
         self.search_count += 1;
-        let result = self.search_in_group(group, key);
+        let mut result = self.search_in_group(group, key);
+        self.crosscheck_result(key, &mut result);
+        self.scrub_step();
         #[cfg(feature = "obs")]
         self.trace_single(OpKind::Search, key, &result);
         result
@@ -913,7 +1282,9 @@ impl CamUnit {
     ///
     /// [`CamError::TooManyQueries`] if more keys than groups are
     /// presented; [`CamError::WorkerPoolPoisoned`] if a pool worker dies
-    /// mid-search.
+    /// mid-search; [`CamError::ShadowDivergence`] if a sampled
+    /// cross-check catches a divergent answer under a strict
+    /// [`ScrubPolicy`] (repaired either way).
     pub fn try_search_multi(&mut self, keys: &[u64]) -> Result<Vec<SearchResult>, CamError> {
         if keys.len() > self.groups {
             return Err(CamError::TooManyQueries {
@@ -925,13 +1296,18 @@ impl CamUnit {
         self.search_count += keys.len() as u64;
         let workers = self.effective_workers().min(keys.len().max(1));
         if workers <= 1 {
-            let results: Vec<SearchResult> = keys
+            let mut results: Vec<SearchResult> = keys
                 .iter()
                 .enumerate()
                 .map(|(g, &key)| self.search_in_group(g, key))
                 .collect();
+            let diverged = self.crosscheck_results(keys, &mut results);
+            self.scrub_step();
             #[cfg(feature = "obs")]
             self.trace_multi(keys, &results, 1);
+            if let (Some((group, key)), true) = (diverged, self.strict_scrub()) {
+                return Err(CamError::ShadowDivergence { group, key });
+            }
             return Ok(results);
         }
         let block_size = self.config.block.block_size;
@@ -977,9 +1353,15 @@ impl CamUnit {
             })
         };
         answered.sort_by_key(|&(g, _)| g);
-        let results: Vec<SearchResult> = answered.into_iter().map(|(_, result)| result).collect();
+        let mut results: Vec<SearchResult> =
+            answered.into_iter().map(|(_, result)| result).collect();
+        let diverged = self.crosscheck_results(keys, &mut results);
+        self.scrub_step();
         #[cfg(feature = "obs")]
         self.trace_multi(keys, &results, workers);
+        if let (Some((group, key)), true) = (diverged, self.strict_scrub()) {
+            return Err(CamError::ShadowDivergence { group, key });
+        }
         Ok(results)
     }
 
@@ -1025,7 +1407,9 @@ impl CamUnit {
     ///
     /// # Errors
     ///
-    /// [`CamError::WorkerPoolPoisoned`] if a pool worker dies mid-batch.
+    /// [`CamError::WorkerPoolPoisoned`] if a pool worker dies mid-batch;
+    /// [`CamError::ShadowDivergence`] if a sampled cross-check catches a
+    /// divergent answer under a strict [`ScrubPolicy`].
     pub fn try_search_stream(&mut self, keys: &[u64]) -> Result<Vec<SearchResult>, CamError> {
         if keys.is_empty() {
             return Ok(Vec::new());
@@ -1100,8 +1484,14 @@ impl CamUnit {
             answered.sort_by_key(|&(j, _)| j);
             answered.into_iter().map(|(_, result)| result).collect()
         };
+        let mut answers = answers;
+        let diverged = self.crosscheck_results(&unique, &mut answers);
+        self.scrub_step();
         #[cfg(feature = "obs")]
         self.trace_stream(keys.len(), &unique, &answers, issue_base, workers);
+        if let (Some((group, key)), true) = (diverged, self.strict_scrub()) {
+            return Err(CamError::ShadowDivergence { group, key });
+        }
         Ok(slots
             .into_iter()
             .map(|slot| answers[slot].clone())
@@ -1113,7 +1503,10 @@ impl CamUnit {
     ///
     /// # Errors
     ///
-    /// [`CamError::NoSuchGroup`] if the group does not exist.
+    /// [`CamError::NoSuchGroup`] if the group does not exist;
+    /// [`CamError::ShadowDivergence`] if a sampled cross-check catches a
+    /// divergent answer under a strict [`ScrubPolicy`] (the divergence
+    /// is repaired either way).
     pub fn search_group(&mut self, group: usize, key: u64) -> Result<SearchResult, CamError> {
         if group >= self.groups {
             return Err(CamError::NoSuchGroup {
@@ -1123,9 +1516,14 @@ impl CamUnit {
         }
         self.issue_cycles += 1;
         self.search_count += 1;
-        let result = self.search_in_group(group, key);
+        let mut result = self.search_in_group(group, key);
+        let diverged = self.crosscheck_result(key, &mut result);
+        self.scrub_step();
         #[cfg(feature = "obs")]
         self.trace_single(OpKind::Search, key, &result);
+        if diverged && self.strict_scrub() {
+            return Err(CamError::ShadowDivergence { group, key });
+        }
         Ok(result)
     }
 
@@ -1187,6 +1585,7 @@ impl CamUnit {
                 worker: 0,
             });
         }
+        self.scrub_step();
         deleted_any
     }
 
@@ -1202,7 +1601,10 @@ impl CamUnit {
             return Err(CamError::KindMismatch);
         }
         if self.free_per_group() == 0 {
-            return Err(CamError::Full { rejected: 1 });
+            return Err(CamError::Full {
+                rejected: 1,
+                group: self.limiting_group(),
+            });
         }
         for g in 0..self.groups {
             if self.fill[g].blocks.is_empty() {
@@ -1226,6 +1628,7 @@ impl CamUnit {
         self.update_words += 1;
         #[cfg(feature = "obs")]
         self.trace_event(Event::Update { words: 1, beats: 1 });
+        self.scrub_step();
         Ok(())
     }
 
@@ -1398,6 +1801,30 @@ impl CamUnit {
         &self.blocks
     }
 
+    /// Reset the derived, never-serialized runtime state — the search
+    /// scratch buffers, the worker-pool slot, the per-block transients
+    /// and (with `obs`) the observer attachment — returning a unit
+    /// equivalent to one that just came back from a snapshot/restore
+    /// round trip. Architectural state (contents, shadow tiers, fill
+    /// pointers, counters, scrub progress) is untouched, so a restored
+    /// unit answers bit-identically to the original; the serde
+    /// round-trip test leans on this to guard the `#[serde(skip)]`
+    /// field set.
+    #[must_use]
+    pub fn rehydrate(&self) -> CamUnit {
+        let mut unit = self.clone();
+        unit.scratch = GroupScratch::default();
+        unit.runtime = RuntimeSlot::default();
+        for block in &mut unit.blocks {
+            block.reset_transients();
+        }
+        #[cfg(feature = "obs")]
+        {
+            unit.observer = None;
+        }
+        unit
+    }
+
     /// A point-in-time performance/occupancy snapshot (the counters a
     /// status register bank would expose to the host).
     #[must_use]
@@ -1525,6 +1952,7 @@ fn chunked<T>(mut work: Vec<T>, parts: usize) -> Vec<Vec<T>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::ShadowFault;
     use crate::kind::CamKind;
 
     fn unit(blocks: usize, block_size: usize) -> CamUnit {
@@ -1658,7 +2086,13 @@ mod tests {
         cam.configure_groups(4).unwrap(); // 32 per group
         let words: Vec<u64> = (0..33).collect();
         let err = cam.update(&words).unwrap_err();
-        assert_eq!(err, CamError::Full { rejected: 1 });
+        assert_eq!(
+            err,
+            CamError::Full {
+                rejected: 1,
+                group: Some(0)
+            }
+        );
         assert!(cam.is_empty(), "atomic rejection");
         cam.update(&words[..32]).unwrap();
         assert_eq!(cam.len(), 32);
@@ -2194,5 +2628,320 @@ mod tests {
         for key in [10u64, 20, 30, 40] {
             assert!(cam.search(key).is_match(), "key {key}");
         }
+    }
+
+    /// A scrub-enabled unit with walker-only repair (no cross-checking):
+    /// a multi-site fault campaign — both shadow tiers, valid bitmaps and
+    /// the Routing Table — is fully repaired within one sweep's worth of
+    /// operations, counters stay architecturally untouched, and
+    /// `faults_repaired` always equals `faults_detected`.
+    #[test]
+    fn scrub_walker_repairs_unit_wide_fault_campaign() {
+        let config = UnitConfig::builder()
+            .data_width(16)
+            .block_size(8)
+            .num_blocks(4)
+            .scrub(ScrubPolicy {
+                cells_per_op: 8,
+                crosscheck_interval: 0,
+                restore_after: 2,
+                strict: false,
+            })
+            .build()
+            .unwrap();
+        let mut cam = CamUnit::new(config).unwrap();
+        cam.configure_groups(2).unwrap();
+        cam.update(&[1, 2, 3, 4, 5]).unwrap();
+        let issue_base = cam.issue_cycles();
+        let search_base = cam.search_count();
+        cam.inject_fault(FaultSite::Shadow {
+            block: 0,
+            fault: ShadowFault::IndexStored { cell: 1, bit: 3 },
+        });
+        cam.inject_fault(FaultSite::Shadow {
+            block: 1,
+            fault: ShadowFault::Plane {
+                cell: 2,
+                key_bit: 5,
+                one_plane: true,
+            },
+        });
+        cam.inject_fault(FaultSite::Shadow {
+            block: 2,
+            fault: ShadowFault::IndexValid { cell: 0 },
+        });
+        cam.inject_fault(FaultSite::Shadow {
+            block: 3,
+            fault: ShadowFault::PlaneValid { cell: 4 },
+        });
+        cam.inject_fault(FaultSite::Routing { block: 3 });
+        assert_eq!(cam.audit_shadows(), 4, "four shadow sites corrupted");
+        assert_ne!(cam.routing_table()[3], 1, "routing entry corrupted");
+        // The update already audited block 0 (8 cells), so three searches
+        // finish the sweep — the wrap audits and repairs the Routing
+        // Table — and a fourth re-covers block 0's post-injection fault.
+        for _ in 0..4 {
+            cam.search(1);
+        }
+        assert_eq!(cam.audit_shadows(), 0, "all shadow faults repaired");
+        assert_eq!(cam.routing_table()[3], 1, "routing entry repaired");
+        let report = cam.scrub_report();
+        assert_eq!(report.faults_detected, 5);
+        assert_eq!(report.faults_repaired, report.faults_detected);
+        assert_eq!(report.sweeps_completed, 1);
+        assert_eq!(
+            report.cells_audited, 40,
+            "one op during update + four searches"
+        );
+        assert!(!report.is_degraded(), "no cross-checking, no degradation");
+        // Scrubbing is counter-neutral: the four searches account for
+        // every issue/search tick.
+        assert_eq!(cam.issue_cycles(), issue_base + 4);
+        assert_eq!(cam.search_count(), search_base + 4);
+    }
+
+    /// The degradation governor: a Turbo-plane fault caught by the
+    /// sampled cross-check serves the corrected answer, degrades to
+    /// Fast, and `restore_after` consecutive clean sweeps restore Turbo.
+    /// Pins K: after K-1 clean sweeps the unit is still degraded.
+    #[test]
+    fn crosscheck_degrades_turbo_and_restores_after_k_clean_sweeps() {
+        let config = UnitConfig::builder()
+            .data_width(16)
+            .block_size(8)
+            .num_blocks(2)
+            .fidelity(FidelityMode::Turbo)
+            .scrub(ScrubPolicy {
+                cells_per_op: 16, // one full sweep per operation
+                crosscheck_interval: 1,
+                restore_after: 2,
+                strict: false,
+            })
+            .build()
+            .unwrap();
+        let mut cam = CamUnit::new(config).unwrap();
+        cam.update(&[5, 9]).unwrap();
+        // Key 5 has bit 0 set, so Turbo consults the match-if-1 plane of
+        // bit 0; flipping cell 0's bit there makes Turbo miss a stored
+        // key the oracle matches.
+        cam.inject_fault(FaultSite::Shadow {
+            block: 0,
+            fault: ShadowFault::Plane {
+                cell: 0,
+                key_bit: 0,
+                one_plane: true,
+            },
+        });
+        let result = cam.search(5);
+        assert!(result.is_match(), "the corrected answer is served");
+        let report = cam.scrub_report();
+        assert_eq!(report.divergences, 1);
+        assert_eq!(report.degraded_from, Some(FidelityMode::Turbo));
+        assert_eq!(report.current_tier, FidelityMode::Fast);
+        assert_eq!(
+            report.faults_repaired, report.faults_detected,
+            "cross-check repair keeps the ledger balanced"
+        );
+        // The divergence dirtied the sweep containing it; the next clean
+        // sweep is the first of the K = 2 streak.
+        cam.search(9);
+        assert_eq!(
+            cam.scrub_report().current_tier,
+            FidelityMode::Fast,
+            "one clean sweep is not enough at K = 2"
+        );
+        cam.search(9);
+        let report = cam.scrub_report();
+        assert_eq!(report.current_tier, FidelityMode::Turbo, "restored");
+        assert_eq!(report.degraded_from, None);
+        assert_eq!(cam.audit_shadows(), 0);
+        // The default policy pins K = 4 (documented degradation ladder).
+        assert_eq!(ScrubPolicy::default().restore_after, 4);
+    }
+
+    /// Strict mode surfaces a caught divergence as
+    /// [`CamError::ShadowDivergence`] *after* repairing it.
+    #[test]
+    fn strict_scrub_surfaces_shadow_divergence() {
+        let config = UnitConfig::builder()
+            .data_width(16)
+            .block_size(8)
+            .num_blocks(2)
+            .fidelity(FidelityMode::Turbo)
+            .scrub(ScrubPolicy {
+                cells_per_op: 4,
+                crosscheck_interval: 1,
+                restore_after: 2,
+                strict: true,
+            })
+            .build()
+            .unwrap();
+        let mut cam = CamUnit::new(config).unwrap();
+        cam.update(&[5]).unwrap();
+        cam.inject_fault(FaultSite::Shadow {
+            block: 0,
+            fault: ShadowFault::Plane {
+                cell: 0,
+                key_bit: 0,
+                one_plane: true,
+            },
+        });
+        let err = cam.search_group(0, 5).unwrap_err();
+        assert_eq!(err, CamError::ShadowDivergence { group: 0, key: 5 });
+        // The error reported an already-repaired state: the next search
+        // is clean and the unit runs degraded but correct.
+        assert!(cam.search_group(0, 5).unwrap().is_match());
+        assert_eq!(cam.scrub_report().current_tier, FidelityMode::Fast);
+    }
+
+    /// A stalled pool worker trips the dispatch deadline: the dispatch
+    /// surfaces [`CamError::DispatchTimeout`], the pool is torn down, and
+    /// the next dispatch rebuilds it.
+    #[test]
+    fn dispatch_deadline_times_out_stalled_worker() {
+        let config = UnitConfig::builder()
+            .data_width(32)
+            .block_size(8)
+            .num_blocks(4)
+            .workers(2)
+            .dispatch_deadline_ms(25)
+            .build()
+            .unwrap();
+        let mut cam = CamUnit::new(config).unwrap();
+        cam.configure_groups(2).unwrap();
+        cam.update(&[1, 2]).unwrap();
+        let err = cam
+            .dispatch_test_op(PoolOp::StallMs(250))
+            .expect_err("the stall outlives the 25 ms deadline");
+        assert_eq!(
+            err,
+            CamError::DispatchTimeout {
+                worker: 0,
+                waited_ms: 25
+            }
+        );
+        // Stalled workers' blocks were abandoned and re-materialised
+        // empty; a reset plus fresh writes bring the unit (and a brand
+        // new pool) back.
+        cam.reset();
+        cam.update(&[7, 8]).unwrap();
+        let hits = cam.search_multi(&[7, 8]);
+        assert!(hits[0].is_match() && hits[1].is_match());
+    }
+
+    /// A one-shot worker failure on an idempotent dispatch is absorbed:
+    /// the pool is rebuilt and the batch replayed exactly once.
+    #[test]
+    fn poisoned_search_dispatch_retries_once_with_rebuilt_pool() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let config = UnitConfig::builder()
+            .data_width(32)
+            .block_size(8)
+            .num_blocks(4)
+            .workers(2)
+            .build()
+            .unwrap();
+        let mut cam = CamUnit::new(config).unwrap();
+        cam.configure_groups(2).unwrap();
+        cam.update(&[1, 2, 3]).unwrap();
+        let fuse = Arc::new(AtomicBool::new(true));
+        cam.dispatch_test_op(PoolOp::FailOnce(Arc::clone(&fuse)))
+            .expect("one worker failure is absorbed by the replay");
+        assert!(!fuse.load(Ordering::Relaxed), "the fuse fired exactly once");
+        // No state was lost: the panic was caught, every block came home
+        // and the replay ran on a rebuilt pool.
+        let hits = cam.search_multi(&[1, 3]);
+        assert!(hits[0].is_match() && hits[1].is_match());
+        assert_eq!(cam.len(), 3);
+        // The retry budget is per dispatch, not per unit: a freshly armed
+        // fuse on a later dispatch is absorbed again.
+        let again = Arc::new(AtomicBool::new(true));
+        cam.dispatch_test_op(PoolOp::FailOnce(Arc::clone(&again)))
+            .expect("each dispatch carries its own single replay");
+        assert!(!again.load(Ordering::Relaxed));
+    }
+
+    /// Scrub repair interacts correctly with deletion's free-list: a
+    /// repaired cell deletes cleanly, the freed address is reused lowest
+    /// first, and `entries_per_group` tracks the whole dance.
+    #[test]
+    fn delete_after_scrub_repair_reuses_freed_address_in_order() {
+        let config = UnitConfig::builder()
+            .data_width(16)
+            .block_size(8)
+            .num_blocks(2)
+            .scrub(ScrubPolicy {
+                cells_per_op: 16, // full sweep per op
+                crosscheck_interval: 0,
+                restore_after: 2,
+                strict: false,
+            })
+            .build()
+            .unwrap();
+        let mut cam = CamUnit::new(config).unwrap();
+        cam.update(&[10, 20, 30]).unwrap();
+        // Corrupt the shadow of the cell holding key 20, then let the
+        // walker repair it before any deletion touches that cell.
+        cam.inject_fault(FaultSite::Shadow {
+            block: 0,
+            fault: ShadowFault::IndexStored { cell: 1, bit: 0 },
+        });
+        cam.inject_fault(FaultSite::Shadow {
+            block: 0,
+            fault: ShadowFault::Plane {
+                cell: 1,
+                key_bit: 2,
+                one_plane: false,
+            },
+        });
+        // One search op = one full sweep: repair done.
+        cam.search(10);
+        assert_eq!(cam.audit_shadows(), 0, "walker repaired the cell");
+        assert_eq!(cam.len(), 3);
+        // Delete the repaired entry: address 1 joins the free-list.
+        assert!(cam.delete_first(20));
+        assert_eq!(cam.len(), 2);
+        assert!(!cam.search(20).is_match());
+        // Re-insert: the freed lowest address is reused first, and the
+        // fresh write reshadows the cell (no residual divergence).
+        cam.update(&[40]).unwrap();
+        assert_eq!(cam.len(), 3);
+        let hit = cam.search(40);
+        assert!(hit.is_match());
+        assert_eq!(hit.first_address(), Some(1), "lowest freed address");
+        assert_eq!(cam.audit_shadows(), 0);
+        assert_eq!(cam.scrub_report().faults_repaired, 2);
+    }
+
+    /// `rehydrate` resets exactly the never-serialized transients; a
+    /// faulted-then-scrubbed unit answers bit-identically afterwards.
+    #[test]
+    fn rehydrate_preserves_architectural_state() {
+        let config = UnitConfig::builder()
+            .data_width(16)
+            .block_size(8)
+            .num_blocks(2)
+            .workers(2)
+            .scrub(ScrubPolicy {
+                cells_per_op: 16,
+                crosscheck_interval: 4,
+                restore_after: 2,
+                strict: false,
+            })
+            .build()
+            .unwrap();
+        let mut cam = CamUnit::new(config).unwrap();
+        cam.update(&[3, 7, 11]).unwrap();
+        cam.inject_shadow_fault(0, 1);
+        cam.search(3); // repairs via the full-sweep walker
+        let restored = cam.rehydrate();
+        assert_eq!(restored.snapshot(), cam.snapshot());
+        assert_eq!(restored.scrub_report(), cam.scrub_report());
+        let mut restored = restored;
+        for key in [3u64, 7, 11, 99] {
+            assert_eq!(restored.search(key), cam.search(key), "key {key}");
+        }
+        assert_eq!(restored.issue_cycles(), cam.issue_cycles());
+        assert_eq!(restored.audit_shadows(), cam.audit_shadows());
     }
 }

@@ -134,6 +134,15 @@ pub enum Event {
         /// The new tier.
         tier: Tier,
     },
+    /// The degradation governor fell back one tier after a sampled
+    /// cross-check caught a shadow answer diverging from the DSP oracle
+    /// (restores are recorded as plain [`Event::TierSwitch`]es).
+    TierDegraded {
+        /// The tier that was serving searches when divergence was caught.
+        from: Tier,
+        /// The tier the unit fell back to.
+        to: Tier,
+    },
     /// A `search_stream` batch was admitted.
     StreamBatch {
         /// Keys presented (before dedup).
@@ -156,6 +165,7 @@ impl Event {
             Event::Update { .. } => "update",
             Event::TierSwitch { .. } => "tier_switch",
             Event::StreamBatch { .. } => "stream_batch",
+            Event::TierDegraded { .. } => "tier_degraded",
         }
     }
 
@@ -169,6 +179,7 @@ impl Event {
             Event::Update { .. } => 4,
             Event::TierSwitch { .. } => 5,
             Event::StreamBatch { .. } => 6,
+            Event::TierDegraded { .. } => 7,
         }
     }
 
@@ -204,6 +215,10 @@ impl Event {
             Event::TierSwitch { tier } => {
                 vec![("tier".to_owned(), Json::Str(tier.name().to_owned()))]
             }
+            Event::TierDegraded { from, to } => vec![
+                ("from".to_owned(), Json::Str(from.name().to_owned())),
+                ("to".to_owned(), Json::Str(to.name().to_owned())),
+            ],
             Event::StreamBatch {
                 presented,
                 unique,
@@ -356,7 +371,7 @@ impl EventTracer {
                     vcd.sample(t, sig_key, key);
                     vcd.sample(t, sig_group, u64::from(group));
                 }
-                Event::TierSwitch { tier } => {
+                Event::TierSwitch { tier } | Event::TierDegraded { to: tier, .. } => {
                     vcd.sample(t, sig_tier, tier.code());
                 }
                 Event::Update { .. } | Event::StreamBatch { .. } => {}

@@ -100,6 +100,7 @@ pub struct CamTriangleCounter {
     costs: PipelineCosts,
     workers: usize,
     dispatch: DispatchMode,
+    scrub: Option<ScrubPolicy>,
 }
 
 impl Default for CamTriangleCounter {
@@ -109,6 +110,7 @@ impl Default for CamTriangleCounter {
             costs: PipelineCosts::default(),
             workers: 1,
             dispatch: DispatchMode::Pool,
+            scrub: None,
         }
     }
 }
@@ -138,6 +140,17 @@ impl CamTriangleCounter {
     pub fn with_workers(mut self, workers: usize, dispatch: DispatchMode) -> Self {
         self.workers = workers;
         self.dispatch = dispatch;
+        self
+    }
+
+    /// Run the driven unit with background scrubbing under `policy`:
+    /// the hardware-model paths audit and repair shadow state as they
+    /// go, exactly as a deployed unit would under SEU pressure. Scrub
+    /// work is counter-neutral, so counts and cycle accounting are
+    /// unchanged.
+    #[must_use]
+    pub fn with_scrub(mut self, policy: ScrubPolicy) -> Self {
+        self.scrub = Some(policy);
         self
     }
 
@@ -249,7 +262,7 @@ impl CamTriangleCounter {
         fidelity: FidelityMode,
         probe: &PhaseProbe,
     ) -> Result<TcReport, ConfigError> {
-        let config = UnitConfig::builder()
+        let mut builder = UnitConfig::builder()
             .data_width(32)
             .block_size(self.geometry.block_size)
             .num_blocks(self.geometry.num_blocks)
@@ -257,8 +270,11 @@ impl CamTriangleCounter {
             .encoding(Encoding::Priority)
             .fidelity(fidelity)
             .workers(self.workers)
-            .dispatch(self.dispatch)
-            .build()?;
+            .dispatch(self.dispatch);
+        if let Some(policy) = self.scrub {
+            builder = builder.scrub(policy);
+        }
+        let config = builder.build()?;
         let mut unit = CamUnit::new(config)?;
         probe.attach_unit(&mut unit);
         let mut cycles = self.costs.kernel_setup;
@@ -407,6 +423,30 @@ mod tests {
                 "{dispatch:?}"
             );
         }
+    }
+
+    #[test]
+    fn scrubbed_hardware_model_is_count_and_cycle_invariant() {
+        // Background scrubbing (walker + sampled cross-check) on the
+        // driven unit must not perturb triangle counts, modelled cycles
+        // or intersection steps — scrub work is counter-neutral.
+        let edges = dsp_cam_graph::generate::erdos_renyi(24, 60, 4);
+        let g = graph(&edges);
+        let plain = CamTriangleCounter::new()
+            .run_on_hardware_model_with(&g, FidelityMode::Turbo)
+            .unwrap();
+        let scrubbed = CamTriangleCounter::new()
+            .with_scrub(ScrubPolicy {
+                cells_per_op: 4,
+                crosscheck_interval: 8,
+                restore_after: 2,
+                strict: false,
+            })
+            .run_on_hardware_model_with(&g, FidelityMode::Turbo)
+            .unwrap();
+        assert_eq!(plain.triangles, scrubbed.triangles);
+        assert_eq!(plain.cycles, scrubbed.cycles);
+        assert_eq!(plain.intersection_steps, scrubbed.intersection_steps);
     }
 
     #[test]

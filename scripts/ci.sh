@@ -28,6 +28,18 @@ echo "==> cargo test --test-threads=1 smoke (runtime + dispatch, obs)"
 cargo test -q --offline -p dsp-cam-core --features obs -- runtime pool --test-threads=1
 cargo test -q --offline -p dsp-cam-core --features obs --test tier_equivalence pool -- --test-threads=1
 
+# The chaos differential suite is the contract of the fault/scrub
+# subsystem: run it explicitly under both feature sets (it is part of
+# the workspace runs above, but a rename must not silently drop it).
+echo "==> chaos fault-recovery suite (default)"
+cargo test -q --offline -p dsp-cam-core --test fault_recovery
+echo "==> chaos fault-recovery suite (obs)"
+cargo test -q --offline -p dsp-cam-core --features obs --test fault_recovery
+
+echo "==> fault-drill example smoke run (fixed seed, default + obs)"
+cargo run -q --offline --example fault_drill
+cargo run -q --offline --example fault_drill --features obs
+
 echo "==> clippy + compile-check the obs example"
 cargo clippy --offline --features obs --example trace_report -- -D warnings
 

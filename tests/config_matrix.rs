@@ -134,7 +134,7 @@ fn capacity_errors_are_exact_at_every_group_count() {
         let cap = cam.capacity();
         let over: Vec<u64> = (0..cap as u64 + 3).collect();
         match cam.update(&over) {
-            Err(CamError::Full { rejected }) => assert_eq!(rejected, 3, "M={m}"),
+            Err(CamError::Full { rejected, .. }) => assert_eq!(rejected, 3, "M={m}"),
             other => panic!("expected Full, got {other:?}"),
         }
         assert!(cam.is_empty(), "rejection must be atomic at M={m}");
