@@ -22,11 +22,48 @@
 //! which answers all 64 cells of a word per AND — the same vertical
 //! trick RAM-based FPGA CAMs use to answer every cell per cycle, and the
 //! closest software analogue of the paper's all-cells-in-parallel DSP
-//! array. The planes are stored word-major (all `2 × width` plane words
-//! of one 64-cell word group are contiguous) so the search walks each
-//! word group once and **exits early** the moment its accumulator hits
-//! zero — on sparse-match workloads most word groups die within a
-//! handful of planes, independent of key width.
+//! array.
+//!
+//! # Cache-blocked tile layout
+//!
+//! The planes are stored in fixed-size **tiles** of [`TILE_WORDS`]
+//! 64-cell word groups ([`TILE_CELLS`] cells): all `2 × width` planes of
+//! a tile are contiguous, plane-major, so one tile's working set
+//! (`2 × width × TILE_WORDS` words) streams through L1 before the walk
+//! moves on. Within tile `t`, the word for plane `p` of word group
+//! `t * TILE_WORDS + i` lives at
+//!
+//! ```text
+//! planes[t * 2 * width * TILE_WORDS + p * TILE_WORDS + i]
+//! ```
+//!
+//! where planes `0..width` are `match_if_0[b]` and `width..2 × width`
+//! are `match_if_1[b]`. Every piece of index arithmetic — refresh,
+//! audit, fault-injection corruption and both search kernels — goes
+//! through [`BitSliceIndex::plane_slot`], and the cell → tile mapping is
+//! the single function [`tile_of`] (the fault layer's
+//! [`ShadowFault::tile`](crate::faults::ShadowFault::tile) reuses it).
+//!
+//! # Occupancy skip lists
+//!
+//! Alongside the planes the index keeps one valid-cell count per tile,
+//! maintained on every write, delete, scrub repair and injected
+//! valid-bit upset. A tile whose count is zero is skipped in O(1) with
+//! **zero plane or valid-word loads** — searches over sparse or freshly
+//! reset blocks never touch the dead regions' memory at all. Because the
+//! count is updated wherever the valid bitmap changes (including the
+//! fault-injection hook), the skip decision is always exactly
+//! "every valid word in this tile is zero", so the skipping kernels stay
+//! bit-identical to a full walk.
+//!
+//! # Key-parallel batch kernel
+//!
+//! [`BitSliceIndex::search_batch_into`] answers up to
+//! [`MAX_BATCH_WIDTH`] keys in a *single* pass over the planes: each
+//! loaded `match_if_0[b]`/`match_if_1[b]` word is AND-ed into W per-key
+//! accumulators selected by each key's bit `b`, turning `W × width`
+//! plane streams into one. Per-word early exit survives in batch form —
+//! the walk stops as soon as every key's accumulator is dead.
 //!
 //! Updates stay incremental: re-shadowing one cell touches one bit in
 //! each of the `2 × width` plane bitmaps plus the valid bitmap —
@@ -41,16 +78,49 @@ use crate::encoder::MatchVector;
 /// Mask selecting the DSP datapath's 48 bits.
 const M48: u64 = (1 << 48) - 1;
 
+/// 64-cell word groups per cache tile: one tile's `2 × width` planes
+/// (`2 × width × TILE_WORDS` words) are contiguous in memory.
+pub const TILE_WORDS: usize = 4;
+
+/// Cells per cache tile ([`TILE_WORDS`] packed 64-cell words).
+pub const TILE_CELLS: usize = TILE_WORDS * 64;
+
+/// Maximum key count per [`BitSliceIndex::search_batch_into`] pass (the
+/// upper bound of [`UnitConfig::batch_width`](crate::config::UnitConfig)).
+pub const MAX_BATCH_WIDTH: usize = 64;
+
+/// The tile holding `cell`'s plane and valid bits — the one cell → tile
+/// mapping shared by the plane layout, the scrubber and the fault layer.
+#[must_use]
+pub fn tile_of(cell: usize) -> usize {
+    cell / TILE_CELLS
+}
+
+/// How occupied one tile of the index is (the skip list's three states).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileState {
+    /// No valid cell: searches skip the tile without loading a word.
+    Empty,
+    /// Some but not all in-range cells valid.
+    Partial,
+    /// Every in-range cell valid.
+    Full,
+}
+
 /// Transposed shadow of a block's cells: two packed match bitmaps per
 /// key bit position, answering broadcast searches word-parallel.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BitSliceIndex {
-    /// Plane words, word-major: the `2 × width` plane words of 64-cell
-    /// word group `w` live at `planes[w * 2 * width ..]` — first the
-    /// `match_if_0` plane for each bit, then the `match_if_1` plane.
+    /// Plane words in the cache-blocked tile layout (see the module
+    /// docs): tile `t`'s `2 × width` planes are contiguous plane-major,
+    /// `match_if_0` for each bit first, then `match_if_1`.
     planes: Vec<u64>,
     /// Packed valid bitmap, one bit per cell.
     valid: Vec<u64>,
+    /// Valid-cell count per tile — the occupancy skip list. Zero means
+    /// every valid word of the tile is zero, so searches skip it in O(1)
+    /// with no plane loads.
+    occupancy: Vec<u32>,
     /// Key bits shadowed (the cell data width; care masks never extend
     /// beyond it).
     width: usize,
@@ -71,13 +141,16 @@ impl BitSliceIndex {
         );
         let width = width as usize;
         let words = len.div_ceil(64);
+        let tiles = words.div_ceil(TILE_WORDS);
+        let stride = 2 * width * TILE_WORDS;
         BitSliceIndex {
             // A fresh cell stores 0 with every in-width bit cared: it
             // belongs to every match_if_0 plane and no match_if_1 plane
             // (the valid bitmap hides it until it is written).
-            planes: (0..words * 2 * width)
+            planes: (0..tiles * stride)
                 .map(|i| {
-                    if (i / width).is_multiple_of(2) {
+                    let plane = (i % stride) / TILE_WORDS;
+                    if plane < width {
                         u64::MAX
                     } else {
                         0
@@ -85,6 +158,7 @@ impl BitSliceIndex {
                 })
                 .collect(),
             valid: vec![0; words],
+            occupancy: vec![0; tiles],
             width,
             len,
         }
@@ -108,10 +182,92 @@ impl BitSliceIndex {
         self.width
     }
 
+    /// Number of cache tiles the index is blocked into.
+    #[must_use]
+    pub fn tile_count(&self) -> usize {
+        self.occupancy.len()
+    }
+
+    /// Valid cells currently shadowed in `tile` (the skip-list entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile >= tile_count()`.
+    #[must_use]
+    pub fn tile_occupancy(&self, tile: usize) -> usize {
+        self.occupancy[tile] as usize
+    }
+
+    /// Cells of the index that fall inside `tile` (the last tile may be
+    /// ragged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile >= tile_count()`.
+    #[must_use]
+    pub fn tile_cells(&self, tile: usize) -> usize {
+        assert!(tile < self.occupancy.len(), "tile {tile} out of range");
+        (self.len - tile * TILE_CELLS).min(TILE_CELLS)
+    }
+
+    /// The skip-list state of `tile`: `Empty`, `Partial` or `Full`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile >= tile_count()`.
+    #[must_use]
+    pub fn tile_state(&self, tile: usize) -> TileState {
+        let occupancy = self.tile_occupancy(tile);
+        if occupancy == 0 {
+            TileState::Empty
+        } else if occupancy == self.tile_cells(tile) {
+            TileState::Full
+        } else {
+            TileState::Partial
+        }
+    }
+
+    /// Words of plane data per tile (`2 × width × TILE_WORDS`).
+    fn tile_stride(&self) -> usize {
+        2 * self.width * TILE_WORDS
+    }
+
+    /// Index into `planes` of plane `p` for 64-cell word group `word`:
+    /// planes `0..width` are `match_if_0[b]`, planes `width..2 × width`
+    /// are `match_if_1[b]`. The single home of the tiled-layout
+    /// arithmetic — refresh, audit, corruption hooks and both search
+    /// kernels all route through here.
+    fn plane_slot(&self, word: usize, plane: usize) -> usize {
+        (word / TILE_WORDS) * self.tile_stride() + plane * TILE_WORDS + (word % TILE_WORDS)
+    }
+
+    /// Set or clear `cell`'s valid bit, keeping the tile occupancy count
+    /// in lock-step with the bitmap (the skip list must agree with the
+    /// valid words under every mutation, scrub repair and injected
+    /// upset).
+    fn set_valid(&mut self, cell: usize, valid: bool) {
+        let bit = 1u64 << (cell % 64);
+        let word = &mut self.valid[cell / 64];
+        let was = *word & bit != 0;
+        if valid {
+            *word |= bit;
+        } else {
+            *word &= !bit;
+        }
+        if was != valid {
+            let tile = tile_of(cell);
+            if valid {
+                self.occupancy[tile] += 1;
+            } else {
+                self.occupancy[tile] -= 1;
+            }
+        }
+    }
+
     /// Re-shadow `cell` from its oracle state (called by the block after
     /// every write, masked write, range write, invalidate or clear):
-    /// flip the cell's bit in each of the `2 × width` planes and in the
-    /// valid bitmap.
+    /// flip the cell's bit in each of the `2 × width` planes, in the
+    /// valid bitmap and in the tile occupancy count.
     ///
     /// # Panics
     ///
@@ -121,28 +277,24 @@ impl BitSliceIndex {
         let stored = from.stored() & M48;
         let care = !from.pattern_mask().value() & M48;
         let bit = 1u64 << (cell % 64);
-        let base = (cell / 64) * 2 * self.width;
+        let word = cell / 64;
         for b in 0..self.width {
             let cares = care >> b & 1 == 1;
             let one = stored >> b & 1 == 1;
-            let zero_plane = &mut self.planes[base + b];
+            let zero_slot = self.plane_slot(word, b);
             if !cares || !one {
-                *zero_plane |= bit;
+                self.planes[zero_slot] |= bit;
             } else {
-                *zero_plane &= !bit;
+                self.planes[zero_slot] &= !bit;
             }
-            let one_plane = &mut self.planes[base + self.width + b];
+            let one_slot = self.plane_slot(word, self.width + b);
             if !cares || one {
-                *one_plane |= bit;
+                self.planes[one_slot] |= bit;
             } else {
-                *one_plane &= !bit;
+                self.planes[one_slot] &= !bit;
             }
         }
-        if from.is_valid() {
-            self.valid[cell / 64] |= bit;
-        } else {
-            self.valid[cell / 64] &= !bit;
-        }
+        self.set_valid(cell, from.is_valid());
     }
 
     /// Re-shadow every cell (the block's reset path).
@@ -155,23 +307,40 @@ impl BitSliceIndex {
 
     /// Bit-accurate audit pass: re-derive every cell's expected plane
     /// and valid bits from the oracle cells and return the number of
-    /// cells whose shadowed state diverges.
+    /// cells whose shadowed state diverges. The occupancy skip list is
+    /// checked against the valid bitmap as a structural invariant (it
+    /// can never legally diverge — every valid-bit mutation path updates
+    /// it in the same call).
     ///
     /// # Panics
     ///
-    /// Panics if `cells` is not the cell array this index shadows.
+    /// Panics if `cells` is not the cell array this index shadows, or if
+    /// the skip list disagrees with the valid bitmap.
     #[must_use]
     pub fn audit(&self, cells: &[CamCell]) -> usize {
         assert_eq!(cells.len(), self.len, "cell count changed under the index");
+        for (tile, &count) in self.occupancy.iter().enumerate() {
+            let first = tile * TILE_WORDS;
+            let popcount: u32 = self.valid[first..(first + TILE_WORDS).min(self.valid.len())]
+                .iter()
+                .map(|w| w.count_ones())
+                .sum();
+            assert_eq!(
+                count, popcount,
+                "tile {tile} occupancy diverged from the valid bitmap"
+            );
+        }
         let mut expected = BitSliceIndex::new(self.len, self.width as u32);
         expected.refresh_all(cells);
         (0..self.len)
             .filter(|&cell| {
                 let bit = 1u64 << (cell % 64);
-                let base = (cell / 64) * 2 * self.width;
-                let planes_differ = (0..2 * self.width)
-                    .any(|p| (self.planes[base + p] ^ expected.planes[base + p]) & bit != 0);
-                planes_differ || (self.valid[cell / 64] ^ expected.valid[cell / 64]) & bit != 0
+                let word = cell / 64;
+                let planes_differ = (0..2 * self.width).any(|p| {
+                    let slot = self.plane_slot(word, p);
+                    (self.planes[slot] ^ expected.planes[slot]) & bit != 0
+                });
+                planes_differ || (self.valid[word] ^ expected.valid[word]) & bit != 0
             })
             .count()
     }
@@ -186,8 +355,8 @@ impl BitSliceIndex {
     /// Panics if `cell` is out of range.
     pub fn corrupt_plane_bit(&mut self, cell: usize, key_bit: usize) {
         assert!(cell < self.len, "cell {cell} out of range {}", self.len);
-        let base = (cell / 64) * 2 * self.width;
-        self.planes[base + key_bit % self.width] ^= 1u64 << (cell % 64);
+        let slot = self.plane_slot(cell / 64, key_bit % self.width);
+        self.planes[slot] ^= 1u64 << (cell % 64);
     }
 
     /// Flip a cell's membership bit in one `match_if_1` plane — the
@@ -198,19 +367,22 @@ impl BitSliceIndex {
     /// Panics if `cell` is out of range.
     pub fn corrupt_one_plane_bit(&mut self, cell: usize, key_bit: usize) {
         assert!(cell < self.len, "cell {cell} out of range {}", self.len);
-        let base = (cell / 64) * 2 * self.width;
-        self.planes[base + self.width + key_bit % self.width] ^= 1u64 << (cell % 64);
+        let slot = self.plane_slot(cell / 64, self.width + key_bit % self.width);
+        self.planes[slot] ^= 1u64 << (cell % 64);
     }
 
     /// Flip a cell's shadowed valid bit — models an upset in the packed
-    /// valid bitmap.
+    /// valid bitmap. The tile occupancy count follows the flip, so the
+    /// skip list keeps describing the (now corrupted) bitmap exactly and
+    /// the batch and scalar kernels stay bit-identical even mid-fault.
     ///
     /// # Panics
     ///
     /// Panics if `cell` is out of range.
     pub fn corrupt_valid_bit(&mut self, cell: usize) {
         assert!(cell < self.len, "cell {cell} out of range {}", self.len);
-        self.valid[cell / 64] ^= 1 << (cell % 64);
+        let now = self.valid[cell / 64] & (1u64 << (cell % 64)) == 0;
+        self.set_valid(cell, now);
     }
 
     /// Audit a single cell against its oracle: `true` when any of the
@@ -228,8 +400,8 @@ impl BitSliceIndex {
         let stored = from.stored() & M48;
         let care = !from.pattern_mask().value() & M48;
         let bit = 1u64 << (cell % 64);
-        let base = (cell / 64) * 2 * self.width;
-        if (self.valid[cell / 64] & bit != 0) != from.is_valid() {
+        let word = cell / 64;
+        if (self.valid[word] & bit != 0) != from.is_valid() {
             return true;
         }
         (0..self.width).any(|b| {
@@ -237,8 +409,8 @@ impl BitSliceIndex {
             let one = stored >> b & 1 == 1;
             let want_zero = !cares || !one;
             let want_one = !cares || one;
-            (self.planes[base + b] & bit != 0) != want_zero
-                || (self.planes[base + self.width + b] & bit != 0) != want_one
+            (self.planes[self.plane_slot(word, b)] & bit != 0) != want_zero
+                || (self.planes[self.plane_slot(word, self.width + b)] & bit != 0) != want_one
         })
     }
 
@@ -248,23 +420,103 @@ impl BitSliceIndex {
     ///
     /// The caller passes the block-masked key exactly as it would to the
     /// DSP path; plane selection only reads the low `width` bits, which
-    /// is the same truncation `P48::new` + the care mask perform.
+    /// is the same truncation `P48::new` + the care mask perform. Empty
+    /// tiles are skipped via the occupancy list without loading a word.
     pub fn search_into(&self, key: u64, scratch: &mut Vec<u64>) {
         let width = self.width;
+        let stride = self.tile_stride();
         scratch.clear();
         scratch.resize(self.valid.len(), 0);
-        for (w, out) in scratch.iter_mut().enumerate() {
-            let mut acc = self.valid[w];
-            let base = w * 2 * width;
-            let group = &self.planes[base..base + 2 * width];
-            for b in 0..width {
-                if acc == 0 {
-                    break;
-                }
-                let take_one = key >> b & 1 == 1;
-                acc &= group[b + usize::from(take_one) * width];
+        for (t, &occupancy) in self.occupancy.iter().enumerate() {
+            if occupancy == 0 {
+                continue; // the output words are already zero
             }
-            *out = acc;
+            let tile = &self.planes[t * stride..][..stride];
+            let first = t * TILE_WORDS;
+            let last = (first + TILE_WORDS).min(self.valid.len());
+            for (w, out) in scratch.iter_mut().enumerate().take(last).skip(first) {
+                let lane = w - first;
+                let mut acc = self.valid[w];
+                for b in 0..width {
+                    if acc == 0 {
+                        break;
+                    }
+                    let take_one = key >> b & 1 == 1;
+                    acc &= tile[(b + usize::from(take_one) * width) * TILE_WORDS + lane];
+                }
+                *out = acc;
+            }
+        }
+    }
+
+    /// Answer up to [`MAX_BATCH_WIDTH`] keys in a **single pass** over
+    /// the planes: per word, each selected `match_if_0[b]`/`match_if_1[b]`
+    /// word is loaded once and AND-ed into one accumulator per key,
+    /// turning `keys.len() × width` plane streams into one. The walk
+    /// early-exits a word the moment every key's accumulator is dead,
+    /// and skips empty tiles via the occupancy list with zero loads.
+    ///
+    /// `scratch[k]` receives exactly the packed words
+    /// [`BitSliceIndex::search_into`] would produce for `keys[k]` —
+    /// bit-identical by construction, since AND-ing further planes into
+    /// an already-zero accumulator cannot change it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys.len() > MAX_BATCH_WIDTH` or `scratch` has fewer
+    /// buffers than keys.
+    pub fn search_batch_into(&self, keys: &[u64], scratch: &mut [Vec<u64>]) {
+        assert!(
+            keys.len() <= MAX_BATCH_WIDTH,
+            "batch of {} keys exceeds MAX_BATCH_WIDTH {MAX_BATCH_WIDTH}",
+            keys.len()
+        );
+        assert!(
+            scratch.len() >= keys.len(),
+            "{} scratch buffers for {} keys",
+            scratch.len(),
+            keys.len()
+        );
+        let width = self.width;
+        let stride = self.tile_stride();
+        let words = self.valid.len();
+        for buf in &mut scratch[..keys.len()] {
+            buf.clear();
+            buf.resize(words, 0);
+        }
+        let mut acc = [0u64; MAX_BATCH_WIDTH];
+        for (t, &occupancy) in self.occupancy.iter().enumerate() {
+            if occupancy == 0 {
+                continue; // O(1) skip: no plane or valid word touched
+            }
+            let tile = &self.planes[t * stride..][..stride];
+            let first = t * TILE_WORDS;
+            let last = (first + TILE_WORDS).min(words);
+            for w in first..last {
+                let lane = w - first;
+                let valid = self.valid[w];
+                if valid == 0 {
+                    continue; // outputs stay zero, as the scalar walk leaves them
+                }
+                for a in &mut acc[..keys.len()] {
+                    *a = valid;
+                }
+                for b in 0..width {
+                    let zero = tile[b * TILE_WORDS + lane];
+                    let one = tile[(b + width) * TILE_WORDS + lane];
+                    let mut any = 0u64;
+                    for (a, &key) in acc[..keys.len()].iter_mut().zip(keys) {
+                        *a &= if key >> b & 1 == 1 { one } else { zero };
+                        any |= *a;
+                    }
+                    if any == 0 {
+                        break;
+                    }
+                }
+                for (a, buf) in acc[..keys.len()].iter().zip(scratch.iter_mut()) {
+                    buf[w] = *a;
+                }
+            }
         }
     }
 
@@ -389,6 +641,111 @@ mod tests {
         assert_eq!(scratch, vec![0b100]);
         idx.search_into(1, &mut scratch);
         assert_eq!(scratch, vec![0]);
+    }
+
+    #[test]
+    fn batch_kernel_matches_scalar_kernel() {
+        // Multi-tile index (TILE_CELLS + a ragged second tile) with a
+        // mix of valid, invalid, ternary and duplicate entries.
+        let n = TILE_CELLS + 70;
+        let mut cells: Vec<CamCell> = (0..n)
+            .map(|i| {
+                if i % 11 == 0 {
+                    CamCell::new(CellConfig::ternary(16, 0x000F)).unwrap()
+                } else {
+                    CamCell::new(CellConfig::binary(16)).unwrap()
+                }
+            })
+            .collect();
+        for (i, cell) in cells.iter_mut().enumerate() {
+            if i % 5 != 0 {
+                cell.write((i % 23) as u64).unwrap();
+            }
+        }
+        let idx = shadowed(&cells, 16);
+        let keys: Vec<u64> = (0..MAX_BATCH_WIDTH as u64).map(|k| k % 29).collect();
+        for take in [1usize, 7, 32, MAX_BATCH_WIDTH] {
+            let batch = &keys[..take];
+            let mut bufs: Vec<Vec<u64>> = vec![Vec::new(); take];
+            idx.search_batch_into(batch, &mut bufs);
+            for (k, &key) in batch.iter().enumerate() {
+                let mut scalar = Vec::new();
+                idx.search_into(key, &mut scalar);
+                assert_eq!(bufs[k], scalar, "W={take}, key {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn occupancy_tracks_writes_deletes_and_corruption() {
+        let n = TILE_CELLS + 10; // two tiles, second ragged
+        let mut cells: Vec<CamCell> = (0..n)
+            .map(|_| CamCell::new(CellConfig::binary(8)).unwrap())
+            .collect();
+        let mut idx = BitSliceIndex::new(n, 8);
+        idx.refresh_all(&cells);
+        assert_eq!(idx.tile_count(), 2);
+        assert_eq!(idx.tile_state(0), TileState::Empty);
+        assert_eq!(idx.tile_state(1), TileState::Empty);
+
+        // Fill tile 0 completely, one cell of tile 1.
+        for (i, cell) in cells.iter_mut().enumerate().take(TILE_CELLS + 1) {
+            cell.write((i % 50) as u64).unwrap();
+            idx.refresh(i, cell);
+        }
+        assert_eq!(idx.tile_state(0), TileState::Full);
+        assert_eq!(idx.tile_occupancy(0), TILE_CELLS);
+        assert_eq!(idx.tile_state(1), TileState::Partial);
+        assert_eq!(idx.tile_occupancy(1), 1);
+
+        // Delete back down: tile 1 empties, tile 0 turns partial.
+        cells[TILE_CELLS].clear();
+        idx.refresh(TILE_CELLS, &cells[TILE_CELLS]);
+        assert_eq!(idx.tile_state(1), TileState::Empty);
+        cells[3].clear();
+        idx.refresh(3, &cells[3]);
+        assert_eq!(idx.tile_state(0), TileState::Partial);
+        assert_eq!(idx.tile_occupancy(0), TILE_CELLS - 1);
+
+        // An injected valid-bit upset moves the count with the bitmap,
+        // both directions, and audit's structural invariant holds.
+        idx.corrupt_valid_bit(3);
+        assert_eq!(idx.tile_occupancy(0), TILE_CELLS);
+        idx.corrupt_valid_bit(3);
+        assert_eq!(idx.tile_occupancy(0), TILE_CELLS - 1);
+        assert_eq!(idx.audit(&cells), 0);
+
+        // Refreshing an already-valid cell must not double-count.
+        idx.refresh(5, &cells[5]);
+        assert_eq!(idx.tile_occupancy(0), TILE_CELLS - 1);
+    }
+
+    #[test]
+    fn empty_tiles_are_skipped_but_answers_are_exact() {
+        // Three tiles; only the middle one holds entries.
+        let n = 3 * TILE_CELLS;
+        let mut cells: Vec<CamCell> = (0..n)
+            .map(|_| CamCell::new(CellConfig::binary(8)).unwrap())
+            .collect();
+        for (i, cell) in cells.iter_mut().enumerate().skip(TILE_CELLS).take(40) {
+            cell.write((i % 13) as u64).unwrap();
+        }
+        let idx = shadowed(&cells, 8);
+        assert_eq!(idx.tile_state(0), TileState::Empty);
+        assert_eq!(idx.tile_state(1), TileState::Partial);
+        assert_eq!(idx.tile_state(2), TileState::Empty);
+        for key in 0..14u64 {
+            let oracle: MatchVector = cells.iter_mut().map(|c| c.search(key)).collect();
+            assert_eq!(idx.search(key), oracle, "key {key}");
+        }
+    }
+
+    #[test]
+    fn tile_of_maps_boundaries() {
+        assert_eq!(tile_of(0), 0);
+        assert_eq!(tile_of(TILE_CELLS - 1), 0);
+        assert_eq!(tile_of(TILE_CELLS), 1);
+        assert_eq!(tile_of(2 * TILE_CELLS + 5), 2);
     }
 
     #[test]

@@ -75,6 +75,10 @@ pub struct CamBlock {
     /// scratch, not architectural state.
     #[serde(skip)]
     vector_scratch: MatchVector,
+    /// Reusable packed-word buffers behind [`CamBlock::search_batch_into`]
+    /// (one per batched key) — host-side scratch like `vector_scratch`.
+    #[serde(skip)]
+    batch_scratch: Vec<Vec<u64>>,
     /// Monitoring tallies for the observability layer — plain fields
     /// bumped on the broadcast path (no locking) and read at publish
     /// time, so the hot loop never touches a sink.
@@ -117,6 +121,7 @@ impl CamBlock {
             update_beats: 0,
             searches: 0,
             vector_scratch: MatchVector::default(),
+            batch_scratch: Vec::new(),
             #[cfg(feature = "obs")]
             obs: BlockObs::default(),
         })
@@ -314,6 +319,29 @@ impl CamBlock {
             .sum()
     }
 
+    /// Scrub every cell of one cache tile of the bit-sliced shadow — the
+    /// natural repair granule after a fault whose
+    /// [`ShadowFault::tile`](crate::faults::ShadowFault::tile) is known,
+    /// since a tile's planes are one contiguous region. Cell ↔ tile
+    /// arithmetic comes from [`tile_of`](crate::bitslice::tile_of) /
+    /// [`TILE_CELLS`](crate::bitslice::TILE_CELLS) — the same single
+    /// mapping the index and fault layer use. Returns total divergent
+    /// shadow entries repaired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is out of range for the block's cell count.
+    pub fn scrub_tile(&mut self, tile: usize) -> usize {
+        let first = tile * crate::bitslice::TILE_CELLS;
+        assert!(
+            first < self.cells.len(),
+            "tile {tile} out of range for {} cells",
+            self.cells.len()
+        );
+        let last = (first + crate::bitslice::TILE_CELLS).min(self.cells.len());
+        (first..last).map(|cell| self.scrub_cell(cell)).sum()
+    }
+
     /// Match vector for `key` computed straight from the DSP oracle cell
     /// state — no shadow structure is consulted, no counter or cycle is
     /// ticked, and `self` stays immutable. This is the reference answer
@@ -479,6 +507,56 @@ impl CamBlock {
         self.broadcast_into(key, out);
     }
 
+    /// Broadcast a whole batch of up to
+    /// [`MAX_BATCH_WIDTH`](crate::bitslice::MAX_BATCH_WIDTH) keys,
+    /// filling `out[k]` with the match vector for `keys[k]` (extra `out`
+    /// entries are grown/reused, never shrunk). On the `Turbo` tier the
+    /// batch is answered in a **single pass** over the bit planes via
+    /// [`BitSliceIndex::search_batch_into`]; the other tiers broadcast
+    /// key-by-key. Results and counter bumps are exactly those of
+    /// `keys.len()` sequential [`CamBlock::search_vector_into`] calls:
+    /// one search-latency charge, one search tick and one match/miss
+    /// tally per key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys.len()` exceeds the kernel's `MAX_BATCH_WIDTH`.
+    pub fn search_batch_into(&mut self, keys: &[u64], out: &mut Vec<MatchVector>) {
+        if out.len() < keys.len() {
+            out.resize_with(keys.len(), MatchVector::default);
+        }
+        if self.config.fidelity != FidelityMode::Turbo {
+            for (key, vector) in keys.iter().zip(out.iter_mut()) {
+                self.broadcast_into(*key, vector);
+            }
+            return;
+        }
+        let mut masked = [0u64; crate::bitslice::MAX_BATCH_WIDTH];
+        for (slot, &key) in masked.iter_mut().zip(keys) {
+            *slot = self.mask_key(key);
+        }
+        if self.batch_scratch.len() < keys.len() {
+            self.batch_scratch.resize_with(keys.len(), Vec::new);
+        }
+        self.bitslice
+            .search_batch_into(&masked[..keys.len()], &mut self.batch_scratch);
+        let len = self.bitslice.len();
+        for (words, vector) in self.batch_scratch[..keys.len()].iter().zip(out.iter_mut()) {
+            vector.fill_raw(len, |bits| {
+                bits.clear();
+                bits.extend_from_slice(words);
+            });
+            self.cycles += self.config.search_latency();
+            self.searches += 1;
+            #[cfg(feature = "obs")]
+            if vector.any() {
+                self.obs.matches += 1;
+            } else {
+                self.obs.misses += 1;
+            }
+        }
+    }
+
     /// Invalidate the entry at `cell` (extension beyond the paper: the
     /// valid bit is one fabric flop, so per-address invalidation costs the
     /// same single cycle as the global reset). The freed cell joins a
@@ -568,6 +646,7 @@ impl CamBlock {
     /// (crate::unit::CamUnit::rehydrate)'s wire-round-trip model.
     pub(crate) fn reset_transients(&mut self) {
         self.vector_scratch = MatchVector::default();
+        self.batch_scratch = Vec::new();
         #[cfg(feature = "obs")]
         {
             self.obs = BlockObs::default();
@@ -927,13 +1006,7 @@ mod tests {
             b.update(&[10, 20, 30, 40]).unwrap();
             b.inject_fault_at(fault);
             assert_eq!(b.audit_shadows(), 1, "{fault:?}");
-            let cell = match fault {
-                ShadowFault::IndexStored { cell, .. }
-                | ShadowFault::IndexCare { cell, .. }
-                | ShadowFault::IndexValid { cell }
-                | ShadowFault::Plane { cell, .. }
-                | ShadowFault::PlaneValid { cell } => cell,
-            };
+            let cell = fault.cell();
             // Scrubbing an unrelated cell repairs nothing.
             assert_eq!(b.scrub_cell((cell + 1) % 8), 0, "{fault:?}");
             assert_eq!(b.scrub_cell(cell), 1, "{fault:?}");
@@ -953,6 +1026,36 @@ mod tests {
         assert_eq!(b.scrub_all(), 5);
         assert_eq!(b.audit_shadows(), 0);
         assert_eq!(b.scrub_all(), 0, "second sweep finds nothing");
+    }
+
+    #[test]
+    fn scrub_tile_repairs_exactly_its_tile() {
+        use crate::bitslice::TILE_CELLS;
+        // 512 cells = exactly two tiles (TILE_CELLS = 256).
+        let mut b = block(2 * TILE_CELLS);
+        let words: Vec<u64> = (0..2 * TILE_CELLS as u64).collect();
+        b.update(&words).unwrap();
+        let tile0 = ShadowFault::PlaneValid { cell: 5 };
+        let tile1 = ShadowFault::Plane {
+            cell: TILE_CELLS + 7,
+            key_bit: 2,
+            one_plane: false,
+        };
+        for fault in [tile0, tile1] {
+            b.inject_fault_at(fault);
+        }
+        assert_eq!(b.audit_shadows(), 2);
+        // Each scrub repairs only the faults whose fault.tile() matches.
+        assert_eq!(b.scrub_tile(tile1.tile()), 1);
+        assert_eq!(b.audit_shadows(), 1, "tile-0 fault untouched");
+        assert_eq!(b.scrub_tile(tile0.tile()), 1);
+        assert_eq!(b.audit_shadows(), 0);
+        assert_eq!(b.scrub_tile(0), 0, "repair is idempotent");
+        // A block smaller than one tile: the ragged tile still scrubs.
+        let mut small = block(128);
+        small.update(&[1, 2, 3]).unwrap();
+        small.inject_fault_at(ShadowFault::PlaneValid { cell: 127 });
+        assert_eq!(small.scrub_tile(0), 1, "ragged tail tile");
     }
 
     #[test]

@@ -301,6 +301,19 @@ pub struct UnitConfig {
     /// `0` (the default) waits forever.
     #[serde(default)]
     pub dispatch_deadline_ms: u64,
+    /// Keys per plane-walk pass of the key-parallel batch kernel used by
+    /// [`search_stream`](crate::unit::CamUnit::search_stream)
+    /// (`1..=`[`MAX_BATCH_WIDTH`](crate::bitslice::MAX_BATCH_WIDTH);
+    /// 8–64 is the performant range, `1` degenerates to the scalar
+    /// one-key-at-a-time walk). A host-side execution knob like
+    /// `workers`: results and counters are identical at any setting.
+    #[serde(default = "default_batch_width")]
+    pub batch_width: usize,
+}
+
+/// Serde/builder default for [`UnitConfig::batch_width`].
+fn default_batch_width() -> usize {
+    32
 }
 
 impl UnitConfig {
@@ -354,6 +367,11 @@ impl UnitConfig {
                 data_width: self.block.cell.data_width,
             });
         }
+        if !(1..=crate::bitslice::MAX_BATCH_WIDTH).contains(&self.batch_width) {
+            return Err(ConfigError::BatchWidth {
+                requested: self.batch_width,
+            });
+        }
         Ok(())
     }
 }
@@ -384,6 +402,7 @@ pub struct UnitConfigBuilder {
     dispatch: DispatchMode,
     scrub: Option<ScrubPolicy>,
     dispatch_deadline_ms: u64,
+    batch_width: usize,
 }
 
 impl Default for UnitConfigBuilder {
@@ -403,6 +422,7 @@ impl Default for UnitConfigBuilder {
             dispatch: DispatchMode::Pool,
             scrub: None,
             dispatch_deadline_ms: 0,
+            batch_width: default_batch_width(),
         }
     }
 }
@@ -512,6 +532,14 @@ impl UnitConfigBuilder {
         self
     }
 
+    /// Set the key-parallel batch width for streaming searches (default
+    /// 32; `1..=`[`MAX_BATCH_WIDTH`](crate::bitslice::MAX_BATCH_WIDTH)).
+    #[must_use]
+    pub fn batch_width(mut self, keys: usize) -> Self {
+        self.batch_width = keys;
+        self
+    }
+
     /// Validate and produce the configuration.
     ///
     /// # Errors
@@ -541,6 +569,7 @@ impl UnitConfigBuilder {
             dispatch: self.dispatch,
             scrub: self.scrub,
             dispatch_deadline_ms: self.dispatch_deadline_ms,
+            batch_width: self.batch_width,
         };
         config.validate()?;
         Ok(config)
@@ -716,6 +745,21 @@ mod tests {
             .unwrap();
         assert_eq!(c.scrub, Some(ScrubPolicy::default()));
         assert_eq!(c.dispatch_deadline_ms, 250);
+    }
+
+    #[test]
+    fn batch_width_defaults_and_bounds() {
+        assert_eq!(UnitConfig::default().batch_width, 32);
+        let c = UnitConfig::builder().batch_width(7).build().unwrap();
+        assert_eq!(c.batch_width, 7);
+        assert!(matches!(
+            UnitConfig::builder().batch_width(0).build(),
+            Err(ConfigError::BatchWidth { requested: 0 })
+        ));
+        assert!(matches!(
+            UnitConfig::builder().batch_width(65).build(),
+            Err(ConfigError::BatchWidth { requested: 65 })
+        ));
     }
 
     #[test]

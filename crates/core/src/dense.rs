@@ -249,6 +249,106 @@ impl DenseCamBlock {
         Ok(matches)
     }
 
+    /// Key-parallel broadcast search: answer up to
+    /// [`MAX_BATCH_WIDTH`](crate::bitslice::MAX_BATCH_WIDTH) keys in a
+    /// single pass over the transposed planes, loading each plane word
+    /// once and AND-ing it into every key's accumulator.
+    ///
+    /// `out` is grown (never shrunk) to cover `keys`; slot `k` receives
+    /// the match vector for `keys[k]`, bit-identical to a [`search`] per
+    /// key. Cycle accounting also matches: `SEARCH_LATENCY` per key. On
+    /// the [`BitAccurate`](FidelityMode::BitAccurate) and
+    /// [`Fast`](FidelityMode::Fast) tiers this simply loops [`search`].
+    ///
+    /// # Errors
+    ///
+    /// [`CamError::ValueTooWide`] for any key beyond 12 bits; no search
+    /// is performed and no cycles are charged.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `keys` exceeds the kernel batch limit.
+    ///
+    /// [`search`]: DenseCamBlock::search
+    pub fn search_batch_into(
+        &mut self,
+        keys: &[u64],
+        out: &mut Vec<MatchVector>,
+    ) -> Result<(), CamError> {
+        assert!(
+            keys.len() <= crate::bitslice::MAX_BATCH_WIDTH,
+            "batch of {} keys exceeds the {}-key kernel limit",
+            keys.len(),
+            crate::bitslice::MAX_BATCH_WIDTH,
+        );
+        for &key in keys {
+            if key > LANE_MAX {
+                return Err(CamError::ValueTooWide {
+                    value: key,
+                    data_width: 12,
+                });
+            }
+        }
+        if out.len() < keys.len() {
+            out.resize_with(keys.len(), MatchVector::default);
+        }
+        if self.fidelity != FidelityMode::Turbo {
+            for (key, vector) in keys.iter().zip(out.iter_mut()) {
+                *vector = self.search(*key)?;
+            }
+            return Ok(());
+        }
+        let capacity = self.capacity();
+        let (planes, valid) = (&self.planes, &self.lane_valid);
+        let mut acc = [0u64; crate::bitslice::MAX_BATCH_WIDTH];
+        for vector in out.iter_mut().take(keys.len()) {
+            vector.fill_raw(capacity, |bits| {
+                bits.clear();
+                bits.resize(valid.len(), 0);
+            });
+        }
+        for w in 0..valid.len() {
+            let lanes = valid[w];
+            if lanes == 0 {
+                continue;
+            }
+            for a in &mut acc[..keys.len()] {
+                *a = lanes;
+            }
+            let base = w * 2 * LANE_BITS;
+            for b in 0..LANE_BITS {
+                let zero = planes[base + b];
+                let one = planes[base + LANE_BITS + b];
+                let mut any = 0u64;
+                for (a, &key) in acc[..keys.len()].iter_mut().zip(keys) {
+                    *a &= if key >> b & 1 == 1 { one } else { zero };
+                    any |= *a;
+                }
+                if any == 0 {
+                    break;
+                }
+            }
+            for (a, vector) in acc[..keys.len()].iter().zip(out.iter_mut()) {
+                vector.fill_raw(capacity, |bits| bits[w] = *a);
+            }
+        }
+        self.cycles += Self::SEARCH_LATENCY * keys.len() as u64;
+        Ok(())
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`search_batch_into`](DenseCamBlock::search_batch_into).
+    ///
+    /// # Errors
+    ///
+    /// [`CamError::ValueTooWide`] for any key beyond 12 bits.
+    pub fn search_batch(&mut self, keys: &[u64]) -> Result<Vec<MatchVector>, CamError> {
+        let mut out = Vec::new();
+        self.search_batch_into(keys, &mut out)?;
+        out.truncate(keys.len());
+        Ok(out)
+    }
+
     /// Clear all entries.
     pub fn reset(&mut self) {
         for slice in &mut self.slices {
@@ -377,6 +477,50 @@ mod tests {
                 "probe {probe}"
             );
         }
+    }
+
+    #[test]
+    fn batch_kernel_matches_scalar_search() {
+        use crate::config::FidelityMode;
+        for tier in [
+            FidelityMode::BitAccurate,
+            FidelityMode::Fast,
+            FidelityMode::Turbo,
+        ] {
+            // 130 lanes crosses a 64-lane word-group boundary.
+            let mut reference = DenseCamBlock::with_fidelity(130, tier);
+            let mut batched = DenseCamBlock::with_fidelity(130, tier);
+            for cam in [&mut reference, &mut batched] {
+                for i in 0..130u64 {
+                    cam.insert(i % 9).unwrap();
+                }
+            }
+            let keys: Vec<u64> = (0..12u64).chain([4095, 77]).collect();
+            for width in [1usize, 7, 32, 64] {
+                for chunk in keys.chunks(width) {
+                    let got = batched.search_batch(chunk).unwrap();
+                    assert_eq!(got.len(), chunk.len());
+                    for (key, vector) in chunk.iter().zip(&got) {
+                        let want = reference.search(*key).unwrap();
+                        assert_eq!(&want, vector, "tier {tier:?}, width {width}, key {key}");
+                    }
+                }
+                assert_eq!(reference.cycles(), batched.cycles(), "tier {tier:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_rejects_wide_keys_without_charging_cycles() {
+        let mut cam = DenseCamBlock::with_fidelity(8, FidelityMode::Turbo);
+        cam.insert(3).unwrap();
+        let before = cam.cycles();
+        assert!(matches!(
+            cam.search_batch(&[1, 0x1000]),
+            Err(CamError::ValueTooWide { .. })
+        ));
+        assert_eq!(cam.cycles(), before, "failed batch charges nothing");
+        assert!(cam.search_batch(&[]).unwrap().is_empty());
     }
 
     #[test]

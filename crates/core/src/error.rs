@@ -20,6 +20,11 @@ pub enum ConfigError {
     },
     /// Unit must contain at least one block.
     NoBlocks,
+    /// Streaming batch width outside `1..=MAX_BATCH_WIDTH` keys.
+    BatchWidth {
+        /// The requested keys-per-pass batch width.
+        requested: usize,
+    },
     /// Bus width must be a power of two of at least the data width.
     BusWidth {
         /// The requested bus width in bits.
@@ -66,6 +71,10 @@ impl fmt::Display for ConfigError {
                 "block size {requested} is not a power of two of at least 2"
             ),
             ConfigError::NoBlocks => write!(f, "unit must contain at least one block"),
+            ConfigError::BatchWidth { requested } => write!(
+                f,
+                "batch width {requested} outside the 1..=64 keys-per-pass range"
+            ),
             ConfigError::BusWidth {
                 requested,
                 data_width,
@@ -230,6 +239,7 @@ mod tests {
             (ConfigError::DataWidth { requested: 50 }, "50"),
             (ConfigError::BlockSize { requested: 3 }, "3"),
             (ConfigError::NoBlocks, "at least one"),
+            (ConfigError::BatchWidth { requested: 65 }, "65"),
             (
                 ConfigError::BusWidth {
                     requested: 100,

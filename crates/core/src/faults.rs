@@ -163,6 +163,32 @@ pub enum ShadowFault {
     },
 }
 
+impl ShadowFault {
+    /// The block-local cell this fault upsets (every variant targets
+    /// exactly one cell).
+    #[must_use]
+    pub fn cell(&self) -> usize {
+        match *self {
+            ShadowFault::IndexStored { cell, .. }
+            | ShadowFault::IndexCare { cell, .. }
+            | ShadowFault::IndexValid { cell }
+            | ShadowFault::Plane { cell, .. }
+            | ShadowFault::PlaneValid { cell } => cell,
+        }
+    }
+
+    /// The cache tile of the bit-sliced shadow this fault lands in —
+    /// delegates to [`tile_of`](crate::bitslice::tile_of), the one
+    /// cell → tile mapping the tiled plane layout defines, so the fault
+    /// layer and the index can never disagree about tile arithmetic.
+    /// (Horizontal-shadow faults still report the tile their cell would
+    /// occupy; only `Plane`/`PlaneValid` actually touch tiled storage.)
+    #[must_use]
+    pub fn tile(&self) -> usize {
+        crate::bitslice::tile_of(self.cell())
+    }
+}
+
 /// One targeted upset addressed at unit scope.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[non_exhaustive]
@@ -230,7 +256,10 @@ impl FaultPlan {
     ///
     /// Each class is an independent Bernoulli trial; a hit picks a
     /// uniform site of that class. Returns every site drawn this cycle
-    /// (usually empty at realistic rates).
+    /// (usually empty at realistic rates). Sites are cell-addressed;
+    /// where a drawn fault lands in the bit-sliced shadow's tiled plane
+    /// layout is answered by [`ShadowFault::tile`], never recomputed
+    /// here — so campaigns stay valid if the tile geometry changes.
     pub fn draw(
         &mut self,
         blocks: usize,
@@ -349,18 +378,39 @@ mod tests {
             match *site {
                 FaultSite::Shadow { block, fault } => {
                     assert!(block < 4);
-                    let cell = match fault {
-                        ShadowFault::IndexStored { cell, .. }
-                        | ShadowFault::IndexCare { cell, .. }
-                        | ShadowFault::IndexValid { cell }
-                        | ShadowFault::Plane { cell, .. }
-                        | ShadowFault::PlaneValid { cell } => cell,
-                    };
-                    assert!(cell < 16);
+                    assert!(fault.cell() < 16);
                 }
                 FaultSite::Routing { block } => assert!(block < 4),
             }
         }
+    }
+
+    #[test]
+    fn fault_sites_report_cell_and_tile_through_one_mapping() {
+        use crate::bitslice::{tile_of, TILE_CELLS};
+        let faults = [
+            ShadowFault::IndexStored { cell: 3, bit: 7 },
+            ShadowFault::IndexCare { cell: 63, bit: 0 },
+            ShadowFault::IndexValid { cell: 64 },
+            ShadowFault::Plane {
+                cell: TILE_CELLS - 1,
+                key_bit: 5,
+                one_plane: true,
+            },
+            ShadowFault::PlaneValid { cell: TILE_CELLS },
+        ];
+        for fault in faults {
+            assert_eq!(fault.tile(), tile_of(fault.cell()), "{fault:?}");
+        }
+        // Boundary cells: last cell of tile 0, first of tile 1.
+        assert_eq!(
+            ShadowFault::PlaneValid {
+                cell: TILE_CELLS - 1
+            }
+            .tile(),
+            0
+        );
+        assert_eq!(ShadowFault::PlaneValid { cell: TILE_CELLS }.tile(), 1);
     }
 
     #[test]

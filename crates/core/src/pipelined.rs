@@ -36,7 +36,11 @@ pub enum Op {
     /// ([`CamUnit::search_stream`]): duplicates deduplicated, unique keys
     /// packed `M` per issue cycle. The op occupies one pipeline slot and
     /// the whole batch retires together; the unit's issue-cycle counter
-    /// carries the `ceil(unique / M)` bus cost.
+    /// carries the `ceil(unique / M)` bus cost. On the Turbo tier each
+    /// group answers its keys through the key-parallel plane kernel,
+    /// `batch_width` keys per pass (see
+    /// [`UnitConfig::batch_width`](crate::config::UnitConfig)); results
+    /// and counters are identical at every width.
     SearchStream(Vec<u64>),
 }
 
@@ -519,6 +523,41 @@ mod tests {
             cam.unit().issue_cycles() - issued,
             2,
             "5 unique keys over 4 groups cost two issue cycles"
+        );
+    }
+
+    #[test]
+    fn search_stream_retires_identically_at_any_batch_width() {
+        use crate::config::FidelityMode;
+        let stream: Vec<u64> = (0..200u64).map(|i| i * 37 % 150).collect();
+        let mut snapshots = Vec::new();
+        for batch_width in [1usize, 32] {
+            let cfg = UnitConfig::builder()
+                .data_width(32)
+                .block_size(128)
+                .num_blocks(8)
+                .fidelity(FidelityMode::Turbo)
+                .batch_width(batch_width)
+                .build()
+                .expect("valid");
+            let mut cam = StreamingCam::new(cfg).unwrap();
+            cam.unit_mut().configure_groups(4).unwrap();
+            cam.issue(Op::Update((0..100u64).collect())).unwrap();
+            cam.drain();
+            cam.drain_retired();
+            cam.issue(Op::SearchStream(stream.clone())).unwrap();
+            cam.drain();
+            let retired = cam.drain_retired();
+            assert_eq!(retired.len(), 1);
+            let results = match &retired[0].1 {
+                Completion::SearchStream(results) => results.clone(),
+                other => panic!("unexpected {other:?}"),
+            };
+            snapshots.push((results, cam.unit().issue_cycles(), cam.cycle()));
+        }
+        assert_eq!(
+            snapshots[0], snapshots[1],
+            "batch width must not change results, issue cycles, or timing"
         );
     }
 

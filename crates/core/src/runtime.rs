@@ -38,7 +38,9 @@ use std::time::Instant;
 
 use crate::block::CamBlock;
 use crate::encoder::Encoding;
-use crate::unit::{search_group_into, write_group_words, GroupScratch, SearchResult};
+use crate::unit::{
+    search_group_into, stream_group_batches, write_group_words, GroupScratch, SearchResult,
+};
 
 /// Bound of each worker's work queue. The unit dispatches at most one
 /// job per worker per operation and waits for all completions before
@@ -75,12 +77,16 @@ pub(crate) enum PoolOp {
         /// Result encoding.
         encoding: Encoding,
     },
-    /// Streaming search: group `g` answers unique keys `j ≡ g (mod M)`.
+    /// Streaming search: group `g` answers unique keys `j ≡ g (mod M)`,
+    /// walked in key-parallel batches of `batch` keys.
     SearchStream {
         /// The deduplicated key batch.
         unique: Arc<Vec<u64>>,
         /// The group count `M`.
         groups: usize,
+        /// Keys per plane-walk pass of the batch kernel
+        /// ([`UnitConfig::batch_width`](crate::config::UnitConfig)).
+        batch: usize,
         /// Cells per block.
         block_size: usize,
         /// Result encoding.
@@ -412,19 +418,23 @@ fn run_group(
         PoolOp::SearchStream {
             unique,
             groups,
+            batch,
             block_size,
             encoding,
         } => {
-            for (j, &key) in unique.iter().enumerate().skip(task.group).step_by(*groups) {
-                search_group_into(&mut blocks, key, *block_size, scratch);
-                results.push((
-                    j,
-                    SearchResult {
-                        group: task.group,
-                        output: encoding.encode(&scratch.combined),
-                    },
-                ));
-            }
+            // The worker's persistent scratch supplies the W-wide batch
+            // buffers, so steady-state streams allocate nothing here.
+            stream_group_batches(
+                &mut blocks,
+                unique,
+                task.group,
+                *groups,
+                *batch,
+                *block_size,
+                *encoding,
+                scratch,
+                results,
+            );
         }
         #[cfg(test)]
         PoolOp::StallMs(ms) => std::thread::sleep(std::time::Duration::from_millis(*ms)),
@@ -518,6 +528,7 @@ mod tests {
         let op = PoolOp::SearchStream {
             unique: Arc::new(vec![10, 99, 30]),
             groups: 2,
+            batch: 32,
             block_size: 8,
             encoding: Encoding::Priority,
         };

@@ -31,7 +31,7 @@ use serde::{Deserialize, Serialize};
 use crate::block::CamBlock;
 use crate::bus::{BusCommand, Opcode};
 use crate::config::{DispatchMode, FidelityMode, ScrubPolicy, UnitConfig};
-use crate::encoder::{MatchVector, SearchOutput};
+use crate::encoder::{Encoding, MatchVector, SearchOutput};
 use crate::error::{CamError, ConfigError};
 use crate::faults::{FaultPlan, FaultSite};
 use crate::mask::RangeSpec;
@@ -122,13 +122,20 @@ struct GroupFill {
 }
 
 /// Reusable per-search working buffers: the combined group vector plus
-/// one per-block vector, so a stream of searches allocates nothing per
-/// key once the buffers reach steady-state size. Each pool worker of the
-/// [`CamRuntime`] keeps one alive across jobs.
+/// one per-block vector for the scalar path, and W-wide staging for the
+/// key-parallel batch kernel — so a stream of searches allocates nothing
+/// per key (or per batch) once the buffers reach steady-state size. Each
+/// pool worker of the [`CamRuntime`] keeps one alive across jobs.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct GroupScratch {
     pub(crate) combined: MatchVector,
     pub(crate) block: MatchVector,
+    /// Staged keys of the batch currently walking the planes.
+    pub(crate) batch_keys: Vec<u64>,
+    /// Per-key per-block match vectors (batch kernel output).
+    pub(crate) batch_block: Vec<MatchVector>,
+    /// Per-key group-combined match vectors.
+    pub(crate) batch_combined: Vec<MatchVector>,
 }
 
 /// Holder for the lazily-built persistent worker pool. Never serialized;
@@ -1433,16 +1440,34 @@ impl CamUnit {
         self.issue_cycles += unique.len().div_ceil(groups) as u64;
         self.search_count += unique.len() as u64;
         let workers = self.effective_workers().min(groups);
+        let batch = self.config.batch_width;
         let answers: Vec<SearchResult> = if workers <= 1 {
-            unique
-                .iter()
-                .enumerate()
-                .map(|(j, &key)| self.search_in_group(j % groups, key))
-                .collect()
+            let block_size = self.config.block.block_size;
+            let encoding = self.config.block.encoding;
+            let mut scratch = std::mem::take(&mut self.scratch);
+            let shards = Self::group_shards(&mut self.blocks, &self.fill, groups);
+            let mut answered: Vec<(usize, SearchResult)> = Vec::with_capacity(unique.len());
+            for (g, mut blocks) in shards.into_iter().enumerate() {
+                stream_group_batches(
+                    &mut blocks,
+                    &unique,
+                    g,
+                    groups,
+                    batch,
+                    block_size,
+                    encoding,
+                    &mut scratch,
+                    &mut answered,
+                );
+            }
+            self.scratch = scratch;
+            answered.sort_by_key(|&(j, _)| j);
+            answered.into_iter().map(|(_, result)| result).collect()
         } else if self.config.dispatch == DispatchMode::Pool {
             let op = PoolOp::SearchStream {
                 unique: Arc::new(unique.clone()),
                 groups,
+                batch,
                 block_size: self.config.block.block_size,
                 encoding: self.config.block.encoding,
             };
@@ -1464,13 +1489,17 @@ impl CamUnit {
                             let mut scratch = GroupScratch::default();
                             let mut out = Vec::new();
                             for (g, mut blocks) in chunk {
-                                for (j, &key) in
-                                    unique_keys.iter().enumerate().skip(g).step_by(groups)
-                                {
-                                    search_group_into(&mut blocks, key, block_size, &mut scratch);
-                                    let output = encoding.encode(&scratch.combined);
-                                    out.push((j, SearchResult { group: g, output }));
-                                }
+                                stream_group_batches(
+                                    &mut blocks,
+                                    unique_keys,
+                                    g,
+                                    groups,
+                                    batch,
+                                    block_size,
+                                    encoding,
+                                    &mut scratch,
+                                    &mut out,
+                                );
                             }
                             out
                         })
@@ -1762,7 +1791,25 @@ impl CamUnit {
     ) {
         let Some(obs) = &self.observer else { return };
         let groups = self.groups;
+        let stream_scope = obs.sink.register_scope(&format!("{}/stream", obs.path));
+        let batch = self
+            .config
+            .batch_width
+            .clamp(1, crate::bitslice::MAX_BATCH_WIDTH);
         obs.sink.with(|o| {
+            // Dedup savings: keys answered from the first occurrence's
+            // result instead of a fresh plane walk.
+            o.add(stream_scope, "dup_hits", (presented - unique.len()) as u64);
+            // One histogram sample per dispatched batch — the widths the
+            // key-parallel kernel actually ran at (tails included).
+            for g in 0..groups {
+                let mut remaining = (unique.len() + groups - 1).saturating_sub(g) / groups;
+                while remaining > 0 {
+                    let width = remaining.min(batch);
+                    o.observe(stream_scope, "dispatch_batch_width", width as u64);
+                    remaining -= width;
+                }
+            }
             o.record(
                 base,
                 Event::StreamBatch {
@@ -1906,6 +1953,79 @@ pub(crate) fn search_group_into(
         scratch
             .combined
             .or_offset(&scratch.block, slot * block_size);
+    }
+}
+
+/// Broadcast a whole batch of keys to one group's blocks and combine the
+/// per-block match vectors into `scratch.batch_combined[k]` for each key
+/// — the W-wide sibling of [`search_group_into`], built on
+/// [`CamBlock::search_batch_into`] so the `Turbo` tier walks the planes
+/// once per block for the whole batch.
+pub(crate) fn search_group_batch_into(
+    blocks: &mut [&mut CamBlock],
+    keys: &[u64],
+    block_size: usize,
+    scratch: &mut GroupScratch,
+) {
+    if scratch.batch_combined.len() < keys.len() {
+        scratch
+            .batch_combined
+            .resize_with(keys.len(), MatchVector::default);
+    }
+    for combined in &mut scratch.batch_combined[..keys.len()] {
+        combined.reset(blocks.len() * block_size);
+    }
+    for (slot, block) in blocks.iter_mut().enumerate() {
+        block.search_batch_into(keys, &mut scratch.batch_block);
+        for (combined, vector) in scratch
+            .batch_combined
+            .iter_mut()
+            .zip(&scratch.batch_block[..keys.len()])
+        {
+            combined.or_offset(vector, slot * block_size);
+        }
+    }
+}
+
+/// Answer one group's share of a deduplicated key stream — the unique
+/// keys `j ≡ group (mod groups)` — in key-parallel batches of up to
+/// `batch` keys, pushing `(j, result)` pairs onto `out`. Shared verbatim
+/// by the serial path, the scoped-thread shards and the [`CamRuntime`]
+/// pool workers, so every dispatch mode runs the identical kernel with
+/// its own reusable [`GroupScratch`] and zero per-batch allocation.
+#[allow(clippy::too_many_arguments)] // mirrors the stream op's full wire format
+pub(crate) fn stream_group_batches(
+    blocks: &mut [&mut CamBlock],
+    unique: &[u64],
+    group: usize,
+    groups: usize,
+    batch: usize,
+    block_size: usize,
+    encoding: Encoding,
+    scratch: &mut GroupScratch,
+    out: &mut Vec<(usize, SearchResult)>,
+) {
+    let batch = batch.clamp(1, crate::bitslice::MAX_BATCH_WIDTH);
+    let mut j = group;
+    while j < unique.len() {
+        let start = j;
+        let mut keys = std::mem::take(&mut scratch.batch_keys);
+        keys.clear();
+        while j < unique.len() && keys.len() < batch {
+            keys.push(unique[j]);
+            j += groups;
+        }
+        search_group_batch_into(blocks, &keys, block_size, scratch);
+        for (k, combined) in scratch.batch_combined[..keys.len()].iter().enumerate() {
+            out.push((
+                start + k * groups,
+                SearchResult {
+                    group,
+                    output: encoding.encode(combined),
+                },
+            ));
+        }
+        scratch.batch_keys = keys;
     }
 }
 

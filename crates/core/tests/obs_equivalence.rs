@@ -200,3 +200,48 @@ proptest! {
         prop_assert_eq!(plain.snapshot(), observed.snapshot());
     }
 }
+
+/// The stream scope's dedup counter and batch-width histogram must
+/// reflect exactly what `search_stream` dispatched: `dup_hits` counts
+/// presented-minus-unique keys, and `dispatch_batch_width` records one
+/// sample per kernel pass, summing to the unique key count.
+#[test]
+fn stream_scope_records_dup_hits_and_batch_widths() {
+    let sink = Arc::new(ObsSink::new());
+    let config = UnitConfig::builder()
+        .data_width(16)
+        .block_size(8)
+        .num_blocks(4)
+        .bus_width(64)
+        .fidelity(FidelityMode::Turbo)
+        .batch_width(4)
+        .build()
+        .unwrap();
+    let mut unit = CamUnit::new(config).unwrap();
+    unit.attach_observer(&sink);
+    unit.configure_groups(2).unwrap();
+    unit.update(&[1, 2, 3, 4, 5, 6]).unwrap();
+    // 12 presented keys, 9 unique: 3 dup hits. Group 0 serves unique
+    // keys 0,2,4,6,8 (5 keys -> passes of 4 and 1), group 1 serves
+    // 1,3,5,7 (4 keys -> one pass of 4).
+    let keys = [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 1, 2, 3];
+    let results = unit.search_stream(&keys);
+    assert_eq!(results.len(), keys.len());
+    let snap = sink.snapshot();
+    assert_eq!(snap.counter("unit/stream", "dup_hits"), 3);
+    let widths = snap
+        .histogram("unit/stream", "dispatch_batch_width")
+        .expect("batch-width histogram registered");
+    assert_eq!(widths.count(), 3, "two passes for group 0, one for group 1");
+    assert_eq!(widths.sum(), 9, "every unique key dispatched exactly once");
+    // A second stream of all-duplicate keys: one pass per group of one
+    // unique key each.
+    unit.search_stream(&[2, 2, 2, 5, 5]);
+    let snap = sink.snapshot();
+    assert_eq!(snap.counter("unit/stream", "dup_hits"), 3 + 3);
+    let widths = snap
+        .histogram("unit/stream", "dispatch_batch_width")
+        .expect("still registered");
+    assert_eq!(widths.count(), 5);
+    assert_eq!(widths.sum(), 11);
+}

@@ -46,4 +46,14 @@ cargo clippy --offline --features obs --example trace_report -- -D warnings
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --offline --workspace --no-run
 
+# Release-mode perf floors on a fixed-seed key stream: the key-parallel
+# batch kernel must beat its one-key degenerate >= 2x at 8192 entries,
+# and 64k-entry Turbo stream throughput must hold its per-entry floor
+# (BENCH_search.json regression guards). Run under both feature sets —
+# the obs build must not tax the kernel either.
+echo "==> release large-capacity perf smoke (default)"
+cargo test -q --offline --release -p dsp-cam-bench --lib -- --ignored large_capacity_smoke
+echo "==> release large-capacity perf smoke (obs)"
+cargo test -q --offline --release -p dsp-cam-bench --lib --features obs -- --ignored large_capacity_smoke
+
 echo "CI green."
