@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod search_rates;
+pub mod update_latency;
 
 /// Print the standard bench header naming the reproduced artefact.
 pub fn banner(artifact: &str, summary: &str) {

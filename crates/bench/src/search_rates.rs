@@ -13,6 +13,11 @@ use std::time::Instant;
 
 use dsp_cam_core::prelude::*;
 
+use crate::update_latency::{
+    measure_update_latency_rows, UpdateLatencyRow, UpdateMix, SEARCH_UNDER_WRITES_FLOOR,
+    UPDATE_P99_RATIO_CEILING,
+};
+
 /// Searches/sec of all three tiers at one unit size.
 #[derive(Debug, Clone, Copy)]
 pub struct SearchRateRow {
@@ -404,9 +409,28 @@ pub fn measure_search_rates(sizes: &[usize]) -> Vec<SearchRateRow> {
         .collect()
 }
 
-/// Serialise `rows` to `BENCH_search.json` at the repository root,
-/// recording which bench produced them and (when measured) the tracer
-/// overhead on Turbo `search_stream` batches. Returns the written path.
+/// The optional `BENCH_search.json` sections beyond the canonical
+/// tier-rate rows — each measurement records whichever it produced.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BenchSections<'a> {
+    /// Tracer overhead on Turbo `search_stream` at 8192 entries (obs
+    /// builds only).
+    pub trace_overhead_pct: Option<f64>,
+    /// Default-policy scrub overhead on Turbo `search_stream`.
+    pub scrub_overhead_pct: Option<f64>,
+    /// Persistent-pool versus scoped-thread dispatch race.
+    pub pool: Option<&'a PoolVsScopedRow>,
+    /// Large-capacity (64k/256k/1M) Turbo stream scale-up.
+    pub large: Option<&'a [LargeScaleRow]>,
+    /// Key-parallel kernel versus its one-key degenerate.
+    pub batch: Option<&'a BatchVsScalarRow>,
+    /// Update-queue mixed-stream rows (buffered versus inline).
+    pub update_queue: Option<&'a [UpdateLatencyRow]>,
+}
+
+/// Serialise `rows` plus whichever optional `sections` were measured to
+/// `BENCH_search.json` at the repository root, recording which bench
+/// produced them. Returns the written path.
 ///
 /// # Errors
 ///
@@ -414,12 +438,16 @@ pub fn measure_search_rates(sizes: &[usize]) -> Vec<SearchRateRow> {
 pub fn write_bench_search_json(
     source: &str,
     rows: &[SearchRateRow],
-    trace_overhead_pct: Option<f64>,
-    scrub_overhead_pct: Option<f64>,
-    pool: Option<&PoolVsScopedRow>,
-    large: Option<&[LargeScaleRow]>,
-    batch: Option<&BatchVsScalarRow>,
+    sections: &BenchSections<'_>,
 ) -> io::Result<PathBuf> {
+    let BenchSections {
+        trace_overhead_pct,
+        scrub_overhead_pct,
+        pool,
+        large,
+        batch,
+        update_queue,
+    } = *sections;
     let path = PathBuf::from(concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../../BENCH_search.json"
@@ -458,6 +486,34 @@ pub fn write_bench_search_json(
             row.scalar_kps,
             row.ratio(),
         ));
+    }
+    if let Some(uq_rows) = update_queue {
+        body.push_str("  \"update_queue_rows\": [\n");
+        for (i, row) in uq_rows.iter().enumerate() {
+            body.push_str(&format!(
+                "    {{\"entries\": {}, \"mix\": \"{}\", \
+                 \"buffered_update_p50_ns\": {:.0}, \"buffered_update_p99_ns\": {:.0}, \
+                 \"inline_update_p50_ns\": {:.0}, \"inline_update_p99_ns\": {:.0}, \
+                 \"update_p99_buffered_over_inline\": {:.3}, \
+                 \"buffered_search_keys_per_sec\": {:.1}, \
+                 \"inline_search_keys_per_sec\": {:.1}, \
+                 \"search_buffered_over_inline\": {:.2}, \
+                 \"buffered_drained_ops\": {}}}{}\n",
+                row.entries,
+                row.mix.label(),
+                row.buffered_update_p50_ns,
+                row.buffered_update_p99_ns,
+                row.inline_update_p50_ns,
+                row.inline_update_p99_ns,
+                row.p99_ratio(),
+                row.buffered_search_kps,
+                row.inline_search_kps,
+                row.search_ratio(),
+                row.buffered_drained_ops,
+                if i + 1 == uq_rows.len() { "" } else { "," },
+            ));
+        }
+        body.push_str("  ],\n");
     }
     if let Some(large_rows) = large {
         body.push_str("  \"large_rows\": [\n");
@@ -508,7 +564,11 @@ pub fn write_bench_search_json(
 /// 8192 entries (floored at [`BATCH_VS_SCALAR_FLOOR`]) and Turbo
 /// `search_stream` is measured across [`LARGE_BENCH_SIZES`] (floored
 /// per entry by [`LARGE_SCALE_PER_ENTRY_FLOORS`]); both are recorded in
-/// the artefact.
+/// the artefact. The CAM-fronted update queue is measured buffered
+/// versus inline on the 90:9:1 and 50:45:5 mixed streams at 8192 and
+/// 64k entries, recorded as `update_queue_rows`, and floored at
+/// [`UPDATE_P99_RATIO_CEILING`] / [`SEARCH_UNDER_WRITES_FLOOR`] on the
+/// write-heavy 8192-entry row.
 ///
 /// # Panics
 ///
@@ -517,8 +577,8 @@ pub fn write_bench_search_json(
 /// reason to exist — or if the worker pool is slower than spawning
 /// scoped threads per batch, or if default-policy scrubbing costs > 5%
 /// of Turbo stream throughput, or (with `obs`) if tracing costs ≥ 3%
-/// of Turbo stream throughput, or if the batch kernel or large-scale
-/// floors regress.
+/// of Turbo stream throughput, or if the batch kernel, large-scale or
+/// update-queue floors regress.
 pub fn emit_bench_search_json(source: &str) {
     let rows = measure_search_rates(&BENCH_SIZES);
     println!();
@@ -574,14 +634,35 @@ pub fn emit_bench_search_json(source: &str) {
             row.per_entry(),
         );
     }
+    let update_queue = measure_update_latency_rows(&[8192, 65_536], 120, 8);
+    println!("Update queue (buffered vs inline, mixed search:update:delete):");
+    for row in &update_queue {
+        println!(
+            "  {:>6} entries @ {:>7}: update p99 {:>8.0} ns buffered vs {:>8.0} ns inline \
+             ({:.3}x), search {:>11.0} keys/s vs {:>11.0} keys/s ({:.2}x), \
+             {} ops drained off-window",
+            row.entries,
+            row.mix.label(),
+            row.buffered_update_p99_ns,
+            row.inline_update_p99_ns,
+            row.p99_ratio(),
+            row.buffered_search_kps,
+            row.inline_search_kps,
+            row.search_ratio(),
+            row.buffered_drained_ops,
+        );
+    }
     match write_bench_search_json(
         source,
         &rows,
-        trace_overhead,
-        Some(scrub_overhead),
-        Some(&pool),
-        Some(&large),
-        Some(&batch),
+        &BenchSections {
+            trace_overhead_pct: trace_overhead,
+            scrub_overhead_pct: Some(scrub_overhead),
+            pool: Some(&pool),
+            large: Some(&large),
+            batch: Some(&batch),
+            update_queue: Some(&update_queue),
+        },
     ) {
         Ok(path) => println!("(json: {})", path.display()),
         Err(err) => println!("(failed to write BENCH_search.json: {err})"),
@@ -604,6 +685,22 @@ pub fn emit_bench_search_json(source: &str) {
             row.per_entry()
         );
     }
+    let write_heavy_8k = update_queue
+        .iter()
+        .find(|r| r.entries == 8192 && r.mix.deletes == UpdateMix::WRITE_HEAVY.deletes)
+        .expect("8192 / 50:45:5 is a canonical update-queue row");
+    assert!(
+        write_heavy_8k.p99_ratio() <= UPDATE_P99_RATIO_CEILING,
+        "buffered update p99 must be <= {UPDATE_P99_RATIO_CEILING}x inline under 50:45:5 \
+         at 8192 entries, got {:.3}x",
+        write_heavy_8k.p99_ratio()
+    );
+    assert!(
+        write_heavy_8k.search_ratio() >= SEARCH_UNDER_WRITES_FLOOR,
+        "buffered search throughput must be >= {SEARCH_UNDER_WRITES_FLOOR}x inline under \
+         50:45:5 at 8192 entries, got {:.2}x",
+        write_heavy_8k.search_ratio()
+    );
     assert!(
         scrub_overhead <= 5.0,
         "default-policy scrubbing must cost <= 5% of turbo search_stream \

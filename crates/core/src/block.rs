@@ -592,6 +592,24 @@ impl CamBlock {
         out.first()
     }
 
+    /// How many valid cells match `key`, capped at `limit`, without
+    /// perturbing any search counter or cycle accounting — the probe
+    /// behind the write buffer's staged-delete decision. Like
+    /// [`probe_first`](Self::probe_first) it answers from the
+    /// always-coherent shadow [`MatchIndex`], so the count is identical
+    /// on every fidelity tier.
+    #[must_use]
+    pub fn probe_count(&self, key: u64, limit: usize) -> usize {
+        if limit == 0 {
+            return 0;
+        }
+        let key = self.mask_key(key);
+        let mut out = MatchVector::default();
+        let index = &self.index;
+        out.fill_raw(index.len(), |bits| index.search_into(key, bits));
+        out.iter_matches().take(limit).count()
+    }
+
     /// Per-entry ternary update (extension beyond the paper's shared-mask
     /// TCAM): stores `value` with its own don't-care bits by programming
     /// the cell's pattern-detector mask, one entry per call.

@@ -106,6 +106,48 @@ impl Default for ScrubPolicy {
     }
 }
 
+/// CAM-fronted write-buffer (update-queue) policy.
+///
+/// When set on [`UnitConfig::write_buffer`] (and the unit is a binary
+/// CAM), updates and deletes land in a bounded content-addressable
+/// staging structure in O(1) — the software analogue of Preußer et
+/// al.'s DSP update queue at II=1 — instead of paying the full
+/// replicated DSP write path inline. Searches consult the buffer first
+/// so in-flight keys stay read-your-writes-consistent, and a background
+/// drainer retires staged entries into the main unit during idle ticks
+/// (see [`crate::update_queue`]).
+///
+/// `bypass` keeps the configuration but routes every operation straight
+/// through the inline path — the differential-testing control arm. The
+/// buffer is architecturally transparent: results, admission errors and
+/// unit counters are identical to `bypass` at every instant, and block
+/// state converges at quiescence once the buffer drains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteBufferConfig {
+    /// Staging capacity in word slots (an insert occupies one slot per
+    /// word, a delete tombstone one slot). Staging beyond this flushes
+    /// the buffer synchronously first (overflow → inline fallback).
+    pub capacity: usize,
+    /// Staged operations drained per idle tick of
+    /// [`StreamingCam::tick`](crate::pipelined::StreamingCam::tick).
+    pub drain_per_tick: usize,
+    /// Route every operation through the inline path (differential
+    /// testing control; the buffer stays empty).
+    pub bypass: bool,
+}
+
+impl Default for WriteBufferConfig {
+    /// The default queue: 64 word slots, 4 staged ops drained per idle
+    /// tick, buffering enabled.
+    fn default() -> Self {
+        WriteBufferConfig {
+            capacity: 64,
+            drain_per_tick: 4,
+            bypass: false,
+        }
+    }
+}
+
 /// Cell-level parameters (Table III, "CAM Cell").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CellConfig {
@@ -309,6 +351,11 @@ pub struct UnitConfig {
     /// `workers`: results and counters are identical at any setting.
     #[serde(default = "default_batch_width")]
     pub batch_width: usize,
+    /// CAM-fronted write buffer absorbing update/delete bursts ahead of
+    /// the replicated DSP write path. `None` (the default) applies every
+    /// write inline; see [`WriteBufferConfig`].
+    #[serde(default)]
+    pub write_buffer: Option<WriteBufferConfig>,
 }
 
 /// Serde/builder default for [`UnitConfig::batch_width`].
@@ -372,6 +419,14 @@ impl UnitConfig {
                 requested: self.batch_width,
             });
         }
+        if let Some(wbuf) = self.write_buffer {
+            if wbuf.capacity == 0 || wbuf.drain_per_tick == 0 {
+                return Err(ConfigError::WriteBuffer {
+                    capacity: wbuf.capacity,
+                    drain_per_tick: wbuf.drain_per_tick,
+                });
+            }
+        }
         Ok(())
     }
 }
@@ -403,6 +458,7 @@ pub struct UnitConfigBuilder {
     scrub: Option<ScrubPolicy>,
     dispatch_deadline_ms: u64,
     batch_width: usize,
+    write_buffer: Option<WriteBufferConfig>,
 }
 
 impl Default for UnitConfigBuilder {
@@ -423,6 +479,7 @@ impl Default for UnitConfigBuilder {
             scrub: None,
             dispatch_deadline_ms: 0,
             batch_width: default_batch_width(),
+            write_buffer: None,
         }
     }
 }
@@ -540,6 +597,14 @@ impl UnitConfigBuilder {
         self
     }
 
+    /// Front the unit with a CAM-fronted write buffer (update queue)
+    /// under the given policy (defaults to no buffer = inline writes).
+    #[must_use]
+    pub fn write_buffer(mut self, policy: WriteBufferConfig) -> Self {
+        self.write_buffer = Some(policy);
+        self
+    }
+
     /// Validate and produce the configuration.
     ///
     /// # Errors
@@ -570,6 +635,7 @@ impl UnitConfigBuilder {
             scrub: self.scrub,
             dispatch_deadline_ms: self.dispatch_deadline_ms,
             batch_width: self.batch_width,
+            write_buffer: self.write_buffer,
         };
         config.validate()?;
         Ok(config)
@@ -759,6 +825,45 @@ mod tests {
         assert!(matches!(
             UnitConfig::builder().batch_width(65).build(),
             Err(ConfigError::BatchWidth { requested: 65 })
+        ));
+    }
+
+    #[test]
+    fn write_buffer_defaults_pinned() {
+        let w = WriteBufferConfig::default();
+        assert_eq!(w.capacity, 64, "64 word slots of staging");
+        assert_eq!(w.drain_per_tick, 4, "4 staged ops per idle tick");
+        assert!(!w.bypass, "buffering is on when configured");
+        assert_eq!(
+            UnitConfig::default().write_buffer,
+            None,
+            "the update queue is opt-in"
+        );
+        let c = UnitConfig::builder()
+            .write_buffer(WriteBufferConfig::default())
+            .build()
+            .unwrap();
+        assert_eq!(c.write_buffer, Some(WriteBufferConfig::default()));
+        assert!(matches!(
+            UnitConfig::builder()
+                .write_buffer(WriteBufferConfig {
+                    capacity: 0,
+                    ..WriteBufferConfig::default()
+                })
+                .build(),
+            Err(ConfigError::WriteBuffer { capacity: 0, .. })
+        ));
+        assert!(matches!(
+            UnitConfig::builder()
+                .write_buffer(WriteBufferConfig {
+                    drain_per_tick: 0,
+                    ..WriteBufferConfig::default()
+                })
+                .build(),
+            Err(ConfigError::WriteBuffer {
+                drain_per_tick: 0,
+                ..
+            })
         ));
     }
 

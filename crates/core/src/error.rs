@@ -58,6 +58,13 @@ pub enum ConfigError {
         /// The number of blocks in the unit.
         blocks: usize,
     },
+    /// Write-buffer capacity and drain budget must both be at least 1.
+    WriteBuffer {
+        /// The requested staging capacity in word slots.
+        capacity: usize,
+        /// The requested drain budget per idle tick.
+        drain_per_tick: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -96,6 +103,14 @@ impl fmt::Display for ConfigError {
             ConfigError::GroupCount { requested, blocks } => write!(
                 f,
                 "group count {requested} does not evenly partition {blocks} blocks"
+            ),
+            ConfigError::WriteBuffer {
+                capacity,
+                drain_per_tick,
+            } => write!(
+                f,
+                "write buffer needs capacity >= 1 and drain budget >= 1 \
+                 (got {capacity} slots, {drain_per_tick} per tick)"
             ),
         }
     }
@@ -268,6 +283,13 @@ mod tests {
                     blocks: 4,
                 },
                 "3",
+            ),
+            (
+                ConfigError::WriteBuffer {
+                    capacity: 0,
+                    drain_per_tick: 4,
+                },
+                "capacity",
             ),
         ];
         for (err, needle) in cases {

@@ -99,6 +99,9 @@ pub struct FaultRates {
     pub valid: f64,
     /// Flip rate for routing-table entries.
     pub routing: f64,
+    /// Flip rate for the write buffer's derived key index
+    /// ([`crate::update_queue::WriteBuffer`]).
+    pub update_queue: f64,
 }
 
 impl FaultRates {
@@ -110,6 +113,7 @@ impl FaultRates {
             bitslice: rate,
             valid: rate,
             routing: rate,
+            update_queue: rate,
         }
     }
 }
@@ -206,6 +210,15 @@ pub enum FaultSite {
         /// Physical block index whose routing entry is hit.
         block: usize,
     },
+    /// Corrupt the write buffer's derived key index at one staged slot
+    /// (wrapping modulo the queue length; no-op when nothing is
+    /// staged). Only the derived index is touched — the golden FIFO,
+    /// and therefore drained contents, survive, exactly like the other
+    /// shadow-tier faults.
+    UpdateQueue {
+        /// Staged-op slot whose key is toggled in the index.
+        slot: usize,
+    },
 }
 
 /// A deterministic, seeded fault campaign.
@@ -219,6 +232,11 @@ pub enum FaultSite {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     rng: XorShift64,
+    /// Dedicated stream for the update-queue class so its draws never
+    /// perturb the legacy four-class sequence: a fixed seed replays the
+    /// exact same shadow/routing campaign it produced before the class
+    /// existed.
+    uq_rng: XorShift64,
     rates: FaultRates,
 }
 
@@ -241,6 +259,7 @@ impl FaultPlan {
     pub fn with_rates(seed: u64, rates: FaultRates) -> Self {
         FaultPlan {
             rng: XorShift64::new(seed),
+            uq_rng: XorShift64::new(seed ^ 0x5EED_0000_0051_u64),
             rates,
         }
     }
@@ -255,7 +274,10 @@ impl FaultPlan {
     /// blocks of `cells_per_block` cells with `width`-bit keys.
     ///
     /// Each class is an independent Bernoulli trial; a hit picks a
-    /// uniform site of that class. Returns every site drawn this cycle
+    /// uniform site of that class. The update-queue class samples its
+    /// own decorrelated stream, so arming it leaves the four legacy
+    /// classes' sequence untouched for a given seed. Returns every site
+    /// drawn this cycle
     /// (usually empty at realistic rates). Sites are cell-addressed;
     /// where a drawn fault lands in the bit-sliced shadow's tiled plane
     /// layout is answered by [`ShadowFault::tile`], never recomputed
@@ -324,6 +346,11 @@ impl FaultPlan {
                 block: self.rng.below(blocks as u64) as usize,
             });
         }
+        if self.uq_rng.chance(self.rates.update_queue) {
+            out.push(FaultSite::UpdateQueue {
+                slot: self.uq_rng.below(cell_sites) as usize,
+            });
+        }
     }
 }
 
@@ -381,8 +408,37 @@ mod tests {
                     assert!(fault.cell() < 16);
                 }
                 FaultSite::Routing { block } => assert!(block < 4),
+                FaultSite::UpdateQueue { slot } => assert!(slot < 64),
             }
         }
+    }
+
+    #[test]
+    fn update_queue_class_never_perturbs_the_legacy_stream() {
+        // Fixed-seed campaigns written before the update-queue class
+        // existed must replay the identical shadow/routing sequence even
+        // when the new class is armed: its draws come from a dedicated
+        // sub-generator, never the shared one.
+        let mut with_uq = FaultPlan::uniform(0xD511_CA3B, 5e-3);
+        let mut legacy_rates = FaultRates::uniform(5e-3);
+        legacy_rates.update_queue = 0.0;
+        let mut without_uq = FaultPlan::with_rates(0xD511_CA3B, legacy_rates);
+        let mut sites_with = Vec::new();
+        let mut sites_without = Vec::new();
+        for _ in 0..4096 {
+            with_uq.draw(4, 8, 16, &mut sites_with);
+            without_uq.draw(4, 8, 16, &mut sites_without);
+        }
+        let legacy_only: Vec<FaultSite> = sites_with
+            .iter()
+            .copied()
+            .filter(|s| !matches!(s, FaultSite::UpdateQueue { .. }))
+            .collect();
+        assert_eq!(legacy_only, sites_without);
+        assert!(
+            sites_with.len() > sites_without.len(),
+            "the armed update-queue class must still fire on its own stream"
+        );
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod pipelined;
 pub mod runtime;
 pub mod scrub;
 pub mod unit;
+pub mod update_queue;
 pub mod verilog;
 
 /// Convenient glob import of the public API.
@@ -72,6 +73,7 @@ pub mod prelude {
     pub use crate::cell::CamCell;
     pub use crate::config::{
         BlockConfig, CellConfig, DispatchMode, FidelityMode, ScrubPolicy, UnitConfig,
+        WriteBufferConfig,
     };
     pub use crate::dense::DenseCamBlock;
     pub use crate::encoder::{Encoding, MatchVector, SearchOutput};
@@ -85,6 +87,7 @@ pub mod prelude {
     pub use crate::runtime::CamRuntime;
     pub use crate::scrub::ScrubReport;
     pub use crate::unit::{CamUnit, SearchResult};
+    pub use crate::update_queue::{StagedOp, WriteBufferReport};
     pub use crate::verilog::RtlBundle;
 }
 

@@ -168,6 +168,13 @@ impl StreamingCam {
         self.cycle
     }
 
+    /// Word slots staged in the wrapped unit's write buffer — reaches 0
+    /// under idle ticks alone once the drainer catches up (quiescence).
+    #[must_use]
+    pub fn buffer_depth(&self) -> usize {
+        self.unit.write_buffer_depth()
+    }
+
     /// Audit every block's shadow tiers against the DSP oracle and
     /// return the number of divergent entries — the streaming façade of
     /// [`CamUnit::audit_shadows`] (same counters and obs side effects).
@@ -249,9 +256,17 @@ impl Clocked for StreamingCam {
                 (None, Some(Completion::SearchStream(result)))
             }
             None => {
-                // An idle cycle still advances the background scrubber —
-                // exactly like a hardware scrub engine stealing unused
-                // port cycles (no-op without a configured policy).
+                // An idle cycle drains the write buffer within its
+                // configured budget and still advances the background
+                // scrubber — exactly like hardware background engines
+                // stealing unused port cycles (both no-ops without their
+                // respective policies).
+                let budget = self
+                    .unit
+                    .config()
+                    .write_buffer
+                    .map_or(0, |w| w.drain_per_tick);
+                self.unit.drain_write_buffer(budget);
                 self.unit.scrub_tick();
                 (None, None)
             }
@@ -623,6 +638,46 @@ mod tests {
         let a = serial.drain_retired();
         let b = sharded.drain_retired();
         assert_eq!(a, b, "sharded batch issue must match serial exactly");
+    }
+
+    #[test]
+    fn idle_ticks_alone_drain_a_fully_staged_buffer_to_quiescence() {
+        use crate::config::WriteBufferConfig;
+        let cfg = UnitConfig::builder()
+            .data_width(32)
+            .block_size(128)
+            .num_blocks(8)
+            .write_buffer(WriteBufferConfig {
+                capacity: 16,
+                drain_per_tick: 2,
+                bypass: false,
+            })
+            .build()
+            .expect("valid");
+        let mut cam = StreamingCam::new(cfg).unwrap();
+        // Fill the buffer to capacity with absorbed single-word updates;
+        // every tick carries an op, so nothing drains yet.
+        for i in 0..16u64 {
+            cam.issue(Op::Update(vec![i])).unwrap();
+            cam.tick();
+        }
+        assert_eq!(cam.buffer_depth(), 16, "all 16 words staged");
+        // No further ops: idle ticks must reach buffer_depth == 0 on
+        // their own — 16 staged ops at 2 per tick need 8 idle ticks.
+        for ticks in 1..=8usize {
+            cam.tick();
+            assert_eq!(cam.buffer_depth(), 16 - 2 * ticks);
+        }
+        assert_eq!(cam.buffer_depth(), 0, "idle drain reached quiescence");
+        cam.drain();
+        cam.drain_retired();
+        // The drained contents answer searches physically.
+        cam.issue(Op::Search(11)).unwrap();
+        cam.drain();
+        assert!(matches!(
+            &cam.drain_retired()[0].1,
+            Completion::Search(hit) if hit.is_match()
+        ));
     }
 
     #[test]

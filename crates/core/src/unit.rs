@@ -37,6 +37,7 @@ use crate::faults::{FaultPlan, FaultSite};
 use crate::mask::RangeSpec;
 use crate::runtime::{CamRuntime, GroupTask, PoolOp, PoolRun};
 use crate::scrub::{ScrubReport, ScrubState};
+use crate::update_queue::{StagedOp, WriteBuffer, WriteBufferReport};
 
 /// What one pool dispatch hands back: `(group, fill.current)` rewinds
 /// from updates and `(slot, result)` answers from searches.
@@ -179,6 +180,12 @@ pub struct CamUnit {
     /// [`UnitConfig::scrub`] carries a policy.
     #[serde(default)]
     scrub: ScrubState,
+    /// CAM-fronted write buffer (see [`crate::update_queue`]).
+    /// Serialized with the unit (the staged FIFO is architectural
+    /// state); inert and empty unless [`UnitConfig::write_buffer`]
+    /// enables buffering.
+    #[serde(default)]
+    wbuf: WriteBuffer,
     #[serde(skip)]
     scratch: GroupScratch,
     /// The persistent sharded worker pool (see [`CamRuntime`]), built on
@@ -216,6 +223,7 @@ impl CamUnit {
             update_words: 0,
             search_count: 0,
             scrub: ScrubState::default(),
+            wbuf: WriteBuffer::default(),
             scratch: GroupScratch::default(),
             runtime: RuntimeSlot::default(),
             #[cfg(feature = "obs")]
@@ -386,6 +394,7 @@ impl CamUnit {
             })
             .collect();
         let scrub_scope = obs.sink.register_scope(&format!("{}/scrub", obs.path));
+        let wbuf_scope = obs.sink.register_scope(&format!("{}/wbuf", obs.path));
         // Pool worker monitoring, once a persistent pool has spun up.
         let pool_scopes: Vec<(ScopeId, usize, u64)> =
             self.runtime.0.as_ref().map_or_else(Vec::new, |pool| {
@@ -454,6 +463,26 @@ impl CamUnit {
                 scrub_scope,
                 "degraded",
                 i64::from(self.scrub.degraded_from.is_some()),
+            );
+            let wbuf = self.wbuf.report();
+            o.set_gauge(wbuf_scope, "depth", wbuf.depth as i64);
+            o.set_gauge(wbuf_scope, "peak_depth", wbuf.peak_depth as i64);
+            o.set_counter(wbuf_scope, "absorbed_updates", wbuf.absorbed_updates);
+            o.set_counter(wbuf_scope, "absorbed_words", wbuf.absorbed_words);
+            o.set_counter(wbuf_scope, "absorbed_deletes", wbuf.absorbed_deletes);
+            o.set_counter(wbuf_scope, "drained_ops", wbuf.drained_ops);
+            o.set_counter(wbuf_scope, "drained_words", wbuf.drained_words);
+            o.set_counter(wbuf_scope, "overflows", wbuf.overflows);
+            o.set_counter(wbuf_scope, "search_flushes", wbuf.search_flushes);
+            o.set_counter(
+                wbuf_scope,
+                "index_faults_injected",
+                wbuf.index_faults_injected,
+            );
+            o.set_counter(
+                wbuf_scope,
+                "index_faults_repaired",
+                wbuf.index_faults_repaired,
             );
         });
     }
@@ -543,6 +572,7 @@ impl CamUnit {
             FaultSite::Routing { block } => {
                 self.routing[block] = (self.routing[block] + 1) % self.groups;
             }
+            FaultSite::UpdateQueue { slot } => self.wbuf.inject_index_fault(slot),
         }
     }
 
@@ -641,6 +671,14 @@ impl CamUnit {
     /// sweep, and let the governor restore the pre-degradation tier
     /// after `restore_after` consecutive clean sweeps.
     fn finish_sweep(&mut self, policy: ScrubPolicy) {
+        // The write buffer's derived key index is shadow state like any
+        // other: re-derive it from the golden FIFO and score divergence.
+        let wbuf_divergent = self.wbuf.audit_index();
+        if wbuf_divergent > 0 {
+            self.scrub.faults_detected += wbuf_divergent;
+            self.scrub.faults_repaired += wbuf_divergent;
+            self.scrub.sweep_faults += wbuf_divergent;
+        }
         for (g, f) in self.fill.iter().enumerate() {
             for &b in &f.blocks {
                 if self.routing[b] != g {
@@ -816,6 +854,9 @@ impl CamUnit {
                 blocks: self.config.num_blocks,
             });
         }
+        // Retire staged writes first so per-block counters converge with
+        // the inline path before contents are cleared.
+        self.flush_write_buffer();
         for block in &mut self.blocks {
             block.reset();
         }
@@ -852,6 +893,7 @@ impl CamUnit {
                 groups: self.groups,
             });
         }
+        self.flush_write_buffer();
         self.routing[block] = group;
         for b in &mut self.blocks {
             b.reset();
@@ -1142,6 +1184,31 @@ impl CamUnit {
                 data_width: self.config.block.cell.data_width,
             });
         }
+        if self.wbuf_enabled() {
+            self.absorb_insert(words)?;
+        } else {
+            self.apply_words_physical(words)?;
+        }
+        self.entries_per_group += words.len();
+        let beats = words.len().div_ceil(self.config.words_per_beat()) as u64;
+        self.issue_cycles += beats;
+        self.update_words += words.len() as u64;
+        #[cfg(feature = "obs")]
+        self.trace_event(Event::Update {
+            words: words.len() as u32,
+            beats: beats as u32,
+        });
+        self.scrub_step();
+        Ok(())
+    }
+
+    /// Replicate `words` into every group physically — the write engine
+    /// shared by the inline update path and the write-buffer drainer
+    /// (serial shards, [`CamRuntime`] pool dispatch, or scoped threads,
+    /// per [`DispatchMode`]). Admission must already be checked; no
+    /// unit-level counters move here — block-level counters accrue as
+    /// the cells are written, identically on either path.
+    fn apply_words_physical(&mut self, words: &[u64]) -> Result<(), CamError> {
         let workers = self.effective_workers().min(self.groups);
         let outcomes: Vec<(usize, usize)> = if workers <= 1 {
             let shards = Self::group_shards(&mut self.blocks, &self.fill, self.groups);
@@ -1192,17 +1259,177 @@ impl CamUnit {
         for (g, current) in outcomes {
             self.fill[g].current = current;
         }
-        self.entries_per_group += words.len();
-        let beats = words.len().div_ceil(self.config.words_per_beat()) as u64;
-        self.issue_cycles += beats;
-        self.update_words += words.len() as u64;
-        #[cfg(feature = "obs")]
-        self.trace_event(Event::Update {
-            words: words.len() as u32,
-            beats: beats as u32,
-        });
-        self.scrub_step();
         Ok(())
+    }
+
+    /// Whether updates/deletes stage in the write buffer: a
+    /// [`UnitConfig::write_buffer`] policy must be configured, not in
+    /// bypass, and the unit must be binary — ternary and range entries
+    /// can match keys other than their stored word, so the buffer's
+    /// exact-key match port cannot shadow them.
+    fn wbuf_enabled(&self) -> bool {
+        self.config.write_buffer.is_some_and(|w| !w.bypass)
+            && self.config.block.cell.kind == crate::kind::CamKind::Binary
+    }
+
+    fn wbuf_capacity(&self) -> usize {
+        self.config.write_buffer.map_or(0, |w| w.capacity)
+    }
+
+    /// Stage an admission-checked update, spilling synchronously when
+    /// the burst overflows the buffer (the paper's capture port is a
+    /// fixed handful of DSP slices — an oversized burst falls back to
+    /// the inline write path after flushing everything in front of it).
+    fn absorb_insert(&mut self, words: &[u64]) -> Result<(), CamError> {
+        let capacity = self.wbuf_capacity();
+        if words.len() > capacity {
+            self.wbuf.overflows += 1;
+            self.flush_write_buffer();
+            return self.apply_words_physical(words);
+        }
+        if self.wbuf.depth() + words.len() > capacity {
+            self.wbuf.overflows += 1;
+            self.flush_write_buffer();
+        }
+        self.wbuf.push_insert(words, self.issue_cycles);
+        Ok(())
+    }
+
+    /// Stage a delete of (masked) `key`, returning whether the delete
+    /// hits — decided against the physical contents plus the staged
+    /// FIFO replayed in order, so the answer (and every architectural
+    /// counter keyed off it) is bit-identical to the inline path.
+    fn absorb_delete(&mut self, key: u64) -> bool {
+        if self.wbuf.depth() >= self.wbuf_capacity() {
+            self.wbuf.overflows += 1;
+            self.flush_write_buffer();
+            // Physical state is now current; decide and apply inline.
+            return self.apply_delete_physical(key);
+        }
+        if !self.staged_delete_would_hit(key) {
+            return false;
+        }
+        self.wbuf.push_tombstone(key, self.issue_cycles);
+        true
+    }
+
+    /// Whether a delete of (masked) `key` would hit once every staged
+    /// op lands: net staged inserts of the key, plus the physical
+    /// matches still present, must leave at least one copy. Reads the
+    /// golden FIFO (never the derived index) and the counter-neutral
+    /// [`CamBlock::probe_count`], so the decision survives injected
+    /// index faults unchanged.
+    fn staged_delete_would_hit(&self, key: u64) -> bool {
+        let net = self.wbuf.net_of(key);
+        if net > 0 {
+            return true;
+        }
+        // Contents are replicated, so any non-empty group decides.
+        let needed = 1usize.saturating_add(net.unsigned_abs() as usize);
+        let mut found = 0usize;
+        if let Some(fill) = self.fill.iter().find(|f| !f.blocks.is_empty()) {
+            for &b in &fill.blocks {
+                found += self.blocks[b].probe_count(key, needed - found);
+                if found >= needed {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Read-your-writes gate of every search path: when any presented
+    /// key is in flight in the write buffer, flush it so the physical
+    /// answer is current. Consults the derived key index (the buffer's
+    /// match port), so untouched searches pay one O(1) probe per key
+    /// and never touch the write path.
+    fn sync_for_keys(&mut self, keys: &[u64]) {
+        if self.wbuf.is_empty() {
+            return;
+        }
+        let limit = mask_limit(self.config.block.cell.data_width);
+        if keys.iter().any(|&k| self.wbuf.touched(k & limit)) {
+            self.wbuf.search_flushes += 1;
+            self.flush_write_buffer();
+        }
+    }
+
+    /// Retire up to `max_ops` staged write-buffer ops into the main
+    /// unit in FIFO order — the background drainer behind
+    /// [`StreamingCam`](crate::pipelined::StreamingCam) idle ticks.
+    /// Inserts go through the same replicated write engine as the
+    /// inline path (including [`CamRuntime`] pool dispatch when the
+    /// worker count allows); tombstones through the same
+    /// probe/invalidate walk. No architectural unit counters move —
+    /// they were charged when the ops were absorbed. Returns the number
+    /// of ops retired.
+    pub fn drain_write_buffer(&mut self, max_ops: usize) -> usize {
+        let mut drained = 0usize;
+        #[cfg(feature = "obs")]
+        let mut residencies: Vec<u64> = Vec::new();
+        while drained < max_ops {
+            let Some((op, residency)) = self.wbuf.pop(self.issue_cycles) else {
+                break;
+            };
+            #[cfg(not(feature = "obs"))]
+            let _ = residency;
+            #[cfg(feature = "obs")]
+            residencies.push(residency);
+            match op {
+                StagedOp::Insert { words, .. } => {
+                    // A pool failure mid-drain leaves contents
+                    // "unspecified until reset" — the same contract the
+                    // inline path hands its caller on
+                    // `WorkerPoolPoisoned` — so the drainer stays
+                    // infallible rather than re-applying (which could
+                    // double-write groups the surviving workers
+                    // finished).
+                    let _ = self.apply_words_physical(&words);
+                }
+                StagedOp::Tombstone { key, .. } => {
+                    self.apply_delete_physical(key);
+                }
+            }
+            drained += 1;
+        }
+        #[cfg(feature = "obs")]
+        self.observe_residencies(&residencies);
+        drained
+    }
+
+    /// Drain the write buffer to empty — the synchronous spill used by
+    /// overflow, touched-key searches, group reconfiguration and reset.
+    pub fn flush_write_buffer(&mut self) {
+        self.drain_write_buffer(usize::MAX);
+    }
+
+    /// Word slots currently staged in the write buffer (0 when
+    /// buffering is disabled or the drainer has caught up — the
+    /// quiescence signal).
+    #[must_use]
+    pub fn write_buffer_depth(&self) -> usize {
+        self.wbuf.depth()
+    }
+
+    /// A point-in-time read-out of the write buffer's counters.
+    #[must_use]
+    pub fn write_buffer_report(&self) -> WriteBufferReport {
+        self.wbuf.report()
+    }
+
+    /// Record staged-residency observations under `{unit}/wbuf`.
+    #[cfg(feature = "obs")]
+    fn observe_residencies(&self, residencies: &[u64]) {
+        if residencies.is_empty() {
+            return;
+        }
+        let Some(obs) = &self.observer else { return };
+        let scope = obs.sink.register_scope(&format!("{}/wbuf", obs.path));
+        obs.sink.with(|o| {
+            for &cycles in residencies {
+                o.observe(scope, "staged_residency_cycles", cycles);
+            }
+        });
     }
 
     /// RMCAM update path: replicate power-of-two ranges to every group.
@@ -1271,6 +1498,7 @@ impl CamUnit {
     /// infallible even in strict mode; use [`CamUnit::search_group`] to
     /// surface [`CamError::ShadowDivergence`].
     pub fn search(&mut self, key: u64) -> SearchResult {
+        self.sync_for_keys(&[key]);
         let group = self.route_key(key);
         self.issue_cycles += 1;
         self.search_count += 1;
@@ -1299,6 +1527,7 @@ impl CamUnit {
                 capacity: self.groups,
             });
         }
+        self.sync_for_keys(keys);
         self.issue_cycles += 1;
         self.search_count += keys.len() as u64;
         let workers = self.effective_workers().min(keys.len().max(1));
@@ -1421,6 +1650,7 @@ impl CamUnit {
         if keys.is_empty() {
             return Ok(Vec::new());
         }
+        self.sync_for_keys(keys);
         // Dedup preserving first-occurrence order; `slots[i]` is the
         // unique-key index answering original key `i`.
         let mut seen: HashMap<u64, usize> = HashMap::with_capacity(keys.len());
@@ -1543,6 +1773,7 @@ impl CamUnit {
                 groups: self.groups,
             });
         }
+        self.sync_for_keys(&[key]);
         self.issue_cycles += 1;
         self.search_count += 1;
         let mut result = self.search_in_group(group, key);
@@ -1591,6 +1822,30 @@ impl CamUnit {
     /// search/cycle counters on any fidelity tier, and a miss consumes no
     /// issue cycle and emits no observability event.
     pub fn delete_first(&mut self, key: u64) -> bool {
+        let deleted_any = if self.wbuf_enabled() {
+            let key = key & mask_limit(self.config.block.cell.data_width);
+            self.absorb_delete(key)
+        } else {
+            self.apply_delete_physical(key)
+        };
+        if deleted_any {
+            self.entries_per_group = self.entries_per_group.saturating_sub(1);
+            self.issue_cycles += 1;
+            #[cfg(feature = "obs")]
+            self.trace_event(Event::Issue {
+                kind: OpKind::Delete,
+                group: 0,
+                worker: 0,
+            });
+        }
+        self.scrub_step();
+        deleted_any
+    }
+
+    /// Invalidate the first match of `key` in every group — the
+    /// physical deletion walk shared by the inline path and the
+    /// write-buffer drainer. No unit-level counters move here.
+    fn apply_delete_physical(&mut self, key: u64) -> bool {
         let mut deleted_any = false;
         for g in 0..self.groups {
             let block_ids = self.fill[g].blocks.clone();
@@ -1604,17 +1859,6 @@ impl CamUnit {
                 }
             }
         }
-        if deleted_any {
-            self.entries_per_group = self.entries_per_group.saturating_sub(1);
-            self.issue_cycles += 1;
-            #[cfg(feature = "obs")]
-            self.trace_event(Event::Issue {
-                kind: OpKind::Delete,
-                group: 0,
-                worker: 0,
-            });
-        }
-        self.scrub_step();
         deleted_any
     }
 
@@ -1663,6 +1907,9 @@ impl CamUnit {
 
     /// Assert the global reset: clear every block and fill pointer.
     pub fn reset(&mut self) {
+        // Flush (not discard) staged writes so block-level counters end
+        // up where the inline path would have left them.
+        self.flush_write_buffer();
         for block in &mut self.blocks {
             block.reset();
         }
@@ -1862,6 +2109,7 @@ impl CamUnit {
         let mut unit = self.clone();
         unit.scratch = GroupScratch::default();
         unit.runtime = RuntimeSlot::default();
+        unit.wbuf.reset_transients();
         for block in &mut unit.blocks {
             block.reset_transients();
         }

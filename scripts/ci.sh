@@ -40,6 +40,13 @@ echo "==> fault-drill example smoke run (fixed seed, default + obs)"
 cargo run -q --offline --example fault_drill
 cargo run -q --offline --example fault_drill --features obs
 
+# The write-heavy drill walks the CAM-fronted update queue end to end
+# (capture at II=1, read-your-writes overlap flushes, budgeted idle
+# drain) on a fixed seed, under both feature sets.
+echo "==> write-burst example smoke run (fixed seed, default + obs)"
+cargo run -q --offline --example write_burst
+cargo run -q --offline --example write_burst --features obs
+
 echo "==> clippy + compile-check the obs example"
 cargo clippy --offline --features obs --example trace_report -- -D warnings
 
@@ -55,5 +62,13 @@ echo "==> release large-capacity perf smoke (default)"
 cargo test -q --offline --release -p dsp-cam-bench --lib -- --ignored large_capacity_smoke
 echo "==> release large-capacity perf smoke (obs)"
 cargo test -q --offline --release -p dsp-cam-bench --lib --features obs -- --ignored large_capacity_smoke
+
+# Update-queue floors on the write-heavy 50:45:5 mix at 8192 entries:
+# buffered update p99 <= 0.5x inline, search throughput under writes
+# >= 2x the inline baseline (BENCH_search.json regression guards).
+echo "==> release update-queue perf smoke (default)"
+cargo test -q --offline --release -p dsp-cam-bench --lib -- --ignored update_queue_smoke
+echo "==> release update-queue perf smoke (obs)"
+cargo test -q --offline --release -p dsp-cam-bench --lib --features obs -- --ignored update_queue_smoke
 
 echo "CI green."
