@@ -11,6 +11,7 @@
 
 pub mod search_rates;
 pub mod update_latency;
+pub mod workloads;
 
 /// Print the standard bench header naming the reproduced artefact.
 pub fn banner(artifact: &str, summary: &str) {

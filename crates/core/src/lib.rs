@@ -83,7 +83,7 @@ pub mod prelude {
     pub use crate::kind::CamKind;
     pub use crate::mask::{range_mask, width_mask, CamMask, RangeSpec};
     pub use crate::match_index::MatchIndex;
-    pub use crate::pipelined::{Completion, Op, StreamingCam};
+    pub use crate::pipelined::{Completion, Op, RetireRecord, StreamingCam};
     pub use crate::runtime::CamRuntime;
     pub use crate::scrub::ScrubReport;
     pub use crate::unit::{CamUnit, SearchResult};

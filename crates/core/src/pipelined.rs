@@ -42,6 +42,11 @@ pub enum Op {
     /// [`UnitConfig::batch_width`](crate::config::UnitConfig)); results
     /// and counters are identical at every width.
     SearchStream(Vec<u64>),
+    /// Delete the first stored match of a key
+    /// ([`CamUnit::delete_first`]): a write-path operation, so it flows
+    /// through the update pipe (and, when a write buffer is configured,
+    /// absorbs as a tombstone exactly like the transaction-level call).
+    Delete(u64),
 }
 
 /// A completed operation emerging from the pipeline.
@@ -58,6 +63,36 @@ pub enum Completion {
     /// duplicates included (the batched path cannot over-subscribe the
     /// groups, so it cannot fail).
     SearchStream(Vec<SearchResult>),
+    /// A delete retired; `true` when a stored entry was invalidated.
+    Delete(bool),
+}
+
+/// One entry of the pipeline's retire log (see
+/// [`StreamingCam::enable_retire_log`]): the cycle stamps needed to
+/// attribute end-to-end latency to an operation replayed from a trace.
+///
+/// `retired - arrival + 1` is the workload-visible retire latency: the
+/// pipe latency plus however long the op queued behind the single issue
+/// slot after it arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetireRecord {
+    /// Cycle the operation arrived at the unit (trace arrival time; at
+    /// most the issue cycle).
+    pub arrival: u64,
+    /// Cycle the operation took the issue slot.
+    pub issued: u64,
+    /// Cycle the completion reached the retire edge.
+    pub retired: u64,
+}
+
+impl RetireRecord {
+    /// End-to-end retire latency in cycles: queueing behind the issue
+    /// slot plus the pipe latency (result visible the cycle after the
+    /// retire edge).
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.retired - self.arrival + 1
+    }
 }
 
 /// A [`CamUnit`] behind a cycle-accurate issue/retire pipeline.
@@ -86,13 +121,19 @@ pub enum Completion {
 #[derive(Debug)]
 pub struct StreamingCam {
     unit: CamUnit,
-    pending: Option<Op>,
-    /// Pipes carry `(issue_cycle, completion)` so the retire edge can
-    /// attribute end-to-end latency.
-    update_pipe: Pipe<(u64, Completion)>,
-    search_pipe: Pipe<(u64, Completion)>,
+    /// The staged op plus its arrival cycle (equal to the issue cycle
+    /// for plain [`StreamingCam::issue`], earlier for queued trace
+    /// replay through [`StreamingCam::issue_at`]).
+    pending: Option<(Op, u64)>,
+    /// Pipes carry `(arrival, issue_cycle, completion)` so the retire
+    /// edge can attribute end-to-end latency.
+    update_pipe: Pipe<(u64, u64, Completion)>,
+    search_pipe: Pipe<(u64, u64, Completion)>,
     cycle: u64,
     retired: Vec<(u64, Completion)>,
+    /// Optional replay hook: `(arrival, issued, retired)` stamps per
+    /// completion, in retire order.
+    retire_log: Option<Vec<RetireRecord>>,
     /// Observability sink plus the interned `"pipeline"` scope the
     /// retire-latency histograms land under.
     #[cfg(feature = "obs")]
@@ -117,6 +158,7 @@ impl StreamingCam {
             search_pipe: Pipe::new(config.search_latency() as usize - 1),
             cycle: 0,
             retired: Vec::new(),
+            retire_log: None,
             #[cfg(feature = "obs")]
             observer: None,
         })
@@ -133,19 +175,27 @@ impl StreamingCam {
     }
 
     /// Record a completion at the current cycle's retire edge.
-    fn retire(&mut self, issued: u64, done: Completion) {
+    fn retire(&mut self, arrival: u64, issued: u64, done: Completion) {
         #[cfg(feature = "obs")]
         if let Some((sink, scope)) = &self.observer {
             let metric = match &done {
-                Completion::Update(_) => "update_latency_cycles",
+                Completion::Update(_) | Completion::Delete(_) => "update_latency_cycles",
                 _ => "search_latency_cycles",
             };
             // Result visible the cycle after the retire edge: latency =
-            // retire - issue + 1 (the configured pipe latency).
-            sink.observe(*scope, metric, self.cycle - issued + 1);
+            // retire - arrival + 1 — the configured pipe latency plus
+            // any queueing behind the issue slot (arrival == issue for
+            // plain `issue`, so the histogram keeps its old meaning
+            // outside trace replay).
+            sink.observe(*scope, metric, self.cycle - arrival + 1);
         }
-        #[cfg(not(feature = "obs"))]
-        let _ = issued;
+        if let Some(log) = &mut self.retire_log {
+            log.push(RetireRecord {
+                arrival,
+                issued,
+                retired: self.cycle,
+            });
+        }
         self.retired.push((self.cycle, done));
     }
 
@@ -189,11 +239,46 @@ impl StreamingCam {
     /// Returns the operation back if the single issue slot for this cycle
     /// is already taken (II = 1).
     pub fn issue(&mut self, op: Op) -> Result<(), Op> {
+        self.issue_at(op, self.cycle)
+    }
+
+    /// Queue one operation for the next clock edge, stamped with the
+    /// cycle it *arrived* at the unit — the trace-replay hook. When a
+    /// burst delivers several operations in the same arrival cycle, the
+    /// replayer issues them one per tick and each completion's
+    /// end-to-end latency (`retired - arrival + 1`, see
+    /// [`RetireRecord`]) includes the cycles it queued behind the
+    /// single issue slot. Arrivals in the future are clamped to the
+    /// current cycle; plain [`StreamingCam::issue`] stamps
+    /// `arrival == issue`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the operation back if the single issue slot for this cycle
+    /// is already taken (II = 1).
+    pub fn issue_at(&mut self, op: Op, arrival: u64) -> Result<(), Op> {
         if self.pending.is_some() {
             return Err(op);
         }
-        self.pending = Some(op);
+        self.pending = Some((op, arrival.min(self.cycle)));
         Ok(())
+    }
+
+    /// Start logging `(arrival, issued, retired)` stamps for every
+    /// completion (cleared of any previous log). Zero-cost until
+    /// enabled; [`StreamingCam::take_retire_log`] drains the log.
+    pub fn enable_retire_log(&mut self) {
+        self.retire_log = Some(Vec::new());
+    }
+
+    /// Take the retire log accumulated since
+    /// [`StreamingCam::enable_retire_log`] (logging stays enabled).
+    /// Empty if logging was never enabled.
+    pub fn take_retire_log(&mut self) -> Vec<RetireRecord> {
+        match &mut self.retire_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
     }
 
     /// Issue a batch of operations back to back at initiation interval 1:
@@ -209,7 +294,7 @@ impl StreamingCam {
                 // first.
                 self.tick();
             }
-            self.pending = Some(op);
+            self.pending = Some((op, self.cycle));
             self.tick();
             issued += 1;
         }
@@ -238,22 +323,26 @@ impl StreamingCam {
 
 impl Clocked for StreamingCam {
     fn tick(&mut self) {
-        let (into_update, into_search) = match self.pending.take() {
-            Some(Op::Update(words)) => {
+        let (arrival, into_update, into_search) = match self.pending.take() {
+            Some((Op::Update(words), arrival)) => {
                 let result = self.unit.update(&words);
-                (Some(Completion::Update(result)), None)
+                (arrival, Some(Completion::Update(result)), None)
             }
-            Some(Op::Search(key)) => {
+            Some((Op::Search(key), arrival)) => {
                 let result = self.unit.search(key);
-                (None, Some(Completion::Search(result)))
+                (arrival, None, Some(Completion::Search(result)))
             }
-            Some(Op::SearchMulti(keys)) => {
+            Some((Op::SearchMulti(keys), arrival)) => {
                 let result = self.unit.try_search_multi(&keys);
-                (None, Some(Completion::SearchMulti(result)))
+                (arrival, None, Some(Completion::SearchMulti(result)))
             }
-            Some(Op::SearchStream(keys)) => {
+            Some((Op::SearchStream(keys), arrival)) => {
                 let result = self.unit.search_stream(&keys);
-                (None, Some(Completion::SearchStream(result)))
+                (arrival, None, Some(Completion::SearchStream(result)))
+            }
+            Some((Op::Delete(key), arrival)) => {
+                let hit = self.unit.delete_first(key);
+                (arrival, Some(Completion::Delete(hit)), None)
             }
             None => {
                 // An idle cycle drains the write buffer within its
@@ -268,22 +357,26 @@ impl Clocked for StreamingCam {
                     .map_or(0, |w| w.drain_per_tick);
                 self.unit.drain_write_buffer(budget);
                 self.unit.scrub_tick();
-                (None, None)
+                (self.cycle, None, None)
             }
         };
         let issued = self.cycle;
-        let from_update = self.update_pipe.shift(into_update.map(|c| (issued, c)));
-        let from_search = self.search_pipe.shift(into_search.map(|c| (issued, c)));
+        let from_update = self
+            .update_pipe
+            .shift(into_update.map(|c| (arrival, issued, c)));
+        let from_search = self
+            .search_pipe
+            .shift(into_search.map(|c| (arrival, issued, c)));
         // Both pipes can reach their retire edge on the same tick (the
         // update pipe is one stage shorter, so an update issued at N+1
         // lands with a search issued at N). Same-cycle retirements must
         // leave in program order — by issue cycle — not in a fixed pipe
         // order.
-        let mut retiring: Vec<(u64, Completion)> =
+        let mut retiring: Vec<(u64, u64, Completion)> =
             [from_update, from_search].into_iter().flatten().collect();
-        retiring.sort_by_key(|&(at, _)| at);
-        for (at, done) in retiring {
-            self.retire(at, done);
+        retiring.sort_by_key(|&(_, at, _)| at);
+        for (arrived, at, done) in retiring {
+            self.retire(arrived, at, done);
         }
         self.cycle += 1;
     }
@@ -678,6 +771,78 @@ mod tests {
             &cam.drain_retired()[0].1,
             Completion::Search(hit) if hit.is_match()
         ));
+    }
+
+    #[test]
+    fn delete_flows_through_the_update_pipe() {
+        let cfg = config();
+        let mut cam = StreamingCam::new(cfg).unwrap();
+        cam.issue(Op::Update(vec![10, 20])).unwrap();
+        cam.drain();
+        cam.drain_retired();
+        let issue_cycle = cam.cycle();
+        cam.issue(Op::Delete(10)).unwrap();
+        cam.tick();
+        cam.issue(Op::Delete(99)).unwrap();
+        cam.drain();
+        let retired = cam.drain_retired();
+        assert_eq!(retired.len(), 2);
+        assert_eq!(
+            retired[0].0 - issue_cycle,
+            cfg.update_latency() - 1,
+            "deletes pay the write-path latency"
+        );
+        assert!(matches!(retired[0].1, Completion::Delete(true)));
+        assert!(matches!(retired[1].1, Completion::Delete(false)));
+        cam.issue(Op::Search(10)).unwrap();
+        cam.drain();
+        assert!(matches!(
+            &cam.drain_retired()[0].1,
+            Completion::Search(miss) if !miss.is_match()
+        ));
+    }
+
+    #[test]
+    fn issue_at_charges_queueing_delay_to_the_retire_latency() {
+        let cfg = config();
+        let mut cam = StreamingCam::new(cfg).unwrap();
+        cam.enable_retire_log();
+        // Three searches "arrive" in the same cycle; the single issue
+        // slot serialises them, so op i queues i cycles.
+        let arrival = cam.cycle();
+        for key in [1u64, 2, 3] {
+            cam.issue_at(Op::Search(key), arrival).unwrap();
+            cam.tick();
+        }
+        cam.drain();
+        let log = cam.take_retire_log();
+        assert_eq!(log.len(), 3);
+        for (i, rec) in log.iter().enumerate() {
+            assert_eq!(rec.arrival, arrival);
+            assert_eq!(rec.issued, arrival + i as u64);
+            assert_eq!(
+                rec.latency(),
+                cfg.search_latency() + i as u64,
+                "op {i} queued {i} cycles behind the issue slot"
+            );
+        }
+        // Future arrivals clamp to the issue cycle.
+        cam.issue_at(Op::Search(1), u64::MAX).unwrap();
+        cam.drain();
+        let log = cam.take_retire_log();
+        assert_eq!(log[0].latency(), cfg.search_latency());
+    }
+
+    #[test]
+    fn retire_log_is_empty_until_enabled() {
+        let mut cam = StreamingCam::new(config()).unwrap();
+        cam.issue(Op::Search(7)).unwrap();
+        cam.drain();
+        assert!(cam.take_retire_log().is_empty());
+        cam.enable_retire_log();
+        cam.issue(Op::Search(7)).unwrap();
+        cam.drain();
+        assert_eq!(cam.take_retire_log().len(), 1);
     }
 
     #[test]

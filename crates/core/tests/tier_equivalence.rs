@@ -90,6 +90,38 @@ fn apply(cam: &mut CamUnit, op: &TierOp) -> String {
     }
 }
 
+/// Build a Turbo unit at the given key-parallel batch width, optionally
+/// fronted by a small write buffer (capacity 32, drain 2).
+fn build_buffered(batch_width: usize, buffered: bool) -> CamUnit {
+    let mut builder = UnitConfig::builder()
+        .data_width(16)
+        .block_size(8)
+        .num_blocks(4)
+        .bus_width(64)
+        .fidelity(FidelityMode::Turbo)
+        .batch_width(batch_width);
+    if buffered {
+        builder = builder.write_buffer(WriteBufferConfig {
+            capacity: 32,
+            drain_per_tick: 2,
+            bypass: false,
+        });
+    }
+    CamUnit::new(builder.build().unwrap()).unwrap()
+}
+
+/// Stream-search-heavy operations with batches long enough (up to 96
+/// keys) to span several key-parallel tiles at widths 32 and 64, mixed
+/// with enough write churn to keep the write buffer busy.
+fn wide_stream_op() -> impl Strategy<Value = TierOp> {
+    prop_oneof![
+        5 => proptest::collection::vec(0u64..64, 1..96).prop_map(TierOp::SearchStream),
+        3 => proptest::collection::vec(0u64..64, 1..4).prop_map(TierOp::Update),
+        2 => (0u64..64).prop_map(TierOp::DeleteFirst),
+        2 => (0u64..64).prop_map(TierOp::Search),
+    ]
+}
+
 /// Per-block observable counters (the shadow tiers must tick them all).
 fn block_counters(cam: &CamUnit) -> Vec<(usize, u64, u64, u64)> {
     cam.blocks()
@@ -309,6 +341,58 @@ proptest! {
         prop_assert_eq!(serial.snapshot(), scoped.snapshot());
         prop_assert_eq!(block_counters(&serial), block_counters(&pool));
         prop_assert_eq!(block_counters(&serial), block_counters(&scoped));
+    }
+
+    #[test]
+    fn write_buffer_and_batch_width_cross_product_agrees(
+        ops in proptest::collection::vec(wide_stream_op(), 1..30),
+    ) {
+        // The write buffer must stay transparent at every key-parallel
+        // batch width: an unbuffered width-1 unit is the oracle, and the
+        // cross product write_buffer {off, on} x batch_width {1, 32, 64}
+        // must match it op for op, then agree on flushed quiescent state.
+        let mut reference = build_buffered(1, false);
+        let mut variants: Vec<(usize, bool, CamUnit)> = [
+            (1, true),
+            (32, false),
+            (32, true),
+            (64, false),
+            (64, true),
+        ]
+        .iter()
+        .map(|&(width, buffered)| (width, buffered, build_buffered(width, buffered)))
+        .collect();
+        for (i, op) in ops.iter().enumerate() {
+            let want = apply(&mut reference, op);
+            for (width, buffered, cam) in &mut variants {
+                let got = apply(cam, op);
+                prop_assert_eq!(
+                    &want, &got,
+                    "width {} buffered {} diverged at op {} ({:?})",
+                    width, buffered, i, op
+                );
+            }
+        }
+        reference.flush_write_buffer();
+        for (width, buffered, cam) in &mut variants {
+            cam.flush_write_buffer();
+            prop_assert_eq!(cam.write_buffer_depth(), 0, "width {} residual staging", width);
+            prop_assert_eq!(cam.audit_shadows(), 0, "width {} shadow divergence", width);
+            prop_assert_eq!(
+                reference.snapshot(),
+                cam.snapshot(),
+                "width {} buffered {} unit counters diverged",
+                width,
+                buffered
+            );
+            prop_assert_eq!(
+                block_counters(&reference),
+                block_counters(cam),
+                "width {} buffered {} block accounting diverged",
+                width,
+                buffered
+            );
+        }
     }
 
     #[test]

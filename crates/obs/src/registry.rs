@@ -112,6 +112,39 @@ impl Histogram {
         self.buckets[index]
     }
 
+    /// Upper bound on the `q`-quantile sample (`0.0 < q <= 1.0`), from
+    /// the log2 buckets: the smallest bucket upper edge at which the
+    /// cumulative count reaches `ceil(q * count)`, clamped to the exact
+    /// recorded [`Histogram::max`] (and floored at [`Histogram::min`]).
+    /// Because buckets are powers of two the answer is within 2× of the
+    /// true quantile — the latency-export contract for p50/p99 readouts
+    /// of cycle and nanosecond histograms. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                // Bucket 0 holds exact zeros; bucket k covers
+                // [2^(k-1), 2^k), so its inclusive upper edge is
+                // 2^k - 1.
+                let edge = if index == 0 {
+                    0
+                } else if index >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << index) - 1
+                };
+                return edge.clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
+
     /// `(bucket_index, count)` for every non-empty bucket.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
         self.buckets
@@ -527,6 +560,35 @@ mod tests {
         assert_eq!(h.bucket(0), 1);
         assert_eq!(h.bucket(2), 2);
         assert_eq!(h.bucket(10), 1); // 1000 ∈ [512, 1024)
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_the_true_percentiles() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.99), 0, "empty histogram");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // The true p50 is 50; the log2 upper bound must cover it without
+        // exceeding 2x.
+        let p50 = h.quantile(0.50);
+        assert!((50..=100).contains(&p50), "p50 bound {p50}");
+        // p99 (rank 99 = value 99) bounds into [99, 127] clamped at max.
+        let p99 = h.quantile(0.99);
+        assert!((99..=100).contains(&p99), "p99 bound {p99}");
+        assert_eq!(h.quantile(1.0), 100, "p100 is the exact max");
+        // A constant distribution answers exactly at every quantile.
+        let mut constant = Histogram::new();
+        for _ in 0..10 {
+            constant.record(7);
+        }
+        assert_eq!(constant.quantile(0.5), 7);
+        assert_eq!(constant.quantile(0.99), 7);
+        // Zeros stay in bucket 0.
+        let mut zeros = Histogram::new();
+        zeros.record(0);
+        zeros.record(0);
+        assert_eq!(zeros.quantile(0.99), 0);
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Small statistics helpers for validating generated traces and
+//! summarising replay latencies — nearest-rank percentiles and
+//! empirical distributions, no external crates.
+
+use std::collections::HashMap;
+
+use crate::trace::{Trace, TraceOp};
+
+/// Nearest-rank percentile of `values` (`p` in `[0, 100]`): the
+/// smallest value such that at least `p%` of the samples are ≤ it.
+/// Returns 0 for an empty slice.
+#[must_use]
+pub fn percentile(values: &[u64], p: f64) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p.clamp(0.0, 100.0) / 100.0 * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+/// Empirical search-key frequencies of a trace, sorted most-popular
+/// first: `(key, count)` across point searches and streamed keys. The
+/// Zipf validation test checks the decay of this ranking.
+#[must_use]
+pub fn search_rank_frequencies(trace: &Trace) -> Vec<(u64, u64)> {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for record in &trace.records {
+        match &record.op {
+            TraceOp::Search(key) => *counts.entry(*key).or_default() += 1,
+            TraceOp::SearchStream(keys) => {
+                for &key in keys {
+                    *counts.entry(key).or_default() += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut ranked: Vec<(u64, u64)> = counts.into_iter().collect();
+    // Sort by count descending, key ascending for a deterministic order.
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked
+}
+
+/// The fractions `(search, update, delete)` of a trace's application
+/// ops (streamed keys count individually; evictions are excluded).
+/// `(0, 0, 0)` for an empty trace.
+#[must_use]
+pub fn op_fractions(trace: &Trace) -> (f64, f64, f64) {
+    let counts = trace.counts();
+    let total = counts.app_ops();
+    if total == 0 {
+        return (0.0, 0.0, 0.0);
+    }
+    let total = total as f64;
+    (
+        (counts.searches + counts.stream_keys) as f64 / total,
+        counts.updates as f64 / total,
+        counts.mix_deletes as f64 / total,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceRecord;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let values: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&values, 50.0), 50);
+        assert_eq!(percentile(&values, 99.0), 99);
+        assert_eq!(percentile(&values, 100.0), 100);
+        assert_eq!(percentile(&values, 0.0), 1, "rank clamps to the minimum");
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn rank_frequencies_count_streamed_keys() {
+        let trace = Trace {
+            seed: 0,
+            prefill: vec![],
+            records: vec![
+                TraceRecord {
+                    gap: 1,
+                    op: TraceOp::Search(5),
+                },
+                TraceRecord {
+                    gap: 1,
+                    op: TraceOp::SearchStream(vec![5, 5, 9]),
+                },
+                TraceRecord {
+                    gap: 1,
+                    op: TraceOp::Update(5),
+                },
+            ],
+        };
+        assert_eq!(search_rank_frequencies(&trace), vec![(5, 3), (9, 1)]);
+        let (s, u, d) = op_fractions(&trace);
+        assert!((s - 0.8).abs() < 1e-9, "4 of 5 app ops are searches");
+        assert!((u - 0.2).abs() < 1e-9);
+        assert_eq!(d, 0.0);
+    }
+}

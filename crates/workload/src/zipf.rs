@@ -1,0 +1,95 @@
+//! Zipfian key-popularity sampling over a bounded key domain.
+
+use crate::rng::SplitMix64;
+
+/// A sampler drawing ranks `0..n` with probability proportional to
+/// `1 / (rank + 1)^s` — the standard Zipf(s) popularity law. `s = 0`
+/// degenerates to the uniform distribution; `s = 1` is the classic
+/// web/cache skew where rank 0 is twice as popular as rank 1.
+///
+/// The cumulative table is precomputed once (`O(n)` memory, `O(log n)`
+/// per draw via binary search), and every draw is deterministic in the
+/// caller's [`SplitMix64`] stream.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative (unnormalised) weights; `cdf[n-1]` is the total mass.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build the cumulative table for `n` ranks at skew `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or above `2^22` (a 4M-rank table is the
+    /// sanity ceiling for a host-side generator), or if `s` is negative
+    /// or not finite.
+    #[must_use]
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "Zipf domain must be non-empty");
+        assert!(n <= 1 << 22, "Zipf domain capped at 4M ranks, got {n}");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf skew must be finite >= 0");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut total = 0.0f64;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks in the domain.
+    #[must_use]
+    pub fn domain(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Draw one rank in `[0, n)`.
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        let total = *self.cdf.last().expect("non-empty domain");
+        let u = rng.next_f64() * total;
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frequencies(s: f64, n: u64, draws: usize) -> Vec<u64> {
+        let zipf = ZipfSampler::new(n, s);
+        let mut rng = SplitMix64::new(0xDECAF);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..draws {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn skew_one_halves_frequency_per_rank_doubling() {
+        let counts = frequencies(1.0, 256, 100_000);
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((1.6..=2.5).contains(&ratio), "f(0)/f(1) = {ratio}");
+        let ratio = counts[0] as f64 / counts[7] as f64;
+        assert!((5.5..=11.5).contains(&ratio), "f(0)/f(7) = {ratio}");
+    }
+
+    #[test]
+    fn zero_skew_is_uniform() {
+        let counts = frequencies(0.0, 64, 64_000);
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 1.5, "uniform spread, got {max}/{min}");
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let zipf = ZipfSampler::new(10, 1.2);
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..1000 {
+            assert!(zipf.sample(&mut rng) < 10);
+        }
+        assert_eq!(zipf.domain(), 10);
+    }
+}

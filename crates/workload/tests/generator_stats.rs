@@ -1,0 +1,233 @@
+//! Statistical validation of the workload generator: determinism
+//! (fixed seed ⇒ byte-identical trace, pinned digest), empirical Zipf
+//! rank-frequency decay within tolerance, exact op-mix convergence at
+//! 100k ops, and arrival-process shape.
+
+use dsp_cam_workload::{
+    generate, op_fractions, search_rank_frequencies, Arrival, OpMix, TraceOp, WorkloadConfig,
+};
+
+#[test]
+fn fixed_seed_yields_a_byte_identical_trace() {
+    let config = WorkloadConfig {
+        seed: 0xC0FFEE,
+        ops: 20_000,
+        key_space: 512,
+        zipf_s: 1.0,
+        mix: OpMix::WRITE_HEAVY,
+        stream_batch: 8,
+        arrival: Arrival::Bursty {
+            mean_burst: 16,
+            idle_ticks: 8,
+        },
+        churn_per_mille: 50,
+        prefill: 128,
+        max_live: Some(400),
+    };
+    let a = generate(&config).unwrap();
+    let b = generate(&config).unwrap();
+    assert_eq!(a, b, "same config + seed must be byte-identical");
+    assert_eq!(a.digest(), b.digest());
+
+    // A different seed (and only the seed) must move the digest.
+    let other = generate(&WorkloadConfig {
+        seed: 0xC0FFEF,
+        ..config
+    })
+    .unwrap();
+    assert_ne!(a.digest(), other.digest());
+}
+
+/// Golden digest: pins the generator's exact output for the default
+/// config at seed 42. Any change to the PRNG, the Zipf table, the
+/// apportionment, the batching rules, or the record encoding moves this
+/// value — bump it only with a deliberate trace-format change.
+#[test]
+fn golden_digest_pins_the_generator_output() {
+    let trace = generate(&WorkloadConfig {
+        seed: 42,
+        ..WorkloadConfig::default()
+    })
+    .unwrap();
+    assert_eq!(trace.counts().app_ops(), 10_000);
+    assert_eq!(
+        trace.digest(),
+        10_897_255_328_785_620_897,
+        "generator output drifted from the pinned golden trace"
+    );
+}
+
+#[test]
+fn zipf_rank_frequencies_decay_within_tolerance() {
+    // Search-only trace, s = 1.0: empirical frequency of rank r should
+    // track 1/(r+1), so f(0)/f(1) ≈ 2 and f(0)/f(9) ≈ 10.
+    let config = WorkloadConfig {
+        seed: 7,
+        ops: 100_000,
+        key_space: 512,
+        zipf_s: 1.0,
+        mix: OpMix {
+            search: 1,
+            update: 0,
+            delete: 0,
+        },
+        prefill: 0,
+        ..WorkloadConfig::default()
+    };
+    let trace = generate(&config).unwrap();
+    let ranked = search_rank_frequencies(&trace);
+    // The generator draws ranks directly as keys, so the most popular
+    // keys must be the lowest ranks.
+    assert_eq!(ranked[0].0, 0, "rank 0 is the most searched key");
+    let f0 = ranked[0].1 as f64;
+    let f1 = trace_frequency_of(&ranked, 1) as f64;
+    let f9 = trace_frequency_of(&ranked, 9) as f64;
+    assert!(
+        (1.7..=2.3).contains(&(f0 / f1)),
+        "f(0)/f(1) = {} should be ~2 at s = 1",
+        f0 / f1
+    );
+    assert!(
+        (7.5..=13.0).contains(&(f0 / f9)),
+        "f(0)/f(9) = {} should be ~10 at s = 1",
+        f0 / f9
+    );
+}
+
+#[test]
+fn zero_skew_is_empirically_uniform() {
+    let config = WorkloadConfig {
+        seed: 11,
+        ops: 100_000,
+        key_space: 64,
+        zipf_s: 0.0,
+        mix: OpMix {
+            search: 1,
+            update: 0,
+            delete: 0,
+        },
+        prefill: 0,
+        ..WorkloadConfig::default()
+    };
+    let ranked = search_rank_frequencies(&generate(&config).unwrap());
+    assert_eq!(ranked.len(), 64, "100k draws cover a 64-key domain");
+    let max = ranked.first().unwrap().1 as f64;
+    let min = ranked.last().unwrap().1 as f64;
+    assert!(max / min < 1.35, "uniform spread, got {max}/{min}");
+}
+
+fn trace_frequency_of(ranked: &[(u64, u64)], key: u64) -> u64 {
+    ranked
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, count)| *count)
+        .unwrap_or(0)
+}
+
+#[test]
+fn op_mix_ratios_are_exact_at_100k_ops() {
+    for mix in [
+        OpMix::READ_HEAVY,
+        OpMix::WRITE_HEAVY,
+        OpMix {
+            search: 33,
+            update: 33,
+            delete: 34,
+        },
+    ] {
+        let config = WorkloadConfig {
+            seed: 3,
+            ops: 100_000,
+            mix,
+            stream_batch: 16,
+            max_live: Some(4096),
+            ..WorkloadConfig::default()
+        };
+        let trace = generate(&config).unwrap();
+        let counts = trace.counts();
+        assert_eq!(counts.app_ops(), 100_000);
+        let (searches, updates, deletes) = op_fractions(&trace);
+        let total = mix.total() as f64;
+        // Largest-remainder apportionment: exact to within 1 op.
+        assert!(
+            (searches - f64::from(mix.search) / total).abs() < 1e-4,
+            "{}",
+            mix.label()
+        );
+        assert!(
+            (updates - f64::from(mix.update) / total).abs() < 1e-4,
+            "{}",
+            mix.label()
+        );
+        assert!(
+            (deletes - f64::from(mix.delete) / total).abs() < 1e-4,
+            "{}",
+            mix.label()
+        );
+    }
+}
+
+#[test]
+fn bursty_arrival_matches_its_configured_means() {
+    let config = WorkloadConfig {
+        seed: 19,
+        ops: 50_000,
+        arrival: Arrival::Bursty {
+            mean_burst: 8,
+            idle_ticks: 20,
+        },
+        stream_batch: 1,
+        mix: OpMix {
+            search: 1,
+            update: 0,
+            delete: 0,
+        },
+        prefill: 0,
+        ..WorkloadConfig::default()
+    };
+    let trace = generate(&config).unwrap();
+    let gaps: Vec<u64> = trace.records.iter().map(|r| u64::from(r.gap)).collect();
+    let bursts = gaps.iter().filter(|&&g| g > 0).count() as f64;
+    let mean_burst_len = gaps.len() as f64 / bursts;
+    assert!(
+        (6.5..=9.5).contains(&mean_burst_len),
+        "mean burst length {mean_burst_len} should be ~8"
+    );
+    let mean_idle: f64 = gaps.iter().filter(|&&g| g > 0).sum::<u64>() as f64 / bursts;
+    assert!(
+        (18.0..=24.0).contains(&mean_idle),
+        "mean idle gap {mean_idle} should be ~21 (1 + mean of [1, 40])"
+    );
+    assert!(
+        gaps.iter().all(|&g| g <= 40),
+        "idle gap bounded by 2 * idle_ticks"
+    );
+}
+
+#[test]
+fn churn_drifts_the_live_set_beyond_the_popular_ranks() {
+    let config = WorkloadConfig {
+        seed: 23,
+        ops: 50_000,
+        mix: OpMix::WRITE_HEAVY,
+        churn_per_mille: 300,
+        max_live: Some(2048),
+        ..WorkloadConfig::default()
+    };
+    let trace = generate(&config).unwrap();
+    let fresh: Vec<u64> = trace
+        .records
+        .iter()
+        .filter_map(|r| match r.op {
+            TraceOp::Update(key) if key >= config.key_space => Some(key),
+            _ => None,
+        })
+        .collect();
+    // ~30% of 22.5k updates churn; fresh keys are allocated
+    // monotonically so the set drifts without ever re-colliding.
+    assert!(fresh.len() > 5_000, "got {} fresh keys", fresh.len());
+    let mut sorted = fresh.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), fresh.len(), "fresh keys never repeat");
+}

@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match script.next() {
             Some(op) => {
                 let (u, s, key) = match &op {
-                    Op::Update(_) => (1, 0, 0),
+                    Op::Update(_) | Op::Delete(_) => (1, 0, 0),
                     Op::Search(k) => (0, 1, *k),
                     // This trace drives single-key traffic only.
                     Op::SearchMulti(keys) | Op::SearchStream(keys) => {
@@ -104,6 +104,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     s_retire_match,
                     u64::from(results.iter().any(|h| h.is_match())),
                 );
+            }
+            Some((cycle, Completion::Delete(hit))) => {
+                vcd.sample(*cycle, s_retire_valid, 1);
+                vcd.sample(*cycle, s_retire_match, u64::from(*hit));
             }
             None => {
                 vcd.sample(t, s_retire_valid, 0);

@@ -47,6 +47,14 @@ echo "==> write-burst example smoke run (fixed seed, default + obs)"
 cargo run -q --offline --example write_burst
 cargo run -q --offline --example write_burst --features obs
 
+# The workload-replay drill generates a fixed-seed Zipfian mixed-op
+# trace and proves both replay arms (StreamingCam ticks vs direct
+# CamUnit transactions) observe identical per-pipe completions and
+# quiescent state, under both feature sets.
+echo "==> workload-replay example smoke run (fixed seed, default + obs)"
+cargo run -q --offline --example workload_replay
+cargo run -q --offline --example workload_replay --features obs
+
 echo "==> clippy + compile-check the obs example"
 cargo clippy --offline --features obs --example trace_report -- -D warnings
 
@@ -70,5 +78,15 @@ echo "==> release update-queue perf smoke (default)"
 cargo test -q --offline --release -p dsp-cam-bench --lib -- --ignored update_queue_smoke
 echo "==> release update-queue perf smoke (obs)"
 cargo test -q --offline --release -p dsp-cam-bench --lib --features obs -- --ignored update_queue_smoke
+
+# End-to-end workload floors: the three canonical trace-driven
+# scenarios (read-heavy 90:9:1, write-heavy 50:45:5, bursty Zipfian
+# s=1.0) at 1M ops each, replayed through both arms with cross-arm
+# agreement asserted, then validated against the BENCH_workloads.json
+# throughput floors and deterministic retire-latency ceilings.
+echo "==> release workload scenario smoke (default)"
+cargo test -q --offline --release -p dsp-cam-bench --lib -- --ignored workload_smoke
+echo "==> release workload scenario smoke (obs)"
+cargo test -q --offline --release -p dsp-cam-bench --lib --features obs -- --ignored workload_smoke
 
 echo "CI green."

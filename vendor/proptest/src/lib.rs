@@ -222,6 +222,10 @@ macro_rules! impl_tuple_strategy {
 impl_tuple_strategy!(A, B);
 impl_tuple_strategy!(A, B, C);
 impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
 
 /// Types with a canonical whole-domain strategy (used by `name: Type`
 /// arguments in [`proptest!`]).
