@@ -13,6 +13,7 @@ use std::time::Instant;
 
 use dsp_cam_core::prelude::*;
 
+use crate::cluster::{ClusterRow, MigrationInvariantRow, CLUSTER_SPEEDUP_FLOOR};
 use crate::update_latency::{
     measure_update_latency_rows, UpdateLatencyRow, UpdateMix, SEARCH_UNDER_WRITES_FLOOR,
     UPDATE_P99_RATIO_CEILING,
@@ -426,6 +427,10 @@ pub struct BenchSections<'a> {
     pub batch: Option<&'a BatchVsScalarRow>,
     /// Update-queue mixed-stream rows (buffered versus inline).
     pub update_queue: Option<&'a [UpdateLatencyRow]>,
+    /// Sharding-cluster sequential-sum throughput race.
+    pub cluster: Option<&'a [ClusterRow]>,
+    /// Live-migration zero-dropped-query observables.
+    pub cluster_migration: Option<&'a MigrationInvariantRow>,
 }
 
 /// Serialise `rows` plus whichever optional `sections` were measured to
@@ -447,6 +452,8 @@ pub fn write_bench_search_json(
         large,
         batch,
         update_queue,
+        cluster,
+        cluster_migration,
     } = *sections;
     let path = PathBuf::from(concat!(
         env!("CARGO_MANIFEST_DIR"),
@@ -515,6 +522,41 @@ pub fn write_bench_search_json(
         }
         body.push_str("  ],\n");
     }
+    if let Some(cluster_rows) = cluster {
+        let baseline_sps = cluster_rows
+            .iter()
+            .find(|r| r.shards == 1)
+            .map(ClusterRow::ops_per_sec);
+        body.push_str("  \"cluster_rows\": [\n");
+        for (i, row) in cluster_rows.iter().enumerate() {
+            let speedup = baseline_sps.map_or(1.0, |base| row.ops_per_sec() / base);
+            body.push_str(&format!(
+                "    {{\"shards\": {}, \"entries_per_shard\": {}, \"app_ops\": {}, \
+                 \"sequential_sum_ops_per_sec\": {:.1}, \"speedup_over_single\": {:.2}, \
+                 \"floor_speedup_over_single\": {}}}{}\n",
+                row.shards,
+                row.entries_per_shard,
+                row.app_ops,
+                row.ops_per_sec(),
+                speedup,
+                if row.shards == 1 {
+                    "null".to_string()
+                } else {
+                    format!("{CLUSTER_SPEEDUP_FLOOR:.1}")
+                },
+                if i + 1 == cluster_rows.len() { "" } else { "," },
+            ));
+        }
+        body.push_str("  ],\n");
+    }
+    if let Some(m) = cluster_migration {
+        body.push_str(&format!(
+            "  \"cluster_migration\": {{\"issued\": {}, \"completions\": {}, \
+             \"dropped\": {}, \"frozen_answers\": {}, \"stall_cycles\": {}, \
+             \"ticks\": {}, \"invariant\": \"dropped == 0\"}},\n",
+            m.issued, m.completions, m.dropped, m.frozen_answers, m.stall_cycles, m.ticks,
+        ));
+    }
     if let Some(large_rows) = large {
         body.push_str("  \"large_rows\": [\n");
         for (i, row) in large_rows.iter().enumerate() {
@@ -578,7 +620,9 @@ pub fn write_bench_search_json(
 /// scoped threads per batch, or if default-policy scrubbing costs > 5%
 /// of Turbo stream throughput, or (with `obs`) if tracing costs ≥ 3%
 /// of Turbo stream throughput, or if the batch kernel, large-scale or
-/// update-queue floors regress.
+/// update-queue floors regress, or if the 4-shard cluster race falls
+/// under [`CLUSTER_SPEEDUP_FLOOR`], or if the live-migration replay
+/// drops a query.
 pub fn emit_bench_search_json(source: &str) {
     let rows = measure_search_rates(&BENCH_SIZES);
     println!();
@@ -652,6 +696,28 @@ pub fn emit_bench_search_json(source: &str) {
             row.buffered_drained_ops,
         );
     }
+    // The acceptance-criterion race runs the full 1M-op trace: long
+    // timing windows keep the ratio out of scheduler-noise territory.
+    let cluster_rows = crate::cluster::measure_cluster_rows(8192, 1_000_000, &[1, 4]);
+    println!("Sharding cluster (write-heavy 50:45:5, sequential-sum CPU time):");
+    for row in &cluster_rows {
+        println!(
+            "  {} shard(s) x {:>4} entries: {:>10.0} ops/s",
+            row.shards,
+            row.entries_per_shard,
+            row.ops_per_sec(),
+        );
+    }
+    let migration = crate::cluster::measure_migration_invariant(15_000);
+    println!(
+        "  live migration: {} issued, {} completed, {} dropped, {} frozen reads, \
+         {} stall cycles",
+        migration.issued,
+        migration.completions,
+        migration.dropped,
+        migration.frozen_answers,
+        migration.stall_cycles,
+    );
     match write_bench_search_json(
         source,
         &rows,
@@ -662,11 +728,24 @@ pub fn emit_bench_search_json(source: &str) {
             large: Some(&large),
             batch: Some(&batch),
             update_queue: Some(&update_queue),
+            cluster: Some(&cluster_rows),
+            cluster_migration: Some(&migration),
         },
     ) {
         Ok(path) => println!("(json: {})", path.display()),
         Err(err) => println!("(failed to write BENCH_search.json: {err})"),
     }
+    let cluster_speedup = cluster_rows[1].ops_per_sec() / cluster_rows[0].ops_per_sec();
+    assert!(
+        cluster_speedup >= CLUSTER_SPEEDUP_FLOOR,
+        "4-shard sequential-sum throughput must be >= {CLUSTER_SPEEDUP_FLOOR}x the \
+         single-unit baseline at 8192 total entries, got {cluster_speedup:.2}x"
+    );
+    assert_eq!(
+        migration.dropped, 0,
+        "live migration must not drop a query (issued {}, completed {})",
+        migration.issued, migration.completions
+    );
     assert!(
         batch.ratio() >= BATCH_VS_SCALAR_FLOOR,
         "key-parallel kernel must be >= {BATCH_VS_SCALAR_FLOOR}x its one-key degenerate \

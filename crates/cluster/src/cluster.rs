@@ -1,0 +1,757 @@
+//! The elastic sharding cluster: N [`StreamingCam`] shards behind a
+//! consistent-hash [`HashRing`], with live slot migration riding the
+//! snapshot ([`CamUnit::rehydrate`]) path.
+//!
+//! # Migration protocol
+//!
+//! [`CamCluster::begin_migration`] freezes the migrating slot in four
+//! steps, none of which drops or reorders a query:
+//!
+//! 1. **quiesce** the source shard (drain its pipeline and write
+//!    buffer, counted as migration stall cycles);
+//! 2. **freeze** a read-only replica of the source unit via
+//!    `rehydrate()` — the migrating slot serves its searches from this
+//!    replica for the whole window;
+//! 3. **stage** the slot's stored words into the destination shard's
+//!    write buffer, which drains in the background on the destination's
+//!    idle ticks;
+//! 4. **redirect** in-window writes for the slot to the destination,
+//!    tracking the touched keys in a dirty set so their searches are
+//!    read-your-writes (the destination's own write buffer gives the
+//!    per-key flush).
+//!
+//! Cutover fires from [`CamCluster::tick`] once the destination buffer
+//! is drained: the moved words are deleted from the source, the ring
+//! slot flips to the destination, and the frozen replica is dropped.
+//! Because every key has exactly one serving home at any instant and
+//! shard pipelines are FIFO per pipe, per-key operation order is
+//! preserved across the entire window — the observational-equivalence
+//! property `tests/migration_equivalence.rs` proves against a
+//! no-migration reference.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use dsp_cam_core::config::UnitConfig;
+use dsp_cam_core::error::{CamError, ConfigError};
+use dsp_cam_core::pipelined::{Completion, Op, StreamingCam};
+use dsp_cam_core::unit::{CamUnit, SearchResult};
+use dsp_cam_sim::Clocked;
+use dsp_cam_workload::TraceOp;
+
+use crate::ring::HashRing;
+
+/// Cluster-level operation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// Only one live migration may be in flight at a time.
+    MigrationInProgress,
+    /// The requested slot does not exist on the ring.
+    SlotOutOfRange {
+        /// Requested slot.
+        slot: usize,
+        /// Ring size.
+        slots: usize,
+    },
+    /// The requested shard does not exist.
+    ShardOutOfRange {
+        /// Requested shard.
+        shard: usize,
+        /// Cluster size.
+        shards: usize,
+    },
+    /// The slot already lives on the requested destination.
+    AlreadyHome {
+        /// Requested slot.
+        slot: usize,
+        /// Its current (and requested) home.
+        shard: usize,
+    },
+    /// The destination could not admit the migrating slot's contents.
+    Admission(CamError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::MigrationInProgress => {
+                write!(f, "a migration is already in flight")
+            }
+            ClusterError::SlotOutOfRange { slot, slots } => {
+                write!(f, "slot {slot} out of range (ring has {slots})")
+            }
+            ClusterError::ShardOutOfRange { shard, shards } => {
+                write!(f, "shard {shard} out of range (cluster has {shards})")
+            }
+            ClusterError::AlreadyHome { slot, shard } => {
+                write!(f, "slot {slot} already lives on shard {shard}")
+            }
+            ClusterError::Admission(err) => {
+                write!(f, "destination rejected the migrating slot: {err}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Cluster-level tallies — the counters the equivalence suite compares
+/// at quiescence (shard-local counters legitimately differ between a
+/// migrated and an unmigrated cluster; these do not).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterCounters {
+    /// Point searches routed.
+    pub searches: u64,
+    /// Keys presented across streamed searches.
+    pub stream_keys: u64,
+    /// Updates routed.
+    pub updates: u64,
+    /// Deletes routed (mix deletes and evictions alike).
+    pub deletes: u64,
+    /// Matching search completions (point and streamed, frozen included).
+    pub search_hits: u64,
+    /// Deletes that invalidated an entry.
+    pub delete_hits: u64,
+    /// Updates rejected at admission.
+    pub update_rejections: u64,
+    /// Searches answered by a frozen migration replica.
+    pub frozen_reads: u64,
+    /// Migrations driven to cutover.
+    pub migrations_completed: u64,
+}
+
+/// An in-flight slot migration (at most one at a time).
+#[derive(Debug)]
+struct Migration {
+    slot: usize,
+    source: usize,
+    dest: usize,
+    /// Read-only replica serving the slot's searches for the window.
+    frozen: CamUnit,
+    /// Keys the window wrote through to the destination; their searches
+    /// bypass the frozen replica for read-your-writes.
+    dirty: HashSet<u64>,
+    /// The slot's words staged into the destination at freeze — deleted
+    /// from the source at cutover.
+    moved: Vec<u64>,
+    /// Copy-engine progress: words the background copy has pushed so
+    /// far, advancing one per cluster tick. The words are staged into
+    /// the destination's write buffer at freeze (atomic admission), but
+    /// cutover additionally waits for this bandwidth-bound cursor — a
+    /// read-your-writes flush may apply them physically early, yet the
+    /// engine still occupies the window for `moved.len()` cycles.
+    copied: usize,
+    stall_cycles: u64,
+}
+
+/// The routing decision for one trace record: shard sub-issues (with
+/// the original key positions of streamed searches) plus any
+/// frozen-replica answers, position-stamped.
+#[derive(Debug)]
+pub struct RecordPlan {
+    /// `(shard, op, original key positions)` — positions are empty for
+    /// write-path ops (they carry one implicit position).
+    pub subs: Vec<(usize, Op, Vec<usize>)>,
+    /// `(original position, result)` answered synchronously from the
+    /// frozen replica.
+    pub frozen: Vec<(usize, SearchResult)>,
+}
+
+/// N CAM shards behind a consistent-hash ring, with live migration.
+///
+/// Two driving modes share one routing brain ([`CamCluster::plan`]):
+///
+/// * the **transactional** API ([`CamCluster::search`] /
+///   [`CamCluster::update`] / [`CamCluster::delete`] /
+///   [`CamCluster::search_stream`]) issues through the owning shard's
+///   streaming pipeline and ticks the whole cluster in lockstep until
+///   the completion retires — what the equivalence suite drives;
+/// * the **ingest** loop ([`crate::ingest::replay_cluster`]) plans each
+///   record, issues sub-ops cycle-accurately against per-shard issue
+///   slots, and harvests completions in retire order.
+///
+/// The two modes must not be interleaved on one cluster instance: the
+/// transactional methods assume every prior completion has been
+/// harvested.
+#[derive(Debug)]
+pub struct CamCluster {
+    shards: Vec<StreamingCam>,
+    ring: HashRing,
+    migration: Option<Migration>,
+    counters: ClusterCounters,
+    /// Stall cycles of each completed migration, in completion order.
+    stall_log: Vec<u64>,
+    key_mask: u64,
+    cycle: u64,
+}
+
+impl CamCluster {
+    /// Build `shards` identically-configured shards behind a ring of
+    /// `slots` virtual slots.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the unit-level [`ConfigError`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` or `slots` is zero.
+    pub fn new(config: UnitConfig, shards: usize, slots: usize) -> Result<Self, ConfigError> {
+        assert!(shards > 0, "a cluster needs at least one shard");
+        let shards = (0..shards)
+            .map(|_| CamUnit::new(config).map(StreamingCam::from_unit))
+            .collect::<Result<Vec<_>, _>>()?;
+        let ring = HashRing::new(slots, shards.len());
+        Ok(CamCluster {
+            // `data_width` is validated at 1..=48 by `CamUnit::new`
+            // above, so the shift cannot overflow.
+            key_mask: (1u64 << config.block.cell.data_width) - 1,
+            shards,
+            ring,
+            migration: None,
+            counters: ClusterCounters::default(),
+            stall_log: Vec::new(),
+            cycle: 0,
+        })
+    }
+
+    /// Repartition every shard into `m` replicated groups (flushes each
+    /// shard's write buffer first, exactly like the unit-level call).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError::GroupCount`] when `m` does not divide
+    /// the per-shard block count.
+    pub fn configure_groups(&mut self, m: usize) -> Result<(), ConfigError> {
+        for cam in &mut self.shards {
+            cam.unit_mut().configure_groups(m)?;
+        }
+        Ok(())
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The routing ring (slot assignments included).
+    #[must_use]
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Cluster-level tallies.
+    #[must_use]
+    pub fn counters(&self) -> &ClusterCounters {
+        &self.counters
+    }
+
+    /// Stall cycles of each completed migration, in completion order —
+    /// the migration-stall histogram's raw samples.
+    #[must_use]
+    pub fn migration_stalls(&self) -> &[u64] {
+        &self.stall_log
+    }
+
+    /// The cluster's lockstep cycle count.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Whether a migration window is open.
+    #[must_use]
+    pub fn migration_in_progress(&self) -> bool {
+        self.migration.is_some()
+    }
+
+    /// Borrow shard `i`'s streaming pipeline (the ingest loop's issue
+    /// and harvest port).
+    pub fn shard_mut(&mut self, i: usize) -> &mut StreamingCam {
+        &mut self.shards[i]
+    }
+
+    /// Borrow shard `i` immutably.
+    #[must_use]
+    pub fn shard(&self, i: usize) -> &StreamingCam {
+        &self.shards[i]
+    }
+
+    /// Advance every shard one cycle in lockstep (idle shards drain
+    /// their write buffers and scrub, exactly like single-unit
+    /// streaming), then fire migration cutover if the destination has
+    /// caught up.
+    pub fn tick(&mut self) {
+        for cam in &mut self.shards {
+            cam.tick();
+        }
+        self.cycle += 1;
+        if let Some(m) = &mut self.migration {
+            if m.copied < m.moved.len() {
+                m.copied += 1;
+            }
+        }
+        self.try_cutover();
+    }
+
+    /// Tick until every pipeline is empty, every write buffer drained,
+    /// and any open migration window has reached cutover — cluster
+    /// quiescence.
+    pub fn quiesce(&mut self) {
+        while self.migration.is_some()
+            || self
+                .shards
+                .iter()
+                .any(|cam| cam.in_flight() || cam.buffer_depth() > 0)
+        {
+            self.tick();
+        }
+    }
+
+    /// Store `words` across the cluster through the transaction-level
+    /// unit path (each word to its home shard), flushed physical — the
+    /// prefill hook, identical on a reference cluster.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first admission error.
+    pub fn prefill(&mut self, words: &[u64]) -> Result<(), CamError> {
+        let mut per_shard: Vec<Vec<u64>> = vec![Vec::new(); self.shards.len()];
+        for &w in words {
+            per_shard[self.ring.shard_of(w & self.key_mask)].push(w);
+        }
+        for (shard, batch) in per_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            self.shards[shard].unit_mut().update(&batch)?;
+            self.shards[shard].unit_mut().flush_write_buffer();
+        }
+        Ok(())
+    }
+
+    /// The shard currently *serving writes* for masked key `k`: the
+    /// ring owner, except that an open migration window redirects its
+    /// slot to the destination.
+    fn home_of(&self, k: u64) -> usize {
+        let slot = self.ring.slot_of(k);
+        match &self.migration {
+            Some(m) if m.slot == slot => m.dest,
+            _ => self.ring.assignment(slot),
+        }
+    }
+
+    /// Whether a search for masked key `k` is served by the frozen
+    /// replica (migrating slot, not dirtied by an in-window write).
+    fn frozen_serves(&self, k: u64) -> bool {
+        match &self.migration {
+            Some(m) => self.ring.slot_of(k) == m.slot && !m.dirty.contains(&k),
+            None => false,
+        }
+    }
+
+    /// Route one trace record: answer frozen-replica reads now, plan
+    /// shard sub-issues for everything else, and charge the routing
+    /// tallies. Write-path ops on a migrating slot are redirected to
+    /// the destination and their keys marked dirty (over-marking is
+    /// safe: the destination's staged replica answers un-written slot
+    /// keys identically to the frozen one).
+    pub fn plan(&mut self, op: &TraceOp) -> RecordPlan {
+        let mut plan = RecordPlan {
+            subs: Vec::new(),
+            frozen: Vec::new(),
+        };
+        match op {
+            TraceOp::Search(key) => {
+                self.counters.searches += 1;
+                let k = key & self.key_mask;
+                if self.frozen_serves(k) {
+                    let result = self.frozen_search(*key);
+                    plan.frozen.push((0, result));
+                } else {
+                    plan.subs.push((self.home_of(k), Op::Search(*key), vec![0]));
+                }
+            }
+            TraceOp::SearchStream(keys) => {
+                self.counters.stream_keys += keys.len() as u64;
+                let mut per_shard: Vec<(Vec<u64>, Vec<usize>)> =
+                    vec![(Vec::new(), Vec::new()); self.shards.len()];
+                for (pos, &key) in keys.iter().enumerate() {
+                    let k = key & self.key_mask;
+                    if self.frozen_serves(k) {
+                        let result = self.frozen_search(key);
+                        plan.frozen.push((pos, result));
+                    } else {
+                        let shard = self.home_of(k);
+                        per_shard[shard].0.push(key);
+                        per_shard[shard].1.push(pos);
+                    }
+                }
+                for (shard, (batch, positions)) in per_shard.into_iter().enumerate() {
+                    if !batch.is_empty() {
+                        plan.subs.push((shard, Op::SearchStream(batch), positions));
+                    }
+                }
+            }
+            TraceOp::Update(word) => {
+                self.counters.updates += 1;
+                let k = word & self.key_mask;
+                let shard = self.home_of(k);
+                self.mark_dirty(k);
+                plan.subs.push((shard, Op::Update(vec![*word]), Vec::new()));
+            }
+            TraceOp::Delete { key, .. } => {
+                self.counters.deletes += 1;
+                let k = key & self.key_mask;
+                let shard = self.home_of(k);
+                self.mark_dirty(k);
+                plan.subs.push((shard, Op::Delete(*key), Vec::new()));
+            }
+        }
+        plan
+    }
+
+    /// Answer a search from the frozen replica, charging the hit
+    /// tallies (the replica's own counters are discarded at cutover).
+    fn frozen_search(&mut self, key: u64) -> SearchResult {
+        self.counters.frozen_reads += 1;
+        let result = self
+            .migration
+            .as_mut()
+            .expect("frozen_serves checked")
+            .frozen
+            .search(key);
+        self.counters.search_hits += u64::from(result.is_match());
+        result
+    }
+
+    fn mark_dirty(&mut self, k: u64) {
+        if let Some(m) = &mut self.migration {
+            if self.ring.slot_of(k) == m.slot {
+                m.dirty.insert(k);
+            }
+        }
+    }
+
+    /// Charge retire-side tallies for one harvested completion — shared
+    /// by the transactional methods and the ingest harvest.
+    pub fn tally(&mut self, done: &Completion) {
+        match done {
+            Completion::Search(result) => {
+                self.counters.search_hits += u64::from(result.is_match());
+            }
+            Completion::SearchMulti(Ok(results)) | Completion::SearchStream(results) => {
+                self.counters.search_hits += results.iter().filter(|r| r.is_match()).count() as u64;
+            }
+            Completion::SearchMulti(Err(_)) => {}
+            Completion::Update(result) => {
+                self.counters.update_rejections += u64::from(result.is_err());
+            }
+            Completion::Delete(hit) => {
+                self.counters.delete_hits += u64::from(*hit);
+            }
+        }
+    }
+
+    /// Issue `op` on `shard` and tick the cluster in lockstep until the
+    /// completion retires — the transactional execution core. Assumes
+    /// every earlier completion has been harvested.
+    fn run_on(&mut self, shard: usize, op: Op) -> Completion {
+        let mut op = op;
+        loop {
+            match self.shards[shard].issue(op) {
+                Ok(()) => break,
+                Err(back) => {
+                    op = back;
+                    self.tick();
+                }
+            }
+        }
+        loop {
+            self.tick();
+            let mut retired = self.shards[shard].drain_retired();
+            if let Some((_, done)) = retired.pop() {
+                debug_assert!(
+                    retired.is_empty(),
+                    "transactional shard retires one at a time"
+                );
+                return done;
+            }
+        }
+    }
+
+    /// Point search for `key`, routed (and migration-aware) —
+    /// transactional: retires before returning.
+    pub fn search(&mut self, key: u64) -> SearchResult {
+        let plan = self.plan(&TraceOp::Search(key));
+        if let Some((_, result)) = plan.frozen.into_iter().next() {
+            return result;
+        }
+        let (shard, op, _) = plan.subs.into_iter().next().expect("routed");
+        let done = self.run_on(shard, op);
+        self.tally(&done);
+        match done {
+            Completion::Search(result) => result,
+            other => unreachable!("search retired {other:?}"),
+        }
+    }
+
+    /// Streamed search fan-out: keys split per serving shard (plus the
+    /// frozen replica), sub-batches issued per shard, results
+    /// reassembled in presented-key order — transactional.
+    pub fn search_stream(&mut self, keys: &[u64]) -> Vec<SearchResult> {
+        let plan = self.plan(&TraceOp::SearchStream(keys.to_vec()));
+        let mut results: Vec<Option<SearchResult>> = vec![None; keys.len()];
+        for (pos, result) in plan.frozen {
+            results[pos] = Some(result);
+        }
+        for (shard, op, positions) in plan.subs {
+            let done = self.run_on(shard, op);
+            self.tally(&done);
+            match done {
+                Completion::SearchStream(sub) => {
+                    debug_assert_eq!(sub.len(), positions.len());
+                    for (pos, result) in positions.into_iter().zip(sub) {
+                        results[pos] = Some(result);
+                    }
+                }
+                other => unreachable!("stream retired {other:?}"),
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every key answered"))
+            .collect()
+    }
+
+    /// Store one word on its home shard — transactional.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shard's admission errors ([`CamError::Full`],
+    /// [`CamError::ValueTooWide`]).
+    pub fn update(&mut self, word: u64) -> Result<(), CamError> {
+        let plan = self.plan(&TraceOp::Update(word));
+        let (shard, op, _) = plan.subs.into_iter().next().expect("routed");
+        let done = self.run_on(shard, op);
+        self.tally(&done);
+        match done {
+            Completion::Update(result) => result,
+            other => unreachable!("update retired {other:?}"),
+        }
+    }
+
+    /// Delete the first stored match of `key` on its serving shard —
+    /// transactional. Returns whether the delete hit.
+    pub fn delete(&mut self, key: u64) -> bool {
+        let plan = self.plan(&TraceOp::Delete {
+            key,
+            eviction: false,
+        });
+        let (shard, op, _) = plan.subs.into_iter().next().expect("routed");
+        let done = self.run_on(shard, op);
+        self.tally(&done);
+        match done {
+            Completion::Delete(hit) => hit,
+            other => unreachable!("delete retired {other:?}"),
+        }
+    }
+
+    /// Open a live migration window moving `slot` to shard `dest`.
+    ///
+    /// Quiesces the source shard (stall cycles counted), freezes a
+    /// read-only replica over the `rehydrate()` snapshot path, and
+    /// stages the slot's stored words into the destination's write
+    /// buffer (draining on its idle ticks). Queries keep flowing the
+    /// whole time; cutover fires from [`CamCluster::tick`] once the
+    /// destination catches up.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::MigrationInProgress`] when a window is open,
+    /// range errors for bad `slot`/`dest`, [`ClusterError::AlreadyHome`]
+    /// when the slot already lives on `dest`, and
+    /// [`ClusterError::Admission`] when the destination cannot hold the
+    /// slot (the cluster is left exactly as it was).
+    pub fn begin_migration(&mut self, slot: usize, dest: usize) -> Result<(), ClusterError> {
+        if self.migration.is_some() {
+            return Err(ClusterError::MigrationInProgress);
+        }
+        if slot >= self.ring.num_slots() {
+            return Err(ClusterError::SlotOutOfRange {
+                slot,
+                slots: self.ring.num_slots(),
+            });
+        }
+        if dest >= self.shards.len() {
+            return Err(ClusterError::ShardOutOfRange {
+                shard: dest,
+                shards: self.shards.len(),
+            });
+        }
+        let source = self.ring.assignment(slot);
+        if source == dest {
+            return Err(ClusterError::AlreadyHome { slot, shard: dest });
+        }
+        // Quiesce the source so the frozen replica is a true snapshot.
+        let mut stall_cycles = 0u64;
+        while self.shards[source].in_flight() || self.shards[source].buffer_depth() > 0 {
+            for cam in &mut self.shards {
+                cam.tick();
+            }
+            self.cycle += 1;
+            stall_cycles += 1;
+        }
+        let frozen = self.shards[source].unit().rehydrate();
+        let moved: Vec<u64> = frozen
+            .stored_words()
+            .into_iter()
+            .filter(|&w| self.ring.slot_of(w & self.key_mask) == slot)
+            .collect();
+        // Stage the replica into the destination's write buffer one
+        // word per staged op — the background copy trickles out on the
+        // destination's idle ticks at its drain rate, holding the window
+        // open for the whole transfer instead of collapsing it into one
+        // drained batch. Capture is O(words) on the destination's port,
+        // charged as migration stall.
+        for (staged, &w) in moved.iter().enumerate() {
+            if let Err(err) = self.shards[dest].unit_mut().update(&[w]) {
+                // Unstage what went in, so a rejected migration leaves
+                // the cluster exactly as it was.
+                for &undo in &moved[..staged] {
+                    self.shards[dest].unit_mut().delete_first(undo);
+                }
+                return Err(ClusterError::Admission(err));
+            }
+        }
+        stall_cycles += moved.len() as u64;
+        self.migration = Some(Migration {
+            slot,
+            source,
+            dest,
+            frozen,
+            dirty: HashSet::new(),
+            moved,
+            copied: 0,
+            stall_cycles,
+        });
+        Ok(())
+    }
+
+    /// Fire cutover once the copy engine has pushed every moved word
+    /// (one per tick) *and* the destination's write buffer has fully
+    /// drained the staged slot plus any in-window writes: delete the
+    /// moved words from the source, flip the ring slot, drop the frozen
+    /// replica. The cursor condition keeps the window open for at least
+    /// `moved.len()` cycles even when a read-your-writes search flush
+    /// applies the whole staged batch physically in one shot.
+    fn try_cutover(&mut self) {
+        let drained = match &self.migration {
+            Some(m) => m.copied >= m.moved.len() && self.shards[m.dest].buffer_depth() == 0,
+            None => return,
+        };
+        if !drained {
+            return;
+        }
+        let m = self.migration.take().expect("checked above");
+        for &w in &m.moved {
+            self.shards[m.source].unit_mut().delete_first(w);
+        }
+        self.ring.assign(m.slot, m.dest);
+        self.counters.migrations_completed += 1;
+        self.stall_log.push(m.stall_cycles + m.moved.len() as u64);
+    }
+
+    /// FNV-1a digest over the sorted multiset of words stored across
+    /// all shards — the cluster's content fingerprint. Meaningful at
+    /// quiescence ([`CamCluster::quiesce`]): staged write-buffer ops
+    /// and an open migration window (which doubles the migrating slot)
+    /// are not part of the logical contents.
+    #[must_use]
+    pub fn content_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut words: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|cam| cam.unit().stored_words())
+            .collect();
+        words.sort_unstable();
+        let mut hash = OFFSET;
+        let mut mix = |value: u64| {
+            for byte in value.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        mix(words.len() as u64);
+        for &w in &words {
+            mix(w);
+        }
+        hash
+    }
+
+    /// Replicate a read-only snapshot of every shard — the multi-shard
+    /// search fan-out port. Take at quiescence; the replicas are
+    /// decoupled from the live cluster (reads never stall ingest).
+    #[must_use]
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        ClusterSnapshot {
+            replicas: self
+                .shards
+                .iter()
+                .map(|cam| cam.unit().rehydrate())
+                .collect(),
+            ring: self.ring.clone(),
+            key_mask: self.key_mask,
+        }
+    }
+}
+
+/// Read-only replicated snapshot of a whole cluster: one rehydrated
+/// unit per shard plus the routing ring frozen at snapshot time.
+/// Searches fan out to the owning replica and reassemble in presented
+/// order; the live cluster is never touched.
+#[derive(Debug, Clone)]
+pub struct ClusterSnapshot {
+    replicas: Vec<CamUnit>,
+    ring: HashRing,
+    key_mask: u64,
+}
+
+impl ClusterSnapshot {
+    /// Point search against the owning replica.
+    pub fn search(&mut self, key: u64) -> SearchResult {
+        let shard = self.ring.shard_of(key & self.key_mask);
+        self.replicas[shard].search(key)
+    }
+
+    /// Fan a batch of keys out across the replicas (one streamed
+    /// sub-batch per shard) and reassemble the results in presented-key
+    /// order.
+    pub fn search_fan_out(&mut self, keys: &[u64]) -> Vec<SearchResult> {
+        let mut per_shard: Vec<(Vec<u64>, Vec<usize>)> =
+            vec![(Vec::new(), Vec::new()); self.replicas.len()];
+        for (pos, &key) in keys.iter().enumerate() {
+            let shard = self.ring.shard_of(key & self.key_mask);
+            per_shard[shard].0.push(key);
+            per_shard[shard].1.push(pos);
+        }
+        let mut results: Vec<Option<SearchResult>> = vec![None; keys.len()];
+        for (shard, (batch, positions)) in per_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let sub = self.replicas[shard].search_stream(&batch);
+            for (pos, result) in positions.into_iter().zip(sub) {
+                results[pos] = Some(result);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every key answered"))
+            .collect()
+    }
+}

@@ -1,0 +1,261 @@
+//! Bounded async-style ingest: replay a workload trace against a
+//! [`CamCluster`] cycle by cycle through a bounded arrival queue.
+//!
+//! Records enter the queue on their trace arrival cycles (backpressure
+//! when the queue is full — nothing is ever dropped), and leave it
+//! strictly in order: a record is dispatched only once every sub-issue
+//! of the record in front of it has claimed an issue slot. Consecutive
+//! records bound for *different* shards issue in the same cycle — the
+//! cluster's throughput win — while per-key operation order is
+//! preserved by construction (one serving home per key at any instant,
+//! FIFO pipes per shard).
+//!
+//! A [`MigrationPlan`] opens a live migration window mid-replay; the
+//! loop keeps feeding queries through the window and the outcome
+//! records the migration's stall cycles next to the per-shard retire
+//! latency samples.
+
+use std::collections::VecDeque;
+
+use dsp_cam_core::pipelined::{Op, RetireRecord};
+use dsp_cam_workload::{percentile, Trace};
+
+use crate::cluster::{CamCluster, ClusterError};
+
+/// Open a migration window after `after_records` trace records have
+/// been dispatched.
+#[derive(Debug, Clone, Copy)]
+pub struct MigrationPlan {
+    /// Dispatch position at which to open the window.
+    pub after_records: usize,
+    /// Slot to move.
+    pub slot: usize,
+    /// Destination shard.
+    pub dest: usize,
+}
+
+/// Ingest-loop knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestConfig {
+    /// Bound on records waiting between arrival and dispatch. Arrivals
+    /// beyond it wait at the source (backpressure, never a drop).
+    pub queue_capacity: usize,
+    /// Optional mid-replay live migration.
+    pub migrate: Option<MigrationPlan>,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            queue_capacity: 64,
+            migrate: None,
+        }
+    }
+}
+
+/// Everything one cluster replay observed.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterReplayOutcome {
+    /// Sub-operations issued into shard pipelines.
+    pub issued: u64,
+    /// Completions harvested from shard pipelines.
+    pub completions: u64,
+    /// Searches answered synchronously by a frozen migration replica.
+    pub frozen_answers: u64,
+    /// Issued minus completed at quiescence — the zero-dropped-query
+    /// invariant demands this is 0.
+    pub dropped: u64,
+    /// Total lockstep cycles, quiescence included.
+    pub ticks: u64,
+    /// Matching search completions (frozen answers included).
+    pub search_hits: u64,
+    /// Deletes that invalidated an entry.
+    pub delete_hits: u64,
+    /// Updates rejected at admission.
+    pub update_rejections: u64,
+    /// End-to-end retire latencies per shard (arrival to retire,
+    /// queueing included), in retire order.
+    pub per_shard_latencies: Vec<Vec<u64>>,
+    /// Latencies of frozen-replica answers (dispatch wait plus the
+    /// search-pipe latency the replica port mirrors).
+    pub frozen_latencies: Vec<u64>,
+    /// Stall cycles of each migration completed during the replay.
+    pub migration_stalls: Vec<u64>,
+    /// Deepest arrival queue observed.
+    pub peak_queue_depth: usize,
+    /// Cycles the dispatch head spent blocked on a busy issue slot.
+    pub head_of_line_stalls: u64,
+}
+
+impl ClusterReplayOutcome {
+    /// `(p50, p99)` retire latency of shard `i`'s samples (0 when the
+    /// shard retired nothing).
+    #[must_use]
+    pub fn shard_percentiles(&self, i: usize) -> (u64, u64) {
+        let lats = &self.per_shard_latencies[i];
+        (percentile(lats, 50.0), percentile(lats, 99.0))
+    }
+
+    /// Record the replay's histograms into an observability sink:
+    /// per-shard retire latencies under `cluster/shard{i}` and
+    /// migration stalls under `cluster/migration`.
+    #[cfg(feature = "obs")]
+    pub fn observe_into(&self, sink: &std::sync::Arc<dsp_cam_obs::ObsSink>) {
+        for (i, lats) in self.per_shard_latencies.iter().enumerate() {
+            let scope = sink.register_scope(&format!("cluster/shard{i}"));
+            sink.with(|o| {
+                for &cycles in lats {
+                    o.observe(scope, "retire_latency_cycles", cycles);
+                }
+            });
+        }
+        let scope = sink.register_scope("cluster/migration");
+        sink.with(|o| {
+            for &stall in &self.migration_stalls {
+                o.observe(scope, "migration_stall_cycles", stall);
+            }
+        });
+    }
+}
+
+/// One sub-issue waiting for its shard's issue slot.
+#[derive(Debug)]
+struct PendingSub {
+    shard: usize,
+    op: Op,
+    arrival: u64,
+}
+
+/// Replay `trace` against `cluster` through the bounded ingest loop.
+/// The trace's prefill is stored (and flushed) before the clock starts;
+/// the cluster is driven to quiescence (open migration included) before
+/// the outcome is computed.
+///
+/// # Errors
+///
+/// Propagates prefill admission failures (as
+/// [`ClusterError::Admission`]) and [`CamCluster::begin_migration`]
+/// errors from the migration plan.
+pub fn replay_cluster(
+    trace: &Trace,
+    cluster: &mut CamCluster,
+    config: &IngestConfig,
+) -> Result<ClusterReplayOutcome, ClusterError> {
+    cluster
+        .prefill(trace.prefill_words())
+        .map_err(ClusterError::Admission)?;
+    let shards = cluster.num_shards();
+    for i in 0..shards {
+        cluster.shard_mut(i).enable_retire_log();
+        cluster.shard_mut(i).drain_retired();
+    }
+    let mut outcome = ClusterReplayOutcome {
+        per_shard_latencies: vec![Vec::new(); shards],
+        ..ClusterReplayOutcome::default()
+    };
+
+    let start = cluster.cycle();
+    let arrivals = trace.arrivals(start);
+    let mut next_record = 0usize;
+    let mut dispatched = 0usize;
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut subs: VecDeque<PendingSub> = VecDeque::new();
+    let mut migrate = config.migrate;
+
+    while next_record < trace.records.len() || !queue.is_empty() || !subs.is_empty() {
+        // Open the migration window at its planned dispatch position.
+        if let Some(plan) = migrate {
+            if dispatched >= plan.after_records && subs.is_empty() {
+                cluster.begin_migration(plan.slot, plan.dest)?;
+                migrate = None;
+            }
+        }
+        let now = cluster.cycle();
+        // Admit due arrivals up to the queue bound (backpressure: the
+        // rest wait at the source and keep their arrival stamps).
+        while next_record < trace.records.len()
+            && arrivals[next_record] <= now
+            && queue.len() < config.queue_capacity
+        {
+            queue.push_back(next_record);
+            next_record += 1;
+        }
+        outcome.peak_queue_depth = outcome.peak_queue_depth.max(queue.len());
+
+        // Dispatch strictly in order: expand the head record into shard
+        // sub-issues (answering frozen-replica reads on the spot), then
+        // issue leading sub-ops while their shards' slots are free.
+        while subs.len() < shards {
+            let Some(&record) = queue.front() else { break };
+            let arrival = arrivals[record];
+            let plan = cluster.plan(&trace.records[record].op);
+            outcome.frozen_answers += plan.frozen.len() as u64;
+            for (_, result) in plan.frozen {
+                outcome.search_hits += u64::from(result.is_match());
+                let latency = (now - arrival) + cluster.shard(0).unit().config().search_latency();
+                outcome.frozen_latencies.push(latency);
+            }
+            for (shard, op, _) in plan.subs {
+                subs.push_back(PendingSub { shard, op, arrival });
+            }
+            queue.pop_front();
+            dispatched += 1;
+        }
+        let mut claimed = vec![false; shards];
+        while let Some(front) = subs.front() {
+            if claimed[front.shard] {
+                outcome.head_of_line_stalls += 1;
+                break;
+            }
+            let sub = subs.pop_front().expect("front checked");
+            claimed[sub.shard] = true;
+            match cluster.shard_mut(sub.shard).issue_at(sub.op, sub.arrival) {
+                Ok(()) => outcome.issued += 1,
+                Err(_) => unreachable!("slot claimed once per cycle"),
+            }
+        }
+
+        cluster.tick();
+        harvest(cluster, &mut outcome);
+    }
+    cluster.quiesce();
+    harvest(cluster, &mut outcome);
+
+    outcome.ticks = cluster.cycle() - start;
+    outcome.dropped = outcome.issued - outcome.completions;
+    outcome.migration_stalls = cluster.migration_stalls().to_vec();
+    Ok(outcome)
+}
+
+/// Pull retired completions and retire-log stamps off every shard.
+fn harvest(cluster: &mut CamCluster, outcome: &mut ClusterReplayOutcome) {
+    for i in 0..cluster.num_shards() {
+        let retired = cluster.shard_mut(i).drain_retired();
+        for (_, done) in &retired {
+            cluster.tally(done);
+        }
+        outcome.completions += retired.len() as u64;
+        for (_, done) in retired {
+            match done {
+                dsp_cam_core::pipelined::Completion::Search(r) => {
+                    outcome.search_hits += u64::from(r.is_match());
+                }
+                dsp_cam_core::pipelined::Completion::SearchStream(rs) => {
+                    outcome.search_hits += rs.iter().filter(|r| r.is_match()).count() as u64;
+                }
+                dsp_cam_core::pipelined::Completion::SearchMulti(Ok(rs)) => {
+                    outcome.search_hits += rs.iter().filter(|r| r.is_match()).count() as u64;
+                }
+                dsp_cam_core::pipelined::Completion::SearchMulti(Err(_)) => {}
+                dsp_cam_core::pipelined::Completion::Update(r) => {
+                    outcome.update_rejections += u64::from(r.is_err());
+                }
+                dsp_cam_core::pipelined::Completion::Delete(hit) => {
+                    outcome.delete_hits += u64::from(hit);
+                }
+            }
+        }
+        let records = cluster.shard_mut(i).take_retire_log();
+        outcome.per_shard_latencies[i].extend(records.iter().map(RetireRecord::latency));
+    }
+}

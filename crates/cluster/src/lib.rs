@@ -1,0 +1,36 @@
+//! Elastic multi-unit CAM sharding cluster.
+//!
+//! A [`CamCluster`] scales the single-unit CAM horizontally: keys hash
+//! onto a fixed ring of virtual slots ([`HashRing`]) and slots map to
+//! [`dsp_cam_core::pipelined::StreamingCam`] shards, each wrapping its
+//! own `CamUnit`. Because per-operation cost grows superlinearly in
+//! unit size (every search walks the whole unit), four quarter-size
+//! shards answer a mixed workload well over twice as fast as one big
+//! unit even on a single core — the cluster trades replicated control
+//! logic for shorter per-shard walks, the same area-for-latency bargain
+//! the paper's multi-unit DSP tiling makes.
+//!
+//! Elasticity comes from **live slot migration**
+//! ([`CamCluster::begin_migration`]): the migrating slot's keys are
+//! frozen into a read-only replica snapshot (via the core `rehydrate`
+//! path) that keeps answering searches while the destination shard
+//! absorbs the moved words through its write buffer. No query is ever
+//! dropped or reordered — each key has exactly one serving home at any
+//! instant, and per-shard pipes are FIFO.
+//!
+//! [`ClusterSnapshot`] replicates read-only copies of every shard for
+//! multi-shard search fan-out outside the clocked pipeline, and
+//! [`replay_cluster`] drives a whole `dsp-cam-workload` trace through a
+//! bounded async-style ingest queue, producing per-shard retire-latency
+//! and migration-stall histograms.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod ingest;
+mod ring;
+
+pub use cluster::{CamCluster, ClusterCounters, ClusterError, ClusterSnapshot, RecordPlan};
+pub use ingest::{replay_cluster, ClusterReplayOutcome, IngestConfig, MigrationPlan};
+pub use ring::{mix64, HashRing};

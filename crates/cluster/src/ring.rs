@@ -1,0 +1,158 @@
+//! The consistent-hash slot ring: keys hash onto a fixed set of virtual
+//! slots and slots map onto shards, so resharding moves *slots* (and
+//! only their keys) rather than rehashing the world — the classic
+//! consistent-hashing contract, with the slot as the unit of live
+//! migration.
+
+/// SplitMix64 finalizer — the same avalanche mix the workload
+/// generator's PRNG uses, applied here as a stateless key hash so the
+/// slot assignment of a key is a pure function of the key alone.
+#[must_use]
+pub fn mix64(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fixed ring of virtual slots, each owned by one shard. Keys hash to
+/// slots ([`HashRing::slot_of`]) and slots resolve to shards
+/// ([`HashRing::assignment`]); reassigning a slot
+/// ([`HashRing::assign`]) is the routing half of a migration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRing {
+    /// Owning shard per slot.
+    slots: Vec<usize>,
+    shards: usize,
+}
+
+impl HashRing {
+    /// A ring of `slots` virtual slots dealt round-robin across
+    /// `shards` shards — the balanced initial assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either count is zero (a harness programming error).
+    #[must_use]
+    pub fn new(slots: usize, shards: usize) -> Self {
+        assert!(slots > 0 && shards > 0, "ring needs slots and shards");
+        HashRing {
+            slots: (0..slots).map(|s| s % shards).collect(),
+            shards,
+        }
+    }
+
+    /// Number of virtual slots.
+    #[must_use]
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of shards the ring routes onto.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The slot a key hashes to — stable across any reassignment.
+    #[must_use]
+    pub fn slot_of(&self, key: u64) -> usize {
+        (mix64(key) % self.slots.len() as u64) as usize
+    }
+
+    /// The shard currently owning `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slot` is out of range.
+    #[must_use]
+    pub fn assignment(&self, slot: usize) -> usize {
+        self.slots[slot]
+    }
+
+    /// The shard currently serving `key`.
+    #[must_use]
+    pub fn shard_of(&self, key: u64) -> usize {
+        self.slots[self.slot_of(key)]
+    }
+
+    /// Hand `slot` to `shard` — the routing flip at migration cutover.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slot` or `shard` is out of range.
+    pub fn assign(&mut self, slot: usize, shard: usize) {
+        assert!(shard < self.shards, "shard {shard} out of range");
+        self.slots[slot] = shard;
+    }
+
+    /// Every slot currently owned by `shard`.
+    #[must_use]
+    pub fn slots_on(&self, shard: usize) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s == shard)
+            .map(|(slot, _)| slot)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_assignment_balances_slots() {
+        let ring = HashRing::new(64, 4);
+        for shard in 0..4 {
+            assert_eq!(ring.slots_on(shard).len(), 16);
+        }
+        assert_eq!(ring.num_slots(), 64);
+        assert_eq!(ring.num_shards(), 4);
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let ring = HashRing::new(64, 4);
+        let mut hits = [0usize; 4];
+        for key in 0..4096u64 {
+            hits[ring.shard_of(key)] += 1;
+        }
+        for (shard, &count) in hits.iter().enumerate() {
+            assert!(
+                (700..=1350).contains(&count),
+                "shard {shard} got {count} of 4096 keys — spread too skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn reassignment_moves_exactly_one_slot_of_keys() {
+        let mut ring = HashRing::new(64, 4);
+        let before: Vec<usize> = (0..4096u64).map(|k| ring.shard_of(k)).collect();
+        let slot = ring.slot_of(7);
+        let old = ring.assignment(slot);
+        let dest = (old + 1) % 4;
+        ring.assign(slot, dest);
+        for key in 0..4096u64 {
+            let expect = if ring.slot_of(key) == slot {
+                dest
+            } else {
+                before[key as usize]
+            };
+            assert_eq!(ring.shard_of(key), expect, "key {key} moved unexpectedly");
+        }
+        assert_eq!(ring.shard_of(7), dest);
+    }
+
+    #[test]
+    fn slot_of_is_a_pure_function_of_the_key() {
+        let a = HashRing::new(64, 2);
+        let mut b = HashRing::new(64, 2);
+        b.assign(3, 1);
+        for key in 0..512u64 {
+            assert_eq!(a.slot_of(key), b.slot_of(key));
+        }
+    }
+}

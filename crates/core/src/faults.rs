@@ -219,6 +219,13 @@ pub enum FaultSite {
         /// Staged-op slot whose key is toggled in the index.
         slot: usize,
     },
+    /// Arm a one-shot fuse on the [`CamRuntime`](crate::runtime::CamRuntime)
+    /// pool: the next pooled update dispatch panics in exactly one group
+    /// task before writing anything, poisoning the pool mid-operation
+    /// (`WorkerPoolPoisoned`). Exercises the transactional-drain repair
+    /// path end to end; a no-op for units dispatching serially or via
+    /// scoped threads, where a worker upset cannot occur.
+    PoolWorker,
 }
 
 /// A deterministic, seeded fault campaign.
@@ -409,6 +416,9 @@ mod tests {
                 }
                 FaultSite::Routing { block } => assert!(block < 4),
                 FaultSite::UpdateQueue { slot } => assert!(slot < 64),
+                FaultSite::PoolWorker => {
+                    unreachable!("plans never draw pool-worker faults; they are armed explicitly")
+                }
             }
         }
     }

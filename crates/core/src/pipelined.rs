@@ -164,6 +164,42 @@ impl StreamingCam {
         })
     }
 
+    /// Wrap an existing unit — the cluster shard-construction hook: the
+    /// unit keeps its contents, groups and counters; the pipeline state
+    /// (pipes, cycle, retire log) starts fresh at cycle 0.
+    #[must_use]
+    pub fn from_unit(unit: CamUnit) -> Self {
+        let config = *unit.config();
+        StreamingCam {
+            unit,
+            pending: None,
+            update_pipe: Pipe::new(config.update_latency() as usize - 1),
+            search_pipe: Pipe::new(config.search_latency() as usize - 1),
+            cycle: 0,
+            retired: Vec::new(),
+            retire_log: None,
+            #[cfg(feature = "obs")]
+            observer: None,
+        }
+    }
+
+    /// Swap the wrapped unit for `unit`, returning the old one — the
+    /// live-migration cutover hook. The clock, pipes and retire log are
+    /// untouched, so in-window latency accounting stays continuous.
+    ///
+    /// # Panics
+    ///
+    /// Panics while operations are in flight: a swap under a loaded
+    /// pipeline would retire results computed against the old contents,
+    /// which is exactly the reordering hazard migration must exclude.
+    pub fn replace_unit(&mut self, unit: CamUnit) -> CamUnit {
+        assert!(
+            !self.in_flight(),
+            "unit swap requires a drained pipeline (quiesce first)"
+        );
+        std::mem::replace(&mut self.unit, unit)
+    }
+
     /// Attach a shared observability sink: the wrapped unit records its
     /// events under the `"unit"` scope, and the pipeline wrapper adds
     /// retire-latency histograms (`search_latency_cycles`,

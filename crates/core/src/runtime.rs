@@ -67,6 +67,11 @@ pub(crate) enum PoolOp {
     Update {
         /// The words, shared across all workers' jobs.
         words: Arc<Vec<u64>>,
+        /// Optional one-shot fault fuse
+        /// ([`FaultSite::PoolWorker`](crate::faults::FaultSite::PoolWorker)):
+        /// exactly one group task panics *before* writing anything while
+        /// the fuse is armed, modelling a worker upset mid-update.
+        fault: Option<Arc<std::sync::atomic::AtomicBool>>,
     },
     /// Multi-query search: group `g` answers `keys[g]`.
     SearchMulti {
@@ -397,7 +402,16 @@ fn run_group(
 ) {
     let mut blocks: Vec<&mut CamBlock> = task.blocks.iter_mut().map(|(_, block)| block).collect();
     match op {
-        PoolOp::Update { words } => {
+        PoolOp::Update { words, fault } => {
+            if let Some(fuse) = fault {
+                // Panic before touching any cell: the poisoned group's
+                // blocks come back exactly as dispatched (the per-task
+                // catch_unwind returns them), so the containment story
+                // is all-or-nothing at group granularity.
+                if fuse.swap(false, Ordering::Relaxed) {
+                    panic!("fault-injected pool worker failure mid-update");
+                }
+            }
             let current = write_group_words(&mut blocks, task.current, words);
             fills.push((task.group, current));
         }
@@ -477,6 +491,7 @@ mod tests {
     fn update_op(words: Vec<u64>) -> PoolOp {
         PoolOp::Update {
             words: Arc::new(words),
+            fault: None,
         }
     }
 

@@ -22,6 +22,7 @@
 //! study where the adjacency list is duplicated in all groups.
 
 use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 #[cfg(feature = "obs")]
@@ -193,6 +194,12 @@ pub struct CamUnit {
     /// rebuilt whenever the effective worker count changes.
     #[serde(skip)]
     runtime: RuntimeSlot,
+    /// One-shot fuse armed by [`FaultSite::PoolWorker`]: the next pooled
+    /// update dispatch hands it to exactly one group task, which panics
+    /// before writing any cell. Test-only failure injection, never
+    /// architectural state.
+    #[serde(skip)]
+    pool_fault: Option<Arc<AtomicBool>>,
     /// Attached observability sink; host-side monitoring, never
     /// architectural state (results and counters are identical with or
     /// without it — see `tests/obs_equivalence.rs`).
@@ -226,6 +233,7 @@ impl CamUnit {
             wbuf: WriteBuffer::default(),
             scratch: GroupScratch::default(),
             runtime: RuntimeSlot::default(),
+            pool_fault: None,
             #[cfg(feature = "obs")]
             observer: None,
         };
@@ -573,6 +581,7 @@ impl CamUnit {
                 self.routing[block] = (self.routing[block] + 1) % self.groups;
             }
             FaultSite::UpdateQueue { slot } => self.wbuf.inject_index_fault(slot),
+            FaultSite::PoolWorker => self.pool_fault = Some(Arc::new(AtomicBool::new(true))),
         }
     }
 
@@ -1225,6 +1234,7 @@ impl CamUnit {
         } else if self.config.dispatch == DispatchMode::Pool {
             let op = PoolOp::Update {
                 words: Arc::new(words.to_vec()),
+                fault: self.pool_fault.take(),
             };
             let (fills, _) = self.dispatch_pool(self.groups, workers, op)?;
             fills
@@ -1377,14 +1387,19 @@ impl CamUnit {
             residencies.push(residency);
             match op {
                 StagedOp::Insert { words, .. } => {
-                    // A pool failure mid-drain leaves contents
-                    // "unspecified until reset" — the same contract the
-                    // inline path hands its caller on
-                    // `WorkerPoolPoisoned` — so the drainer stays
-                    // infallible rather than re-applying (which could
-                    // double-write groups the surviving workers
-                    // finished).
-                    let _ = self.apply_words_physical(&words);
+                    // A pool failure mid-drain is transactional: the
+                    // runtime discards the batch and the pool (rebuilt
+                    // lazily on the next dispatch), and a panicking
+                    // task unwinds before its first cell write, so
+                    // every group is either fully written or untouched.
+                    // Top the deficient groups back up from the staged
+                    // words and keep retiring from the next staged op —
+                    // a naive blanket re-apply would double-write the
+                    // groups the surviving workers finished.
+                    if self.apply_words_physical(&words).is_err() {
+                        self.repair_partial_insert(&words);
+                        self.wbuf.drain_repairs += 1;
+                    }
                 }
                 StagedOp::Tombstone { key, .. } => {
                     self.apply_delete_physical(key);
@@ -1401,6 +1416,75 @@ impl CamUnit {
     /// overflow, touched-key searches, group reconfiguration and reset.
     pub fn flush_write_buffer(&mut self) {
         self.drain_write_buffer(usize::MAX);
+    }
+
+    /// Converge every group on the full contents of a staged insert
+    /// whose pooled dispatch failed mid-flight. Replication means any
+    /// cross-group spread in the copy count of an op word is damage
+    /// from this op alone, so each group's deficit against the
+    /// best-covered group is exactly the set of op words it never
+    /// landed. Replaying those words in op order through the serial
+    /// write engine restores replication with the same cell placement
+    /// (and therefore the same first-match addresses) an untroubled
+    /// drain would have produced; the counter-neutral
+    /// [`CamBlock::probe_count`] keeps the repair invisible to every
+    /// architectural counter.
+    fn repair_partial_insert(&mut self, words: &[u64]) {
+        let mut distinct: Vec<u64> = Vec::new();
+        for &w in words {
+            if !distinct.contains(&w) {
+                distinct.push(w);
+            }
+        }
+        let counts: Vec<Vec<usize>> = self
+            .fill
+            .iter()
+            .map(|fill| {
+                distinct
+                    .iter()
+                    .map(|&w| {
+                        fill.blocks
+                            .iter()
+                            .map(|&b| self.blocks[b].probe_count(w, usize::MAX))
+                            .sum()
+                    })
+                    .collect()
+            })
+            .collect();
+        let targets: Vec<usize> = (0..distinct.len())
+            .map(|i| counts.iter().map(|c| c[i]).max().unwrap_or(0))
+            .collect();
+        for g in 0..self.groups {
+            if self.fill[g].blocks.is_empty() {
+                continue;
+            }
+            let mut deficit: HashMap<u64, usize> = distinct
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| targets[i] > counts[g][i])
+                .map(|(i, &w)| (w, targets[i] - counts[g][i]))
+                .collect();
+            if deficit.is_empty() {
+                continue;
+            }
+            let replay: Vec<u64> = words
+                .iter()
+                .copied()
+                .filter(|w| match deficit.get_mut(w) {
+                    Some(missing) if *missing > 0 => {
+                        *missing -= 1;
+                        true
+                    }
+                    _ => false,
+                })
+                .collect();
+            let current = self.fill[g].current;
+            let mut shards = Self::group_shards(&mut self.blocks, &self.fill, self.groups);
+            let blocks = &mut shards[g];
+            // A stale-low `current` self-heals: `write_group_words`
+            // zero-takes and advances past the full blocks in front.
+            self.fill[g].current = write_group_words(blocks, current, &replay);
+        }
     }
 
     /// Word slots currently staged in the write buffer (0 when
@@ -2095,6 +2179,26 @@ impl CamUnit {
         &self.blocks
     }
 
+    /// Every word physically stored, read from one replicated group in
+    /// fill order (contents are replicated, so any non-empty group is
+    /// the unit's logical content set; multiplicity preserved). Staged
+    /// write-buffer ops are *not* included — flush first when the
+    /// caller needs the logical contents (the migration freeze path
+    /// does). Counter-neutral.
+    #[must_use]
+    pub fn stored_words(&self) -> Vec<u64> {
+        self.fill
+            .iter()
+            .find(|f| !f.blocks.is_empty())
+            .map(|fill| {
+                fill.blocks
+                    .iter()
+                    .flat_map(|&b| self.blocks[b].stored())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
     /// Reset the derived, never-serialized runtime state — the search
     /// scratch buffers, the worker-pool slot, the per-block transients
     /// and (with `obs`) the observer attachment — returning a unit
@@ -2109,6 +2213,7 @@ impl CamUnit {
         let mut unit = self.clone();
         unit.scratch = GroupScratch::default();
         unit.runtime = RuntimeSlot::default();
+        unit.pool_fault = None;
         unit.wbuf.reset_transients();
         for block in &mut unit.blocks {
             block.reset_transients();

@@ -105,6 +105,13 @@ pub struct WriteBufferReport {
     pub index_faults_injected: u64,
     /// Key-index divergences detected (and repaired) by scrub audits.
     pub index_faults_repaired: u64,
+    /// Refcount underflows caught on the drain path: a retiring op
+    /// referenced a key the derived index no longer held. Each one is a
+    /// detected index divergence, charged to the sweep audit.
+    pub index_underflows: u64,
+    /// Staged inserts re-applied serially after a pool poisoning
+    /// interrupted their dispatch (the transactional-drain repair path).
+    pub drain_repairs: u64,
 }
 
 /// The bounded content-addressable staging structure fronting a
@@ -136,6 +143,12 @@ pub struct WriteBuffer {
     pub(crate) search_flushes: u64,
     index_faults_injected: u64,
     index_faults_repaired: u64,
+    /// Cumulative refcount underflows observed by [`WriteBuffer::pop`].
+    index_underflows: u64,
+    /// Underflows not yet claimed by a sweep audit (subset of
+    /// `index_underflows` pending collection by [`WriteBuffer::audit_index`]).
+    unaudited_underflows: u64,
+    pub(crate) drain_repairs: u64,
 }
 
 impl WriteBuffer {
@@ -172,6 +185,8 @@ impl WriteBuffer {
             search_flushes: self.search_flushes,
             index_faults_injected: self.index_faults_injected,
             index_faults_repaired: self.index_faults_repaired,
+            index_underflows: self.index_underflows,
+            drain_repairs: self.drain_repairs,
         }
     }
 
@@ -208,15 +223,23 @@ impl WriteBuffer {
     /// Retire the oldest staged op, returning it with its residency in
     /// issue cycles (`now - absorbed_at`, saturating).
     pub(crate) fn pop(&mut self, now: u64) -> Option<(StagedOp, u64)> {
-        let op = self.fifo.pop_front()?;
+        // Rebuild a dropped index *before* the pop: a lazily rebuilt
+        // index must still hold the retiring op's references, or every
+        // post-rehydrate drain would read as an underflow.
         self.ensure_index();
-        let unref = |index: &mut HashMap<u64, u32>, key: u64| {
-            if let Some(refs) = index.get_mut(&key) {
-                *refs = refs.saturating_sub(1);
+        let op = self.fifo.pop_front()?;
+        // A retiring op's keys must still be referenced by the derived
+        // index; a missing (or zero-count) entry is a refcount underflow
+        // — an index divergence, never silently absorbed.
+        let mut underflows = 0u64;
+        let mut unref = |index: &mut HashMap<u64, u32>, key: u64| match index.get_mut(&key) {
+            Some(refs) if *refs > 0 => {
+                *refs -= 1;
                 if *refs == 0 {
                     index.remove(&key);
                 }
             }
+            _ => underflows += 1,
         };
         match &op {
             StagedOp::Insert { words, .. } => {
@@ -226,6 +249,18 @@ impl WriteBuffer {
                 self.drained_words += words.len() as u64;
             }
             StagedOp::Tombstone { key, .. } => unref(&mut self.index, *key),
+        }
+        if underflows > 0 {
+            // Absent injected faults the index mirrors the golden FIFO,
+            // so a genuine underflow here is a refcount bug — surface it
+            // immediately in debug builds instead of letting the next
+            // sweep wrap heal it unnoticed.
+            debug_assert!(
+                self.index_faults_injected > 0,
+                "write-buffer refcount underflow without an injected index fault"
+            );
+            self.index_underflows += underflows;
+            self.unaudited_underflows += underflows;
         }
         self.depth -= op.slots();
         self.drained_ops += 1;
@@ -287,11 +322,15 @@ impl WriteBuffer {
     /// entries that diverged — the buffer's share of a scrub sweep.
     /// Returns the number of divergent index entries repaired.
     pub(crate) fn audit_index(&mut self) -> u64 {
+        // Underflows caught on the drain path are divergences that
+        // already surfaced; the audit claims them exactly once.
+        let underflows = std::mem::take(&mut self.unaudited_underflows);
         if !self.index_built {
             // Never built (fresh or just deserialized): build silently,
-            // nothing has been served from it yet.
+            // nothing has been served from it since.
             self.rebuild_index();
-            return 0;
+            self.index_faults_repaired += underflows;
+            return underflows;
         }
         let expected = self.expected_index();
         let divergent = expected
@@ -304,7 +343,7 @@ impl WriteBuffer {
                 .filter(|k| !expected.contains_key(k))
                 .count();
         self.index = expected;
-        let divergent = divergent as u64;
+        let divergent = divergent as u64 + underflows;
         self.index_faults_repaired += divergent;
         divergent
     }
@@ -402,6 +441,43 @@ mod tests {
         assert_eq!(b.audit_index(), 0, "clean after repair");
         assert_eq!(b.report().index_faults_injected, 1);
         assert!(b.report().index_faults_repaired >= 1);
+    }
+
+    #[test]
+    fn refcount_underflow_is_counted_and_claimed_by_the_audit() {
+        let mut b = WriteBuffer::default();
+        b.push_insert(&[4, 8], 0);
+        // Drop key 4 from the derived index (stale-read direction); the
+        // injected-fault counter also licenses the underflow that pop()
+        // is about to hit (the debug_assert stays quiet).
+        b.inject_index_fault(0);
+        assert!(!b.touched(4));
+        let (op, _) = b.pop(1).unwrap();
+        assert!(matches!(op, StagedOp::Insert { ref words, .. } if words == &[4, 8]));
+        let report = b.report();
+        assert_eq!(
+            report.index_underflows, 1,
+            "unref of the missing key 4 must be counted, not saturated away"
+        );
+        // The sweep audit claims the underflow as a detected divergence.
+        assert!(b.audit_index() >= 1, "audit must report the underflow");
+        assert!(b.report().index_faults_repaired >= 1);
+        assert_eq!(b.audit_index(), 0, "claimed exactly once");
+        assert_eq!(b.report().index_underflows, 1, "cumulative count stays");
+    }
+
+    #[test]
+    fn underflow_pending_across_a_transient_reset_still_reaches_the_audit() {
+        let mut b = WriteBuffer::default();
+        b.push_insert(&[9], 0);
+        b.inject_index_fault(0);
+        b.pop(1).unwrap();
+        assert_eq!(b.report().index_underflows, 1);
+        // A wire round trip drops the derived index but the detected
+        // underflow is architectural state and must still be charged.
+        b.reset_transients();
+        assert_eq!(b.audit_index(), 1, "rebuild still claims the underflow");
+        assert_eq!(b.audit_index(), 0);
     }
 
     #[test]

@@ -261,6 +261,110 @@ fn staged_writes_are_read_your_writes_consistent() {
 }
 
 #[test]
+fn poisoned_pool_drain_still_converges_to_bypass() {
+    // Stage a burst, then arm a one-shot pool-worker fault so the first
+    // drained insert's dispatch panics in exactly one group task.
+    // Pre-fix the drainer swallowed the error and moved on, leaving the
+    // poisoned group missing the whole insert — replication silently
+    // broken until the next reset. The transactional drain tops the
+    // deficient group back up and resumes with the next staged op, so
+    // the buffered arm still converges to the bypass reference.
+    let mk = |wbuf: WriteBufferConfig| {
+        let config = UnitConfig::builder()
+            .data_width(12)
+            .block_size(8)
+            .num_blocks(4)
+            .bus_width(64)
+            .workers(4)
+            .dispatch(DispatchMode::Pool)
+            .write_buffer(wbuf)
+            .build()
+            .unwrap();
+        let mut unit = CamUnit::new(config).unwrap();
+        unit.configure_groups(2).unwrap();
+        unit
+    };
+    let mut buf = mk(buffered(16));
+    let mut base = mk(bypass());
+    for unit in [&mut buf, &mut base] {
+        unit.update(&[1, 2, 3]).unwrap();
+        unit.update(&[4, 2]).unwrap();
+        assert!(unit.delete_first(2), "staged/inline delete decisions agree");
+    }
+    assert_eq!(buf.write_buffer_depth(), 6, "burst staged, not applied");
+    buf.inject_fault(FaultSite::PoolWorker);
+    // One staged op per call, the way streaming idle ticks drain.
+    while buf.write_buffer_depth() > 0 {
+        buf.drain_write_buffer(1);
+    }
+    assert_eq!(
+        buf.write_buffer_report().drain_repairs,
+        1,
+        "exactly the poisoned dispatch is repaired"
+    );
+    for key in 0u64..8 {
+        assert_eq!(buf.search(key), base.search(key), "search({key}) diverged");
+    }
+    assert_eq!(buf.snapshot(), base.snapshot(), "quiescent counters agree");
+    assert_eq!(
+        block_counters(&buf),
+        block_counters(&base),
+        "block accounting agrees after the repair"
+    );
+    // The fuse is spent and the pool rebuilt: later bursts drain clean.
+    for unit in [&mut buf, &mut base] {
+        unit.update(&[9, 10]).unwrap();
+        unit.flush_write_buffer();
+    }
+    assert_eq!(buf.write_buffer_report().drain_repairs, 1);
+    assert_eq!(buf.snapshot(), base.snapshot());
+    assert_eq!(block_counters(&buf), block_counters(&base));
+}
+
+#[test]
+fn drained_refcount_underflow_is_charged_to_the_sweep_audit() {
+    // Force the pop()-side underflow: drop a staged key from the derived
+    // index via FaultSite::UpdateQueue, then drain while the index is
+    // lying. The missing-key unref must be *counted* (pre-fix it was
+    // silently saturated away, and with the FIFO empty the next sweep
+    // found a clean index — the divergence evaporated undetected).
+    let policy = ScrubPolicy {
+        cells_per_op: 8,
+        crosscheck_interval: 0,
+        restore_after: 2,
+        strict: false,
+    };
+    let config = UnitConfig::builder()
+        .data_width(12)
+        .block_size(8)
+        .num_blocks(4)
+        .bus_width(64)
+        .write_buffer(buffered(16))
+        .scrub(policy)
+        .build()
+        .unwrap();
+    let mut cam = CamUnit::new(config).unwrap();
+    cam.update(&[5]).unwrap();
+    cam.inject_fault(FaultSite::UpdateQueue { slot: 0 });
+    cam.drain_write_buffer(4);
+    assert_eq!(
+        cam.write_buffer_report().index_underflows,
+        1,
+        "drain must detect the refcount underflow"
+    );
+    let detected = cam.scrub_report().faults_detected;
+    let before = cam.scrub_report().sweeps_completed;
+    while cam.scrub_report().sweeps_completed == before {
+        cam.scrub_tick();
+    }
+    assert!(
+        cam.scrub_report().faults_detected > detected,
+        "sweep audit must charge the underflow to faults_detected"
+    );
+    assert!(cam.search(5).is_match(), "drained contents are intact");
+}
+
+#[test]
 fn scrub_sweep_heals_an_injected_index_fault() {
     let policy = ScrubPolicy {
         cells_per_op: 8,

@@ -120,6 +120,16 @@ pub struct WorkloadConfig {
     /// runnable on a bounded-capacity unit while leaving the mix ratios
     /// exact.
     pub max_live: Option<usize>,
+    /// Minimum arrival gap for watermark-eviction deletes. Evictions
+    /// draw their own gap from the arrival process, but a bursty draw
+    /// can land mid-burst (gap 0) — and because evictions are emitted
+    /// *on top of* the application ops, a saturated write-heavy trace
+    /// then arrives faster than one op per cycle and the issue backlog
+    /// (and retire-latency tail) grows without bound. Clamping each
+    /// eviction's gap to at least this value keeps the offered load
+    /// below the issue rate. 0 restores the legacy unclamped draw;
+    /// application ops are never affected.
+    pub eviction_min_gap: u32,
 }
 
 impl Default for WorkloadConfig {
@@ -135,6 +145,7 @@ impl Default for WorkloadConfig {
             churn_per_mille: 0,
             prefill: 256,
             max_live: None,
+            eviction_min_gap: 1,
         }
     }
 }
@@ -392,12 +403,16 @@ pub fn generate(config: &WorkloadConfig) -> Result<Trace, WorkloadError> {
                         let victim = live.pop_front().expect("watermark > 0");
                         // An eviction is an op the host issues like any
                         // other write, so it draws its own arrival gap —
-                        // were it pinned to gap 0, a saturated (1 op per
-                        // cycle) trace would accumulate one cycle of
-                        // permanent issue backlog per eviction and the
-                        // retire-latency tail would grow without bound.
+                        // but a bursty draw can land mid-burst (gap 0),
+                        // and since evictions ride on top of the mix ops
+                        // an unclamped draw pushes a saturated trace past
+                        // one arrival per cycle: one cycle of permanent
+                        // issue backlog per gap-0 eviction. The clamp
+                        // keeps the offered load issueable; the draw
+                        // still happens first so burst bookkeeping (and
+                        // every other op's gap) is bit-identical.
                         records.push(TraceRecord {
-                            gap: gaps.next(&mut rng),
+                            gap: gaps.next(&mut rng).max(config.eviction_min_gap),
                             op: TraceOp::Delete {
                                 key: victim,
                                 eviction: true,

@@ -35,6 +35,7 @@
 mod gen;
 mod replay;
 mod rng;
+mod shard;
 mod stats;
 mod trace;
 mod zipf;
@@ -44,6 +45,7 @@ pub use replay::{
     direct_unit, replay_direct, replay_streaming, split_by_pipe, streaming_cam, ReplayOutcome,
 };
 pub use rng::SplitMix64;
+pub use shard::{compress_gaps, split_trace};
 pub use stats::{op_fractions, percentile, search_rank_frequencies};
 pub use trace::{Trace, TraceCounts, TraceOp, TraceRecord};
 pub use zipf::ZipfSampler;

@@ -238,6 +238,7 @@ mod tests {
             churn_per_mille: 100,
             prefill: 12,
             max_live: Some(24),
+            eviction_min_gap: 1,
         }
     }
 

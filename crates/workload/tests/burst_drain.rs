@@ -44,6 +44,7 @@ fn bursty_workload() -> WorkloadConfig {
         churn_per_mille: 0,
         prefill: 8,
         max_live: Some(24),
+        eviction_min_gap: 1,
     }
 }
 

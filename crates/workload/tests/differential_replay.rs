@@ -79,6 +79,7 @@ fn workload_config() -> impl Strategy<Value = WorkloadConfig> {
                 churn_per_mille,
                 prefill,
                 max_live: Some(24.max(prefill as usize)),
+                eviction_min_gap: 1,
             },
         )
 }

@@ -4,7 +4,7 @@
 //! 100k ops, and arrival-process shape.
 
 use dsp_cam_workload::{
-    generate, op_fractions, search_rank_frequencies, Arrival, OpMix, TraceOp, WorkloadConfig,
+    generate, op_fractions, search_rank_frequencies, Arrival, OpMix, Trace, TraceOp, WorkloadConfig,
 };
 
 #[test]
@@ -23,6 +23,7 @@ fn fixed_seed_yields_a_byte_identical_trace() {
         churn_per_mille: 50,
         prefill: 128,
         max_live: Some(400),
+        eviction_min_gap: 1,
     };
     let a = generate(&config).unwrap();
     let b = generate(&config).unwrap();
@@ -202,6 +203,75 @@ fn bursty_arrival_matches_its_configured_means() {
         gaps.iter().all(|&g| g <= 40),
         "idle gap bounded by 2 * idle_ticks"
     );
+}
+
+/// Deepest issue backlog a single-slot (one op per cycle) server sees
+/// over the trace's arrival schedule: the worst queueing delay in
+/// cycles, which for a 1-op/cycle server equals the worst queue depth
+/// in records.
+fn max_issue_backlog(trace: &Trace) -> u64 {
+    let mut next_free = 0u64;
+    let mut worst = 0u64;
+    for at in trace.arrivals(0) {
+        let issue = next_free.max(at);
+        worst = worst.max(issue - at);
+        next_free = issue + 1;
+    }
+    worst
+}
+
+#[test]
+fn eviction_gap_clamp_bounds_the_saturated_issue_backlog() {
+    // A saturated write-heavy bursty trace pinned at its watermark: the
+    // mix ops alone arrive at ~20 records per 17-cycle burst window
+    // (rate ~1.18/cycle inside the schedule), and nearly every update
+    // triggers an eviction on top. Pre-fix, mid-burst eviction gap
+    // draws of 0 pushed the offered load permanently past one arrival
+    // per cycle, so the issue backlog grew linearly with trace length;
+    // the default gap clamp of 1 keeps it bounded.
+    let config = WorkloadConfig {
+        seed: 0xE51C,
+        ops: 30_000,
+        key_space: 1024,
+        zipf_s: 0.8,
+        mix: OpMix::WRITE_HEAVY,
+        stream_batch: 1,
+        arrival: Arrival::Bursty {
+            mean_burst: 20,
+            idle_ticks: 16,
+        },
+        churn_per_mille: 0,
+        prefill: 256,
+        max_live: Some(256),
+        eviction_min_gap: 1,
+    };
+    let clamped = generate(&config).unwrap();
+    let legacy = generate(&WorkloadConfig {
+        eviction_min_gap: 0,
+        ..config.clone()
+    })
+    .unwrap();
+    assert!(
+        clamped.counts().evictions > 5_000,
+        "the watermark must fire constantly, got {} evictions",
+        clamped.counts().evictions
+    );
+    let unbounded = max_issue_backlog(&legacy);
+    let bounded = max_issue_backlog(&clamped);
+    assert!(
+        unbounded > 2_000,
+        "unclamped gap-0 evictions must overload the issue slot \
+         (legacy backlog only reached {unbounded})"
+    );
+    assert!(
+        bounded < 500,
+        "default eviction_min_gap = 1 must keep the backlog bounded, \
+         got {bounded}"
+    );
+    // The clamp only ever stretches eviction gaps: application ops keep
+    // their exact arrival schedule and the mix stays untouched.
+    assert_eq!(clamped.counts().app_ops(), legacy.counts().app_ops());
+    assert_eq!(clamped.counts().evictions, legacy.counts().evictions);
 }
 
 #[test]

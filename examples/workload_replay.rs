@@ -39,6 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         churn_per_mille: 50,
         prefill: 192,
         max_live: Some(320),
+        eviction_min_gap: 1,
     };
     let trace = generate(&workload)?;
     let counts = trace.counts();

@@ -55,6 +55,16 @@ echo "==> workload-replay example smoke run (fixed seed, default + obs)"
 cargo run -q --offline --example workload_replay
 cargo run -q --offline --example workload_replay --features obs
 
+# The cluster-reshard drill replays a fixed-seed write-heavy trace
+# through a 4-shard cluster across a live slot migration and proves the
+# reshard was invisible: zero dropped queries, hits/rejections/contents
+# identical to a never-resharded run, snapshot fan-out agreeing with
+# the live cluster. Under both feature sets (obs additionally publishes
+# the per-shard retire and migration-stall histograms).
+echo "==> cluster-reshard example smoke run (fixed seed, default + obs)"
+cargo run -q --offline --example cluster_reshard
+cargo run -q --offline --example cluster_reshard --features obs
+
 echo "==> clippy + compile-check the obs example"
 cargo clippy --offline --features obs --example trace_report -- -D warnings
 
@@ -88,5 +98,15 @@ echo "==> release workload scenario smoke (default)"
 cargo test -q --offline --release -p dsp-cam-bench --lib -- --ignored workload_smoke
 echo "==> release workload scenario smoke (obs)"
 cargo test -q --offline --release -p dsp-cam-bench --lib --features obs -- --ignored workload_smoke
+
+# Sharding-cluster floors (BENCH_search.json cluster_rows regression
+# guards): the 4-shard race must hold >= 2.5x single-unit throughput on
+# the 1M-op write-heavy trace, and the live-migration ingest replay
+# must complete every query it issues (zero-dropped-query invariant)
+# while the frozen replica serves reads through the window.
+echo "==> release cluster perf + migration smoke (default)"
+cargo test -q --offline --release -p dsp-cam-bench --lib -- --ignored cluster_smoke
+echo "==> release cluster perf + migration smoke (obs)"
+cargo test -q --offline --release -p dsp-cam-bench --lib --features obs -- --ignored cluster_smoke
 
 echo "CI green."
