@@ -306,6 +306,7 @@ pub fn measure_migration_invariant(ops: u64) -> MigrationInvariantRow {
                 slot,
                 dest,
             }),
+            faults: None,
         },
     )
     .expect("ingest replay admits the bounded live set");

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod failover;
 pub mod search_rates;
 pub mod update_latency;
 pub mod workloads;

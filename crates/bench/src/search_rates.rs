@@ -14,6 +14,10 @@ use std::time::Instant;
 use dsp_cam_core::prelude::*;
 
 use crate::cluster::{ClusterRow, MigrationInvariantRow, CLUSTER_SPEEDUP_FLOOR};
+use crate::failover::{
+    assert_failover_floors, FailoverRow, FAILOVER_AVAILABILITY_FLOOR,
+    FAILOVER_RECOVERY_TICKS_CEILING,
+};
 use crate::update_latency::{
     measure_update_latency_rows, UpdateLatencyRow, UpdateMix, SEARCH_UNDER_WRITES_FLOOR,
     UPDATE_P99_RATIO_CEILING,
@@ -431,6 +435,8 @@ pub struct BenchSections<'a> {
     pub cluster: Option<&'a [ClusterRow]>,
     /// Live-migration zero-dropped-query observables.
     pub cluster_migration: Option<&'a MigrationInvariantRow>,
+    /// Cluster failover drills (crash rebuild, stall recovery).
+    pub failover: Option<&'a [FailoverRow]>,
 }
 
 /// Serialise `rows` plus whichever optional `sections` were measured to
@@ -454,6 +460,7 @@ pub fn write_bench_search_json(
         update_queue,
         cluster,
         cluster_migration,
+        failover,
     } = *sections;
     let path = PathBuf::from(concat!(
         env!("CARGO_MANIFEST_DIR"),
@@ -557,6 +564,40 @@ pub fn write_bench_search_json(
             m.issued, m.completions, m.dropped, m.frozen_answers, m.stall_cycles, m.ticks,
         ));
     }
+    if let Some(failover_rows) = failover {
+        body.push_str("  \"failover_rows\": [\n");
+        for (i, row) in failover_rows.iter().enumerate() {
+            body.push_str(&format!(
+                "    {{\"scenario\": \"{}\", \"shards\": {}, \"app_ops\": {}, \
+                 \"presented\": {}, \"availability\": {:.4}, \"degraded_answers\": {}, \
+                 \"shed_writes\": {}, \"write_retries\": {}, \"infra_retries\": {}, \
+                 \"failures_detected\": {}, \"rebuilds_completed\": {}, \
+                 \"max_recovery_ticks\": {}, \"dropped\": {}, \"ticks\": {}, \
+                 \"floor_availability\": {FAILOVER_AVAILABILITY_FLOOR}, \
+                 \"ceiling_recovery_ticks\": {FAILOVER_RECOVERY_TICKS_CEILING}}}{}\n",
+                row.scenario,
+                row.shards,
+                row.app_ops,
+                row.presented,
+                row.availability,
+                row.degraded_answers,
+                row.shed_writes,
+                row.write_retries,
+                row.infra_retries,
+                row.failures_detected,
+                row.rebuilds_completed,
+                row.max_recovery_ticks,
+                row.dropped,
+                row.ticks,
+                if i + 1 == failover_rows.len() {
+                    ""
+                } else {
+                    ","
+                },
+            ));
+        }
+        body.push_str("  ],\n");
+    }
     if let Some(large_rows) = large {
         body.push_str("  \"large_rows\": [\n");
         for (i, row) in large_rows.iter().enumerate() {
@@ -610,7 +651,9 @@ pub fn write_bench_search_json(
 /// versus inline on the 90:9:1 and 50:45:5 mixed streams at 8192 and
 /// 64k entries, recorded as `update_queue_rows`, and floored at
 /// [`UPDATE_P99_RATIO_CEILING`] / [`SEARCH_UNDER_WRITES_FLOOR`] on the
-/// write-heavy 8192-entry row.
+/// write-heavy 8192-entry row. The cluster failover drills (crash
+/// rebuild, stall recovery) replay at 15k ops, are recorded as
+/// `failover_rows`, and are floored by [`assert_failover_floors`].
 ///
 /// # Panics
 ///
@@ -622,7 +665,8 @@ pub fn write_bench_search_json(
 /// of Turbo stream throughput, or if the batch kernel, large-scale or
 /// update-queue floors regress, or if the 4-shard cluster race falls
 /// under [`CLUSTER_SPEEDUP_FLOOR`], or if the live-migration replay
-/// drops a query.
+/// drops a query, or if a failover drill breaks its availability floor
+/// or recovery-tick ceiling (see [`assert_failover_floors`]).
 pub fn emit_bench_search_json(source: &str) {
     let rows = measure_search_rates(&BENCH_SIZES);
     println!();
@@ -718,6 +762,21 @@ pub fn emit_bench_search_json(source: &str) {
         migration.frozen_answers,
         migration.stall_cycles,
     );
+    let failover_rows = crate::failover::measure_failover_rows(15_000);
+    println!("Cluster failover drills (write-heavy 50:45:5, deterministic lockstep):");
+    for row in &failover_rows {
+        println!(
+            "  {:>14}: availability {:.4}, {} degraded answers, recovery {} ticks, \
+             {} retries, {} shed, {} dropped",
+            row.scenario,
+            row.availability,
+            row.degraded_answers,
+            row.max_recovery_ticks,
+            row.write_retries,
+            row.shed_writes,
+            row.dropped,
+        );
+    }
     match write_bench_search_json(
         source,
         &rows,
@@ -730,10 +789,14 @@ pub fn emit_bench_search_json(source: &str) {
             update_queue: Some(&update_queue),
             cluster: Some(&cluster_rows),
             cluster_migration: Some(&migration),
+            failover: Some(&failover_rows),
         },
     ) {
         Ok(path) => println!("(json: {})", path.display()),
         Err(err) => println!("(failed to write BENCH_search.json: {err})"),
+    }
+    for row in &failover_rows {
+        assert_failover_floors(row);
     }
     let cluster_speedup = cluster_rows[1].ops_per_sec() / cluster_rows[0].ops_per_sec();
     assert!(

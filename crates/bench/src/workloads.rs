@@ -26,6 +26,17 @@ use dsp_cam_workload::{
     streaming_cam, Arrival, OpMix, TraceCounts, WorkloadConfig,
 };
 
+use crate::failover::{
+    measure_degraded_mode, DegradedModeRow, DEGRADED_AVAILABILITY_FLOOR,
+    DEGRADED_RECOVERY_TICKS_CEILING,
+};
+
+/// Ops in the `degraded_mode` scenario. The cycle-accurate cluster
+/// ingest loop is ~50× slower per op than the replay arms, so the
+/// scenario runs at drill scale, not [`SCENARIO_OPS`] — every recorded
+/// number is deterministic regardless.
+pub const DEGRADED_MODE_OPS: u64 = 15_000;
+
 /// Entries across the scenario unit's four replicated groups.
 pub const SCENARIO_ENTRIES: usize = 8192;
 
@@ -278,6 +289,7 @@ pub fn run_scenario(scenario: &WorkloadScenario, ops: u64) -> ScenarioResult {
 pub fn write_bench_workloads_json(
     source: &str,
     runs: &[(WorkloadScenario, ScenarioResult)],
+    degraded: Option<&DegradedModeRow>,
 ) -> io::Result<PathBuf> {
     let path = PathBuf::from(concat!(
         env!("CARGO_MANIFEST_DIR"),
@@ -334,7 +346,27 @@ pub fn write_bench_workloads_json(
             if i + 1 == runs.len() { "" } else { "," },
         ));
     }
-    body.push_str("  ]\n}\n");
+    body.push_str("  ]");
+    if let Some(d) = degraded {
+        body.push_str(&format!(
+            ",\n  \"degraded_mode\": {{\"mix\": \"50:45:5\", \"app_ops\": {}, \
+             \"trace_digest\": {}, \"presented\": {}, \"availability\": {:.4}, \
+             \"degraded_answers\": {}, \"shed_writes\": {}, \"recovery_ticks\": {}, \
+             \"rebuilds_completed\": {}, \"ticks\": {}, \
+             \"floor_availability\": {DEGRADED_AVAILABILITY_FLOOR}, \
+             \"ceiling_recovery_ticks\": {DEGRADED_RECOVERY_TICKS_CEILING}}}",
+            d.app_ops,
+            d.trace_digest,
+            d.presented,
+            d.availability,
+            d.degraded_answers,
+            d.shed_writes,
+            d.recovery_ticks,
+            d.rebuilds_completed,
+            d.ticks,
+        ));
+    }
+    body.push_str("\n}\n");
     std::fs::write(&path, body)?;
     Ok(path)
 }
@@ -378,15 +410,16 @@ pub fn assert_scenario_floors(scenario: &WorkloadScenario, result: &ScenarioResu
     );
 }
 
-/// Run every canonical scenario at the full [`SCENARIO_OPS`] count,
-/// print a summary, write `BENCH_workloads.json`, and enforce all
-/// floors — the release-mode entry point behind the `workload_smoke`
-/// CI stage.
+/// Run every canonical scenario at the full [`SCENARIO_OPS`] count plus
+/// the `degraded_mode` cluster scenario at [`DEGRADED_MODE_OPS`], print
+/// a summary, write `BENCH_workloads.json`, and enforce all floors —
+/// the release-mode entry point behind the `workload_smoke` CI stage.
 ///
 /// # Panics
 ///
-/// Panics when any scenario's replay arms diverge or any floor
-/// regresses.
+/// Panics when any scenario's replay arms diverge, any floor regresses,
+/// or the `degraded_mode` scenario breaks its availability floor or
+/// recovery-tick ceiling.
 pub fn emit_bench_workloads_json(source: &str) {
     let runs: Vec<(WorkloadScenario, ScenarioResult)> = canonical_scenarios()
         .into_iter()
@@ -395,6 +428,7 @@ pub fn emit_bench_workloads_json(source: &str) {
             (scenario, result)
         })
         .collect();
+    let degraded = measure_degraded_mode(DEGRADED_MODE_OPS);
     println!();
     println!("Trace-driven workloads ({SCENARIO_ENTRIES} entries, Turbo, 4 groups / 4 workers):");
     for (scenario, result) in &runs {
@@ -414,13 +448,36 @@ pub fn emit_bench_workloads_json(source: &str) {
             result.search_hits,
         );
     }
-    match write_bench_workloads_json(source, &runs) {
+    println!(
+        "  {:>14}: {:>9} app ops, availability {:.4}, {} degraded answers, \
+         {} shed, recovery {} ticks, {} cycles (4-shard cluster, one crash)",
+        "degraded_mode",
+        degraded.app_ops,
+        degraded.availability,
+        degraded.degraded_answers,
+        degraded.shed_writes,
+        degraded.recovery_ticks,
+        degraded.ticks,
+    );
+    match write_bench_workloads_json(source, &runs, Some(&degraded)) {
         Ok(path) => println!("(json: {})", path.display()),
         Err(err) => println!("(failed to write BENCH_workloads.json: {err})"),
     }
     for (scenario, result) in &runs {
         assert_scenario_floors(scenario, result);
     }
+    assert!(
+        degraded.availability >= DEGRADED_AVAILABILITY_FLOOR,
+        "degraded_mode: availability must be >= {DEGRADED_AVAILABILITY_FLOOR} across the \
+         shard crash + rebuild, got {:.4}",
+        degraded.availability
+    );
+    assert!(
+        degraded.recovery_ticks > 0 && degraded.recovery_ticks <= DEGRADED_RECOVERY_TICKS_CEILING,
+        "degraded_mode: recovery must complete within {DEGRADED_RECOVERY_TICKS_CEILING} ticks \
+         (deterministic: the restore model changed), got {}",
+        degraded.recovery_ticks
+    );
 }
 
 #[cfg(test)]

@@ -34,12 +34,27 @@ use std::fmt;
 
 use dsp_cam_core::config::UnitConfig;
 use dsp_cam_core::error::{CamError, ConfigError};
+use dsp_cam_core::journal::JournalOp;
 use dsp_cam_core::pipelined::{Completion, Op, StreamingCam};
 use dsp_cam_core::unit::{CamUnit, SearchResult};
 use dsp_cam_sim::Clocked;
 use dsp_cam_workload::TraceOp;
 
+use crate::failover::{
+    FailoverState, FailoverStats, ReplicaEpoch, ReplicationConfig, ShardFault, ShardHealth,
+    ShedPolicy,
+};
 use crate::ring::HashRing;
+
+/// Whether a [`CamError`] is an infrastructure failure (the dispatch
+/// machinery died) rather than an admission verdict — infra failures
+/// are retryable through a rebuilt pool; admission errors are final.
+pub(crate) fn infra_error(err: &CamError) -> bool {
+    matches!(
+        err,
+        CamError::DispatchTimeout { .. } | CamError::WorkerPoolPoisoned { .. }
+    )
+}
 
 /// Cluster-level operation errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +85,22 @@ pub enum ClusterError {
     },
     /// The destination could not admit the migrating slot's contents.
     Admission(CamError),
+    /// The shard is failed and its write retry budget is exhausted —
+    /// the operation was shed by admission control.
+    Overloaded {
+        /// The overloaded shard.
+        shard: usize,
+    },
+    /// The shard is failed (stalled or rebuilding) and cannot take part
+    /// in a migration right now.
+    ShardUnavailable {
+        /// The unavailable shard.
+        shard: usize,
+    },
+    /// The operation needs [`CamCluster::enable_failover`] first.
+    FailoverDisabled,
+    /// No migration window is open to abort.
+    NoMigration,
 }
 
 impl fmt::Display for ClusterError {
@@ -89,6 +120,18 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::Admission(err) => {
                 write!(f, "destination rejected the migrating slot: {err}")
+            }
+            ClusterError::Overloaded { shard } => {
+                write!(f, "shard {shard} is failed and its retry budget is spent")
+            }
+            ClusterError::ShardUnavailable { shard } => {
+                write!(f, "shard {shard} is failed and cannot join a migration")
+            }
+            ClusterError::FailoverDisabled => {
+                write!(f, "enable_failover() has not been called on this cluster")
+            }
+            ClusterError::NoMigration => {
+                write!(f, "no migration window is open")
             }
         }
     }
@@ -143,6 +186,10 @@ struct Migration {
     /// engine still occupies the window for `moved.len()` cycles.
     copied: usize,
     stall_cycles: u64,
+    /// Destination journal mark taken *after* the staged words were
+    /// journalled: entries at or past it are the in-window redirected
+    /// writes — exactly what a rollback must re-apply to the source.
+    dest_journal_mark: u64,
 }
 
 /// The routing decision for one trace record: shard sub-issues (with
@@ -156,6 +203,10 @@ pub struct RecordPlan {
     /// `(original position, result)` answered synchronously from the
     /// frozen replica.
     pub frozen: Vec<(usize, SearchResult)>,
+    /// `(original position, result)` answered synchronously from a
+    /// replica epoch because the home shard is failed — stale but never
+    /// silent (degraded reads).
+    pub degraded: Vec<(usize, SearchResult)>,
 }
 
 /// N CAM shards behind a consistent-hash ring, with live migration.
@@ -184,6 +235,9 @@ pub struct CamCluster {
     stall_log: Vec<u64>,
     key_mask: u64,
     cycle: u64,
+    /// Replica epochs, shard health and shed policy — `None` until
+    /// [`CamCluster::enable_failover`].
+    failover: Option<FailoverState>,
 }
 
 impl CamCluster {
@@ -213,7 +267,84 @@ impl CamCluster {
             counters: ClusterCounters::default(),
             stall_log: Vec::new(),
             cycle: 0,
+            failover: None,
         })
+    }
+
+    /// Turn on fault tolerance: every shard gets an acknowledged-write
+    /// journal and a seed replica epoch, searches transparently fail
+    /// over to the newest epoch while a shard is down, and crashed
+    /// shards rebuild as `epoch + journal` with zero lost acknowledged
+    /// writes. Call at quiescence (typically right after construction
+    /// or prefill), before driving load.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `replication.replicas` or
+    /// `replication.journal_capacity` is zero.
+    pub fn enable_failover(&mut self, replication: ReplicationConfig) {
+        assert!(
+            replication.replicas >= 1,
+            "failover needs at least one replica epoch per shard"
+        );
+        assert!(
+            replication.journal_capacity >= 1,
+            "failover needs a non-zero journal watermark"
+        );
+        let mut fo = FailoverState::new(replication, self.shards.len());
+        for (shard, cam) in self.shards.iter_mut().enumerate() {
+            cam.enable_write_journal(replication.journal_capacity);
+            fo.replicas[shard].push_back(ReplicaEpoch {
+                cycle: self.cycle,
+                unit: cam.unit().rehydrate(),
+            });
+        }
+        self.failover = Some(fo);
+    }
+
+    /// Replace the overload admission-control policy (no-op until
+    /// [`CamCluster::enable_failover`]).
+    pub fn set_shed_policy(&mut self, policy: ShedPolicy) {
+        if let Some(fo) = &mut self.failover {
+            fo.shed = policy;
+        }
+    }
+
+    /// The active shed policy (the default one when failover is off).
+    #[must_use]
+    pub fn shed_policy(&self) -> ShedPolicy {
+        self.failover
+            .as_ref()
+            .map_or_else(ShedPolicy::default, |fo| fo.shed)
+    }
+
+    /// Whether [`CamCluster::enable_failover`] has been called.
+    #[must_use]
+    pub fn failover_enabled(&self) -> bool {
+        self.failover.is_some()
+    }
+
+    /// Failure and recovery tallies, if failover is enabled.
+    #[must_use]
+    pub fn failover_stats(&self) -> Option<&FailoverStats> {
+        self.failover.as_ref().map(|fo| &fo.stats)
+    }
+
+    /// Whether shard `i` is serving normally (always true when failover
+    /// is disabled — there is nothing to detect failures with).
+    #[must_use]
+    pub fn shard_healthy(&self, i: usize) -> bool {
+        self.failover
+            .as_ref()
+            .is_none_or(|fo| matches!(fo.health[i], ShardHealth::Healthy))
+    }
+
+    /// Whether any shard is currently failed.
+    #[must_use]
+    pub fn any_unhealthy(&self) -> bool {
+        self.failover
+            .as_ref()
+            .is_some_and(|fo| fo.health.iter().any(|h| !matches!(h, ShardHealth::Healthy)))
     }
 
     /// Repartition every shard into `m` replicated groups (flushes each
@@ -293,14 +424,77 @@ impl CamCluster {
                 m.copied += 1;
             }
         }
+        self.step_failover();
         self.try_cutover();
     }
 
+    /// Advance failover state one cycle: expire stalls, reinstall
+    /// finished rebuilds, and refresh replica epochs at clean ticks
+    /// (cadence hits, post-rebuild, or journal over its watermark).
+    fn step_failover(&mut self) {
+        let Some(fo) = &mut self.failover else { return };
+        let now = self.cycle;
+        let interval = fo.replication.refresh_interval;
+        if interval > 0 && now.is_multiple_of(interval) {
+            for flag in &mut fo.due_refresh {
+                *flag = true;
+            }
+        }
+        for shard in 0..self.shards.len() {
+            match fo.health[shard] {
+                ShardHealth::Stalled { since, until } if now >= until => {
+                    fo.health[shard] = ShardHealth::Healthy;
+                    fo.stats.recovery_ticks.push(now - since);
+                }
+                ShardHealth::Rebuilding { since, ready_at } if now >= ready_at => {
+                    let job = fo.rebuilds[shard]
+                        .take()
+                        .expect("rebuilding shard has a job");
+                    // Nothing is in flight: the crash purged the pipes
+                    // and the closed issue port kept them empty.
+                    let _dead = self.shards[shard].replace_unit(job.unit);
+                    fo.health[shard] = ShardHealth::Healthy;
+                    fo.stats.rebuilds_completed += 1;
+                    fo.stats.recovery_ticks.push(now - since);
+                    // Epoch the rebuilt contents right away so the next
+                    // failure does not replay this outage's journal.
+                    fo.due_refresh[shard] = true;
+                }
+                _ => {}
+            }
+        }
+        for shard in 0..self.shards.len() {
+            let (clean, over) = self.shards[shard]
+                .write_journal()
+                .map_or((false, false), |j| {
+                    (j.unacked_len() == 0, j.over_watermark())
+                });
+            if matches!(fo.health[shard], ShardHealth::Healthy)
+                && clean
+                && (fo.due_refresh[shard] || over)
+            {
+                fo.replicas[shard].push_back(ReplicaEpoch {
+                    cycle: now,
+                    unit: self.shards[shard].unit().rehydrate(),
+                });
+                while fo.replicas[shard].len() > fo.replication.replicas {
+                    fo.replicas[shard].pop_front();
+                }
+                self.shards[shard]
+                    .write_journal_mut()
+                    .expect("journal enabled with failover")
+                    .truncate();
+                fo.due_refresh[shard] = false;
+            }
+        }
+    }
+
     /// Tick until every pipeline is empty, every write buffer drained,
-    /// and any open migration window has reached cutover — cluster
-    /// quiescence.
+    /// every shard healthy again, and any open migration window has
+    /// reached cutover — cluster quiescence.
     pub fn quiesce(&mut self) {
         while self.migration.is_some()
+            || self.any_unhealthy()
             || self
                 .shards
                 .iter()
@@ -328,6 +522,9 @@ impl CamCluster {
             }
             self.shards[shard].unit_mut().update(&batch)?;
             self.shards[shard].unit_mut().flush_write_buffer();
+            // Keep `epoch + journal` covering the prefill when failover
+            // was enabled before it.
+            self.shards[shard].journal_direct(JournalOp::Update(batch));
         }
         Ok(())
     }
@@ -362,6 +559,7 @@ impl CamCluster {
         let mut plan = RecordPlan {
             subs: Vec::new(),
             frozen: Vec::new(),
+            degraded: Vec::new(),
         };
         match op {
             TraceOp::Search(key) => {
@@ -371,7 +569,13 @@ impl CamCluster {
                     let result = self.frozen_search(*key);
                     plan.frozen.push((0, result));
                 } else {
-                    plan.subs.push((self.home_of(k), Op::Search(*key), vec![0]));
+                    let shard = self.home_of(k);
+                    if self.shard_healthy(shard) {
+                        plan.subs.push((shard, Op::Search(*key), vec![0]));
+                    } else {
+                        let result = self.degraded_search(shard, *key);
+                        plan.degraded.push((0, result));
+                    }
                 }
             }
             TraceOp::SearchStream(keys) => {
@@ -385,8 +589,13 @@ impl CamCluster {
                         plan.frozen.push((pos, result));
                     } else {
                         let shard = self.home_of(k);
-                        per_shard[shard].0.push(key);
-                        per_shard[shard].1.push(pos);
+                        if self.shard_healthy(shard) {
+                            per_shard[shard].0.push(key);
+                            per_shard[shard].1.push(pos);
+                        } else {
+                            let result = self.degraded_search(shard, key);
+                            plan.degraded.push((pos, result));
+                        }
                     }
                 }
                 for (shard, (batch, positions)) in per_shard.into_iter().enumerate() {
@@ -427,6 +636,41 @@ impl CamCluster {
         result
     }
 
+    /// Answer a search from the failed home shard's newest replica
+    /// epoch — stale but never silent. Charges the hit tallies like any
+    /// other answered search.
+    fn degraded_search(&mut self, shard: usize, key: u64) -> SearchResult {
+        let fo = self
+            .failover
+            .as_mut()
+            .expect("an unhealthy shard implies failover is enabled");
+        fo.stats.degraded_reads += 1;
+        let result = fo.replicas[shard]
+            .back_mut()
+            .expect("replica epochs are seeded at enablement")
+            .unit
+            .search(key);
+        self.counters.search_hits += u64::from(result.is_match());
+        result
+    }
+
+    /// Answer a queued read sub-operation from its failed shard's
+    /// newest replica epoch — the issue-time degraded path for reads
+    /// stranded in the ingest queue when their shard failed after
+    /// planning. `None` when `op` is a write (the caller defers those
+    /// instead).
+    pub fn degraded_answer(&mut self, shard: usize, op: &Op) -> Option<Vec<SearchResult>> {
+        match op {
+            Op::Search(key) => Some(vec![self.degraded_search(shard, *key)]),
+            Op::SearchStream(keys) | Op::SearchMulti(keys) => Some(
+                keys.iter()
+                    .map(|&k| self.degraded_search(shard, k))
+                    .collect(),
+            ),
+            _ => None,
+        }
+    }
+
     fn mark_dirty(&mut self, k: u64) {
         if let Some(m) = &mut self.migration {
             if self.ring.slot_of(k) == m.slot {
@@ -447,7 +691,12 @@ impl CamCluster {
             }
             Completion::SearchMulti(Err(_)) => {}
             Completion::Update(result) => {
-                self.counters.update_rejections += u64::from(result.is_err());
+                // Infrastructure failures (dispatch timeout, poisoned
+                // pool) are retryable, not admission verdicts — the
+                // failover path re-issues them instead of tallying a
+                // rejection.
+                self.counters.update_rejections +=
+                    u64::from(result.as_ref().is_err_and(|e| !infra_error(e)));
             }
             Completion::Delete(hit) => {
                 self.counters.delete_hits += u64::from(*hit);
@@ -482,11 +731,57 @@ impl CamCluster {
         }
     }
 
-    /// Point search for `key`, routed (and migration-aware) —
-    /// transactional: retires before returning.
+    /// Re-resolve the serving shard of a single-key sub-operation
+    /// against the *current* topology — queued sub-issues survive a
+    /// migration rollback by re-routing at issue time. `None` for
+    /// multi-key ops (their plan-time split stays valid: windows only
+    /// open against an empty sub-queue).
+    #[must_use]
+    pub fn resolve_shard(&self, op: &Op) -> Option<usize> {
+        let key = match op {
+            Op::Update(words) if words.len() == 1 => words[0],
+            Op::Delete(key) | Op::Search(key) => *key,
+            _ => return None,
+        };
+        Some(self.home_of(key & self.key_mask))
+    }
+
+    /// Tick until `shard` serves again, bounded by the shed policy's
+    /// total backoff window.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Overloaded`] when the shard is still down after
+    /// the full backoff window.
+    fn await_healthy(&mut self, shard: usize) -> Result<(), ClusterError> {
+        if self.shard_healthy(shard) {
+            return Ok(());
+        }
+        let shed = self.shed_policy();
+        // Total wait = sum of the exponential backoffs the ingest path
+        // would have spent: base * (2^(max_retries+1) - 1), saturated.
+        let max_wait = shed
+            .base_backoff_ticks
+            .saturating_mul((1u64 << shed.max_retries.min(32)).saturating_mul(2) - 1);
+        for _ in 0..max_wait {
+            self.tick();
+            if self.shard_healthy(shard) {
+                return Ok(());
+            }
+        }
+        Err(ClusterError::Overloaded { shard })
+    }
+
+    /// Point search for `key`, routed (and migration- and
+    /// failure-aware) — transactional: retires before returning.
+    /// Searches on a failed shard are answered from its newest replica
+    /// epoch (degraded, possibly stale, never silent).
     pub fn search(&mut self, key: u64) -> SearchResult {
         let plan = self.plan(&TraceOp::Search(key));
         if let Some((_, result)) = plan.frozen.into_iter().next() {
+            return result;
+        }
+        if let Some((_, result)) = plan.degraded.into_iter().next() {
             return result;
         }
         let (shard, op, _) = plan.subs.into_iter().next().expect("routed");
@@ -505,6 +800,9 @@ impl CamCluster {
         let plan = self.plan(&TraceOp::SearchStream(keys.to_vec()));
         let mut results: Vec<Option<SearchResult>> = vec![None; keys.len()];
         for (pos, result) in plan.frozen {
+            results[pos] = Some(result);
+        }
+        for (pos, result) in plan.degraded {
             results[pos] = Some(result);
         }
         for (shard, op, positions) in plan.subs {
@@ -526,36 +824,76 @@ impl CamCluster {
             .collect()
     }
 
-    /// Store one word on its home shard — transactional.
+    /// Store one word on its home shard — transactional. A write aimed
+    /// at a failed shard waits (ticking the cluster) through the shed
+    /// policy's backoff window for the shard to recover; an
+    /// infrastructure failure in the shard's dispatch pool is detected,
+    /// triggers recovery, and the write is retried once through the
+    /// rebuilt shard.
     ///
     /// # Errors
     ///
-    /// Propagates the shard's admission errors ([`CamError::Full`],
-    /// [`CamError::ValueTooWide`]).
-    pub fn update(&mut self, word: u64) -> Result<(), CamError> {
+    /// [`ClusterError::Admission`] wrapping the shard's admission
+    /// verdict ([`CamError::Full`], [`CamError::ValueTooWide`]), or
+    /// [`ClusterError::Overloaded`] when the home shard stayed down
+    /// past the backoff window.
+    pub fn update(&mut self, word: u64) -> Result<(), ClusterError> {
         let plan = self.plan(&TraceOp::Update(word));
-        let (shard, op, _) = plan.subs.into_iter().next().expect("routed");
-        let done = self.run_on(shard, op);
-        self.tally(&done);
-        match done {
-            Completion::Update(result) => result,
-            other => unreachable!("update retired {other:?}"),
+        let (mut shard, mut op, _) = plan.subs.into_iter().next().expect("routed");
+        let mut infra_retried = false;
+        loop {
+            self.await_healthy(shard)?;
+            // A rollback while we waited may have re-homed the key.
+            let routed = self.resolve_shard(&op).unwrap_or(shard);
+            if routed != shard {
+                shard = routed;
+                continue;
+            }
+            let done = self.run_on(shard, op);
+            self.tally(&done);
+            match done {
+                Completion::Update(Ok(())) => return Ok(()),
+                Completion::Update(Err(err)) if infra_error(&err) && !infra_retried => {
+                    // The dispatch machinery died under the op, not the
+                    // admission check: recover the shard (under
+                    // failover) and re-issue exactly once.
+                    infra_retried = true;
+                    self.note_dispatch_failure(shard);
+                    op = Op::Update(vec![word]);
+                }
+                Completion::Update(Err(err)) => return Err(ClusterError::Admission(err)),
+                other => unreachable!("update retired {other:?}"),
+            }
         }
     }
 
     /// Delete the first stored match of `key` on its serving shard —
-    /// transactional. Returns whether the delete hit.
-    pub fn delete(&mut self, key: u64) -> bool {
+    /// transactional. Returns whether the delete hit. Waits out a
+    /// failed home shard exactly like [`CamCluster::update`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Overloaded`] when the home shard stayed down
+    /// past the shed policy's backoff window.
+    pub fn delete(&mut self, key: u64) -> Result<bool, ClusterError> {
         let plan = self.plan(&TraceOp::Delete {
             key,
             eviction: false,
         });
-        let (shard, op, _) = plan.subs.into_iter().next().expect("routed");
-        let done = self.run_on(shard, op);
-        self.tally(&done);
-        match done {
-            Completion::Delete(hit) => hit,
-            other => unreachable!("delete retired {other:?}"),
+        let (mut shard, op, _) = plan.subs.into_iter().next().expect("routed");
+        loop {
+            self.await_healthy(shard)?;
+            let routed = self.resolve_shard(&op).unwrap_or(shard);
+            if routed != shard {
+                shard = routed;
+                continue;
+            }
+            let done = self.run_on(shard, op);
+            self.tally(&done);
+            return match done {
+                Completion::Delete(hit) => Ok(hit),
+                other => unreachable!("delete retired {other:?}"),
+            };
         }
     }
 
@@ -572,9 +910,10 @@ impl CamCluster {
     ///
     /// [`ClusterError::MigrationInProgress`] when a window is open,
     /// range errors for bad `slot`/`dest`, [`ClusterError::AlreadyHome`]
-    /// when the slot already lives on `dest`, and
-    /// [`ClusterError::Admission`] when the destination cannot hold the
-    /// slot (the cluster is left exactly as it was).
+    /// when the slot already lives on `dest`,
+    /// [`ClusterError::ShardUnavailable`] when either participant is
+    /// failed, and [`ClusterError::Admission`] when the destination
+    /// cannot hold the slot (the cluster is left exactly as it was).
     pub fn begin_migration(&mut self, slot: usize, dest: usize) -> Result<(), ClusterError> {
         if self.migration.is_some() {
             return Err(ClusterError::MigrationInProgress);
@@ -595,13 +934,17 @@ impl CamCluster {
         if source == dest {
             return Err(ClusterError::AlreadyHome { slot, shard: dest });
         }
-        // Quiesce the source so the frozen replica is a true snapshot.
+        if !self.shard_healthy(source) {
+            return Err(ClusterError::ShardUnavailable { shard: source });
+        }
+        if !self.shard_healthy(dest) {
+            return Err(ClusterError::ShardUnavailable { shard: dest });
+        }
+        // Quiesce the source so the frozen replica is a true snapshot
+        // (full cluster ticks: failover bookkeeping keeps advancing).
         let mut stall_cycles = 0u64;
         while self.shards[source].in_flight() || self.shards[source].buffer_depth() > 0 {
-            for cam in &mut self.shards {
-                cam.tick();
-            }
-            self.cycle += 1;
+            self.tick();
             stall_cycles += 1;
         }
         let frozen = self.shards[source].unit().rehydrate();
@@ -627,6 +970,15 @@ impl CamCluster {
             }
         }
         stall_cycles += moved.len() as u64;
+        // Journal the staged words on the destination, then mark the
+        // log: everything past the mark is an in-window redirected
+        // write — the rollback slice.
+        for &w in &moved {
+            self.shards[dest].journal_direct(JournalOp::Update(vec![w]));
+        }
+        let dest_journal_mark = self.shards[dest]
+            .write_journal()
+            .map_or(0, dsp_cam_core::journal::OpJournal::next_seq);
         self.migration = Some(Migration {
             slot,
             source,
@@ -636,8 +988,213 @@ impl CamCluster {
             moved,
             copied: 0,
             stall_cycles,
+            dest_journal_mark,
         });
         Ok(())
+    }
+
+    /// Abort the open migration window and roll back cleanly to
+    /// source-serving: the destination is scrubbed of the slot's words
+    /// (staged and redirected alike), in-window redirected writes are
+    /// re-applied to the source in acknowledgement order (no
+    /// acknowledged write is lost), the ring is untouched (it never
+    /// flipped), and the frozen replica is dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoMigration`] when no window is open.
+    pub fn abort_migration(&mut self) -> Result<(), ClusterError> {
+        if self.migration.is_none() {
+            return Err(ClusterError::NoMigration);
+        }
+        self.rollback_migration(true);
+        Ok(())
+    }
+
+    /// Roll the open window back to source-serving. With `dest_alive`,
+    /// the destination unit is scrubbed of the slot's words; a dead
+    /// destination skips the scrub (its rebuild filter drops the
+    /// slot's words instead). Either way the redirected in-window
+    /// writes — the destination journal's slice past the window mark,
+    /// filtered to the slot — are re-applied to the source.
+    fn rollback_migration(&mut self, dest_alive: bool) {
+        let m = self.migration.take().expect("caller checked the window");
+        let window: Vec<JournalOp> =
+            self.shards[m.dest]
+                .write_journal()
+                .map_or_else(Vec::new, |journal| {
+                    journal
+                        .acked_since(m.dest_journal_mark)
+                        .filter_map(|entry| match &entry.op {
+                            JournalOp::Update(words) => {
+                                let slot_words: Vec<u64> = words
+                                    .iter()
+                                    .copied()
+                                    .filter(|&w| self.ring.slot_of(w & self.key_mask) == m.slot)
+                                    .collect();
+                                (!slot_words.is_empty()).then_some(JournalOp::Update(slot_words))
+                            }
+                            JournalOp::Delete(key) => (self.ring.slot_of(key & self.key_mask)
+                                == m.slot)
+                                .then_some(JournalOp::Delete(*key)),
+                        })
+                        .collect()
+                });
+        if dest_alive {
+            // Every slot-keyed word on the destination belongs to the
+            // window: the slot never lived there before it opened.
+            self.shards[m.dest].unit_mut().flush_write_buffer();
+            let stored = self.shards[m.dest].unit().stored_words();
+            for w in stored {
+                if self.ring.slot_of(w & self.key_mask) == m.slot {
+                    self.shards[m.dest].unit_mut().delete_first(w);
+                    self.shards[m.dest].journal_direct(JournalOp::Delete(w));
+                }
+            }
+        }
+        for op in &window {
+            self.apply_direct(m.source, op);
+        }
+        if let Some(fo) = &mut self.failover {
+            fo.stats.migration_aborts += 1;
+        }
+        // The dirty set and frozen replica drop with `m`; the ring was
+        // never flipped, so the source serves the slot again.
+    }
+
+    /// Apply a journal effect to shard `i`'s current logical contents —
+    /// its live unit, or its in-flight rebuild when the shard is down —
+    /// and journal it so `epoch + journal` keeps holding.
+    fn apply_direct(&mut self, i: usize, op: &JournalOp) {
+        let rebuild = self
+            .failover
+            .as_mut()
+            .and_then(|fo| fo.rebuilds[i].as_mut());
+        let unit = match rebuild {
+            Some(job) => &mut job.unit,
+            None => self.shards[i].unit_mut(),
+        };
+        // Admission cannot refuse here in practice: the slot's words
+        // fit the source before the window opened, and redirected
+        // in-window writes were sized for one shard's headroom.
+        let _applied = op.replay(unit);
+        unit.flush_write_buffer();
+        self.shards[i].journal_direct(op.clone());
+    }
+
+    /// Inject a shard failure — the chaos hook. `Crash` and
+    /// `PoisonPool` lose the shard's contents and in-flight operations
+    /// and start an `epoch + journal` rebuild; `Stall` closes the issue
+    /// port for a bounded number of ticks (contents survive). A fault
+    /// aimed at an already-failed shard is absorbed.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::ShardOutOfRange`] for a bad shard index and
+    /// [`ClusterError::FailoverDisabled`] before
+    /// [`CamCluster::enable_failover`].
+    pub fn inject_shard_fault(
+        &mut self,
+        shard: usize,
+        fault: ShardFault,
+    ) -> Result<(), ClusterError> {
+        if shard >= self.shards.len() {
+            return Err(ClusterError::ShardOutOfRange {
+                shard,
+                shards: self.shards.len(),
+            });
+        }
+        if self.failover.is_none() {
+            return Err(ClusterError::FailoverDisabled);
+        }
+        if !self.shard_healthy(shard) {
+            return Ok(());
+        }
+        let fo = self.failover.as_mut().expect("checked above");
+        fo.stats.failures_detected += 1;
+        match fault {
+            ShardFault::Stall { ticks } => {
+                fo.health[shard] = ShardHealth::Stalled {
+                    since: self.cycle,
+                    until: self.cycle + ticks.max(1),
+                };
+            }
+            ShardFault::Crash | ShardFault::PoisonPool => self.crash_shard(shard),
+        }
+        Ok(())
+    }
+
+    /// A dispatch-path infrastructure failure surfaced on `shard` (a
+    /// [`CamError::DispatchTimeout`] or
+    /// [`CamError::WorkerPoolPoisoned`] completion): the shard's
+    /// surviving contents are untrusted, so with failover enabled this
+    /// counts as a detected crash and a rebuild starts. Returns whether
+    /// recovery was started — `false` when failover is disabled or the
+    /// shard is already down, in which case the caller simply retries
+    /// through the shard's auto-rebuilt pool.
+    pub fn note_dispatch_failure(&mut self, shard: usize) -> bool {
+        if self.failover.is_none() || !self.shard_healthy(shard) {
+            return false;
+        }
+        self.failover
+            .as_mut()
+            .expect("checked above")
+            .stats
+            .failures_detected += 1;
+        self.crash_shard(shard);
+        true
+    }
+
+    /// Lose shard `shard`: purge its pipes (unacknowledged writes are
+    /// the client's to retry), roll back an open migration window
+    /// targeting it, reset the dead unit, and start restoring
+    /// `newest epoch + acknowledged journal` at one word per tick.
+    fn crash_shard(&mut self, shard: usize) {
+        let now = self.cycle;
+        self.shards[shard].purge_in_flight();
+        let mut purge_slot = None;
+        if let Some(m) = &self.migration {
+            if m.dest == shard {
+                // The destination died inside the window: roll back to
+                // source-serving. The dead unit is about to be reset,
+                // so the slot scrub happens in the rebuild filter.
+                purge_slot = Some(m.slot);
+                self.rollback_migration(false);
+            }
+            // A dying *source* keeps the window open: the frozen
+            // replica keeps answering and cutover waits on the rebuild.
+        }
+        let mut rebuilt = {
+            let fo = self.failover.as_ref().expect("crash implies failover");
+            fo.replicas[shard]
+                .back()
+                .expect("replica epochs are seeded at enablement")
+                .unit
+                .rehydrate()
+        };
+        let epoch_words = rebuilt.stored_words().len();
+        let replayed = self.shards[shard]
+            .write_journal()
+            .expect("journal enabled with failover")
+            .replay_onto(&mut rebuilt);
+        if let Some(slot) = purge_slot {
+            rebuilt.flush_write_buffer();
+            for w in rebuilt.stored_words() {
+                if self.ring.slot_of(w & self.key_mask) == slot {
+                    rebuilt.delete_first(w);
+                }
+            }
+        }
+        self.shards[shard].unit_mut().reset();
+        // Restore bandwidth model: one word per tick for the epoch plus
+        // one per journal entry replayed.
+        let ready_at = now + 1 + epoch_words as u64 + replayed as u64;
+        let fo = self.failover.as_mut().expect("crash implies failover");
+        fo.rebuilds[shard] = Some(crate::failover::RebuildJob { unit: rebuilt });
+        fo.health[shard] = ShardHealth::Rebuilding {
+            since: now,
+            ready_at,
+        };
     }
 
     /// Fire cutover once the copy engine has pushed every moved word
@@ -649,7 +1206,15 @@ impl CamCluster {
     /// applies the whole staged batch physically in one shot.
     fn try_cutover(&mut self) {
         let drained = match &self.migration {
-            Some(m) => m.copied >= m.moved.len() && self.shards[m.dest].buffer_depth() == 0,
+            Some(m) => {
+                m.copied >= m.moved.len()
+                    && self.shards[m.dest].buffer_depth() == 0
+                    // A failed participant defers cutover: the window
+                    // stays open until the shard recovers (or a
+                    // destination crash rolls the window back).
+                    && self.shard_healthy(m.source)
+                    && self.shard_healthy(m.dest)
+            }
             None => return,
         };
         if !drained {
@@ -658,6 +1223,7 @@ impl CamCluster {
         let m = self.migration.take().expect("checked above");
         for &w in &m.moved {
             self.shards[m.source].unit_mut().delete_first(w);
+            self.shards[m.source].journal_direct(JournalOp::Delete(w));
         }
         self.ring.assign(m.slot, m.dest);
         self.counters.migrations_completed += 1;

@@ -14,13 +14,41 @@
 //! loop keeps feeding queries through the window and the outcome
 //! records the migration's stall cycles next to the per-shard retire
 //! latency samples.
+//!
+//! # Failure handling
+//!
+//! With [`CamCluster::enable_failover`] on, a [`ClusterFaultPlan`]
+//! kills, stalls or pool-poisons shards mid-replay and the loop keeps
+//! the workload flowing:
+//!
+//! * **reads** aimed at a failed shard are answered immediately from
+//!   its newest replica epoch (degraded — stale but never silent);
+//! * **writes** aimed at a failed shard wait in a FIFO retry queue
+//!   with exponential backoff, bounded per-write by the shed policy's
+//!   `max_retries` and per shard by its `retry_budget`; past either
+//!   bound the write is **shed** (counted, never silently lost);
+//! * ops **purged** by a crash (issued but never acknowledged) are
+//!   re-queued at the dispatch head and re-issued after recovery, so
+//!   retire-order accounting stays exact;
+//! * an infrastructure-failure completion ([`DispatchTimeout`] /
+//!   [`WorkerPoolPoisoned`]) triggers shard recovery and ONE bounded
+//!   re-issue of the failed write — the unit-level auto-replay
+//!   contract (only idempotent searches replay below) lifted to the
+//!   cluster, where the journal makes write retry safe.
+//!
+//! Fault ticks are relative to the replay start; faults scheduled past
+//! the replay's natural quiescence never fire.
+//!
+//! [`DispatchTimeout`]: dsp_cam_core::error::CamError::DispatchTimeout
+//! [`WorkerPoolPoisoned`]: dsp_cam_core::error::CamError::WorkerPoolPoisoned
 
 use std::collections::VecDeque;
 
-use dsp_cam_core::pipelined::{Op, RetireRecord};
+use dsp_cam_core::pipelined::{Completion, Op, RetireRecord};
 use dsp_cam_workload::{percentile, Trace};
 
-use crate::cluster::{CamCluster, ClusterError};
+use crate::cluster::{infra_error, CamCluster, ClusterError};
+use crate::failover::{ClusterFaultPlan, ShardFault, ShedPolicy};
 
 /// Open a migration window after `after_records` trace records have
 /// been dispatched.
@@ -35,13 +63,16 @@ pub struct MigrationPlan {
 }
 
 /// Ingest-loop knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct IngestConfig {
     /// Bound on records waiting between arrival and dispatch. Arrivals
     /// beyond it wait at the source (backpressure, never a drop).
     pub queue_capacity: usize,
     /// Optional mid-replay live migration.
     pub migrate: Option<MigrationPlan>,
+    /// Optional shard-failure schedule (requires
+    /// [`CamCluster::enable_failover`] on the cluster).
+    pub faults: Option<ClusterFaultPlan>,
 }
 
 impl Default for IngestConfig {
@@ -49,6 +80,7 @@ impl Default for IngestConfig {
         IngestConfig {
             queue_capacity: 64,
             migrate: None,
+            faults: None,
         }
     }
 }
@@ -56,29 +88,59 @@ impl Default for IngestConfig {
 /// Everything one cluster replay observed.
 #[derive(Debug, Clone, Default)]
 pub struct ClusterReplayOutcome {
-    /// Sub-operations issued into shard pipelines.
+    /// Sub-operations issued into shard pipelines (re-issues of purged
+    /// ops counted once more; purged issues subtracted).
     pub issued: u64,
     /// Completions harvested from shard pipelines.
     pub completions: u64,
     /// Searches answered synchronously by a frozen migration replica.
     pub frozen_answers: u64,
+    /// Search keys answered from a replica epoch while their home
+    /// shard was down (degraded reads).
+    pub degraded_answers: u64,
     /// Issued minus completed at quiescence — the zero-dropped-query
     /// invariant demands this is 0.
     pub dropped: u64,
     /// Total lockstep cycles, quiescence included.
     pub ticks: u64,
-    /// Matching search completions (frozen answers included).
+    /// Matching search completions (frozen and degraded answers
+    /// included).
     pub search_hits: u64,
     /// Deletes that invalidated an entry.
     pub delete_hits: u64,
-    /// Updates rejected at admission.
+    /// Updates rejected at admission (infrastructure failures are
+    /// retried, not counted here).
     pub update_rejections: u64,
+    /// Keys/ops presented overall (sub-issues, frozen and degraded
+    /// answers) — the availability denominator.
+    pub presented: u64,
+    /// Writes dropped by overload admission control after their retry
+    /// bounds were spent.
+    pub shed_writes: u64,
+    /// Deferred-write retry attempts against still-failed shards.
+    pub write_retries: u64,
+    /// Writes re-issued once after an infrastructure-failure
+    /// completion (dispatch timeout / poisoned pool).
+    pub infra_retries: u64,
+    /// Writes whose bounded infrastructure retry failed again —
+    /// permanently unanswered.
+    pub infra_failures: u64,
+    /// Shard failures detected during the replay.
+    pub failures_detected: u64,
+    /// Shard rebuilds driven to completion.
+    pub rebuilds_completed: u64,
+    /// Ticks from each failure detection to the shard serving again.
+    pub recovery_ticks: Vec<u64>,
+    /// Migration windows rolled back because a participant failed.
+    pub migration_aborts: u64,
     /// End-to-end retire latencies per shard (arrival to retire,
     /// queueing included), in retire order.
     pub per_shard_latencies: Vec<Vec<u64>>,
     /// Latencies of frozen-replica answers (dispatch wait plus the
     /// search-pipe latency the replica port mirrors).
     pub frozen_latencies: Vec<u64>,
+    /// Latencies of degraded replica-epoch answers, same convention.
+    pub degraded_latencies: Vec<u64>,
     /// Stall cycles of each migration completed during the replay.
     pub migration_stalls: Vec<u64>,
     /// Deepest arrival queue observed.
@@ -96,9 +158,23 @@ impl ClusterReplayOutcome {
         (percentile(lats, 50.0), percentile(lats, 99.0))
     }
 
+    /// Fraction of presented keys/ops that were answered (degraded
+    /// answers count — stale beats silent): shed writes and permanent
+    /// infrastructure failures are the only unanswered work. 1.0 on an
+    /// empty replay.
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        if self.presented == 0 {
+            return 1.0;
+        }
+        let unanswered = self.shed_writes + self.infra_failures;
+        1.0 - (unanswered as f64 / self.presented as f64)
+    }
+
     /// Record the replay's histograms into an observability sink:
-    /// per-shard retire latencies under `cluster/shard{i}` and
-    /// migration stalls under `cluster/migration`.
+    /// per-shard retire latencies under `cluster/shard{i}`, migration
+    /// stalls under `cluster/migration`, and failover counters plus
+    /// recovery/degraded-latency histograms under `cluster/failover`.
     #[cfg(feature = "obs")]
     pub fn observe_into(&self, sink: &std::sync::Arc<dsp_cam_obs::ObsSink>) {
         for (i, lats) in self.per_shard_latencies.iter().enumerate() {
@@ -115,6 +191,22 @@ impl ClusterReplayOutcome {
                 o.observe(scope, "migration_stall_cycles", stall);
             }
         });
+        let scope = sink.register_scope("cluster/failover");
+        sink.with(|o| {
+            o.add(scope, "failures_detected", self.failures_detected);
+            o.add(scope, "rebuilds_completed", self.rebuilds_completed);
+            o.add(scope, "degraded_answers", self.degraded_answers);
+            o.add(scope, "shed_writes", self.shed_writes);
+            o.add(scope, "write_retries", self.write_retries);
+            o.add(scope, "infra_retries", self.infra_retries);
+            o.add(scope, "migration_aborts", self.migration_aborts);
+            for &t in &self.recovery_ticks {
+                o.observe(scope, "recovery_ticks", t);
+            }
+            for &l in &self.degraded_latencies {
+                o.observe(scope, "degraded_read_latency_cycles", l);
+            }
+        });
     }
 }
 
@@ -124,23 +216,58 @@ struct PendingSub {
     shard: usize,
     op: Op,
     arrival: u64,
+    /// This write already burned its one infrastructure retry.
+    infra_retried: bool,
+}
+
+/// One issued sub-op whose completion has not been harvested. Per
+/// shard, retire order equals issue order, so a FIFO matches
+/// completions back to what was issued — and a crash's purged ops are
+/// exactly the queue's remainder.
+#[derive(Debug)]
+struct OutstandingOp {
+    op: Op,
+    arrival: u64,
+    infra_retried: bool,
+}
+
+/// A write waiting out a failed shard under bounded retry.
+#[derive(Debug)]
+struct DeferredWrite {
+    sub: PendingSub,
+    attempts: u32,
+    due: u64,
+}
+
+/// Keys (searches) or ops (writes) a sub-issue presents — the
+/// availability denominator's unit.
+fn presented_of(op: &Op) -> u64 {
+    match op {
+        Op::SearchStream(keys) | Op::SearchMulti(keys) => keys.len() as u64,
+        _ => 1,
+    }
 }
 
 /// Replay `trace` against `cluster` through the bounded ingest loop.
 /// The trace's prefill is stored (and flushed) before the clock starts;
-/// the cluster is driven to quiescence (open migration included) before
-/// the outcome is computed.
+/// the cluster is driven to quiescence (open migration window, pending
+/// rebuilds and deferred writes included) before the outcome is
+/// computed.
 ///
 /// # Errors
 ///
 /// Propagates prefill admission failures (as
-/// [`ClusterError::Admission`]) and [`CamCluster::begin_migration`]
-/// errors from the migration plan.
+/// [`ClusterError::Admission`]), [`CamCluster::begin_migration`] errors
+/// from the migration plan, and [`ClusterError::FailoverDisabled`] when
+/// a fault plan is supplied without [`CamCluster::enable_failover`].
 pub fn replay_cluster(
     trace: &Trace,
     cluster: &mut CamCluster,
     config: &IngestConfig,
 ) -> Result<ClusterReplayOutcome, ClusterError> {
+    if config.faults.is_some() && !cluster.failover_enabled() {
+        return Err(ClusterError::FailoverDisabled);
+    }
     cluster
         .prefill(trace.prefill_words())
         .map_err(ClusterError::Admission)?;
@@ -156,18 +283,67 @@ pub fn replay_cluster(
 
     let start = cluster.cycle();
     let arrivals = trace.arrivals(start);
+    let search_latency = cluster.shard(0).unit().config().search_latency();
+    let policy = cluster.shed_policy();
     let mut next_record = 0usize;
     let mut dispatched = 0usize;
     let mut queue: VecDeque<usize> = VecDeque::new();
     let mut subs: VecDeque<PendingSub> = VecDeque::new();
+    let mut deferred: VecDeque<DeferredWrite> = VecDeque::new();
+    let mut outstanding: Vec<VecDeque<OutstandingOp>> =
+        (0..shards).map(|_| VecDeque::new()).collect();
+    let mut budget: Vec<u64> = vec![policy.retry_budget; shards];
+    let mut was_healthy: Vec<bool> = vec![true; shards];
     let mut migrate = config.migrate;
+    let mut faults = config.faults.clone();
 
-    while next_record < trace.records.len() || !queue.is_empty() || !subs.is_empty() {
-        // Open the migration window at its planned dispatch position.
+    loop {
+        let pending_work = next_record < trace.records.len()
+            || !queue.is_empty()
+            || !subs.is_empty()
+            || !deferred.is_empty()
+            || outstanding.iter().any(|q| !q.is_empty());
+        let draining = cluster.migration_in_progress()
+            || cluster.any_unhealthy()
+            || (0..shards)
+                .any(|i| cluster.shard(i).in_flight() || cluster.shard(i).buffer_depth() > 0);
+        if !pending_work && !draining {
+            break;
+        }
+        let now = cluster.cycle();
+
+        // Fire due shard faults. A crash purges the shard's in-flight
+        // ops (their completions will never arrive): give them back to
+        // the dispatch head in issue order — they were never
+        // acknowledged, so re-issue is the client's contract.
+        if let Some(plan) = &mut faults {
+            for fault in plan.due(now - start) {
+                cluster.inject_shard_fault(fault.shard, fault.fault)?;
+                if matches!(fault.fault, ShardFault::Crash | ShardFault::PoisonPool) {
+                    requeue_purged(fault.shard, &mut outstanding, &mut subs, &mut outcome);
+                }
+            }
+        }
+        // Replenish a shard's retry budget when it comes back.
+        for i in 0..shards {
+            let healthy = cluster.shard_healthy(i);
+            if healthy && !was_healthy[i] {
+                budget[i] = policy.retry_budget;
+            }
+            was_healthy[i] = healthy;
+        }
+
+        // Open the migration window at its planned dispatch position
+        // (deferred writes drained first: their routing predates the
+        // window). An unavailable participant defers the window, not
+        // the replay.
         if let Some(plan) = migrate {
-            if dispatched >= plan.after_records && subs.is_empty() {
-                cluster.begin_migration(plan.slot, plan.dest)?;
-                migrate = None;
+            if dispatched >= plan.after_records && subs.is_empty() && deferred.is_empty() {
+                match cluster.begin_migration(plan.slot, plan.dest) {
+                    Ok(()) => migrate = None,
+                    Err(ClusterError::ShardUnavailable { .. }) => {}
+                    Err(err) => return Err(err),
+                }
             }
         }
         let now = cluster.cycle();
@@ -183,77 +359,278 @@ pub fn replay_cluster(
         outcome.peak_queue_depth = outcome.peak_queue_depth.max(queue.len());
 
         // Dispatch strictly in order: expand the head record into shard
-        // sub-issues (answering frozen-replica reads on the spot), then
-        // issue leading sub-ops while their shards' slots are free.
+        // sub-issues, answering frozen-replica and degraded reads on
+        // the spot.
         while subs.len() < shards {
             let Some(&record) = queue.front() else { break };
             let arrival = arrivals[record];
             let plan = cluster.plan(&trace.records[record].op);
             outcome.frozen_answers += plan.frozen.len() as u64;
+            outcome.presented += (plan.frozen.len() + plan.degraded.len()) as u64;
             for (_, result) in plan.frozen {
                 outcome.search_hits += u64::from(result.is_match());
-                let latency = (now - arrival) + cluster.shard(0).unit().config().search_latency();
-                outcome.frozen_latencies.push(latency);
+                outcome
+                    .frozen_latencies
+                    .push((now - arrival) + search_latency);
+            }
+            outcome.degraded_answers += plan.degraded.len() as u64;
+            for (_, result) in plan.degraded {
+                outcome.search_hits += u64::from(result.is_match());
+                outcome
+                    .degraded_latencies
+                    .push((now - arrival) + search_latency);
             }
             for (shard, op, _) in plan.subs {
-                subs.push_back(PendingSub { shard, op, arrival });
+                outcome.presented += presented_of(&op);
+                subs.push_back(PendingSub {
+                    shard,
+                    op,
+                    arrival,
+                    infra_retried: false,
+                });
             }
             queue.pop_front();
             dispatched += 1;
         }
+
         let mut claimed = vec![false; shards];
+        // Deferred writes first (they are the oldest work): the head
+        // re-resolves its shard (a rollback may have re-homed its key)
+        // and issues if the shard is back, retries with exponential
+        // backoff if not, and is shed once its bounds are spent.
+        while let Some(head) = deferred.front() {
+            let target = cluster
+                .resolve_shard(&head.sub.op)
+                .unwrap_or(head.sub.shard);
+            if cluster.shard_healthy(target) {
+                if claimed[target] {
+                    outcome.head_of_line_stalls += 1;
+                    break;
+                }
+                let item = deferred.pop_front().expect("front checked");
+                issue_sub(
+                    cluster,
+                    PendingSub {
+                        shard: target,
+                        ..item.sub
+                    },
+                    &mut claimed,
+                    &mut outstanding,
+                    &mut outcome,
+                );
+            } else if now >= head.due {
+                let mut item = deferred.pop_front().expect("front checked");
+                item.attempts += 1;
+                outcome.write_retries += 1;
+                budget[target] = budget[target].saturating_sub(1);
+                if item.attempts > policy.max_retries || budget[target] == 0 {
+                    // Bounds spent: shed. Counted, never silent.
+                    outcome.shed_writes += 1;
+                    continue;
+                }
+                item.due = now + backoff(&policy, item.attempts);
+                deferred.push_front(item);
+                break;
+            } else {
+                break;
+            }
+        }
+        // Then the dispatch queue. Writes bound for a failed shard (or
+        // queued behind deferred writes — FIFO among writes keeps
+        // per-key order) defer; reads bound for a failed shard answer
+        // degraded immediately; everything else issues while its
+        // shard's slot is free.
         while let Some(front) = subs.front() {
-            if claimed[front.shard] {
+            let target = cluster.resolve_shard(&front.op).unwrap_or(front.shard);
+            let is_write = matches!(front.op, Op::Update(_) | Op::Delete(_));
+            if is_write && (!cluster.shard_healthy(target) || !deferred.is_empty()) {
+                let sub = subs.pop_front().expect("front checked");
+                deferred.push_back(DeferredWrite {
+                    sub: PendingSub {
+                        shard: target,
+                        ..sub
+                    },
+                    attempts: 0,
+                    due: now,
+                });
+                continue;
+            }
+            if !is_write && !cluster.shard_healthy(target) {
+                let sub = subs.pop_front().expect("front checked");
+                let results = cluster
+                    .degraded_answer(target, &sub.op)
+                    .expect("non-write sub");
+                outcome.degraded_answers += results.len() as u64;
+                for result in &results {
+                    outcome.search_hits += u64::from(result.is_match());
+                }
+                let latency = (now - sub.arrival) + search_latency;
+                outcome
+                    .degraded_latencies
+                    .extend(std::iter::repeat_n(latency, results.len()));
+                continue;
+            }
+            if claimed[target] {
                 outcome.head_of_line_stalls += 1;
                 break;
             }
             let sub = subs.pop_front().expect("front checked");
-            claimed[sub.shard] = true;
-            match cluster.shard_mut(sub.shard).issue_at(sub.op, sub.arrival) {
-                Ok(()) => outcome.issued += 1,
-                Err(_) => unreachable!("slot claimed once per cycle"),
-            }
+            issue_sub(
+                cluster,
+                PendingSub {
+                    shard: target,
+                    ..sub
+                },
+                &mut claimed,
+                &mut outstanding,
+                &mut outcome,
+            );
         }
 
         cluster.tick();
-        harvest(cluster, &mut outcome);
+        harvest(
+            cluster,
+            &mut outcome,
+            &mut outstanding,
+            &mut subs,
+            &mut deferred,
+        );
     }
     cluster.quiesce();
-    harvest(cluster, &mut outcome);
+    harvest(
+        cluster,
+        &mut outcome,
+        &mut outstanding,
+        &mut subs,
+        &mut deferred,
+    );
 
     outcome.ticks = cluster.cycle() - start;
     outcome.dropped = outcome.issued - outcome.completions;
     outcome.migration_stalls = cluster.migration_stalls().to_vec();
+    if let Some(stats) = cluster.failover_stats() {
+        outcome.failures_detected = stats.failures_detected;
+        outcome.rebuilds_completed = stats.rebuilds_completed;
+        outcome.recovery_ticks = stats.recovery_ticks.clone();
+        outcome.migration_aborts = stats.migration_aborts;
+    }
     Ok(outcome)
 }
 
-/// Pull retired completions and retire-log stamps off every shard.
-fn harvest(cluster: &mut CamCluster, outcome: &mut ClusterReplayOutcome) {
+/// Attempt `n`'s wait before re-checking a failed shard.
+fn backoff(policy: &ShedPolicy, attempts: u32) -> u64 {
+    policy
+        .base_backoff_ticks
+        .saturating_mul(1u64 << attempts.min(16))
+}
+
+/// Issue one sub-op on its (already re-resolved, healthy, unclaimed)
+/// shard and push its outstanding record.
+fn issue_sub(
+    cluster: &mut CamCluster,
+    sub: PendingSub,
+    claimed: &mut [bool],
+    outstanding: &mut [VecDeque<OutstandingOp>],
+    outcome: &mut ClusterReplayOutcome,
+) {
+    claimed[sub.shard] = true;
+    outstanding[sub.shard].push_back(OutstandingOp {
+        op: sub.op.clone(),
+        arrival: sub.arrival,
+        infra_retried: sub.infra_retried,
+    });
+    match cluster.shard_mut(sub.shard).issue_at(sub.op, sub.arrival) {
+        Ok(()) => outcome.issued += 1,
+        Err(_) => unreachable!("slot claimed once per cycle"),
+    }
+}
+
+/// Give a crashed shard's purged in-flight ops back to the dispatch
+/// head in their original issue order — their completions will never
+/// arrive, so they are un-issued and go around again.
+fn requeue_purged(
+    shard: usize,
+    outstanding: &mut [VecDeque<OutstandingOp>],
+    subs: &mut VecDeque<PendingSub>,
+    outcome: &mut ClusterReplayOutcome,
+) {
+    while let Some(rec) = outstanding[shard].pop_back() {
+        outcome.issued -= 1;
+        subs.push_front(PendingSub {
+            shard,
+            op: rec.op,
+            arrival: rec.arrival,
+            infra_retried: rec.infra_retried,
+        });
+    }
+}
+
+/// Pull retired completions and retire-log stamps off every shard,
+/// matching each completion to its outstanding record (per-shard
+/// retire order equals issue order). Infrastructure-failure write
+/// completions trigger recovery and one bounded re-issue.
+fn harvest(
+    cluster: &mut CamCluster,
+    outcome: &mut ClusterReplayOutcome,
+    outstanding: &mut [VecDeque<OutstandingOp>],
+    subs: &mut VecDeque<PendingSub>,
+    deferred: &mut VecDeque<DeferredWrite>,
+) {
     for i in 0..cluster.num_shards() {
         let retired = cluster.shard_mut(i).drain_retired();
-        for (_, done) in &retired {
-            cluster.tally(done);
-        }
-        outcome.completions += retired.len() as u64;
+        let mut reissues: Vec<DeferredWrite> = Vec::new();
         for (_, done) in retired {
-            match done {
-                dsp_cam_core::pipelined::Completion::Search(r) => {
+            cluster.tally(&done);
+            outcome.completions += 1;
+            let rec = outstanding[i].pop_front();
+            match &done {
+                Completion::Search(r) => {
                     outcome.search_hits += u64::from(r.is_match());
                 }
-                dsp_cam_core::pipelined::Completion::SearchStream(rs) => {
+                Completion::SearchStream(rs) | Completion::SearchMulti(Ok(rs)) => {
                     outcome.search_hits += rs.iter().filter(|r| r.is_match()).count() as u64;
                 }
-                dsp_cam_core::pipelined::Completion::SearchMulti(Ok(rs)) => {
-                    outcome.search_hits += rs.iter().filter(|r| r.is_match()).count() as u64;
+                Completion::SearchMulti(Err(_)) => {}
+                Completion::Update(Ok(())) => {}
+                Completion::Update(Err(err)) if infra_error(err) => {
+                    let Some(rec) = rec else { continue };
+                    if rec.infra_retried {
+                        // The bounded retry also died: permanent.
+                        outcome.infra_failures += 1;
+                    } else {
+                        outcome.infra_retries += 1;
+                        // The shard's dispatch machinery died under the
+                        // op: recover (rebuild from epoch + journal
+                        // under failover; pool self-rebuilds without),
+                        // requeue whatever the recovery purged, and
+                        // re-issue this write exactly once.
+                        if cluster.note_dispatch_failure(i) {
+                            requeue_purged(i, outstanding, subs, outcome);
+                        }
+                        reissues.push(DeferredWrite {
+                            sub: PendingSub {
+                                shard: i,
+                                op: rec.op,
+                                arrival: rec.arrival,
+                                infra_retried: true,
+                            },
+                            attempts: 0,
+                            due: cluster.cycle(),
+                        });
+                    }
                 }
-                dsp_cam_core::pipelined::Completion::SearchMulti(Err(_)) => {}
-                dsp_cam_core::pipelined::Completion::Update(r) => {
-                    outcome.update_rejections += u64::from(r.is_err());
+                Completion::Update(Err(_)) => {
+                    outcome.update_rejections += 1;
                 }
-                dsp_cam_core::pipelined::Completion::Delete(hit) => {
-                    outcome.delete_hits += u64::from(hit);
+                Completion::Delete(hit) => {
+                    outcome.delete_hits += u64::from(*hit);
                 }
             }
+        }
+        // Oldest first at the deferred head (deferred was empty when
+        // these issued, so they precede everything queued there now).
+        for item in reissues.into_iter().rev() {
+            deferred.push_front(item);
         }
         let records = cluster.shard_mut(i).take_retire_log();
         outcome.per_shard_latencies[i].extend(records.iter().map(RetireRecord::latency));

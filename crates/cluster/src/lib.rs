@@ -23,14 +23,34 @@
 //! [`replay_cluster`] drives a whole `dsp-cam-workload` trace through a
 //! bounded async-style ingest queue, producing per-shard retire-latency
 //! and migration-stall histograms.
+//!
+//! **Fault tolerance** ([`CamCluster::enable_failover`]) keeps the
+//! cluster serving through shard failures: each shard maintains
+//! [`ReplicationConfig::replicas`] read-only replica epochs (clean
+//! journal marks taken via the `rehydrate` path) plus a bounded journal
+//! of acknowledged writes since the newest epoch. A crashed or
+//! pool-poisoned shard — injected by a seeded [`ClusterFaultPlan`] or
+//! detected live from `DispatchTimeout` / `WorkerPoolPoisoned` — has
+//! its slots degraded to replica-served reads while a rebuild restores
+//! `epoch + journal` at one word per tick, guaranteeing zero lost
+//! acknowledged writes; a failed migration participant rolls the
+//! window back to source-serving ([`CamCluster::abort_migration`]); and
+//! writes aimed at a down shard wait under a bounded-backoff
+//! [`ShedPolicy`] before the cluster sheds them with
+//! [`ClusterError::Overloaded`]. See `tests/cluster_recovery.rs` for
+//! the chaos contract.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cluster;
+mod failover;
 mod ingest;
 mod ring;
 
 pub use cluster::{CamCluster, ClusterCounters, ClusterError, ClusterSnapshot, RecordPlan};
+pub use failover::{
+    ClusterFaultPlan, FailoverStats, PlannedFault, ReplicationConfig, ShardFault, ShedPolicy,
+};
 pub use ingest::{replay_cluster, ClusterReplayOutcome, IngestConfig, MigrationPlan};
 pub use ring::{mix64, HashRing};

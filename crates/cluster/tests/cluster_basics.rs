@@ -46,7 +46,7 @@ fn routing_stores_and_finds_keys_across_shards() {
     assert!(!cluster.search(999).is_match());
     cluster.update(999).unwrap();
     assert!(cluster.search(999).is_match());
-    assert!(cluster.delete(999));
+    assert!(cluster.delete(999).unwrap());
     cluster.quiesce();
     assert!(!cluster.search(999).is_match());
 
@@ -141,7 +141,10 @@ fn frozen_replica_serves_the_window_with_read_your_writes() {
         cluster.migration_in_progress(),
         "writes keep the window open"
     );
-    assert!(cluster.delete(sibling), "in-window delete must hit");
+    assert!(
+        cluster.delete(sibling).unwrap(),
+        "in-window delete must hit"
+    );
     if cluster.migration_in_progress() {
         let frozen_before = cluster.counters().frozen_reads;
         assert!(
@@ -234,6 +237,7 @@ fn ingest_replay_never_drops_a_query_across_a_migration() {
                 slot,
                 dest,
             }),
+            faults: None,
         },
     )
     .unwrap();

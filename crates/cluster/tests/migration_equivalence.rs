@@ -75,7 +75,7 @@ fn apply(cluster: &mut CamCluster, op: &ClusterOp) -> String {
             format!("{hits:?}")
         }
         ClusterOp::Update(word) => format!("{:?}", cluster.update(*word)),
-        ClusterOp::Delete(key) => format!("{}", cluster.delete(*key)),
+        ClusterOp::Delete(key) => format!("{:?}", cluster.delete(*key)),
         ClusterOp::Idle(cycles) => {
             for _ in 0..*cycles {
                 cluster.tick();

@@ -226,6 +226,20 @@ pub enum FaultSite {
     /// path end to end; a no-op for units dispatching serially or via
     /// scoped threads, where a worker upset cannot occur.
     PoolWorker,
+    /// Arm a one-shot stall fuse on the pool: every group task of the
+    /// next pooled update dispatch sleeps `ms` milliseconds before
+    /// writing. With a configured
+    /// [`dispatch_deadline_ms`](crate::config::UnitConfig) below the
+    /// stall, the dispatch deterministically surfaces
+    /// [`CamError::DispatchTimeout`](crate::error::CamError) — the
+    /// stalled workers' blocks are abandoned (re-materialised empty)
+    /// and the pool is torn down, exactly the real hung-worker path —
+    /// without any test-only hook. A no-op for serial or scoped-thread
+    /// dispatch.
+    PoolStall {
+        /// Stall length per group task, in milliseconds.
+        ms: u64,
+    },
 }
 
 /// A deterministic, seeded fault campaign.
@@ -416,8 +430,8 @@ mod tests {
                 }
                 FaultSite::Routing { block } => assert!(block < 4),
                 FaultSite::UpdateQueue { slot } => assert!(slot < 64),
-                FaultSite::PoolWorker => {
-                    unreachable!("plans never draw pool-worker faults; they are armed explicitly")
+                FaultSite::PoolWorker | FaultSite::PoolStall { .. } => {
+                    unreachable!("plans never draw pool faults; they are armed explicitly")
                 }
             }
         }

@@ -56,6 +56,7 @@ pub mod encoder;
 pub mod error;
 pub mod faults;
 pub mod func;
+pub mod journal;
 pub mod kind;
 pub mod mask;
 pub mod match_index;
@@ -80,6 +81,7 @@ pub mod prelude {
     pub use crate::error::{CamError, ConfigError};
     pub use crate::faults::{FaultPlan, FaultRates, FaultSite, ShadowFault};
     pub use crate::func::RefCam;
+    pub use crate::journal::{JournalEntry, JournalOp, OpJournal};
     pub use crate::kind::CamKind;
     pub use crate::mask::{range_mask, width_mask, CamMask, RangeSpec};
     pub use crate::match_index::MatchIndex;

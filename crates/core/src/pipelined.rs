@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::UnitConfig;
 use crate::error::{CamError, ConfigError};
+use crate::journal::{JournalOp, OpJournal};
 use crate::unit::{CamUnit, SearchResult};
 
 /// An operation issued into the pipeline.
@@ -134,6 +135,11 @@ pub struct StreamingCam {
     /// Optional replay hook: `(arrival, issued, retired)` stamps per
     /// completion, in retire order.
     retire_log: Option<Vec<RetireRecord>>,
+    /// Optional acknowledged-write journal (see [`OpJournal`]): write
+    /// ops record their content effect at the apply edge and are
+    /// acknowledged at the retire edge — the durability log cluster
+    /// failover rebuilds crashed shards from.
+    journal: Option<OpJournal>,
     /// Observability sink plus the interned `"pipeline"` scope the
     /// retire-latency histograms land under.
     #[cfg(feature = "obs")]
@@ -159,6 +165,7 @@ impl StreamingCam {
             cycle: 0,
             retired: Vec::new(),
             retire_log: None,
+            journal: None,
             #[cfg(feature = "obs")]
             observer: None,
         })
@@ -178,6 +185,7 @@ impl StreamingCam {
             cycle: 0,
             retired: Vec::new(),
             retire_log: None,
+            journal: None,
             #[cfg(feature = "obs")]
             observer: None,
         }
@@ -212,6 +220,14 @@ impl StreamingCam {
 
     /// Record a completion at the current cycle's retire edge.
     fn retire(&mut self, arrival: u64, issued: u64, done: Completion) {
+        // The retire edge is the acknowledgement point: the oldest
+        // pending journal effect belongs to this write completion (the
+        // update pipe is FIFO, so the queues stay 1:1).
+        if matches!(done, Completion::Update(_) | Completion::Delete(_)) {
+            if let Some(journal) = &mut self.journal {
+                journal.ack_one();
+            }
+        }
         #[cfg(feature = "obs")]
         if let Some((sink, scope)) = &self.observer {
             let metric = match &done {
@@ -300,6 +316,52 @@ impl StreamingCam {
         Ok(())
     }
 
+    /// Start journaling acknowledged content-changing writes (capacity
+    /// is the [`OpJournal::over_watermark`] threshold, not a hard cap).
+    /// Any previous journal is replaced. Enable before issuing write
+    /// ops: writes already in flight retire without a journal record.
+    pub fn enable_write_journal(&mut self, capacity: usize) {
+        self.journal = Some(OpJournal::new(capacity));
+    }
+
+    /// The acknowledged-write journal, if enabled.
+    #[must_use]
+    pub fn write_journal(&self) -> Option<&OpJournal> {
+        self.journal.as_ref()
+    }
+
+    /// The acknowledged-write journal, mutably (truncation and log
+    /// marks), if enabled.
+    pub fn write_journal_mut(&mut self) -> Option<&mut OpJournal> {
+        self.journal.as_mut()
+    }
+
+    /// Record an already-acknowledged content effect that bypassed the
+    /// pipeline (prefill, migration staging, cutover deletes, rollback
+    /// repairs). A no-op when no journal is enabled.
+    pub fn journal_direct(&mut self, op: JournalOp) {
+        if let Some(journal) = &mut self.journal {
+            journal.append_direct(op);
+        }
+    }
+
+    /// The crash edge: discard the staged op and everything in flight
+    /// in both pipes *without retiring it*, and drop the journal's
+    /// unacknowledged tail. The completions of purged ops never reach
+    /// the client, which therefore owns their re-issue. Returns how
+    /// many operations were discarded.
+    pub fn purge_in_flight(&mut self) -> usize {
+        let purged = usize::from(self.pending.take().is_some())
+            + self.update_pipe.occupancy()
+            + self.search_pipe.occupancy();
+        self.update_pipe.flush();
+        self.search_pipe.flush();
+        if let Some(journal) = &mut self.journal {
+            journal.drop_pending();
+        }
+        purged
+    }
+
     /// Start logging `(arrival, issued, retired)` stamps for every
     /// completion (cleared of any previous log). Zero-cost until
     /// enabled; [`StreamingCam::take_retire_log`] drains the log.
@@ -362,6 +424,9 @@ impl Clocked for StreamingCam {
         let (arrival, into_update, into_search) = match self.pending.take() {
             Some((Op::Update(words), arrival)) => {
                 let result = self.unit.update(&words);
+                if let Some(journal) = &mut self.journal {
+                    journal.push_pending(result.is_ok().then(|| JournalOp::Update(words.clone())));
+                }
                 (arrival, Some(Completion::Update(result)), None)
             }
             Some((Op::Search(key), arrival)) => {
@@ -378,6 +443,9 @@ impl Clocked for StreamingCam {
             }
             Some((Op::Delete(key), arrival)) => {
                 let hit = self.unit.delete_first(key);
+                if let Some(journal) = &mut self.journal {
+                    journal.push_pending(hit.then_some(JournalOp::Delete(key)));
+                }
                 (arrival, Some(Completion::Delete(hit)), None)
             }
             None => {
@@ -879,6 +947,57 @@ mod tests {
         cam.issue(Op::Search(7)).unwrap();
         cam.drain();
         assert_eq!(cam.take_retire_log().len(), 1);
+    }
+
+    #[test]
+    fn journal_acks_at_the_retire_edge_only() {
+        use crate::journal::JournalOp;
+        let mut cam = StreamingCam::new(config()).unwrap();
+        cam.enable_write_journal(64);
+        cam.issue(Op::Update(vec![42])).unwrap();
+        cam.tick();
+        let journal = cam.write_journal().unwrap();
+        assert_eq!(journal.unacked_len(), 1, "applied but still in the pipe");
+        assert_eq!(journal.acked_len(), 0);
+        cam.drain();
+        let journal = cam.write_journal().unwrap();
+        assert_eq!(journal.unacked_len(), 0);
+        assert_eq!(journal.acked_len(), 1);
+        assert_eq!(
+            journal.acked().next().unwrap().op,
+            JournalOp::Update(vec![42])
+        );
+        // A missed delete retires without a journal entry.
+        cam.issue(Op::Delete(999)).unwrap();
+        cam.drain();
+        assert_eq!(cam.write_journal().unwrap().acked_len(), 1);
+        // A hitting delete is journaled.
+        cam.issue(Op::Delete(42)).unwrap();
+        cam.drain();
+        let acked: Vec<_> = cam.write_journal().unwrap().acked().cloned().collect();
+        assert_eq!(acked.len(), 2);
+        assert_eq!(acked[1].op, JournalOp::Delete(42));
+    }
+
+    #[test]
+    fn purge_in_flight_drops_unacked_writes_and_their_completions() {
+        let mut cam = StreamingCam::new(config()).unwrap();
+        cam.enable_write_journal(64);
+        cam.issue(Op::Update(vec![1])).unwrap();
+        cam.drain();
+        cam.drain_retired();
+        // One acked write, then two in flight plus one staged.
+        cam.issue(Op::Update(vec![2])).unwrap();
+        cam.tick();
+        cam.issue(Op::Search(1)).unwrap();
+        cam.tick();
+        cam.issue(Op::Update(vec![3])).unwrap();
+        assert_eq!(cam.purge_in_flight(), 3);
+        assert!(!cam.in_flight());
+        assert!(cam.drain_retired().is_empty(), "nothing retires post-purge");
+        let journal = cam.write_journal().unwrap();
+        assert_eq!(journal.acked_len(), 1, "acked prefix survives");
+        assert_eq!(journal.unacked_len(), 0, "unacked tail dropped");
     }
 
     #[test]

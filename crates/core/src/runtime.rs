@@ -72,6 +72,11 @@ pub(crate) enum PoolOp {
         /// exactly one group task panics *before* writing anything while
         /// the fuse is armed, modelling a worker upset mid-update.
         fault: Option<Arc<std::sync::atomic::AtomicBool>>,
+        /// Optional stall injection
+        /// ([`FaultSite::PoolStall`](crate::faults::FaultSite::PoolStall)):
+        /// each group task sleeps this many milliseconds before writing,
+        /// deterministically tripping a configured dispatch deadline.
+        stall: Option<u64>,
     },
     /// Multi-query search: group `g` answers `keys[g]`.
     SearchMulti {
@@ -402,7 +407,16 @@ fn run_group(
 ) {
     let mut blocks: Vec<&mut CamBlock> = task.blocks.iter_mut().map(|(_, block)| block).collect();
     match op {
-        PoolOp::Update { words, fault } => {
+        PoolOp::Update {
+            words,
+            fault,
+            stall,
+        } => {
+            if let Some(ms) = stall {
+                // A hung worker: hold the blocks past the dispatch
+                // deadline so the main thread abandons them.
+                std::thread::sleep(std::time::Duration::from_millis(*ms));
+            }
             if let Some(fuse) = fault {
                 // Panic before touching any cell: the poisoned group's
                 // blocks come back exactly as dispatched (the per-task
@@ -492,6 +506,7 @@ mod tests {
         PoolOp::Update {
             words: Arc::new(words),
             fault: None,
+            stall: None,
         }
     }
 

@@ -200,6 +200,13 @@ pub struct CamUnit {
     /// architectural state.
     #[serde(skip)]
     pool_fault: Option<Arc<AtomicBool>>,
+    /// One-shot fuse armed by [`FaultSite::PoolStall`]: every group
+    /// task of the next pooled update dispatch sleeps this many
+    /// milliseconds, deterministically tripping a configured dispatch
+    /// deadline. Test-only failure injection, never architectural
+    /// state.
+    #[serde(skip)]
+    pool_stall: Option<u64>,
     /// Attached observability sink; host-side monitoring, never
     /// architectural state (results and counters are identical with or
     /// without it — see `tests/obs_equivalence.rs`).
@@ -234,6 +241,7 @@ impl CamUnit {
             scratch: GroupScratch::default(),
             runtime: RuntimeSlot::default(),
             pool_fault: None,
+            pool_stall: None,
             #[cfg(feature = "obs")]
             observer: None,
         };
@@ -582,6 +590,7 @@ impl CamUnit {
             }
             FaultSite::UpdateQueue { slot } => self.wbuf.inject_index_fault(slot),
             FaultSite::PoolWorker => self.pool_fault = Some(Arc::new(AtomicBool::new(true))),
+            FaultSite::PoolStall { ms } => self.pool_stall = Some(ms),
         }
     }
 
@@ -1235,6 +1244,7 @@ impl CamUnit {
             let op = PoolOp::Update {
                 words: Arc::new(words.to_vec()),
                 fault: self.pool_fault.take(),
+                stall: self.pool_stall.take(),
             };
             let (fills, _) = self.dispatch_pool(self.groups, workers, op)?;
             fills
@@ -2214,6 +2224,7 @@ impl CamUnit {
         unit.scratch = GroupScratch::default();
         unit.runtime = RuntimeSlot::default();
         unit.pool_fault = None;
+        unit.pool_stall = None;
         unit.wbuf.reset_transients();
         for block in &mut unit.blocks {
             block.reset_transients();

@@ -86,6 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 slot,
                 dest,
             }),
+            faults: None,
         },
     )?;
     println!(

@@ -65,6 +65,16 @@ echo "==> cluster-reshard example smoke run (fixed seed, default + obs)"
 cargo run -q --offline --example cluster_reshard
 cargo run -q --offline --example cluster_reshard --features obs
 
+# The shard-failover drill crashes one shard and stalls another in a
+# failover-enabled cluster mid-ingest, and proves both outages were
+# absorbed: availability >= 0.99 with zero shed writes, the crashed
+# shard rebuilt from epoch + journal, quiescent contents identical to a
+# never-faulted twin. Under both feature sets (obs additionally
+# publishes the cluster/failover counters and recovery histogram).
+echo "==> shard-failover example smoke run (fixed seed, default + obs)"
+cargo run -q --offline --example shard_failover
+cargo run -q --offline --example shard_failover --features obs
+
 echo "==> clippy + compile-check the obs example"
 cargo clippy --offline --features obs --example trace_report -- -D warnings
 
@@ -108,5 +118,16 @@ echo "==> release cluster perf + migration smoke (default)"
 cargo test -q --offline --release -p dsp-cam-bench --lib -- --ignored cluster_smoke
 echo "==> release cluster perf + migration smoke (obs)"
 cargo test -q --offline --release -p dsp-cam-bench --lib --features obs -- --ignored cluster_smoke
+
+# Cluster failover floors (BENCH_search.json failover_rows and
+# BENCH_workloads.json degraded_mode regression guards): the crash and
+# stall drills must hold availability >= 0.99 with zero dropped queries
+# and shed writes, and recover within the deterministic recovery-tick
+# ceiling. Lockstep numbers — a violation means the failover protocol
+# changed, not that the machine was slow.
+echo "==> release failover smoke (default)"
+cargo test -q --offline --release -p dsp-cam-bench --lib -- --ignored failover_smoke
+echo "==> release failover smoke (obs)"
+cargo test -q --offline --release -p dsp-cam-bench --lib --features obs -- --ignored failover_smoke
 
 echo "CI green."
